@@ -1,0 +1,197 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section V) at full dataset sizes, prints paper-vs-measured
+   values, and runs Bechamel microbenchmarks of the framework's hot paths
+   (one per table/figure).
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe table3     # one section
+     dune exec bench/main.exe -- --quick # scaled-down sizes
+
+   Sections: table2 table3 table4 fig5 fig6 ablations micro all *)
+
+module E = Dhdl_core.Experiments
+module Estimator = Dhdl_model.Estimator
+module App = Dhdl_apps.App
+
+let seed = 2016
+
+let banner title =
+  Printf.printf "\n%s\n%s\n%s\n\n" (String.make 78 '=') title (String.make 78 '=')
+
+let section_time name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "[%s completed in %.1f s]\n%!" name (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment sections                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let estimator_ref : Estimator.t option ref = ref None
+
+let the_estimator ~quick () =
+  match !estimator_ref with
+  | Some e -> e
+  | None ->
+    Printf.printf
+      "[setup] characterizing templates and training the correction networks\n";
+    Printf.printf "[setup] (one-time per device/toolchain; Section IV.B)\n%!";
+    let t0 = Unix.gettimeofday () in
+    let train_samples = if quick then 100 else 200 in
+    let e = Estimator.create ~seed ~train_samples () in
+    Printf.printf "[setup] done in %.1f s\n%!" (Unix.gettimeofday () -. t0);
+    estimator_ref := Some e;
+    e
+
+let run_table2 ~quick:_ () =
+  banner "Table II: evaluation benchmarks and dataset sizes";
+  print_string (E.render_table2 ())
+
+let run_table3 ~quick () =
+  banner "Table III: estimation accuracy vs. simulated toolchain (post-P&R + cycle sim)";
+  let est = the_estimator ~quick () in
+  let sample = if quick then 80 else 300 in
+  print_string (E.render_table3 (E.table3 ~seed ~sample ~pareto_points:5 est))
+
+let run_table4 ~quick () =
+  banner "Table IV: estimation speed, DHDL estimator vs. simulated HLS (GDA)";
+  let est = the_estimator ~quick () in
+  let r =
+    if quick then E.table4 ~seed ~ours_points:50 ~restricted_points:8 ~full_points:1 ~hls_cols:48 est
+    else E.table4 ~seed ~ours_points:250 ~restricted_points:40 ~full_points:3 est
+  in
+  print_string (E.render_table4 r)
+
+let paper_scale = ref false
+
+let run_fig5 ~quick () =
+  banner "Figure 5: design-space exploration scatter plots and Pareto frontiers";
+  let est = the_estimator ~quick () in
+  let max_points = if !paper_scale then 75_000 else if quick then 250 else 2_000 in
+  let apps = E.fig5 ~seed ~max_points est in
+  print_string (E.render_fig5 apps);
+  let written = E.write_fig5_csvs ~dir:(Filename.get_temp_dir_name ()) apps in
+  Printf.printf "raw exploration data written to:\n";
+  List.iter (fun p -> Printf.printf "  %s\n" p) written
+
+let run_fig6 ~quick () =
+  banner "Figure 6: best-design speedup over the 6-core CPU baseline";
+  let est = the_estimator ~quick () in
+  let max_points = if quick then 400 else 2_000 in
+  print_string (E.render_fig6 (E.fig6 ~seed ~max_points est))
+
+let run_ablations ~quick () =
+  banner "Ablations: MetaPipe pipelining and the hybrid NN correction";
+  let est = the_estimator ~quick () in
+  let max_points = if quick then 150 else 800 in
+  let sample = if quick then 60 else 300 in
+  print_string
+    (E.render_ablations
+       (E.ablation_metapipe ~seed ~max_points est)
+       (E.ablation_nn_correction ~seed ~sample est));
+  let budgets = if quick then [ 50; 150; 400 ] else [ 100; 300; 1_000; 3_000 ] in
+  print_string (E.render_sampling "gda" (E.ablation_sampling ~seed ~app:"gda" ~budgets est));
+  print_newline ();
+  print_string (E.render_device (E.ablation_device ~seed ~max_points est));
+  print_newline ();
+  print_string (E.render_bandwidth (E.ablation_bandwidth ~seed ~max_points est))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: one per table/figure                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_micro ~quick () =
+  banner "Microbenchmarks (Bechamel): per-call cost of each experiment's hot path";
+  let open Bechamel in
+  let est = the_estimator ~quick () in
+  let gda = Dhdl_apps.Registry.find "gda" in
+  let sizes = gda.App.paper_sizes in
+  let design = App.generate_default gda sizes in
+  let space = gda.App.space sizes in
+  let hls_small = Dhdl_hls.Gda_c.build ~cols:24 Dhdl_hls.Gda_c.default in
+  let tests =
+    [
+      (* Table III's unit of work: one hybrid estimate plus one toolchain
+         ground-truth run. *)
+      Test.make ~name:"table3.estimate" (Staged.stage (fun () -> Estimator.estimate est design));
+      Test.make ~name:"table3.synthesize"
+        (Staged.stage (fun () -> Dhdl_synth.Toolchain.synthesize design));
+      Test.make ~name:"table3.simulate" (Staged.stage (fun () -> Dhdl_sim.Perf_sim.simulate design));
+      (* Table IV's two sides. *)
+      Test.make ~name:"table4.our_estimator"
+        (Staged.stage (fun () -> Estimator.estimate_cycles est design));
+      Test.make ~name:"table4.hls_restricted"
+        (Staged.stage (fun () -> Dhdl_hls.Scheduler.estimate hls_small));
+      (* Figure 5's unit: sample + generate + estimate one design point. *)
+      Test.make ~name:"fig5.dse_point"
+        (Staged.stage (fun () ->
+             let p = List.hd (Dhdl_dse.Space.sample space ~seed ~max_points:1) in
+             Estimator.estimate est (gda.App.generate ~sizes ~params:p)));
+      (* Figure 6's unit: the CPU cost model. *)
+      Test.make ~name:"fig6.cpu_model"
+        (Staged.stage (fun () -> Dhdl_cpu.Cost_model.seconds (gda.App.cpu_workload sizes)));
+    ]
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+    let raw = Benchmark.all cfg instances test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  let results = benchmark (Test.make_grouped ~name:"dhdl" tests) in
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ ns ] -> Printf.printf "  %-28s %12.1f ns/run (%9.3f ms)\n" name ns (ns /. 1e6)
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    results;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let all_sections =
+  [
+    ("table2", run_table2);
+    ("table3", run_table3);
+    ("table4", run_table4);
+    ("fig5", run_fig5);
+    ("fig6", run_fig6);
+    ("ablations", run_ablations);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  paper_scale := List.mem "--paper-scale" args;
+  let wanted =
+    List.filter (fun a -> a <> "--quick" && a <> "--paper-scale" && a <> "--") args
+  in
+  let sections =
+    match wanted with
+    | [] | [ "all" ] -> all_sections
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n all_sections with
+          | Some f -> (n, f)
+          | None ->
+            Printf.eprintf "unknown section %S (have: %s)\n" n
+              (String.concat " " (List.map fst all_sections));
+            exit 2)
+        names
+  in
+  Printf.printf
+    "DHDL benchmark harness — reproducing the evaluation of\n\
+     \"Automatic Generation of Efficient Accelerators for Reconfigurable Hardware\" (ISCA 2016)\n";
+  if quick then Printf.printf "(quick mode: scaled-down sampling)\n";
+  if !paper_scale then
+    Printf.printf "(paper scale: up to 75,000 sampled points per design space)\n";
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (name, f) -> section_time name (fun () -> f ~quick ())) sections;
+  Printf.printf "\nTotal: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,313 @@
+(* Command-line front end for the DHDL framework: estimate single design
+   points, explore design spaces, dump DHDL / MaxJ, run the functional
+   interpreter, and regenerate the paper's experiments. *)
+
+open Cmdliner
+
+module App = Dhdl_apps.App
+module Registry = Dhdl_apps.Registry
+module Estimator = Dhdl_model.Estimator
+module Explore = Dhdl_dse.Explore
+module Experiments = Dhdl_core.Experiments
+
+let parse_params strs =
+  List.map
+    (fun s ->
+      match String.split_on_char '=' s with
+      | [ k; v ] -> (k, int_of_string v)
+      | _ -> failwith (Printf.sprintf "bad parameter %S (expected name=value)" s))
+    strs
+
+let lookup_app name =
+  try Registry.find name
+  with Not_found ->
+    failwith
+      (Printf.sprintf "unknown benchmark %S (available: %s)" name
+         (String.concat ", " Registry.names))
+
+let make_estimator ?cache ~seed ~train_samples () =
+  match Option.bind cache Estimator.load with
+  | Some est ->
+    Printf.printf "[setup] loaded trained estimator from %s\n%!" (Option.get cache);
+    est
+  | None ->
+    Printf.printf "[setup] characterizing templates and training correction networks...\n%!";
+    let t0 = Unix.gettimeofday () in
+    let est = Estimator.create ~seed ~train_samples () in
+    Printf.printf "[setup] ready in %.1f s (one-time cost per device/toolchain)\n%!"
+      (Unix.gettimeofday () -. t0);
+    Option.iter
+      (fun path ->
+        Estimator.save est path;
+        Printf.printf "[setup] cached to %s\n%!" path)
+      cache;
+    est
+
+let design_of ~app ~params =
+  let app = lookup_app app in
+  let sizes = app.App.paper_sizes in
+  let params = if params = [] then app.App.default_params sizes else parse_params params in
+  (app, app.App.generate ~sizes ~params)
+
+(* --- common args ---------------------------------------------------- *)
+
+let app_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name.")
+
+let params_arg =
+  Arg.(value & pos_right 0 string [] & info [] ~docv:"PARAMS" ~doc:"Design parameters, name=value.")
+
+let seed_arg = Arg.(value & opt int 2016 & info [ "seed" ] ~doc:"Random seed.")
+
+let train_arg =
+  Arg.(value & opt int 200 & info [ "train-samples" ] ~doc:"NN training corpus size.")
+
+let points_arg =
+  Arg.(value & opt int 2000 & info [ "points"; "n" ] ~doc:"Design points to sample.")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"FILE" ~doc:"Cache the trained estimator in FILE (load if present).")
+
+(* --- commands ------------------------------------------------------- *)
+
+let estimate_cmd =
+  let run app params seed train cache =
+    let est = make_estimator ?cache ~seed ~train_samples:train () in
+    let _, design = design_of ~app ~params in
+    let e, elapsed = Estimator.timed_estimate est design in
+    let a = e.Estimator.area in
+    let alm, dsp, bram = Estimator.utilization est a in
+    Printf.printf "design %s\n" design.Dhdl_ir.Ir.d_name;
+    Printf.printf "  parameters : %s\n"
+      (String.concat " "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) design.Dhdl_ir.Ir.d_params));
+    Printf.printf "  cycles     : %s (%.4f s at 150 MHz)\n"
+      (Dhdl_util.Texttable.fmt_int_commas (int_of_float e.Estimator.cycles))
+      e.Estimator.seconds;
+    Printf.printf "  ALMs       : %d (%.1f%%)\n" a.Estimator.alms alm;
+    Printf.printf "  DSPs       : %d (%.1f%%)\n" a.Estimator.dsps dsp;
+    Printf.printf "  BRAMs      : %d (%.1f%%)\n" a.Estimator.brams bram;
+    Printf.printf "  registers  : %d\n" a.Estimator.regs;
+    Printf.printf "  fits       : %b\n" (Estimator.fits est a);
+    Printf.printf "  estimation : %.4f ms\n" (elapsed *. 1000.0)
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Estimate area and cycles of one design point.")
+    Term.(const run $ app_arg $ params_arg $ seed_arg $ train_arg $ cache_arg)
+
+let synth_cmd =
+  let run app params =
+    let _, design = design_of ~app ~params in
+    let rpt = Dhdl_synth.Toolchain.synthesize design in
+    let sim = Dhdl_sim.Perf_sim.simulate design in
+    let wall = Dhdl_synth.Toolchain.synthesis_wall_seconds (Dhdl_synth.Toolchain.netlist design) in
+    Printf.printf "post-place-and-route report for %s:\n  %s\n" design.Dhdl_ir.Ir.d_name
+      (Dhdl_synth.Report.to_string rpt);
+    Printf.printf "cycle-accurate simulation: %s cycles (%.4f s), %.1f MB off-chip traffic\n"
+      (Dhdl_util.Texttable.fmt_int_commas (int_of_float sim.Dhdl_sim.Perf_sim.cycles))
+      sim.Dhdl_sim.Perf_sim.seconds
+      (sim.Dhdl_sim.Perf_sim.dram_bytes /. 1e6);
+    Printf.printf "(a real toolchain run would take ~%.0f minutes)\n" (wall /. 60.0);
+    Printf.printf "runtime breakdown (share of total):\n";
+    List.iter
+      (fun (label, own, share) ->
+        if share > 0.5 then
+          Printf.printf "  %-24s %12.0f cycles/activation  %5.1f%%\n" label own share)
+      (Dhdl_sim.Perf_sim.breakdown design)
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Run the simulated vendor toolchain and performance simulator.")
+    Term.(const run $ app_arg $ params_arg)
+
+let dse_cmd =
+  let run app seed train points cache =
+    let est = make_estimator ?cache ~seed ~train_samples:train () in
+    let a = lookup_app app in
+    let result =
+      Explore.run ~seed ~max_points:points est
+        ~space:(a.App.space a.App.paper_sizes)
+        ~generate:(fun p -> a.App.generate ~sizes:a.App.paper_sizes ~params:p)
+        ()
+    in
+    print_string
+      (Experiments.render_fig5 [ { Experiments.app_name = a.App.name; result } ]);
+    Printf.printf "\n%.2f ms per design point (%d points in %.2f s)\n"
+      (Explore.seconds_per_design result *. 1000.0)
+      result.Explore.sampled result.Explore.elapsed_seconds
+  in
+  Cmd.v
+    (Cmd.info "dse" ~doc:"Explore a benchmark's design space and print the Pareto frontier.")
+    Term.(const run $ app_arg $ seed_arg $ train_arg $ points_arg $ cache_arg)
+
+let codegen_cmd =
+  let manager =
+    Arg.(value & flag & info [ "manager" ] ~doc:"Emit the MaxJ manager instead of the kernel.")
+  in
+  let run app params manager =
+    let _, design = design_of ~app ~params in
+    let text =
+      if manager then Dhdl_codegen.Maxj.emit_manager design else Dhdl_codegen.Maxj.emit design
+    in
+    print_string text
+  in
+  Cmd.v
+    (Cmd.info "codegen" ~doc:"Generate MaxJ hardware source for a design point.")
+    Term.(const run $ app_arg $ params_arg $ manager)
+
+let compare_cmd =
+  let run app params seed train cache =
+    let est = make_estimator ?cache ~seed ~train_samples:train () in
+    let _, design = design_of ~app ~params in
+    let e = Estimator.estimate est design in
+    let rpt = Dhdl_synth.Toolchain.synthesize design in
+    let sim = Dhdl_sim.Perf_sim.simulate design in
+    let err actual predicted = Dhdl_util.Stats.percent_error ~actual ~predicted in
+    let f = float_of_int in
+    let a = e.Estimator.area in
+    print_string
+      (Dhdl_util.Texttable.render
+         ~header:[ "metric"; "estimated"; "actual (toolchain/sim)"; "error" ]
+         [
+           [ "ALMs"; string_of_int a.Estimator.alms; string_of_int rpt.Dhdl_synth.Report.alms;
+             Dhdl_util.Texttable.fmt_pct (err (f rpt.Dhdl_synth.Report.alms) (f a.Estimator.alms)) ];
+           [ "DSPs"; string_of_int a.Estimator.dsps; string_of_int rpt.Dhdl_synth.Report.dsps;
+             Dhdl_util.Texttable.fmt_pct (err (f rpt.Dhdl_synth.Report.dsps) (f a.Estimator.dsps)) ];
+           [ "BRAMs"; string_of_int a.Estimator.brams; string_of_int rpt.Dhdl_synth.Report.brams;
+             Dhdl_util.Texttable.fmt_pct (err (f rpt.Dhdl_synth.Report.brams) (f a.Estimator.brams)) ];
+           [ "registers"; string_of_int a.Estimator.regs; string_of_int rpt.Dhdl_synth.Report.regs;
+             Dhdl_util.Texttable.fmt_pct (err (f rpt.Dhdl_synth.Report.regs) (f a.Estimator.regs)) ];
+           [ "cycles";
+             Dhdl_util.Texttable.fmt_int_commas (int_of_float e.Estimator.cycles);
+             Dhdl_util.Texttable.fmt_int_commas (int_of_float sim.Dhdl_sim.Perf_sim.cycles);
+             Dhdl_util.Texttable.fmt_pct (err sim.Dhdl_sim.Perf_sim.cycles e.Estimator.cycles) ];
+         ])
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Estimate one design point and validate against the toolchain and simulator.")
+    Term.(const run $ app_arg $ params_arg $ seed_arg $ train_arg $ cache_arg)
+
+let dot_cmd =
+  let run app params =
+    let _, design = design_of ~app ~params in
+    print_string (Dhdl_codegen.Dot.emit design)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit the design's dataflow graph as Graphviz DOT.")
+    Term.(const run $ app_arg $ params_arg)
+
+let print_cmd =
+  let run app params =
+    let _, design = design_of ~app ~params in
+    print_endline (Dhdl_ir.Pretty.design design)
+  in
+  Cmd.v
+    (Cmd.info "print" ~doc:"Pretty-print the DHDL IR of a design point.")
+    Term.(const run $ app_arg $ params_arg)
+
+let experiments_cmd =
+  let which =
+    Arg.(
+      value
+      & pos 0 (enum [ ("table2", `T2); ("table3", `T3); ("table4", `T4); ("fig5", `F5); ("fig6", `F6); ("ablations", `Abl); ("all", `All) ]) `All
+      & info [] ~docv:"WHICH" ~doc:"table2|table3|table4|fig5|fig6|ablations|all")
+  in
+  let run which seed train points cache =
+    let need_estimator = which <> `T2 in
+    let est =
+      if need_estimator then Some (make_estimator ?cache ~seed ~train_samples:train ())
+      else None
+    in
+    let est () = Option.get est in
+    (match which with
+    | `T2 -> print_string (Experiments.render_table2 ())
+    | `T3 -> print_string (Experiments.render_table3 (Experiments.table3 ~seed (est ())))
+    | `T4 -> print_string (Experiments.render_table4 (Experiments.table4 ~seed (est ())))
+    | `F5 -> print_string (Experiments.render_fig5 (Experiments.fig5 ~seed ~max_points:points (est ())))
+    | `F6 -> print_string (Experiments.render_fig6 (Experiments.fig6 ~seed ~max_points:points (est ())))
+    | `Abl ->
+      print_string
+        (Experiments.render_ablations
+           (Experiments.ablation_metapipe ~seed (est ()))
+           (Experiments.ablation_nn_correction ~seed (est ())));
+      print_string
+        (Experiments.render_sampling "gda" (Experiments.ablation_sampling ~seed (est ())));
+      print_string (Experiments.render_device (Experiments.ablation_device ~seed (est ())));
+      print_string (Experiments.render_bandwidth (Experiments.ablation_bandwidth ~seed (est ())))
+    | `All ->
+      print_string (Experiments.render_table2 ());
+      print_newline ();
+      print_string (Experiments.render_table3 (Experiments.table3 ~seed (est ())));
+      print_newline ();
+      print_string (Experiments.render_table4 (Experiments.table4 ~seed (est ())));
+      print_newline ();
+      print_string (Experiments.render_fig5 (Experiments.fig5 ~seed ~max_points:points (est ())));
+      print_newline ();
+      print_string (Experiments.render_fig6 (Experiments.fig6 ~seed ~max_points:points (est ())));
+      print_newline ();
+      print_string
+        (Experiments.render_ablations
+           (Experiments.ablation_metapipe ~seed (est ()))
+           (Experiments.ablation_nn_correction ~seed (est ()))))
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const run $ which $ seed_arg $ train_arg $ points_arg $ cache_arg)
+
+let interpret_cmd =
+  let run app =
+    let a = lookup_app app in
+    let sizes = a.App.test_sizes in
+    let design = a.App.generate ~sizes ~params:(a.App.default_params sizes) in
+    let rng = Dhdl_util.Rng.create 7 in
+    let inputs =
+      List.filter_map
+        (fun m ->
+          match m.Dhdl_ir.Ir.mem_kind with
+          | Dhdl_ir.Ir.Offchip ->
+            let words = Dhdl_ir.Ir.mem_words m in
+            Some (m.Dhdl_ir.Ir.mem_name, Array.init words (fun _ -> Dhdl_util.Rng.float_in rng 0.1 2.0))
+          | _ -> None)
+        design.Dhdl_ir.Ir.d_mems
+    in
+    let env = Dhdl_sim.Interp.run design ~inputs in
+    Printf.printf "interpreted %s at test sizes (%s)\n" a.App.name
+      (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) sizes));
+    List.iter
+      (fun m ->
+        match m.Dhdl_ir.Ir.mem_kind with
+        | Dhdl_ir.Ir.Reg ->
+          Printf.printf "  register %s = %g\n" m.Dhdl_ir.Ir.mem_name
+            (Dhdl_sim.Interp.reg env m.Dhdl_ir.Ir.mem_name)
+        | Dhdl_ir.Ir.Offchip ->
+          let data = Dhdl_sim.Interp.offchip env m.Dhdl_ir.Ir.mem_name in
+          let n = Array.length data in
+          Printf.printf "  offchip %s: %d words, first = %g, sum = %g\n" m.Dhdl_ir.Ir.mem_name n
+            data.(0)
+            (Array.fold_left ( +. ) 0.0 data)
+        | _ -> ())
+      design.Dhdl_ir.Ir.d_mems
+  in
+  Cmd.v
+    (Cmd.info "interpret" ~doc:"Run a benchmark's design through the functional interpreter.")
+    Term.(const run $ app_arg)
+
+let list_cmd =
+  let run () =
+    print_string (Experiments.render_table2 ());
+    List.iter
+      (fun (a : App.t) ->
+        let space = a.App.space a.App.paper_sizes in
+        Printf.printf "%-14s raw design space: %s points\n" a.App.name
+          (Dhdl_util.Texttable.fmt_int_commas (Dhdl_dse.Space.raw_size space)))
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks and their design-space sizes.") Term.(const run $ const ())
+
+let () =
+  let doc = "DHDL: automatic generation of efficient accelerators for reconfigurable hardware" in
+  let info = Cmd.info "dhdl" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ estimate_cmd; compare_cmd; synth_cmd; dse_cmd; codegen_cmd; dot_cmd; print_cmd; experiments_cmd; interpret_cmd; list_cmd ]))

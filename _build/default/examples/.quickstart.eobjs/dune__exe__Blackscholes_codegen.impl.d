@@ -1,0 +1,1 @@
+examples/blackscholes_codegen.ml: Array Dhdl_apps Dhdl_codegen Dhdl_cpu Dhdl_sim Dhdl_util Float List Printf String

@@ -1,0 +1,1 @@
+examples/blackscholes_codegen.mli:

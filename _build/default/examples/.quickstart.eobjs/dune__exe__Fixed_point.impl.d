@@ -1,0 +1,1 @@
+examples/fixed_point.ml: Array Dhdl_cpu Dhdl_ir Dhdl_sim Dhdl_synth Float List Printf

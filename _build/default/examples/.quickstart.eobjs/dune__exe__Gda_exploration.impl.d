@@ -1,0 +1,1 @@
+examples/gda_exploration.ml: Dhdl_apps Dhdl_core Dhdl_cpu Dhdl_dse Dhdl_model Dhdl_sim Dhdl_synth Dhdl_util List Printf String

@@ -1,0 +1,1 @@
+examples/gda_exploration.mli:

@@ -1,0 +1,1 @@
+examples/kmeans_pipeline.ml: Array Dhdl_apps Dhdl_cpu Dhdl_ir Dhdl_sim Dhdl_util Float Printf String

@@ -1,0 +1,1 @@
+examples/patterns_frontend.ml: Array Dhdl_codegen Dhdl_ir Dhdl_model Dhdl_patterns Dhdl_sim Dhdl_synth Dhdl_util Float List Printf String

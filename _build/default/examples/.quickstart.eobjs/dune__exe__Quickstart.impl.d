@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dhdl_ir Dhdl_model Dhdl_sim Dhdl_synth Float Printf

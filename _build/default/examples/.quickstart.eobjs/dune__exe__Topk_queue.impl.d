@@ -1,0 +1,1 @@
+examples/topk_queue.ml: Array Dhdl_ir Dhdl_sim Dhdl_synth Dhdl_util Float Printf

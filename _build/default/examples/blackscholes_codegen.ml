@@ -1,0 +1,53 @@
+(* Hardware generation: lower the blackscholes benchmark to MaxJ (the
+   Maxeler hardware generation language the paper's compiler emits,
+   Figure 1 step 5), after checking the design functionally against the
+   reference CPU kernel.
+
+     dune exec examples/blackscholes_codegen.exe
+*)
+
+module App = Dhdl_apps.App
+module K = Dhdl_cpu.Kernels
+module Rng = Dhdl_util.Rng
+
+let () =
+  let app = Dhdl_apps.Registry.find "blackscholes" in
+  (* A small instance for the functional check. *)
+  let sizes = app.App.test_sizes in
+  let design = App.generate_default app sizes in
+  let n = App.size sizes "n" in
+  let rng = Rng.create 11 in
+  let spot = Array.init n (fun _ -> Rng.float_in rng 20.0 120.0) in
+  let strike = Array.init n (fun _ -> Rng.float_in rng 20.0 120.0) in
+  let time = Array.init n (fun _ -> Rng.float_in rng 0.25 4.0) in
+  let otype = Array.init n (fun _ -> if Rng.bool rng then 1.0 else 0.0) in
+  let env =
+    Dhdl_sim.Interp.run design
+      ~inputs:[ ("spot", spot); ("strike", strike); ("time", time); ("otype", otype) ]
+  in
+  let got = Dhdl_sim.Interp.offchip env "price" in
+  let expected =
+    K.blackscholes ~spot ~strike ~time ~rate:Dhdl_apps.Blackscholes_app.rate
+      ~volatility:Dhdl_apps.Blackscholes_app.volatility ~otype
+  in
+  let worst =
+    Array.mapi (fun i g -> Float.abs (g -. expected.(i))) got
+    |> Array.fold_left Float.max 0.0
+  in
+  Printf.printf "functional check vs CPU kernel: %d options, worst abs error %.2e\n\n" n worst;
+  assert (worst < 1e-3);
+
+  (* Generate hardware for a full-size design point. *)
+  let design =
+    app.App.generate ~sizes:app.App.paper_sizes
+      ~params:[ ("tile", 15_008); ("par", 8); ("meta", 1) ]
+  in
+  let kernel = Dhdl_codegen.Maxj.emit design in
+  let manager = Dhdl_codegen.Maxj.emit_manager design in
+  Printf.printf "=== %s.maxj (%d lines) ===\n"
+    (Dhdl_codegen.Maxj.kernel_class_name design)
+    (List.length (String.split_on_char '\n' kernel));
+  print_string kernel;
+  Printf.printf "\n=== manager (%d lines) ===\n"
+    (List.length (String.split_on_char '\n' manager));
+  print_string manager

@@ -1,0 +1,69 @@
+(* Variable bit-width types (Section III.B): the same dot-product datapath
+   at three precisions — single-precision float, 32-bit and 16-bit fixed
+   point — showing how the type system drives area. On FPGAs, narrow fixed
+   point buys large ALM/DSP savings; the estimator quantifies the tradeoff
+   without synthesizing anything.
+
+     dune exec examples/fixed_point.exe
+*)
+
+module Ir = Dhdl_ir.Ir
+module B = Dhdl_ir.Builder
+module Op = Dhdl_ir.Op
+module Dtype = Dhdl_ir.Dtype
+
+let build ~name ~ty ~n ~tile ~par =
+  let b = B.create ~params:[ ("tile", tile); ("par", par) ] name in
+  let x = B.offchip b "x" ty [ n ] in
+  let y = B.offchip b "y" ty [ n ] in
+  let xt = B.bram b "xT" ty [ tile ] in
+  let yt = B.bram b "yT" ty [ tile ] in
+  let partial = B.reg b "partial" ty in
+  let result = B.reg b "result" ty in
+  let inner =
+    B.reduce_pipe ~label:"dot" ~counters:[ ("i", 0, tile, 1) ] ~par ~op:Op.Add ~out:partial
+      (fun pb ->
+        let a = B.load pb xt [ B.iter "i" ] in
+        let c = B.load pb yt [ B.iter "i" ] in
+        B.op pb ~ty Op.Mul [ a; c ])
+  in
+  let top =
+    B.metapipe ~label:"tiles" ~counters:[ ("t", 0, n, tile) ] ~reduce:(Op.Add, partial, result)
+      [
+        B.parallel ~label:"loads"
+          [
+            B.tile_load ~src:x ~dst:xt ~offsets:[ B.iter "t" ] ~par ();
+            B.tile_load ~src:y ~dst:yt ~offsets:[ B.iter "t" ] ~par ();
+          ];
+        inner;
+      ]
+  in
+  B.finish b ~top
+
+let () =
+  let n = 1_048_576 and tile = 1024 and par = 16 in
+  Printf.printf "dot product, n = %d, tile = %d, par = %d, three precisions:\n\n" n tile par;
+  Printf.printf "%-14s %10s %8s %8s %8s %12s\n" "type" "ALMs" "DSPs" "BRAMs" "regs" "cycles";
+  List.iter
+    (fun (label, ty) ->
+      let d = build ~name:("dot_" ^ label) ~ty ~n ~tile ~par in
+      Dhdl_ir.Analysis.validate_exn d;
+      let rpt = Dhdl_synth.Toolchain.synthesize d in
+      let sim = Dhdl_sim.Perf_sim.simulate d in
+      Printf.printf "%-14s %10d %8d %8d %8d %12.0f\n" (Dtype.to_string ty)
+        rpt.Dhdl_synth.Report.alms rpt.Dhdl_synth.Report.dsps rpt.Dhdl_synth.Report.brams
+        rpt.Dhdl_synth.Report.regs sim.Dhdl_sim.Perf_sim.cycles)
+    [
+      ("f32", Dtype.float32);
+      ("fix32", Dtype.fixed ~int_bits:24 ~frac_bits:8 ());
+      ("fix16", Dtype.fixed ~int_bits:10 ~frac_bits:6 ());
+    ];
+  print_newline ();
+  (* Functional check in fixed point: integer-valued data is exact. *)
+  let d = build ~name:"dot_check" ~ty:Dtype.int32 ~n:1024 ~tile:256 ~par:4 in
+  let x = Array.init 1024 (fun i -> float_of_int (i mod 7)) in
+  let y = Array.init 1024 (fun i -> float_of_int (i mod 5)) in
+  let env = Dhdl_sim.Interp.run d ~inputs:[ ("x", x); ("y", y) ] in
+  let expect = Dhdl_cpu.Kernels.dotproduct x y in
+  assert (Float.abs (Dhdl_sim.Interp.reg env "result" -. expect) < 1e-6);
+  Printf.printf "fixed-point result matches the float reference: %g\n" expect

@@ -1,0 +1,1 @@
+lib/apps/app.ml: Dhdl_cpu Dhdl_dse Dhdl_ir Dhdl_util List Printf

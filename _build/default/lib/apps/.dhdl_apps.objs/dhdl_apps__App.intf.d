@@ -1,0 +1,1 @@
+lib/apps/app.mli: Dhdl_cpu Dhdl_dse Dhdl_ir

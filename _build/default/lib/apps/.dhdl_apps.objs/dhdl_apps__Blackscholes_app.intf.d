@@ -1,0 +1,1 @@
+lib/apps/blackscholes_app.mli: App Dhdl_dse Dhdl_ir

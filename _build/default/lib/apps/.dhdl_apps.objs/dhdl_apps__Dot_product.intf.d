@@ -1,0 +1,1 @@
+lib/apps/dot_product.mli: App Dhdl_dse Dhdl_ir

@@ -1,0 +1,1 @@
+lib/apps/gemm_app.ml: App Dhdl_cpu Dhdl_dse Dhdl_ir Dhdl_util List

@@ -1,0 +1,1 @@
+lib/apps/gemm_app.mli: App Dhdl_dse Dhdl_ir

@@ -1,0 +1,1 @@
+lib/apps/kmeans_app.mli: App Dhdl_dse Dhdl_ir

@@ -1,0 +1,1 @@
+lib/apps/outer_product.mli: App Dhdl_dse Dhdl_ir

@@ -1,0 +1,1 @@
+lib/apps/registry.ml: App Blackscholes_app Dot_product Gda_app Gemm_app Kmeans_app List Outer_product Tpchq6_app

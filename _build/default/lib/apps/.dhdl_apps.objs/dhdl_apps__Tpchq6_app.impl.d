@@ -1,0 +1,1 @@
+lib/apps/tpchq6_app.ml: App Dhdl_cpu Dhdl_dse Dhdl_ir Dhdl_util List

@@ -1,0 +1,1 @@
+lib/apps/tpchq6_app.mli: App Dhdl_dse Dhdl_ir

@@ -1,0 +1,12 @@
+(** Black-Scholes-Merton option pricing (Table II: 9,995,328 options): a
+    deep feed-forward floating-point pipeline, the paper's best speedup.
+    Parameters: [tile], [par], [meta]. *)
+
+val rate : float
+(** Risk-free rate baked into the kernel (matches the CPU reference). *)
+
+val volatility : float
+
+val generate : sizes:App.sizes -> params:App.params -> Dhdl_ir.Ir.design
+val space : App.sizes -> Dhdl_dse.Space.t
+val app : App.t

@@ -1,0 +1,7 @@
+(** Vector dot product (Table II: 187,200,000 elements): the canonical
+    memory-bound streaming reduction. Design parameters: [tile], [par]
+    (reduction-tree width), [meta] (MetaPipe toggle). *)
+
+val generate : sizes:App.sizes -> params:App.params -> Dhdl_ir.Ir.design
+val space : App.sizes -> Dhdl_dse.Space.t
+val app : App.t

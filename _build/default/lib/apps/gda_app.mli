@@ -1,0 +1,7 @@
+(** Gaussian discriminant analysis (Table II: 360,000 x 96) — the paper's
+    running example (Figures 2-4). Parameters: [tile] (row tile), [parP1],
+    [parP2], [metaM1], [metaM2] (exactly Figure 3's knobs). *)
+
+val generate : sizes:App.sizes -> params:App.params -> Dhdl_ir.Ir.design
+val space : App.sizes -> Dhdl_dse.Space.t
+val app : App.t

@@ -1,0 +1,6 @@
+(** Tiled matrix multiply (Table II: 1536^3). Parameters: [tileN], [tileM],
+    [tileK], [par] (rank-update lanes), [metaK], [metaR]. *)
+
+val generate : sizes:App.sizes -> params:App.params -> Dhdl_ir.Ir.design
+val space : App.sizes -> Dhdl_dse.Space.t
+val app : App.t

@@ -1,0 +1,8 @@
+(** k-means clustering (Table II: 960,000 points, k = 8, 384 dims): one
+    Lloyd iteration with on-chip argmin and data-dependent scatter
+    accumulation. Parameters: [tile], [parDist], [parAcc], [parPoints]
+    (whole-datapath replication), [meta]. *)
+
+val generate : sizes:App.sizes -> params:App.params -> Dhdl_ir.Ir.design
+val space : App.sizes -> Dhdl_dse.Space.t
+val app : App.t

@@ -1,0 +1,7 @@
+(** Vector outer product (Table II: 38,400 x 38,400): BRAM- and memory-bound
+    (quadratic output tiles). Parameters: [tileA], [tileB], [par], and the
+    [metaA]/[metaB] MetaPipe toggles of the two loop levels. *)
+
+val generate : sizes:App.sizes -> params:App.params -> Dhdl_ir.Ir.design
+val space : App.sizes -> Dhdl_dse.Space.t
+val app : App.t

@@ -1,0 +1,17 @@
+let all =
+  [
+    Dot_product.app;
+    Outer_product.app;
+    Gemm_app.app;
+    Tpchq6_app.app;
+    Blackscholes_app.app;
+    Gda_app.app;
+    Kmeans_app.app;
+  ]
+
+let find name =
+  match List.find_opt (fun a -> a.App.name = name) all with
+  | Some a -> a
+  | None -> raise Not_found
+
+let names = List.map (fun a -> a.App.name) all

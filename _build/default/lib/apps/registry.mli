@@ -1,0 +1,10 @@
+(** The benchmark suite of Table II. *)
+
+val all : App.t list
+(** All seven benchmarks, in the paper's order: dotproduct, outerprod,
+    gemm, tpchq6, blackscholes, gda, kmeans. *)
+
+val find : string -> App.t
+(** Lookup by name. Raises [Not_found]. *)
+
+val names : string list

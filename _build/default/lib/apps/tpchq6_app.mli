@@ -1,0 +1,7 @@
+(** TPC-H Query 6 (Table II: 18,720,000 records): filtered streaming
+    reduction; predicates lower to multiplexers. Parameters: [tile], [par],
+    [meta]. *)
+
+val generate : sizes:App.sizes -> params:App.params -> Dhdl_ir.Ir.design
+val space : App.sizes -> Dhdl_dse.Space.t
+val app : App.t

@@ -1,0 +1,1 @@
+lib/codegen/dot.ml: Buffer Dhdl_ir Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/codegen/dot.mli: Dhdl_ir

@@ -1,0 +1,1 @@
+lib/codegen/maxj.ml: Dhdl_ir List Printf String

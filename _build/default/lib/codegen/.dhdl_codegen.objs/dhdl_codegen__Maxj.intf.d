@@ -1,0 +1,1 @@
+lib/codegen/maxj.mli: Dhdl_ir

@@ -1,0 +1,122 @@
+module Ir = Dhdl_ir.Ir
+module Op = Dhdl_ir.Op
+
+let esc s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let emit (d : Ir.design) =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph %s {\n" (String.map (fun c -> if c = '-' || c = '.' then '_' else c) d.d_name);
+  out "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  (* Memories as global nodes. *)
+  List.iter
+    (fun m ->
+      let shape, color =
+        match m.Ir.mem_kind with
+        | Ir.Offchip -> ("cylinder", "lightblue")
+        | Ir.Bram -> ("box3d", "lightyellow")
+        | Ir.Reg -> ("ellipse", "lightgrey")
+        | Ir.Queue -> ("house", "lightpink")
+      in
+      out "  mem%d [label=\"%s%s\", shape=%s, style=filled, fillcolor=%s];\n" m.Ir.mem_id
+        (esc m.Ir.mem_name)
+        (if m.Ir.mem_double then " (x2)" else "")
+        shape color)
+    d.d_mems;
+  let fresh =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      !n
+  in
+  let rec walk parent ctrl =
+    let cid = fresh () in
+    (match ctrl with
+    | Ir.Pipe { loop; body; reduce } ->
+      out "  subgraph cluster_%d {\n    label=\"Pipe %s (par=%d)\";\n    style=rounded;\n" cid
+        (esc loop.Ir.lp_label) loop.Ir.lp_par;
+      (* One node per statement; Value edges inside the body. *)
+      let node_of = Hashtbl.create 16 in
+      List.iteri
+        (fun i stmt ->
+          let nid = Printf.sprintf "s%d_%d" cid i in
+          let label, def =
+            match stmt with
+            | Ir.Sop { dst; op; _ } -> (Printf.sprintf "v%d = %s" dst (Op.name op), Some dst)
+            | Ir.Sload { dst; mem; _ } -> (Printf.sprintf "v%d = %s[..]" dst mem.Ir.mem_name, Some dst)
+            | Ir.Sstore { mem; _ } -> (Printf.sprintf "%s[..] = .." mem.Ir.mem_name, None)
+            | Ir.Sread_reg { dst; reg } -> (Printf.sprintf "v%d = %s" dst reg.Ir.mem_name, Some dst)
+            | Ir.Swrite_reg { reg; _ } -> (Printf.sprintf "%s := .." reg.Ir.mem_name, None)
+            | Ir.Spush { queue; _ } -> (Printf.sprintf "%s.push" queue.Ir.mem_name, None)
+            | Ir.Spop { dst; queue } -> (Printf.sprintf "v%d = %s.pop" dst queue.Ir.mem_name, Some dst)
+          in
+          out "    %s [label=\"%s\"];\n" nid (esc label);
+          Option.iter (fun dst -> Hashtbl.replace node_of dst nid) def)
+        body;
+      List.iteri
+        (fun i stmt ->
+          let nid = Printf.sprintf "s%d_%d" cid i in
+          let operands =
+            match stmt with
+            | Ir.Sop { args; _ } -> args
+            | Ir.Sload { addr; _ } -> addr
+            | Ir.Sstore { addr; data; _ } -> data :: addr
+            | Ir.Sread_reg _ | Ir.Spop _ -> []
+            | Ir.Swrite_reg { data; _ } | Ir.Spush { data; _ } -> [ data ]
+          in
+          List.iter
+            (function
+              | Ir.Value v -> (
+                match Hashtbl.find_opt node_of v with
+                | Some src -> out "    %s -> %s;\n" src nid
+                | None -> ())
+              | Ir.Const _ | Ir.Iter _ -> ())
+            operands;
+          (* Memory access edges (dashed, outside the cluster). *)
+          match stmt with
+          | Ir.Sload { mem; _ } | Ir.Spop { queue = mem; _ } ->
+            out "    mem%d -> %s [style=dashed, constraint=false];\n" mem.Ir.mem_id nid
+          | Ir.Sstore { mem; _ } | Ir.Spush { queue = mem; _ } ->
+            out "    %s -> mem%d [style=dashed, constraint=false];\n" nid mem.Ir.mem_id
+          | Ir.Sread_reg { reg; _ } ->
+            out "    mem%d -> %s [style=dashed, constraint=false];\n" reg.Ir.mem_id nid
+          | Ir.Swrite_reg { reg; _ } ->
+            out "    %s -> mem%d [style=dashed, constraint=false];\n" nid reg.Ir.mem_id
+          | Ir.Sop _ -> ())
+        body;
+      Option.iter
+        (fun r ->
+          out "    red%d [label=\"reduce %s\", shape=invtriangle];\n" cid (Op.name r.Ir.sr_op);
+          out "    red%d -> mem%d [style=dashed, constraint=false];\n" cid r.Ir.sr_out.Ir.mem_id)
+        reduce;
+      out "  }\n"
+    | Ir.Loop { loop; pipelined; stages; reduce } ->
+      out "  subgraph cluster_%d {\n    label=\"%s %s%s\";\n    style=rounded;\n" cid
+        (if pipelined then "MetaPipe" else "Sequential")
+        (esc loop.Ir.lp_label)
+        (if loop.Ir.lp_par > 1 then Printf.sprintf " (par=%d)" loop.Ir.lp_par else "");
+      List.iter (walk (Some cid)) stages;
+      Option.iter
+        (fun r ->
+          out "    red%d [label=\"reduce %s: %s -> %s\", shape=invtriangle];\n" cid
+            (Op.name r.Ir.mr_op) (esc r.Ir.mr_src.Ir.mem_name) (esc r.Ir.mr_dst.Ir.mem_name))
+        reduce;
+      out "  }\n"
+    | Ir.Parallel { par_label; stages } ->
+      out "  subgraph cluster_%d {\n    label=\"Parallel %s\";\n    style=dashed;\n" cid
+        (esc par_label);
+      List.iter (walk (Some cid)) stages;
+      out "  }\n"
+    | Ir.Tile_load { src; dst; par; _ } ->
+      out "  t%d [label=\"TileLd par=%d\", shape=rarrow];\n" cid par;
+      out "  mem%d -> t%d [style=bold];\n  t%d -> mem%d [style=bold];\n" src.Ir.mem_id cid cid
+        dst.Ir.mem_id
+    | Ir.Tile_store { dst; src; par; _ } ->
+      out "  t%d [label=\"TileSt par=%d\", shape=larrow];\n" cid par;
+      out "  mem%d -> t%d [style=bold];\n  t%d -> mem%d [style=bold];\n" src.Ir.mem_id cid cid
+        dst.Ir.mem_id);
+    ignore parent
+  in
+  walk None d.d_top;
+  out "}\n";
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Graphviz export of a design's hierarchical dataflow graph.
+
+    DHDL is "represented in-memory as a parameterized, hierarchical
+    dataflow graph" (Section III); this renders that graph — controllers as
+    clusters, primitive statements as nodes, data dependencies and memory
+    accesses as edges — for papers, debugging, and documentation. *)
+
+val emit : Dhdl_ir.Ir.design -> string
+(** A complete [digraph] document. *)

@@ -1,0 +1,227 @@
+module Ir = Dhdl_ir.Ir
+module Op = Dhdl_ir.Op
+module Dtype = Dhdl_ir.Dtype
+
+let capitalize_ascii = String.capitalize_ascii
+
+let kernel_class_name (d : Ir.design) =
+  let clean =
+    String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then c else '_') d.d_name
+  in
+  capitalize_ascii clean ^ "Kernel"
+
+let dfe_type = function
+  | Dtype.Flt { exp_bits; sig_bits } -> Printf.sprintf "dfeFloat(%d, %d)" exp_bits sig_bits
+  | Dtype.Fix { signed; int_bits; frac_bits } ->
+    Printf.sprintf "dfeFixOffset(%d, %d, SignMode.%s)" (int_bits + frac_bits) (-frac_bits)
+      (if signed then "TWOSCOMPLEMENT" else "UNSIGNED")
+  | Dtype.Bool -> "dfeBool()"
+
+let operand = function
+  | Ir.Const f -> Printf.sprintf "constant.var(%g)" f
+  | Ir.Iter name -> name
+  | Ir.Value v -> Printf.sprintf "v%d" v
+
+let flat_addr (m : Ir.mem) addr =
+  (* Row-major flattening as MaxJ address arithmetic. *)
+  let rec go dims addr acc =
+    match (dims, addr) with
+    | [], [] -> acc
+    | d :: dims, a :: addr ->
+      let term = operand a in
+      let acc = if acc = "" then term else Printf.sprintf "(%s * %d + %s)" acc d term in
+      go dims addr acc
+    | _ -> invalid_arg ("maxj: address arity mismatch for " ^ m.Ir.mem_name)
+  in
+  go m.Ir.mem_dims addr ""
+
+let op_expr op args =
+  let a i = operand (List.nth args i) in
+  match (op : Op.t) with
+  | Op.Add -> Printf.sprintf "%s + %s" (a 0) (a 1)
+  | Op.Sub -> Printf.sprintf "%s - %s" (a 0) (a 1)
+  | Op.Mul -> Printf.sprintf "%s * %s" (a 0) (a 1)
+  | Op.Div -> Printf.sprintf "%s / %s" (a 0) (a 1)
+  | Op.Min -> Printf.sprintf "KernelMath.min(%s, %s)" (a 0) (a 1)
+  | Op.Max -> Printf.sprintf "KernelMath.max(%s, %s)" (a 0) (a 1)
+  | Op.Neg -> Printf.sprintf "-%s" (a 0)
+  | Op.Abs -> Printf.sprintf "KernelMath.abs(%s)" (a 0)
+  | Op.Sqrt -> Printf.sprintf "KernelMath.sqrt(%s)" (a 0)
+  | Op.Exp -> Printf.sprintf "KernelMath.exp(%s)" (a 0)
+  | Op.Log -> Printf.sprintf "KernelMath.log(%s)" (a 0)
+  | Op.Floor -> Printf.sprintf "KernelMath.floor(%s)" (a 0)
+  | Op.Lt -> Printf.sprintf "%s < %s" (a 0) (a 1)
+  | Op.Le -> Printf.sprintf "%s <= %s" (a 0) (a 1)
+  | Op.Gt -> Printf.sprintf "%s > %s" (a 0) (a 1)
+  | Op.Ge -> Printf.sprintf "%s >= %s" (a 0) (a 1)
+  | Op.Eq -> Printf.sprintf "%s === %s" (a 0) (a 1)
+  | Op.Neq -> Printf.sprintf "%s !== %s" (a 0) (a 1)
+  | Op.And -> Printf.sprintf "%s & %s" (a 0) (a 1)
+  | Op.Or -> Printf.sprintf "%s | %s" (a 0) (a 1)
+  | Op.Not -> Printf.sprintf "~%s" (a 0)
+  | Op.Mux -> Printf.sprintf "%s ? %s : %s" (a 0) (a 1) (a 2)
+
+let stmt_line (s : Ir.stmt) =
+  match s with
+  | Ir.Sop { dst; op; args; ty } ->
+    Printf.sprintf "DFEVar v%d = %s; // %s" dst (op_expr op args) (Dtype.to_string ty)
+  | Ir.Sload { dst; mem; addr; _ } ->
+    Printf.sprintf "DFEVar v%d = %s.read(%s);" dst mem.Ir.mem_name (flat_addr mem addr)
+  | Ir.Sstore { mem; addr; data } ->
+    Printf.sprintf "%s.write(%s, %s, constant.var(true));" mem.Ir.mem_name (flat_addr mem addr)
+      (operand data)
+  | Ir.Sread_reg { dst; reg } -> Printf.sprintf "DFEVar v%d = %s.get();" dst reg.Ir.mem_name
+  | Ir.Swrite_reg { reg; data } -> Printf.sprintf "%s.set(%s);" reg.Ir.mem_name (operand data)
+  | Ir.Spush { queue; data } -> Printf.sprintf "%s.insert(%s); // priority queue" queue.Ir.mem_name (operand data)
+  | Ir.Spop { dst; queue } -> Printf.sprintf "DFEVar v%d = %s.removeMin();" dst queue.Ir.mem_name
+
+let counter_lines indent (loop : Ir.loop_info) =
+  let pad = String.make indent ' ' in
+  match loop.Ir.lp_counters with
+  | [] -> []
+  | counters ->
+    let chain =
+      Printf.sprintf "%sCounterChain %s_chain = control.count.makeCounterChain();" pad
+        loop.Ir.lp_label
+    in
+    chain
+    :: List.map
+         (fun c ->
+           Printf.sprintf "%sDFEVar %s = %s_chain.addCounter(%d, %d); // %d..%d" pad
+             c.Ir.ctr_name loop.Ir.lp_label
+             (Ir.counter_trip c) c.Ir.ctr_step c.Ir.ctr_start c.Ir.ctr_stop)
+         counters
+
+let rec ctrl_lines indent (c : Ir.ctrl) =
+  let pad = String.make indent ' ' in
+  match c with
+  | Ir.Pipe { loop; body; reduce } ->
+    let head =
+      Printf.sprintf "%s{ // Pipe %s (par=%d)" pad loop.Ir.lp_label loop.Ir.lp_par
+    in
+    let counters = counter_lines (indent + 2) loop in
+    let stmts = List.map (fun s -> String.make (indent + 2) ' ' ^ stmt_line s) body in
+    let red =
+      match reduce with
+      | None -> []
+      | Some r ->
+        [
+          Printf.sprintf "%s  // reduction tree (width %d) into %s" pad loop.Ir.lp_par
+            r.Ir.sr_out.Ir.mem_name;
+          Printf.sprintf "%s  %s.accumulate(Reductions.%s(%s));" pad r.Ir.sr_out.Ir.mem_name
+            (Op.name r.Ir.sr_op) (operand r.Ir.sr_value);
+        ]
+    in
+    (head :: counters) @ stmts @ red @ [ pad ^ "}" ]
+  | Ir.Loop { loop; pipelined; stages; reduce } ->
+    let kind = if pipelined then "MetaPipe" else "Sequential" in
+    let head = Printf.sprintf "%s{ // %s %s" pad kind loop.Ir.lp_label in
+    let counters = counter_lines (indent + 2) loop in
+    let sm =
+      Printf.sprintf "%s  SMIO %s_sm = addStateMachine(\"%s\", new %sStateMachine(this, %d));" pad
+        loop.Ir.lp_label loop.Ir.lp_label kind (List.length stages)
+    in
+    let inner = List.concat_map (ctrl_lines (indent + 2)) stages in
+    let red =
+      match reduce with
+      | None -> []
+      | Some r ->
+        [
+          Printf.sprintf "%s  // element-wise %s reduction: %s -> %s" pad (Op.name r.Ir.mr_op)
+            r.Ir.mr_src.Ir.mem_name r.Ir.mr_dst.Ir.mem_name;
+        ]
+    in
+    (head :: counters) @ (sm :: inner) @ red @ [ pad ^ "}" ]
+  | Ir.Parallel { par_label; stages } ->
+    let head = Printf.sprintf "%s{ // Parallel %s (fork-join)" pad par_label in
+    (head :: List.concat_map (ctrl_lines (indent + 2)) stages) @ [ pad ^ "}" ]
+  | Ir.Tile_load { src; dst; tile; par; _ } ->
+    [
+      Printf.sprintf
+        "%sLMemCommandStream.makeKernelOutput(\"%s_cmd\"); // TileLd %s -> %s tile %s width %d" pad
+        dst.Ir.mem_name src.Ir.mem_name dst.Ir.mem_name
+        (String.concat "x" (List.map string_of_int tile))
+        par;
+    ]
+  | Ir.Tile_store { dst; src; tile; par; _ } ->
+    [
+      Printf.sprintf
+        "%sLMemCommandStream.makeKernelOutput(\"%s_cmd\"); // TileSt %s -> %s tile %s width %d" pad
+        src.Ir.mem_name src.Ir.mem_name dst.Ir.mem_name
+        (String.concat "x" (List.map string_of_int tile))
+        par;
+    ]
+
+let mem_decl (m : Ir.mem) =
+  match m.Ir.mem_kind with
+  | Ir.Offchip ->
+    Printf.sprintf "// OffChipMem %s: %s words of %s in LMem" m.Ir.mem_name
+      (string_of_int (Ir.mem_words m))
+      (dfe_type m.Ir.mem_ty)
+  | Ir.Bram ->
+    Printf.sprintf "Memory<DFEVar> %s = mem.alloc(%s, %d); // banks=%d%s" m.Ir.mem_name
+      (dfe_type m.Ir.mem_ty) (Ir.mem_words m) m.Ir.mem_banks
+      (if m.Ir.mem_double then ", double-buffered" else "")
+  | Ir.Reg ->
+    Printf.sprintf "DFEVar %s = %s.newInstance(this); // register%s" m.Ir.mem_name
+      (dfe_type m.Ir.mem_ty)
+      (if m.Ir.mem_double then " (double-buffered)" else "")
+  | Ir.Queue ->
+    Printf.sprintf "// priority queue %s: depth %d of %s" m.Ir.mem_name (Ir.mem_words m)
+      (dfe_type m.Ir.mem_ty)
+
+let emit (d : Ir.design) =
+  let cls = kernel_class_name d in
+  let header =
+    [
+      "package dhdl.generated;";
+      "";
+      "import com.maxeler.maxcompiler.v2.kernelcompiler.Kernel;";
+      "import com.maxeler.maxcompiler.v2.kernelcompiler.KernelParameters;";
+      "import com.maxeler.maxcompiler.v2.kernelcompiler.types.base.DFEVar;";
+      "import com.maxeler.maxcompiler.v2.kernelcompiler.stdlib.core.CounterChain;";
+      "import com.maxeler.maxcompiler.v2.kernelcompiler.stdlib.core.Mem.Memory;";
+      "import com.maxeler.maxcompiler.v2.kernelcompiler.stdlib.KernelMath;";
+      "import com.maxeler.maxcompiler.v2.kernelcompiler.stdlib.Reductions;";
+      "import com.maxeler.maxcompiler.v2.kernelcompiler.stdlib.memory.LMemCommandStream;";
+      "";
+      Printf.sprintf "// generated from DHDL design '%s'" d.d_name;
+      (let ps = List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) d.d_params in
+       Printf.sprintf "// parameters: %s" (String.concat ", " ps));
+      Printf.sprintf "class %s extends Kernel {" cls;
+      Printf.sprintf "  %s(KernelParameters parameters) {" cls;
+      "    super(parameters);";
+    ]
+  in
+  let mems = List.map (fun m -> "    " ^ mem_decl m) d.d_mems in
+  let body = ctrl_lines 4 d.d_top in
+  String.concat "\n" (header @ mems @ body @ [ "  }"; "}"; "" ])
+
+let emit_manager (d : Ir.design) =
+  let cls = kernel_class_name d in
+  let streams =
+    List.filter_map
+      (fun m ->
+        match m.Ir.mem_kind with
+        | Ir.Offchip ->
+          Some
+            (Printf.sprintf
+               "    LMemInterface %s = addLMemInterface(); // %d words"
+               m.Ir.mem_name (Ir.mem_words m))
+        | Ir.Bram | Ir.Reg | Ir.Queue -> None)
+      d.d_mems
+  in
+  String.concat "\n"
+    ([
+       "package dhdl.generated;";
+       "";
+       "import com.maxeler.maxcompiler.v2.managers.custom.CustomManager;";
+       "";
+       Printf.sprintf "class %sManager extends CustomManager {" cls;
+       Printf.sprintf "  %sManager(EngineParameters params) {" cls;
+       "    super(params);";
+       Printf.sprintf "    KernelBlock kernel = addKernel(new %s(makeKernelParameters(\"%s\")));"
+         cls cls;
+     ]
+    @ streams
+    @ [ "  }"; "}"; "" ])

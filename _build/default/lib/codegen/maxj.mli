@@ -1,0 +1,20 @@
+(** MaxJ hardware generation (step 5 of Figure 1).
+
+    Emits a Maxeler MaxJ kernel — the low-level Java-embedded hardware
+    generation language the paper's compiler targets — from a DHDL design
+    instance. Counters become [CounterChain]s, Pipes become dataflow
+    expressions over [DFEVar]s, MetaPipes become state-machine-sequenced
+    kernel blocks with double-buffered [Memory] objects, and tile transfers
+    become LMem (DRAM) stream commands. The output is compilable-shaped
+    Java source; without Maxeler's proprietary toolchain it is validated
+    structurally (balanced blocks, declared-before-use, one node per IR
+    statement). *)
+
+val kernel_class_name : Dhdl_ir.Ir.design -> string
+(** Java class name derived from the design name. *)
+
+val emit : Dhdl_ir.Ir.design -> string
+(** The kernel source text. *)
+
+val emit_manager : Dhdl_ir.Ir.design -> string
+(** The accompanying MaxJ manager (host-interface and LMem wiring). *)

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Dhdl_apps Dhdl_cpu Dhdl_device Dhdl_dse Dhdl_hls Dhdl_model Dhdl_sim Dhdl_synth Dhdl_util Filename Float List Printf String Unix

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Dhdl_dse Dhdl_model

@@ -1,0 +1,169 @@
+(** Experiment drivers: one entry point per table and figure of the paper's
+    evaluation (Section V), each returning structured data plus a plain-text
+    rendering used by the benchmark harness and the CLI.
+
+    Every experiment is deterministic given its seed. Estimation and
+    exploration run at the paper's full dataset sizes (Table II); functional
+    validation uses scaled-down data (the interpreter is the only
+    data-proportional component). *)
+
+module Estimator = Dhdl_model.Estimator
+module Explore = Dhdl_dse.Explore
+
+(** {1 Table II — benchmark suite} *)
+
+val render_table2 : unit -> string
+
+(** {1 Table III — estimation accuracy} *)
+
+type accuracy_row = {
+  bench : string;
+  alm_err : float;  (** Mean abs. ALM error (%) over selected Pareto designs. *)
+  dsp_err : float;
+  bram_err : float;
+  runtime_err : float;
+  points : int;  (** Number of Pareto designs synthesized and simulated. *)
+  dsp_rank_preserved : bool;  (** Estimates order designs correctly (Section V.B). *)
+}
+
+val table3 :
+  ?seed:int -> ?sample:int -> ?pareto_points:int -> Estimator.t -> accuracy_row list
+(** For each benchmark: explore [sample] legal points (default 300), select
+    up to [pareto_points] (default 5) spread along the Pareto frontier, push
+    each through the full synthesis toolchain and the cycle-accurate
+    simulator, and compare against the estimates. *)
+
+val render_table3 : accuracy_row list -> string
+
+(** {1 Table IV — estimation speed vs. high-level synthesis} *)
+
+type speed_result = {
+  ours_sec_per_design : float;
+  hls_restricted_sec_per_design : float;
+  hls_full_sec_per_design : float;
+  ours_points : int;
+  restricted_points : int;
+  full_points : int;
+  restricted_speedup : float;  (** restricted / ours. *)
+  full_speedup : float;  (** full / ours. *)
+}
+
+val table4 :
+  ?seed:int ->
+  ?ours_points:int ->
+  ?restricted_points:int ->
+  ?full_points:int ->
+  ?hls_cols:int ->
+  Estimator.t ->
+  speed_result
+(** GDA design points through our estimator (default 250, as in the paper)
+    vs. the simulated HLS flow on Figure 2's GDA: [restricted_points]
+    (default 40) without outer-loop pipelining, [full_points] (default 4)
+    with it. [hls_cols] scales the HLS kernel's C dimension (default the
+    paper's 96). *)
+
+val render_table4 : speed_result -> string
+
+(** {1 Figure 5 — design-space exploration} *)
+
+type dse_app = { app_name : string; result : Explore.result }
+
+val fig5 : ?seed:int -> ?max_points:int -> ?apps:string list -> Estimator.t -> dse_app list
+(** Explore each benchmark's space (default 2,000 sampled points per app —
+    the paper samples up to 75,000; raise [max_points] to match). *)
+
+val render_fig5 : dse_app list -> string
+(** Per app: the three scatter plots (ALM / DSP / BRAM utilization vs. log
+    cycles, valid and Pareto points distinguished) plus the Pareto table. *)
+
+(** {1 Figure 6 — speedup over the CPU baseline} *)
+
+type speedup_row = {
+  s_bench : string;
+  fpga_seconds : float;  (** Cycle-accurate simulation of the best design. *)
+  cpu_seconds : float;  (** Roofline model of the 6-core Xeon baseline. *)
+  speedup : float;
+  best_params : (string * int) list;
+}
+
+val fig6 : ?seed:int -> ?max_points:int -> Estimator.t -> speedup_row list
+val render_fig6 : speedup_row list -> string
+
+(** {1 Ablations (design decisions called out in DESIGN.md)} *)
+
+type metapipe_ablation = {
+  m_bench : string;
+  cycles_pipelined : float;  (** Best design with MetaPipe toggles on. *)
+  cycles_sequential : float;  (** Same parameters, toggles forced off. *)
+  benefit : float;  (** sequential / pipelined. *)
+}
+
+val ablation_metapipe : ?seed:int -> ?max_points:int -> Estimator.t -> metapipe_ablation list
+(** Quantifies coarse-grained pipelining: re-estimate each benchmark's best
+    design with every MetaPipe toggle forced to Sequential. *)
+
+type correction_ablation = {
+  c_bench : string;
+  raw_alm_err : float;  (** Error with NN corrections disabled. *)
+  corrected_alm_err : float;  (** Error of the full hybrid estimator. *)
+}
+
+val ablation_nn_correction : ?seed:int -> ?sample:int -> Estimator.t -> correction_ablation list
+(** Quantifies the hybrid scheme: ALM error using raw template counts only
+    (packing assumed, no P&R corrections) vs. the NN-corrected estimate. *)
+
+val render_ablations : metapipe_ablation list -> correction_ablation list -> string
+
+type sampling_ablation = {
+  sa_points : int;  (** Sample budget. *)
+  sa_best_cycles : float;  (** Best valid design found at that budget. *)
+  sa_pareto_size : int;
+}
+
+val ablation_sampling :
+  ?seed:int -> ?app:string -> ?budgets:int list -> Estimator.t -> sampling_ablation list
+(** Random-sampling convergence (the paper samples up to 75,000 points;
+    §IV.C): how the best discovered design improves with sample budget on
+    one benchmark (default gda, budgets 100/300/1000/3000). *)
+
+val render_sampling : string -> sampling_ablation list -> string
+
+val best_per_area : Explore.result -> Explore.evaluation option
+(** The valid design minimizing cycles x ALM% — the performance-per-area
+    winner the paper also tracks alongside pure performance. *)
+
+type device_ablation = {
+  d_bench : string;
+  sampled : int;
+  valid_d8 : int;  (** Designs fitting the paper's Stratix V GS D8. *)
+  valid_d5 : int;  (** The same estimates re-checked against the smaller D5. *)
+  best_cycles_d8 : float;
+  best_cycles_d5 : float;
+}
+
+val ablation_device : ?seed:int -> ?max_points:int -> Estimator.t -> device_ablation list
+(** Target-agnosticism (Section II's "Representation" requirement): the same
+    estimates re-validated against a smaller device of the same family —
+    validity shrinks and the best feasible design slows where the space is
+    capacity-bound. *)
+
+val render_device : device_ablation list -> string
+
+type bandwidth_ablation = {
+  b_bench : string;
+  speedup_37 : float;  (** Figure 6 speedup at the MAIA's achievable 37.5 GB/s. *)
+  speedup_75 : float;  (** The same best design re-simulated at ~75 GB/s. *)
+}
+
+val ablation_bandwidth : ?seed:int -> ?max_points:int -> Estimator.t -> bandwidth_ablation list
+(** Off-chip bandwidth sensitivity: re-simulate each benchmark's best design
+    on a board with twice the achievable DRAM bandwidth. Memory-bound
+    benchmarks (dotproduct, tpchq6, outerprod) roughly double their speedup;
+    compute-bound ones (gda, gemm) barely move — the roofline structure
+    behind Section V.C. *)
+
+val render_bandwidth : bandwidth_ablation list -> string
+
+val write_fig5_csvs : dir:string -> dse_app list -> string list
+(** Write one CSV of raw exploration data per benchmark (see
+    {!Explore.to_csv}); returns the paths written. *)

@@ -1,0 +1,1 @@
+lib/cpu/kernels.ml: Array Float

@@ -1,0 +1,40 @@
+(** Execution-time model of the paper's CPU baseline: a 6-core Intel Xeon
+    E5-2630 (32 nm, 2.30 GHz, 15 MB LLC, 42.6 GB/s) running optimized
+    multi-threaded C++ (OptiML-generated; OpenBLAS for gemm), 6 threads.
+
+    A roofline model: each benchmark is characterized by its flop and DRAM
+    byte counts plus an efficiency factor reflecting how well the published
+    implementations exploit the machine (vectorization of transcendentals,
+    branch behaviour, BLAS-3 blocking). Efficiencies are derived from the
+    paper's own observations — e.g. OpenBLAS sustaining ~89 GFLOP/s on gemm
+    — and from the PARSEC characterization of blackscholes. *)
+
+type machine = {
+  cores : int;
+  ghz : float;
+  flops_per_cycle_per_core : float;  (** SP with AVX fused ops. *)
+  mem_bw_gbs : float;
+}
+
+val xeon_e5_2630 : machine
+
+type workload = {
+  wl_name : string;
+  flops : float;  (** Total floating-point operations. *)
+  bytes : float;  (** DRAM traffic (streaming footprint). *)
+  compute_eff : float;  (** Fraction of peak flops the code sustains. *)
+  bw_eff : float;  (** Fraction of peak bandwidth sustained. *)
+}
+
+val seconds : ?machine:machine -> workload -> float
+(** Roofline: max of compute time and memory time. *)
+
+(** Workload characterizations at given dataset sizes. *)
+
+val dotproduct : n:int -> workload
+val outerprod : n:int -> m:int -> workload
+val gemm : n:int -> m:int -> k:int -> workload
+val tpchq6 : n:int -> workload
+val blackscholes : n:int -> workload
+val gda : rows:int -> cols:int -> workload
+val kmeans : points:int -> dims:int -> k:int -> workload

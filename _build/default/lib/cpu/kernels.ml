@@ -1,0 +1,132 @@
+let dotproduct a b =
+  assert (Array.length a = Array.length b);
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let outerprod a b =
+  let n = Array.length a and m = Array.length b in
+  let out = Array.make (n * m) 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      out.((i * m) + j) <- a.(i) *. b.(j)
+    done
+  done;
+  out
+
+let gemm ~n ~m ~k a b =
+  assert (Array.length a = n * k);
+  assert (Array.length b = k * m);
+  let c = Array.make (n * m) 0.0 in
+  for i = 0 to n - 1 do
+    for kk = 0 to k - 1 do
+      let aik = a.((i * k) + kk) in
+      if aik <> 0.0 then
+        for j = 0 to m - 1 do
+          c.((i * m) + j) <- c.((i * m) + j) +. (aik *. b.((kk * m) + j))
+        done
+    done
+  done;
+  c
+
+let tpchq6 ~prices ~discounts ~quantities ~dates =
+  let n = Array.length prices in
+  assert (Array.length discounts = n && Array.length quantities = n && Array.length dates = n);
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    if
+      dates.(i) >= 5.0 && dates.(i) < 6.0
+      && discounts.(i) >= 0.05
+      && discounts.(i) <= 0.07
+      && quantities.(i) < 24.0
+    then acc := !acc +. (prices.(i) *. discounts.(i))
+  done;
+  !acc
+
+(* PARSEC's polynomial CNDF approximation. *)
+let cndf x =
+  let sign_negative = x < 0.0 in
+  let x = Float.abs x in
+  let exp_term = exp (-0.5 *. x *. x) in
+  let n_prime = 0.39894228040143270286 *. exp_term in
+  let k = 1.0 /. (1.0 +. (0.2316419 *. x)) in
+  let k_sum =
+    k
+    *. (0.319381530
+       +. (k
+          *. (-0.356563782
+             +. (k *. (1.781477937 +. (k *. (-1.821255978 +. (k *. 1.330274429))))))))
+  in
+  let v = 1.0 -. (n_prime *. k_sum) in
+  if sign_negative then 1.0 -. v else v
+
+let blackscholes ~spot ~strike ~time ~rate ~volatility ~otype =
+  let n = Array.length spot in
+  assert (Array.length strike = n && Array.length time = n && Array.length otype = n);
+  Array.init n (fun i ->
+      let s = spot.(i) and k = strike.(i) and t = time.(i) in
+      let sqrt_t = sqrt t in
+      let d1 =
+        (log (s /. k) +. ((rate +. (0.5 *. volatility *. volatility)) *. t))
+        /. (volatility *. sqrt_t)
+      in
+      let d2 = d1 -. (volatility *. sqrt_t) in
+      let discounted = k *. exp (-.rate *. t) in
+      if otype.(i) <> 0.0 then (discounted *. (1.0 -. cndf d2)) -. (s *. (1.0 -. cndf d1))
+      else (s *. cndf d1) -. (discounted *. cndf d2))
+
+let gda ~rows ~cols ~x ~y ~mu0 ~mu1 =
+  assert (Array.length x = rows * cols);
+  assert (Array.length y = rows);
+  assert (Array.length mu0 = cols && Array.length mu1 = cols);
+  let sigma = Array.make (cols * cols) 0.0 in
+  let sub = Array.make cols 0.0 in
+  for r = 0 to rows - 1 do
+    let mu = if y.(r) <> 0.0 then mu1 else mu0 in
+    for c = 0 to cols - 1 do
+      sub.(c) <- x.((r * cols) + c) -. mu.(c)
+    done;
+    for i = 0 to cols - 1 do
+      for j = 0 to cols - 1 do
+        sigma.((i * cols) + j) <- sigma.((i * cols) + j) +. (sub.(i) *. sub.(j))
+      done
+    done
+  done;
+  sigma
+
+let nearest_centroid ~dims ~k ~centroids point_off data =
+  let best = ref 0 and best_d = ref infinity in
+  for c = 0 to k - 1 do
+    let d = ref 0.0 in
+    for j = 0 to dims - 1 do
+      let diff = data.(point_off + j) -. centroids.((c * dims) + j) in
+      d := !d +. (diff *. diff)
+    done;
+    if !d < !best_d then begin
+      best_d := !d;
+      best := c
+    end
+  done;
+  !best
+
+let kmeans_sums ~points ~dims ~k ~data ~centroids =
+  assert (Array.length data = points * dims);
+  assert (Array.length centroids = k * dims);
+  let sums = Array.make (k * dims) 0.0 in
+  let counts = Array.make k 0.0 in
+  for p = 0 to points - 1 do
+    let c = nearest_centroid ~dims ~k ~centroids (p * dims) data in
+    counts.(c) <- counts.(c) +. 1.0;
+    for j = 0 to dims - 1 do
+      sums.((c * dims) + j) <- sums.((c * dims) + j) +. data.((p * dims) + j)
+    done
+  done;
+  (sums, counts)
+
+let kmeans_step ~points ~dims ~k ~data ~centroids =
+  let sums, counts = kmeans_sums ~points ~dims ~k ~data ~centroids in
+  Array.init (k * dims) (fun i ->
+      let c = i / dims in
+      if counts.(c) > 0.0 then sums.(i) /. counts.(c) else centroids.(i))

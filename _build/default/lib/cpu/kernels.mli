@@ -1,0 +1,69 @@
+(** Reference CPU implementations of the seven evaluation benchmarks
+    (Table II). These are the functional ground truth the DHDL designs are
+    checked against, and the implementations behind the CPU-comparison
+    experiments (Figure 6). All data is dense row-major [float array]. *)
+
+val dotproduct : float array -> float array -> float
+(** Inner product of two equal-length vectors. *)
+
+val outerprod : float array -> float array -> float array
+(** [outerprod a b] is the |a| x |b| outer-product matrix, row-major. *)
+
+val gemm : n:int -> m:int -> k:int -> float array -> float array -> float array
+(** [gemm ~n ~m ~k a b]: (n x k) times (k x m), row-major result (n x m). *)
+
+val tpchq6 :
+  prices:float array ->
+  discounts:float array ->
+  quantities:float array ->
+  dates:float array ->
+  float
+(** TPC-H query 6: revenue = sum(price * discount) over rows with
+    [5 <= date < 6], [discount in [0.05, 0.07]] and [quantity < 24]. *)
+
+val blackscholes :
+  spot:float array ->
+  strike:float array ->
+  time:float array ->
+  rate:float ->
+  volatility:float ->
+  otype:float array ->
+  float array
+(** Black-Scholes-Merton option pricing; [otype] is 1 for puts, 0 for calls. *)
+
+val cndf : float -> float
+(** Cumulative normal distribution (the polynomial approximation used by the
+    PARSEC benchmark), exposed for accuracy tests. *)
+
+val gda :
+  rows:int ->
+  cols:int ->
+  x:float array ->
+  y:float array ->
+  mu0:float array ->
+  mu1:float array ->
+  float array
+(** Gaussian discriminant analysis scatter matrix (cols x cols):
+    sigma += sub sub^T with sub = x_i - mu_{y_i} (Figure 2). *)
+
+val kmeans_step :
+  points:int ->
+  dims:int ->
+  k:int ->
+  data:float array ->
+  centroids:float array ->
+  float array
+(** One Lloyd iteration: assign each point to its nearest centroid
+    (Euclidean) and return the k x dims matrix of new centroids. Empty
+    clusters keep their previous centroid. *)
+
+val kmeans_sums :
+  points:int ->
+  dims:int ->
+  k:int ->
+  data:float array ->
+  centroids:float array ->
+  float array * float array
+(** The accumulation phase only: per-cluster coordinate sums (k x dims) and
+    per-cluster counts (k). This matches what the FPGA design computes
+    on-chip before the final divide. *)

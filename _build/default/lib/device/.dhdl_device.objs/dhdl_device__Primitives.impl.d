@@ -1,0 +1,1 @@
+lib/device/primitives.ml: Dhdl_ir Resources Target

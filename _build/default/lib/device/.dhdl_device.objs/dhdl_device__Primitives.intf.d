@@ -1,0 +1,1 @@
+lib/device/primitives.mli: Dhdl_ir Resources Target

@@ -1,0 +1,1 @@
+lib/device/target.ml: Dhdl_util List

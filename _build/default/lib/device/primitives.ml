@@ -1,0 +1,108 @@
+module Op = Dhdl_ir.Op
+module Dtype = Dhdl_ir.Dtype
+module R = Resources
+
+(* Three characterization classes: single-precision-style floats, fixed
+   point (scaled by width), and booleans. The numbers below are the
+   device-library truth for our simulated toolchain; they are in the range
+   published for 28 nm Altera floating point megafunctions. *)
+
+type type_class = Float_class | Fixed_class of int | Bool_class
+
+let classify = function
+  | Dtype.Flt _ -> Float_class
+  | Dtype.Fix { int_bits; frac_bits; _ } -> Fixed_class (int_bits + frac_bits)
+  | Dtype.Bool -> Bool_class
+
+let float_area = function
+  | Op.Add | Op.Sub -> R.make ~packable:380 ~unpackable:170 ~regs:540 ()
+  | Op.Mul -> R.make ~packable:90 ~unpackable:40 ~regs:170 ~dsps:1 ()
+  | Op.Div -> R.make ~packable:1100 ~unpackable:520 ~regs:1450 ()
+  | Op.Sqrt -> R.make ~packable:430 ~unpackable:190 ~regs:520 ()
+  | Op.Exp -> R.make ~packable:900 ~unpackable:410 ~regs:980 ~dsps:7 ()
+  | Op.Log -> R.make ~packable:1380 ~unpackable:610 ~regs:1320 ~dsps:7 ()
+  | Op.Min | Op.Max -> R.make ~packable:48 ~unpackable:16 ~regs:40 ()
+  | Op.Neg | Op.Abs -> R.make ~packable:8 ~unpackable:2 ~regs:34 ()
+  | Op.Floor -> R.make ~packable:64 ~unpackable:28 ~regs:70 ()
+  | Op.Lt | Op.Le | Op.Gt | Op.Ge | Op.Eq | Op.Neq -> R.make ~packable:42 ~unpackable:14 ~regs:36 ()
+  | Op.Mux -> R.make ~packable:20 ~unpackable:12 ~regs:34 ()
+  | Op.And | Op.Or | Op.Not -> R.make ~packable:2 ~unpackable:0 ~regs:2 ()
+
+let fixed_area bits op =
+  let w = max 1 bits in
+  let per_bit n = max 1 (n * w / 32) in
+  match op with
+  | Op.Add | Op.Sub -> R.make ~packable:(per_bit 22) ~unpackable:(per_bit 10) ~regs:(per_bit 34) ()
+  | Op.Mul ->
+    (* 27x27 DSP slices: one per 27-bit operand chunk pair. *)
+    let chunks = max 1 ((w + 26) / 27) in
+    R.make ~packable:(per_bit 18) ~unpackable:(per_bit 8) ~regs:(per_bit 40) ~dsps:(chunks * chunks) ()
+  | Op.Div -> R.make ~packable:(per_bit 420) ~unpackable:(per_bit 200) ~regs:(per_bit 600) ()
+  | Op.Sqrt -> R.make ~packable:(per_bit 180) ~unpackable:(per_bit 80) ~regs:(per_bit 240) ()
+  | Op.Exp | Op.Log -> R.make ~packable:(per_bit 500) ~unpackable:(per_bit 240) ~regs:(per_bit 520) ~dsps:2 ()
+  | Op.Min | Op.Max -> R.make ~packable:(per_bit 30) ~unpackable:(per_bit 8) ~regs:(per_bit 34) ()
+  | Op.Neg | Op.Abs -> R.make ~packable:(per_bit 18) ~unpackable:(per_bit 4) ~regs:(per_bit 32) ()
+  | Op.Floor -> R.make ~packable:2 ~unpackable:0 ~regs:2 ()
+  | Op.Lt | Op.Le | Op.Gt | Op.Ge | Op.Eq | Op.Neq ->
+    R.make ~packable:(per_bit 16) ~unpackable:(per_bit 6) ~regs:4 ()
+  | Op.Mux -> R.make ~packable:(per_bit 16) ~unpackable:(per_bit 4) ~regs:(per_bit 32) ()
+  | Op.And | Op.Or | Op.Not -> R.make ~packable:(per_bit 8) ~unpackable:0 ~regs:(per_bit 8) ()
+
+let bool_area = function
+  | Op.Mux -> R.make ~packable:2 ~unpackable:0 ~regs:1 ()
+  | _ -> R.make ~packable:1 ~unpackable:0 ~regs:1 ()
+
+let area op ty =
+  match classify ty with
+  | Float_class -> float_area op
+  | Fixed_class bits -> fixed_area bits op
+  | Bool_class -> bool_area op
+
+let float_latency = function
+  | Op.Add | Op.Sub -> 7
+  | Op.Mul -> 6
+  | Op.Div -> 28
+  | Op.Sqrt -> 28
+  | Op.Exp -> 17
+  | Op.Log -> 21
+  | Op.Floor -> 2
+  | Op.Min | Op.Max | Op.Neg | Op.Abs -> 1
+  | Op.Lt | Op.Le | Op.Gt | Op.Ge | Op.Eq | Op.Neq -> 2
+  | Op.Mux | Op.And | Op.Or | Op.Not -> 1
+
+let fixed_latency bits op =
+  let deep = if bits > 32 then 2 else 1 in
+  match op with
+  | Op.Add | Op.Sub | Op.Min | Op.Max | Op.Neg | Op.Abs -> deep
+  | Op.Mul -> 3
+  | Op.Div -> max 8 (bits / 2)
+  | Op.Sqrt -> max 8 (bits / 2)
+  | Op.Exp | Op.Log -> 12
+  | Op.Floor -> 1
+  | Op.Lt | Op.Le | Op.Gt | Op.Ge | Op.Eq | Op.Neq -> 1
+  | Op.Mux | Op.And | Op.Or | Op.Not -> 1
+
+let latency op ty =
+  match classify ty with
+  | Float_class -> float_latency op
+  | Fixed_class bits -> fixed_latency bits op
+  | Bool_class -> 1
+
+let load_store_area ty =
+  let w = Dtype.bits ty in
+  R.make ~packable:(max 2 (w / 4)) ~unpackable:(max 1 (w / 8)) ~regs:(max 2 (w / 2)) ()
+
+let load_store_latency = 1
+
+let counter_area ~bits =
+  R.make ~packable:(bits + 4) ~unpackable:(bits / 2) ~regs:(bits + 2) ()
+
+let fifo_area ~width_bits ~depth dev =
+  (* Shallow FIFOs live in registers; deep ones spill into M20Ks. *)
+  if depth * width_bits <= 640 then
+    R.make ~packable:(width_bits + 16) ~unpackable:8 ~regs:((depth * width_bits) + 16) ()
+  else
+    let brams = Target.bram_blocks_for dev ~width_bits ~depth in
+    R.make ~packable:(width_bits + 24) ~unpackable:12 ~regs:(width_bits + 32) ~brams ()
+
+let delay_regs_threshold = 16

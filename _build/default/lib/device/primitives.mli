@@ -1,0 +1,31 @@
+(** Characterized primitive library for the target device.
+
+    One row per (operation, data type class): FPGA resources (with the
+    packable/unpackable LUT split), pipelined latency in fabric cycles at
+    150 MHz, and the throughput of the unit. In the paper this data comes
+    from synthesizing each template a handful of times per parameter
+    combination; here it is the device library both the synthesis simulator
+    and the estimator consume, so estimates and "ground truth" share the
+    same primitive characterization — exactly the paper's setup, where both
+    flowed through the same vendor library. *)
+
+val area : Dhdl_ir.Op.t -> Dhdl_ir.Dtype.t -> Resources.t
+(** Resources of one scalar instance of the operation at this type. *)
+
+val latency : Dhdl_ir.Op.t -> Dhdl_ir.Dtype.t -> int
+(** Pipelined latency in cycles (>= 1 for registered units). *)
+
+val load_store_area : Dhdl_ir.Dtype.t -> Resources.t
+(** Address mux / write port logic of a banked Ld or St node (per lane). *)
+
+val load_store_latency : int
+
+val counter_area : bits:int -> Resources.t
+(** One counter in a counter chain. *)
+
+val fifo_area : width_bits:int -> depth:int -> Target.t -> Resources.t
+(** Data/command queue as used by memory command generators. *)
+
+val delay_regs_threshold : int
+(** Slack depth (cycles) above which delay balancing uses a BRAM-based
+    shift register instead of flip-flops (Section IV.B.2). *)

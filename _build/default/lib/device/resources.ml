@@ -1,0 +1,42 @@
+type t = {
+  lut_packable : int;
+  lut_unpackable : int;
+  regs : int;
+  dsps : int;
+  brams : int;
+}
+
+let zero = { lut_packable = 0; lut_unpackable = 0; regs = 0; dsps = 0; brams = 0 }
+
+let make ?(packable = 0) ?(unpackable = 0) ?(regs = 0) ?(dsps = 0) ?(brams = 0) () =
+  { lut_packable = packable; lut_unpackable = unpackable; regs; dsps; brams }
+
+let add a b =
+  {
+    lut_packable = a.lut_packable + b.lut_packable;
+    lut_unpackable = a.lut_unpackable + b.lut_unpackable;
+    regs = a.regs + b.regs;
+    dsps = a.dsps + b.dsps;
+    brams = a.brams + b.brams;
+  }
+
+let sum = List.fold_left add zero
+
+let scale k r =
+  {
+    lut_packable = k * r.lut_packable;
+    lut_unpackable = k * r.lut_unpackable;
+    regs = k * r.regs;
+    dsps = k * r.dsps;
+    brams = k * r.brams;
+  }
+
+let luts r = r.lut_packable + r.lut_unpackable
+
+let to_string r =
+  Printf.sprintf "{luts=%d (p%d/u%d) regs=%d dsps=%d brams=%d}" (luts r) r.lut_packable
+    r.lut_unpackable r.regs r.dsps r.brams
+
+let equal a b =
+  a.lut_packable = b.lut_packable && a.lut_unpackable = b.lut_unpackable && a.regs = b.regs
+  && a.dsps = b.dsps && a.brams = b.brams

@@ -1,0 +1,25 @@
+(** FPGA resource vectors.
+
+    LUT requirements are split into "packable" and "unpackable" populations
+    to support LUT-packing estimation (paper, Section IV.B): vendor tools
+    pack pairs of small independent functions into one fracturable 8-input
+    unit, and the paper models this by assuming every packable LUT packs. *)
+
+type t = {
+  lut_packable : int;  (** Small functions eligible for pairwise packing. *)
+  lut_unpackable : int;  (** Wide functions occupying a full compute unit. *)
+  regs : int;
+  dsps : int;
+  brams : int;  (** M20K blocks. *)
+}
+
+val zero : t
+val make : ?packable:int -> ?unpackable:int -> ?regs:int -> ?dsps:int -> ?brams:int -> unit -> t
+val add : t -> t -> t
+val sum : t list -> t
+val scale : int -> t -> t
+val luts : t -> int
+(** Total LUTs, both populations. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool

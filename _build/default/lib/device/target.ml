@@ -1,0 +1,88 @@
+module Intmath = Dhdl_util.Intmath
+
+type t = {
+  dev_name : string;
+  alms : int;
+  regs : int;
+  dsps : int;
+  brams : int;
+  bram_bits : int;
+  bram_max_width : int;
+  bram_min_depth : int;
+  luts_per_alm : int;
+  regs_per_alm : int;
+}
+
+type board = {
+  board_name : string;
+  fabric_mhz : float;
+  dram_gb : int;
+  peak_bw_gbs : float;
+  achievable_bw_gbs : float;
+  dram_latency_cycles : int;
+  burst_bytes : int;
+  num_channels : int;
+}
+
+let stratix_v =
+  {
+    dev_name = "Stratix V GS D8";
+    alms = 262_400;
+    regs = 1_049_600;
+    dsps = 1_963;
+    brams = 2_567;
+    bram_bits = 20_480;
+    bram_max_width = 40;
+    bram_min_depth = 512;
+    luts_per_alm = 2;
+    regs_per_alm = 4;
+  }
+
+(* A mid-size part from the same family: used by the device-sensitivity
+   ablation to show the representation is target-agnostic — re-running DSE
+   against a smaller device shifts validity and the Pareto frontier without
+   touching any design source. *)
+let stratix_v_d5 =
+  {
+    dev_name = "Stratix V GS D5";
+    alms = 172_600;
+    regs = 690_400;
+    dsps = 1_590;
+    brams = 2_014;
+    bram_bits = 20_480;
+    bram_max_width = 40;
+    bram_min_depth = 512;
+    luts_per_alm = 2;
+    regs_per_alm = 4;
+  }
+
+let max4_maia =
+  {
+    board_name = "Maxeler Max4 MAIA";
+    fabric_mhz = 150.0;
+    dram_gb = 48;
+    peak_bw_gbs = 76.8;
+    achievable_bw_gbs = 37.5;
+    dram_latency_cycles = 64;
+    burst_bytes = 384;
+    num_channels = 6;
+  }
+
+let bytes_per_cycle board = board.achievable_bw_gbs *. 1e9 /. (board.fabric_mhz *. 1e6)
+
+(* An M20K can trade depth for width (512x40, 1Kx20, 2Kx10, 4Kx5, 8Kx2,
+   16Kx1). Words wider than 40 bits need ceil(width/40) blocks side by side;
+   deeper banks need rows of blocks at the chosen configuration. *)
+let m20k_configs = [ (16_384, 1); (8_192, 2); (4_096, 5); (2_048, 10); (1_024, 20); (512, 40) ]
+
+let bram_blocks_for dev ~width_bits ~depth =
+  assert (width_bits > 0 && depth > 0);
+  let columns = Intmath.ceil_div width_bits dev.bram_max_width in
+  let width_per_column = Intmath.ceil_div width_bits columns in
+  let depth_at_width =
+    match List.find_opt (fun (_, w) -> w >= width_per_column) m20k_configs with
+    | Some (d, _) -> d
+    | None -> dev.bram_min_depth
+  in
+  let rows = Intmath.ceil_div depth depth_at_width in
+  columns * rows

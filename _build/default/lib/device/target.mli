@@ -1,0 +1,45 @@
+(** Target device and board descriptions.
+
+    The paper's experiments run on an Altera 28nm Stratix V on a Maxeler
+    Max4 MAIA board at a 150 MHz fabric clock, with 48 GB of DDR3 delivering
+    37.5 GB/s in practice. *)
+
+type t = {
+  dev_name : string;
+  alms : int;  (** Adaptive logic modules; each holds a fracturable LUT pair. *)
+  regs : int;  (** Flip-flops (roughly 4 per ALM on Stratix V). *)
+  dsps : int;
+  brams : int;  (** M20K blocks. *)
+  bram_bits : int;  (** Usable bits per block (512 x 40). *)
+  bram_max_width : int;  (** Widest port configuration in bits. *)
+  bram_min_depth : int;  (** Depth at the widest configuration. *)
+  luts_per_alm : int;  (** Pairwise packing: 2 packable LUTs per ALM. *)
+  regs_per_alm : int;
+}
+
+type board = {
+  board_name : string;
+  fabric_mhz : float;
+  dram_gb : int;
+  peak_bw_gbs : float;  (** Datasheet DRAM bandwidth. *)
+  achievable_bw_gbs : float;  (** Realized bandwidth (memory clock limited). *)
+  dram_latency_cycles : int;  (** Fabric cycles for an open-page burst round trip. *)
+  burst_bytes : int;  (** DRAM burst granularity. *)
+  num_channels : int;
+}
+
+val stratix_v : t
+(** Stratix V GS D8-class part: 262,400 ALMs / 1,963 DSPs / 2,567 M20Ks. *)
+
+val stratix_v_d5 : t
+(** A smaller part from the same family (172,600 ALMs / 1,590 DSPs /
+    2,014 M20Ks) for device-sensitivity experiments. *)
+
+val max4_maia : board
+
+val bytes_per_cycle : board -> float
+(** Achievable DRAM bytes per fabric clock cycle. *)
+
+val bram_blocks_for : t -> width_bits:int -> depth:int -> int
+(** M20K blocks needed for one logical bank of the given geometry, honoring
+    the block's width/depth configuration trade-off. *)

@@ -1,0 +1,1 @@
+lib/dse/explore.ml: Buffer Dhdl_model Dhdl_util List Printf Space String Unix

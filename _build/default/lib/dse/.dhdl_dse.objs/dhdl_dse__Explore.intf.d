@@ -1,0 +1,1 @@
+lib/dse/explore.mli: Dhdl_ir Dhdl_model Space

@@ -1,0 +1,1 @@
+lib/dse/space.ml: Dhdl_util Hashtbl List

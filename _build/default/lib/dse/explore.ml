@@ -1,0 +1,83 @@
+module Estimator = Dhdl_model.Estimator
+module Pareto = Dhdl_util.Pareto
+
+type evaluation = {
+  point : Space.point;
+  estimate : Estimator.estimate;
+  valid : bool;
+  alm_pct : float;
+  dsp_pct : float;
+  bram_pct : float;
+}
+
+type result = {
+  space_name : string;
+  evaluations : evaluation list;
+  pareto : evaluation list;
+  raw_space : int;
+  sampled : int;
+  elapsed_seconds : float;
+}
+
+let evaluate est point design =
+  let e = Estimator.estimate est design in
+  let alm_pct, dsp_pct, bram_pct = Estimator.utilization est e.Estimator.area in
+  {
+    point;
+    estimate = e;
+    valid = Estimator.fits est e.Estimator.area;
+    alm_pct;
+    dsp_pct;
+    bram_pct;
+  }
+
+let pareto_of evals =
+  let valid = List.filter (fun e -> e.valid) evals in
+  Pareto.frontier (fun e -> (e.estimate.Estimator.cycles, e.alm_pct)) valid
+
+let run ?(seed = 2016) ?(max_points = 75_000) est ~space ~generate () =
+  let t0 = Unix.gettimeofday () in
+  let points = Space.sample space ~seed ~max_points in
+  let evaluations = List.map (fun p -> evaluate est p (generate p)) points in
+  let pareto = pareto_of evaluations in
+  {
+    space_name = Space.name space;
+    evaluations;
+    pareto;
+    raw_space = Space.raw_size space;
+    sampled = List.length points;
+    elapsed_seconds = Unix.gettimeofday () -. t0;
+  }
+
+let best r =
+  match r.pareto with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun acc e -> if e.estimate.Estimator.cycles < acc.estimate.Estimator.cycles then e else acc)
+         first rest)
+
+let seconds_per_design r =
+  if r.sampled = 0 then 0.0 else r.elapsed_seconds /. float_of_int r.sampled
+
+let to_csv r =
+  let buf = Buffer.create 4096 in
+  let param_names =
+    match r.evaluations with
+    | [] -> []
+    | e :: _ -> List.map fst e.point
+  in
+  Buffer.add_string buf (String.concat "," param_names);
+  Buffer.add_string buf ",cycles,alm_pct,dsp_pct,bram_pct,valid,pareto\n";
+  let pareto_set = List.map (fun e -> e.point) r.pareto in
+  List.iter
+    (fun e ->
+      List.iter (fun (_, v) -> Buffer.add_string buf (string_of_int v ^ ",")) e.point;
+      Buffer.add_string buf
+        (Printf.sprintf "%.0f,%.3f,%.3f,%.3f,%d,%d\n" e.estimate.Estimator.cycles e.alm_pct
+           e.dsp_pct e.bram_pct
+           (if e.valid then 1 else 0)
+           (if List.mem e.point pareto_set then 1 else 0)))
+    r.evaluations;
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** Design-space exploration driver (steps 2-4 of the paper's Figure 1).
+
+    Walks a parameter space, instantiates the design generator at each legal
+    point, runs the estimator, classifies validity against the device, and
+    extracts the Pareto frontier in the (cycles, ALM-utilization) plane used
+    throughout Figure 5. *)
+
+module Estimator = Dhdl_model.Estimator
+
+type evaluation = {
+  point : Space.point;
+  estimate : Estimator.estimate;
+  valid : bool;  (** Fits on the target device. *)
+  alm_pct : float;
+  dsp_pct : float;
+  bram_pct : float;
+}
+
+type result = {
+  space_name : string;
+  evaluations : evaluation list;  (** Every sampled legal point. *)
+  pareto : evaluation list;  (** Pareto-optimal valid designs. *)
+  raw_space : int;  (** Cardinality before pruning/sampling. *)
+  sampled : int;
+  elapsed_seconds : float;
+}
+
+val run :
+  ?seed:int ->
+  ?max_points:int ->
+  Estimator.t ->
+  space:Space.t ->
+  generate:(Space.point -> Dhdl_ir.Ir.design) ->
+  unit ->
+  result
+(** Defaults: seed 2016, up to 75,000 sampled points (the paper's cap). *)
+
+val best : result -> evaluation option
+(** Fastest valid design (first Pareto point by cycles). *)
+
+val pareto_of : evaluation list -> evaluation list
+(** Frontier minimizing (cycles, ALM%) over valid evaluations. *)
+
+val seconds_per_design : result -> float
+(** Average estimation time per sampled design point (Table IV's metric). *)
+
+val to_csv : result -> string
+(** The full evaluation set as CSV (one row per sampled point: parameters,
+    estimated cycles, ALM/DSP/BRAM utilization, validity, Pareto
+    membership) — the raw data behind a Figure 5 panel, ready for external
+    plotting. *)

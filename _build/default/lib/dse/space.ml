@@ -1,0 +1,75 @@
+module Intmath = Dhdl_util.Intmath
+module Rng = Dhdl_util.Rng
+
+type point = (string * int) list
+
+type t = {
+  sp_name : string;
+  sp_dims : (string * int list) list;
+  sp_legal : point -> bool;
+}
+
+let make ~name ~dims ?(legal = fun _ -> true) () =
+  assert (dims <> []);
+  List.iter (fun (n, vs) -> if vs = [] then invalid_arg ("Space.make: empty domain " ^ n)) dims;
+  { sp_name = name; sp_dims = dims; sp_legal = legal }
+
+let name t = t.sp_name
+let dims t = t.sp_dims
+
+let raw_size t = List.fold_left (fun acc (_, vs) -> acc * List.length vs) 1 t.sp_dims
+
+let enumerate t =
+  let rec go dims acc =
+    match dims with
+    | [] -> [ List.rev acc ]
+    | (n, vs) :: rest -> List.concat_map (fun v -> go rest ((n, v) :: acc)) vs
+  in
+  List.filter t.sp_legal (go t.sp_dims [])
+
+let point_at t idx =
+  (* Mixed-radix decoding of a flat index into a point. *)
+  let _, point =
+    List.fold_left
+      (fun (i, acc) (n, vs) ->
+        let k = List.length vs in
+        (i / k, (n, List.nth vs (i mod k)) :: acc))
+      (idx, []) (List.rev t.sp_dims)
+  in
+  point
+
+let sample t ~seed ~max_points =
+  let total = raw_size t in
+  if total <= max_points * 2 then begin
+    let all = enumerate t in
+    if List.length all <= max_points then all
+    else Dhdl_util.Rng.sample (Rng.create seed) all max_points
+  end
+  else begin
+    let rng = Rng.create seed in
+    let seen = Hashtbl.create (max_points * 2) in
+    let out = ref [] in
+    let count = ref 0 in
+    (* Cap the draw attempts so heavily-illegal spaces still terminate. *)
+    let attempts = ref 0 in
+    let max_attempts = max_points * 50 in
+    while !count < max_points && !attempts < max_attempts do
+      incr attempts;
+      let idx = Rng.int rng total in
+      if not (Hashtbl.mem seen idx) then begin
+        Hashtbl.replace seen idx ();
+        let p = point_at t idx in
+        if t.sp_legal p then begin
+          out := p :: !out;
+          incr count
+        end
+      end
+    done;
+    List.rev !out
+  end
+
+let mem_limit_words = 65_536
+
+let divisors_for extent = Intmath.divisors extent
+
+let par_candidates extent = List.filter (fun d -> d <= 64) (Intmath.divisors extent)

@@ -1,0 +1,44 @@
+(** Design parameter spaces and the paper's pruning heuristics.
+
+    A space is a named cartesian product of integer parameter domains plus a
+    legality predicate. Section IV.C prunes the raw space to a "legal"
+    subspace: parallelization factors that divide iteration counts, tile
+    sizes that divide data dimensions, banking folded into parallelization,
+    and bounded on-chip memory sizes. *)
+
+type point = (string * int) list
+(** One assignment of every parameter, in declaration order. *)
+
+type t
+
+val make :
+  name:string -> dims:(string * int list) list -> ?legal:(point -> bool) -> unit -> t
+(** [dims] gives each parameter its candidate values (already pruned to
+    divisors where applicable); [legal] rejects cross-parameter illegal
+    combinations (e.g. tile buffers exceeding the on-chip budget). *)
+
+val name : t -> string
+val dims : t -> (string * int list) list
+
+val raw_size : t -> int
+(** Cartesian-product cardinality before the legality predicate. *)
+
+val enumerate : t -> point list
+(** All legal points (intended for spaces that fit in memory). *)
+
+val sample : t -> seed:int -> max_points:int -> point list
+(** Up to [max_points] distinct legal points, uniformly sampled with a
+    deterministic seed; falls back to full enumeration when the raw space
+    is not much larger than the request. Illegal points are discarded
+    immediately, as in the paper. *)
+
+val mem_limit_words : int
+(** Default cap on each on-chip memory (words), the "total size of each
+    local memory is limited to a fixed maximum value" heuristic. *)
+
+val divisors_for : int -> int list
+(** Candidate tile sizes / parallelization factors for an extent: its
+    divisors (capped at the extent). *)
+
+val par_candidates : int -> int list
+(** Divisors of the extent that are <= 64 — sensible vector widths. *)

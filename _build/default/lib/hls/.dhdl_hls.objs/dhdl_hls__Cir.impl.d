@@ -1,0 +1,1 @@
+lib/hls/cir.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/hls/gda_c.ml: Cir List

@@ -1,0 +1,1 @@
+lib/hls/scheduler.ml: Array Cir Hashtbl List Option Printf String Unix

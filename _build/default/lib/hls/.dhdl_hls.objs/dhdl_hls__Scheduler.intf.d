@@ -1,0 +1,1 @@
+lib/hls/scheduler.mli: Cir

@@ -1,0 +1,74 @@
+type expr =
+  | Const of float
+  | Var of string
+  | Load of string * expr list
+  | Bin of binop * expr * expr
+  | Ternary of expr * expr * expr
+
+and binop = Add | Sub | Mul | Div | Lt | Gt | Eq
+
+type stmt =
+  | Assign of { arr : string; idx : expr list; rhs : expr }
+  | Accum of { arr : string; idx : expr list; rhs : expr }
+  | For of loop
+
+and loop = {
+  var : string;
+  extent : int;
+  pipeline : bool;
+  unroll : int;
+  body : stmt list;
+}
+
+type func = { fn_name : string; fn_body : stmt list }
+
+let for_ ?(pipeline = false) ?(unroll = 1) var extent body =
+  assert (extent > 0 && unroll >= 1);
+  For { var; extent; pipeline; unroll; body }
+
+let rec count_stmt = function
+  | Assign _ | Accum _ -> 0
+  | For l -> 1 + List.fold_left (fun acc s -> acc + count_stmt s) 0 l.body
+
+let loop_count f = List.fold_left (fun acc s -> acc + count_stmt s) 0 f.fn_body
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Eq -> "=="
+
+let rec expr_str = function
+  | Const f -> Printf.sprintf "%g" f
+  | Var v -> v
+  | Load (a, idx) -> a ^ String.concat "" (List.map (fun e -> "[" ^ expr_str e ^ "]") idx)
+  | Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" (expr_str a) (binop_str op) (expr_str b)
+  | Ternary (c, a, b) -> Printf.sprintf "(%s ? %s : %s)" (expr_str c) (expr_str a) (expr_str b)
+
+let rec stmt_lines indent stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Assign { arr; idx; rhs } ->
+    [ Printf.sprintf "%s%s%s = %s;" pad arr
+        (String.concat "" (List.map (fun e -> "[" ^ expr_str e ^ "]") idx))
+        (expr_str rhs) ]
+  | Accum { arr; idx; rhs } ->
+    [ Printf.sprintf "%s%s%s += %s;" pad arr
+        (String.concat "" (List.map (fun e -> "[" ^ expr_str e ^ "]") idx))
+        (expr_str rhs) ]
+  | For l ->
+    let pragmas =
+      (if l.pipeline then [ Printf.sprintf "%s#pragma HLS PIPELINE II=1" pad ] else [])
+      @ if l.unroll > 1 then [ Printf.sprintf "%s#pragma HLS UNROLL factor=%d" pad l.unroll ] else []
+    in
+    (Printf.sprintf "%sfor (int %s = 0; %s < %d; %s++) {" pad l.var l.var l.extent l.var :: pragmas)
+    @ List.concat_map (stmt_lines (indent + 2)) l.body
+    @ [ pad ^ "}" ]
+
+let to_string f =
+  String.concat "\n"
+    ((Printf.sprintf "void %s(...) {" f.fn_name :: List.concat_map (stmt_lines 2) f.fn_body)
+    @ [ "}" ])

@@ -1,0 +1,36 @@
+(** A miniature C-like loop IR — the input language of the simulated
+    high-level synthesis tool used as the Table IV baseline. It is just
+    expressive enough for Figure 2's GDA kernel: perfectly/imperfectly
+    nested counted loops over array expressions, with HLS directives
+    (PIPELINE / UNROLL) attached to loops. *)
+
+type expr =
+  | Const of float
+  | Var of string  (** Loop induction variable or scalar. *)
+  | Load of string * expr list  (** Array element read. *)
+  | Bin of binop * expr * expr
+  | Ternary of expr * expr * expr
+
+and binop = Add | Sub | Mul | Div | Lt | Gt | Eq
+
+type stmt =
+  | Assign of { arr : string; idx : expr list; rhs : expr }
+  | Accum of { arr : string; idx : expr list; rhs : expr }  (** arr[idx] += rhs *)
+  | For of loop
+
+and loop = {
+  var : string;
+  extent : int;
+  pipeline : bool;  (** #pragma HLS PIPELINE II=1 *)
+  unroll : int;  (** #pragma HLS UNROLL factor=n (1 = none). *)
+  body : stmt list;
+}
+
+type func = { fn_name : string; fn_body : stmt list }
+
+val for_ : ?pipeline:bool -> ?unroll:int -> string -> int -> stmt list -> stmt
+val loop_count : func -> int
+val to_string : func -> string
+(** C-like listing with pragmas, for documentation output. *)
+
+val binop_str : binop -> string

@@ -1,0 +1,95 @@
+(** Figure 2: the GDA kernel as high-level-synthesis C, with the design
+    knobs the paper sweeps for Table IV — per-loop unroll factors and
+    pipeline directives. The restricted space never pipelines the outer
+    loop L1; the full space includes points that do, which forces complete
+    unrolling of L11/L121/L122 during scheduling. *)
+
+type directives = {
+  pipeline_l1 : bool;  (** Outer-loop pipeline (the expensive one). *)
+  pipeline_l11 : bool;
+  pipeline_l121 : bool;  (** Pipelining L121 fully unrolls L122. *)
+  pipeline_l122 : bool;
+  unroll_l11 : int;
+  unroll_l122 : int;
+}
+
+let default =
+  {
+    pipeline_l1 = false;
+    pipeline_l11 = true;
+    pipeline_l121 = false;
+    pipeline_l122 = true;
+    unroll_l11 = 1;
+    unroll_l122 = 1;
+  }
+
+(* L1: rows; L11: mean subtraction; L121/L122: sigma accumulation. *)
+let build ?(rows = 360_000) ?(cols = 96) (d : directives) =
+  let open Cir in
+  let sub_body =
+    [
+      Assign
+        {
+          arr = "sub";
+          idx = [ Var "j" ];
+          rhs =
+            Ternary
+              ( Bin (Gt, Load ("y", [ Var "i" ]), Const 0.0),
+                Bin (Sub, Load ("x", [ Var "i"; Var "j" ]), Load ("mu1", [ Var "j" ])),
+                Bin (Sub, Load ("x", [ Var "i"; Var "j" ]), Load ("mu0", [ Var "j" ])) );
+        };
+    ]
+  in
+  let accum_body =
+    [
+      Accum
+        {
+          arr = "sigma";
+          idx = [ Var "j1"; Var "j2" ];
+          rhs = Bin (Mul, Load ("sub", [ Var "j1" ]), Load ("sub", [ Var "j2" ]));
+        };
+    ]
+  in
+  let l11 = for_ ~pipeline:d.pipeline_l11 ~unroll:d.unroll_l11 "j" cols sub_body in
+  let l122 = for_ ~pipeline:d.pipeline_l122 ~unroll:d.unroll_l122 "j2" cols accum_body in
+  let l121 = for_ ~pipeline:d.pipeline_l121 "j1" cols [ l122 ] in
+  let l1 = for_ ~pipeline:d.pipeline_l1 "i" rows [ l11; l121 ] in
+  { fn_name = "gda"; fn_body = [ l1 ] }
+
+(* The 250-point sweep of Section V.C.2: unroll factors and pipeline
+   toggles; [restricted] excludes outer-loop pipelining. *)
+let design_points ~restricted =
+  let unrolls = [ 1; 2; 4; 8; 16 ] in
+  let bools = [ false; true ] in
+  let points =
+    List.concat_map
+      (fun u11 ->
+        List.concat_map
+          (fun u122 ->
+            List.concat_map
+              (fun p11 ->
+                List.concat_map
+                  (fun p121 ->
+                    List.concat_map
+                      (fun p122 ->
+                        List.filter_map
+                          (fun p1 ->
+                            if restricted && p1 then None
+                            else
+                              Some
+                                {
+                                  pipeline_l1 = p1;
+                                  pipeline_l11 = p11;
+                                  pipeline_l121 = p121;
+                                  pipeline_l122 = p122;
+                                  unroll_l11 = u11;
+                                  unroll_l122 = u122;
+                                })
+                          bools)
+                      bools)
+                  bools)
+              bools)
+          unrolls)
+      unrolls
+  in
+  points

@@ -1,0 +1,377 @@
+(* Node kinds with the same latency class the DHDL primitive library uses,
+   so the two tools price the same hardware. *)
+type nkind = Fadd | Fsub | Fmul | Fdiv | Cmp | Sel | Ld | St
+
+type node = {
+  id : int;
+  kind : nkind;
+  arr : string;  (** Array touched; "" for pure compute. *)
+  key : string;  (** Concrete index key after unrolling; "?" if symbolic. *)
+  writes : bool;
+  mutable deps : int list;
+}
+
+type report = {
+  latency_cycles : float;
+  nodes_scheduled : int;
+  dependence_checks : int;
+  regions : int;
+  elapsed_seconds : float;
+}
+
+let latency_of = function
+  | Fadd | Fsub -> 7
+  | Fmul -> 6
+  | Fdiv -> 28
+  | Cmp -> 1
+  | Sel -> 1
+  | Ld -> 2
+  | St -> 1
+
+(* Resource limits per schedulable region: the HLS tool binds operations to
+   a bounded pool of units and dual-ported memories. *)
+let limit_of = function
+  | Fadd | Fsub -> 4
+  | Fmul -> 4
+  | Fdiv -> 1
+  | Cmp | Sel -> 8
+  | Ld -> 2
+  | St -> 1
+
+type region_builder = {
+  mutable nodes : node list;  (** Reverse order. *)
+  mutable count : int;
+  mutable last_result : int;  (** Most recent value-producing node. *)
+}
+
+let new_region () = { nodes = []; count = 0; last_result = -1 }
+
+let push rb kind ~arr ~key ~writes deps =
+  let n = { id = rb.count; kind; arr; key; writes; deps } in
+  rb.count <- rb.count + 1;
+  rb.nodes <- n :: rb.nodes;
+  rb.last_result <- n.id;
+  n.id
+
+(* Render an index expression under the unrolling environment: fully
+   concrete indices produce distinct keys the dependence test can
+   disambiguate; anything symbolic stays "?" (conservative aliasing). *)
+let rec key_of env (e : Cir.expr) =
+  match e with
+  | Cir.Const f -> Printf.sprintf "%g" f
+  | Cir.Var v -> (
+    match List.assoc_opt v env with Some i -> string_of_int i | None -> "?")
+  | Cir.Bin (op, a, b) ->
+    let ka = key_of env a and kb = key_of env b in
+    if String.contains ka '?' || String.contains kb '?' then "?"
+    else begin
+      match (op, int_of_string_opt ka, int_of_string_opt kb) with
+      | Cir.Add, Some x, Some y -> string_of_int (x + y)
+      | Cir.Mul, Some x, Some y -> string_of_int (x * y)
+      | Cir.Sub, Some x, Some y -> string_of_int (x - y)
+      | _ -> ka ^ Cir.binop_str op ^ kb
+    end
+  | Cir.Load _ | Cir.Ternary _ -> "?"
+
+let keys_of env idx = String.concat "," (List.map (key_of env) idx)
+
+let rec emit_expr rb env (e : Cir.expr) =
+  match e with
+  | Cir.Const _ | Cir.Var _ -> -1
+  | Cir.Load (arr, idx) ->
+    List.iter (fun i -> ignore (emit_expr rb env i)) idx;
+    push rb Ld ~arr ~key:(keys_of env idx) ~writes:false []
+  | Cir.Bin (op, a, b) ->
+    let da = emit_expr rb env a and db = emit_expr rb env b in
+    let deps = List.filter (fun d -> d >= 0) [ da; db ] in
+    let kind =
+      match op with
+      | Cir.Add -> Fadd
+      | Cir.Sub -> Fsub
+      | Cir.Mul -> Fmul
+      | Cir.Div -> Fdiv
+      | Cir.Lt | Cir.Gt | Cir.Eq -> Cmp
+    in
+    push rb kind ~arr:"" ~key:"" ~writes:false deps
+  | Cir.Ternary (c, a, b) ->
+    let dc = emit_expr rb env c and da = emit_expr rb env a and db = emit_expr rb env b in
+    push rb Sel ~arr:"" ~key:"" ~writes:false (List.filter (fun d -> d >= 0) [ dc; da; db ])
+
+let emit_assign rb env ~accum ~arr ~idx ~rhs =
+  let key = keys_of env idx in
+  let drhs = emit_expr rb env rhs in
+  let value =
+    if accum then begin
+      let ld = push rb Ld ~arr ~key ~writes:false [] in
+      push rb Fadd ~arr:"" ~key:"" ~writes:false (List.filter (fun d -> d >= 0) [ ld; drhs ])
+    end
+    else drhs
+  in
+  ignore (push rb St ~arr ~key ~writes:true (List.filter (fun d -> d >= 0) [ value ]))
+
+(* Fully unroll a statement list into one region (what PIPELINE does to
+   everything nested beneath it). *)
+let rec emit_unrolled rb env stmts =
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Cir.Assign { arr; idx; rhs } -> emit_assign rb env ~accum:false ~arr ~idx ~rhs
+      | Cir.Accum { arr; idx; rhs } -> emit_assign rb env ~accum:true ~arr ~idx ~rhs
+      | Cir.For l ->
+        for i = 0 to l.extent - 1 do
+          emit_unrolled rb ((l.var, i) :: env) l.body
+        done)
+    stmts
+
+(* ---------------------------------------------------------------- *)
+(* Dependence analysis: pairwise within each array.                  *)
+(* ---------------------------------------------------------------- *)
+
+let add_memory_deps nodes =
+  let checks = ref 0 in
+  let by_array = Hashtbl.create 8 in
+  Array.iter
+    (fun n ->
+      if n.arr <> "" then
+        Hashtbl.replace by_array n.arr (n :: Option.value ~default:[] (Hashtbl.find_opt by_array n.arr)))
+    nodes;
+  Hashtbl.iter
+    (fun _ ns ->
+      let arr = Array.of_list (List.rev ns) in
+      let len = Array.length arr in
+      for j = 1 to len - 1 do
+        for i = 0 to j - 1 do
+          incr checks;
+          let a = arr.(i) and b = arr.(j) in
+          if a.writes || b.writes then begin
+            (* Distinct fully-concrete keys cannot alias; anything symbolic
+               is a conservative dependence. *)
+            let may_alias =
+              a.key = b.key || String.contains a.key '?' || String.contains b.key '?'
+            in
+            if may_alias then b.deps <- a.id :: b.deps
+          end
+        done
+      done)
+    by_array;
+  !checks
+
+(* ---------------------------------------------------------------- *)
+(* Resource-constrained list scheduling.                             *)
+(* ---------------------------------------------------------------- *)
+
+let list_schedule ?(priority = `Depth) nodes =
+  let n = Array.length nodes in
+  if n = 0 then 0
+  else begin
+    (* Critical-path-length priority (computed once). *)
+    let height = Array.make n 0 in
+    let users = Array.make n [] in
+    Array.iter (fun nd -> List.iter (fun d -> users.(d) <- nd.id :: users.(d)) nd.deps) nodes;
+    for i = n - 1 downto 0 do
+      let h =
+        List.fold_left (fun acc u -> max acc (height.(u) + latency_of nodes.(u).kind)) 0 users.(i)
+      in
+      height.(i) <- h
+    done;
+    let prio i =
+      match priority with
+      | `Depth -> height.(i)
+      | `Id -> n - i
+      | `Fanout -> List.length users.(i)
+    in
+    let ready_time = Array.make n 0 in
+    let scheduled = Array.make n (-1) in
+    let indeg = Array.make n 0 in
+    Array.iter (fun nd -> indeg.(nd.id) <- List.length nd.deps) nodes;
+    (* Binary max-heap of ready nodes keyed by priority. *)
+    let heap = Array.make (n + 1) 0 in
+    let heap_size = ref 0 in
+    let better a b = prio a > prio b || (prio a = prio b && ready_time.(a) < ready_time.(b)) in
+    let heap_push id =
+      incr heap_size;
+      heap.(!heap_size) <- id;
+      let i = ref !heap_size in
+      while !i > 1 && better heap.(!i) heap.(!i / 2) do
+        let tmp = heap.(!i / 2) in
+        heap.(!i / 2) <- heap.(!i);
+        heap.(!i) <- tmp;
+        i := !i / 2
+      done
+    in
+    let heap_pop () =
+      assert (!heap_size > 0);
+      let top = heap.(1) in
+      heap.(1) <- heap.(!heap_size);
+      decr heap_size;
+      let i = ref 1 in
+      let continue = ref true in
+      while !continue do
+        let l = 2 * !i and r = (2 * !i) + 1 in
+        let best = ref !i in
+        if l <= !heap_size && better heap.(l) heap.(!best) then best := l;
+        if r <= !heap_size && better heap.(r) heap.(!best) then best := r;
+        if !best = !i then continue := false
+        else begin
+          let tmp = heap.(!best) in
+          heap.(!best) <- heap.(!i);
+          heap.(!i) <- tmp;
+          i := !best
+        end
+      done;
+      top
+    in
+    Array.iter (fun nd -> if indeg.(nd.id) = 0 then heap_push nd.id) nodes;
+    let usage : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+    let kind_tag = function
+      | Fadd | Fsub -> 0
+      | Fmul -> 1
+      | Fdiv -> 2
+      | Cmp | Sel -> 3
+      | Ld -> 4
+      | St -> 5
+    in
+    let finish = ref 0 in
+    let remaining = ref n in
+    while !remaining > 0 do
+      if !heap_size = 0 then failwith "hls scheduler: cyclic dependence graph";
+      let id = heap_pop () in
+      let nd = nodes.(id) in
+      let tag = kind_tag nd.kind in
+      let limit = limit_of nd.kind in
+      let t = ref ready_time.(id) in
+      while Option.value ~default:0 (Hashtbl.find_opt usage (!t, tag)) >= limit do
+        incr t
+      done;
+      Hashtbl.replace usage (!t, tag) (1 + Option.value ~default:0 (Hashtbl.find_opt usage (!t, tag)));
+      scheduled.(id) <- !t;
+      let fin = !t + latency_of nd.kind in
+      finish := max !finish fin;
+      decr remaining;
+      List.iter
+        (fun u ->
+          ready_time.(u) <- max ready_time.(u) fin;
+          indeg.(u) <- indeg.(u) - 1;
+          if indeg.(u) = 0 then heap_push u)
+        users.(id)
+    done;
+    !finish
+  end
+
+(* Initiation interval: lower-bounded by resource pressure and by the
+   longest memory recurrence (load -> op chain -> store to the same key). *)
+let find_ii nodes =
+  let counts = Hashtbl.create 8 in
+  Array.iter
+    (fun nd ->
+      let k = limit_of nd.kind in
+      Hashtbl.replace counts nd.kind (1 + Option.value ~default:0 (Hashtbl.find_opt counts nd.kind)) |> ignore;
+      ignore k)
+    nodes;
+  let res_bound =
+    Hashtbl.fold
+      (fun kind count acc -> max acc ((count + limit_of kind - 1) / limit_of kind))
+      counts 1
+  in
+  (* Recurrence: a store whose key is also loaded implies a loop-carried
+     read-modify-write through an adder. *)
+  let stored = Hashtbl.create 64 in
+  Array.iter (fun nd -> if nd.writes then Hashtbl.replace stored (nd.arr, nd.key) ()) nodes;
+  let recurrence =
+    Array.exists (fun nd -> (not nd.writes) && nd.arr <> "" && Hashtbl.mem stored (nd.arr, nd.key)) nodes
+  in
+  let rec_bound = if recurrence then latency_of Fadd + latency_of Ld + 1 else 1 in
+  max res_bound rec_bound
+
+(* Binding refinement: the tool retries the schedule under several priority
+   heuristics and keeps the best (stand-in for Vivado's binding/retiming
+   iterations; genuine work proportional to the region size). *)
+let schedule_region nodes_list =
+  let nodes = Array.of_list (List.rev nodes_list) in
+  let checks = add_memory_deps nodes in
+  let depth =
+    List.fold_left
+      (fun best p -> min best (list_schedule ~priority:p nodes))
+      max_int [ `Depth; `Id; `Fanout ]
+  in
+  let ii = find_ii nodes in
+  (Array.length nodes, checks, depth, ii)
+
+(* ---------------------------------------------------------------- *)
+(* Whole-function latency                                            *)
+(* ---------------------------------------------------------------- *)
+
+type ctx = { mutable total_nodes : int; mutable total_checks : int; mutable total_regions : int }
+
+let rec latency_of_stmts ctx env stmts =
+  (* Straight-line statements between loops form their own small region. *)
+  let straight = new_region () in
+  let lat = ref 0.0 in
+  let flush () =
+    if straight.count > 0 then begin
+      let n, checks, depth, _ = schedule_region straight.nodes in
+      ctx.total_nodes <- ctx.total_nodes + n;
+      ctx.total_checks <- ctx.total_checks + checks;
+      ctx.total_regions <- ctx.total_regions + 1;
+      lat := !lat +. float_of_int depth;
+      straight.nodes <- [];
+      straight.count <- 0
+    end
+  in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Cir.Assign { arr; idx; rhs } -> emit_assign straight env ~accum:false ~arr ~idx ~rhs
+      | Cir.Accum { arr; idx; rhs } -> emit_assign straight env ~accum:true ~arr ~idx ~rhs
+      | Cir.For l ->
+        flush ();
+        lat := !lat +. latency_of_loop ctx env l)
+    stmts;
+  flush ();
+  !lat
+
+and latency_of_loop ctx env (l : Cir.loop) =
+  if l.pipeline then begin
+    (* PIPELINE: completely unroll all loops below, schedule the single
+       unrolled region, then stream iterations at the found II. *)
+    let rb = new_region () in
+    emit_unrolled rb (("" ^ l.var, 0) :: env) l.body;
+    let n, checks, depth, ii = schedule_region rb.nodes in
+    ctx.total_nodes <- ctx.total_nodes + n;
+    ctx.total_checks <- ctx.total_checks + checks;
+    ctx.total_regions <- ctx.total_regions + 1;
+    float_of_int depth +. (float_of_int ((l.extent - 1) * ii)) +. 2.0
+  end
+  else begin
+    let u = max 1 l.unroll in
+    let has_inner = List.exists (function Cir.For _ -> true | _ -> false) l.body in
+    if has_inner || u = 1 then begin
+      let body_lat = latency_of_stmts ctx ((l.var, 0) :: env) l.body in
+      (float_of_int l.extent *. (body_lat +. 2.0)) +. 2.0
+    end
+    else begin
+      (* UNROLL factor u: u copies of the body in one region. *)
+      let rb = new_region () in
+      for i = 0 to u - 1 do
+        emit_unrolled rb ((l.var, i) :: env) l.body
+      done;
+      let n, checks, depth, _ = schedule_region rb.nodes in
+      ctx.total_nodes <- ctx.total_nodes + n;
+      ctx.total_checks <- ctx.total_checks + checks;
+      ctx.total_regions <- ctx.total_regions + 1;
+      let trips = (l.extent + u - 1) / u in
+      (float_of_int trips *. (float_of_int depth +. 2.0)) +. 2.0
+    end
+  end
+
+let estimate (f : Cir.func) =
+  let t0 = Unix.gettimeofday () in
+  let ctx = { total_nodes = 0; total_checks = 0; total_regions = 0 } in
+  let latency = latency_of_stmts ctx [] f.Cir.fn_body in
+  {
+    latency_cycles = latency;
+    nodes_scheduled = ctx.total_nodes;
+    dependence_checks = ctx.total_checks;
+    regions = ctx.total_regions;
+    elapsed_seconds = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,1 @@
+lib/ir/analysis.ml: Hashtbl Ir List Op Option Printf String Traverse

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Analysis Dtype Ir List Op Option

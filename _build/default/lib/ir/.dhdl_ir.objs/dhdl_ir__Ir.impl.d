@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Buffer Dhdl_util Dtype Hashtbl List Op Option Printf

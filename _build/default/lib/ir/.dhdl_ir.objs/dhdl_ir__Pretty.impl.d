@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Dtype Ir List Op Printf String

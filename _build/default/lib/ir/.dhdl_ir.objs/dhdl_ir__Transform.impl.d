@@ -1,0 +1,1 @@
+lib/ir/transform.ml: Analysis Dtype Hashtbl Ir List Op Option Printf String

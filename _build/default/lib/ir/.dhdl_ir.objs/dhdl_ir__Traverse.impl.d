@@ -1,0 +1,1 @@
+lib/ir/traverse.ml: Ir List

@@ -1,0 +1,319 @@
+type access = {
+  acc_mem : Ir.mem;
+  acc_write : bool;
+  acc_par : int;
+  acc_ctrl : string;
+}
+
+let stmt_accesses ~par ~label stmts =
+  List.filter_map
+    (fun stmt ->
+      match stmt with
+      | Ir.Sload { mem; _ } -> Some { acc_mem = mem; acc_write = false; acc_par = par; acc_ctrl = label }
+      | Ir.Sstore { mem; _ } -> Some { acc_mem = mem; acc_write = true; acc_par = par; acc_ctrl = label }
+      | Ir.Sread_reg { reg; _ } -> Some { acc_mem = reg; acc_write = false; acc_par = 1; acc_ctrl = label }
+      | Ir.Swrite_reg { reg; _ } -> Some { acc_mem = reg; acc_write = true; acc_par = 1; acc_ctrl = label }
+      | Ir.Spush { queue; _ } -> Some { acc_mem = queue; acc_write = true; acc_par = 1; acc_ctrl = label }
+      | Ir.Spop { queue; _ } -> Some { acc_mem = queue; acc_write = false; acc_par = 1; acc_ctrl = label }
+      | Ir.Sop _ -> None)
+    stmts
+
+let ctrl_accesses ctrl =
+  match ctrl with
+  | Ir.Pipe { loop; body; reduce } ->
+    let base = stmt_accesses ~par:loop.Ir.lp_par ~label:loop.Ir.lp_label body in
+    let red =
+      match reduce with
+      | None -> []
+      | Some r ->
+        [ { acc_mem = r.Ir.sr_out; acc_write = true; acc_par = 1; acc_ctrl = loop.Ir.lp_label } ]
+    in
+    base @ red
+  | Ir.Loop { loop; reduce; _ } -> begin
+    match reduce with
+    | None -> []
+    | Some r ->
+      (* The implicit reduction stage streams src into dst element-wise,
+         with the loop's parallelization as its vector width. *)
+      let par = max 1 loop.Ir.lp_par in
+      [
+        { acc_mem = r.Ir.mr_src; acc_write = false; acc_par = par; acc_ctrl = loop.Ir.lp_label };
+        { acc_mem = r.Ir.mr_dst; acc_write = true; acc_par = par; acc_ctrl = loop.Ir.lp_label };
+        { acc_mem = r.Ir.mr_dst; acc_write = false; acc_par = par; acc_ctrl = loop.Ir.lp_label };
+      ]
+  end
+  | Ir.Parallel _ -> []
+  | Ir.Tile_load { src; dst; par; _ } ->
+    let label = Ir.ctrl_label ctrl in
+    [
+      { acc_mem = src; acc_write = false; acc_par = par; acc_ctrl = label };
+      { acc_mem = dst; acc_write = true; acc_par = par; acc_ctrl = label };
+    ]
+  | Ir.Tile_store { dst; src; par; _ } ->
+    let label = Ir.ctrl_label ctrl in
+    [
+      { acc_mem = src; acc_write = false; acc_par = par; acc_ctrl = label };
+      { acc_mem = dst; acc_write = true; acc_par = par; acc_ctrl = label };
+    ]
+
+let accesses (d : Ir.design) =
+  List.concat_map ctrl_accesses (Traverse.all_ctrls d)
+
+let accesses_of_mem d mem =
+  List.filter (fun a -> Ir.mem_equal a.acc_mem mem) (accesses d)
+
+let infer_banking (d : Ir.design) =
+  let accs = accesses d in
+  List.iter
+    (fun m ->
+      match m.Ir.mem_kind with
+      | Ir.Offchip -> m.Ir.mem_banks <- 1
+      | Ir.Bram | Ir.Reg | Ir.Queue ->
+        let width =
+          List.fold_left
+            (fun acc a -> if Ir.mem_equal a.acc_mem m then max acc a.acc_par else acc)
+            1 accs
+        in
+        m.Ir.mem_banks <- width)
+    d.d_mems;
+  (* Element-wise reductions stream at the width of their source buffer, so
+     the accumulator needs matching banks; propagate along reduce chains
+     (e.g. GDA's sigmaTile -> sigmaBlk -> sigT) to a fixpoint. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Traverse.iter_ctrl
+      (fun ctrl ->
+        match ctrl with
+        | Ir.Loop { reduce = Some r; _ } ->
+          let src = r.Ir.mr_src and dst = r.Ir.mr_dst in
+          if dst.Ir.mem_kind <> Ir.Offchip && dst.Ir.mem_banks < src.Ir.mem_banks then begin
+            dst.Ir.mem_banks <- src.Ir.mem_banks;
+            changed := true
+          end
+        | Ir.Loop _ | Ir.Pipe _ | Ir.Parallel _ | Ir.Tile_load _ | Ir.Tile_store _ -> ())
+      d.d_top
+  done
+
+let dedup_mems mems =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun m ->
+      if Hashtbl.mem seen m.Ir.mem_id then false
+      else begin
+        Hashtbl.add seen m.Ir.mem_id ();
+        true
+      end)
+    mems
+
+let mems_by ~write ctrl =
+  let collected =
+    Traverse.fold_ctrl
+      (fun acc c ->
+        List.fold_left
+          (fun acc a -> if a.acc_write = write then a.acc_mem :: acc else acc)
+          acc (ctrl_accesses c))
+      [] ctrl
+  in
+  dedup_mems collected
+
+let written_mems ctrl = mems_by ~write:true ctrl
+let read_mems ctrl = mems_by ~write:false ctrl
+
+let infer_double_buffering (d : Ir.design) =
+  List.iter (fun m -> m.Ir.mem_double <- false) d.d_mems;
+  let mark_cross_stage stages extra_reads =
+    (* A buffer written in one stage and read in a later (or earlier —
+       loop-carried) stage of a pipelined controller needs double buffering
+       so consecutive outer iterations can overlap. *)
+    let tagged =
+      List.mapi (fun i st -> (i, written_mems st, read_mems st)) stages
+    in
+    List.iter
+      (fun (i, writes, _) ->
+        List.iter
+          (fun m ->
+            let read_elsewhere =
+              List.exists
+                (fun (j, _, reads) -> j <> i && List.exists (Ir.mem_equal m) reads)
+                tagged
+              || List.exists (Ir.mem_equal m) extra_reads
+            in
+            if read_elsewhere && m.Ir.mem_kind <> Ir.Offchip then m.Ir.mem_double <- true)
+          writes)
+      tagged
+  in
+  Traverse.iter_ctrl
+    (fun ctrl ->
+      match ctrl with
+      | Ir.Loop { pipelined = true; stages; reduce; _ } ->
+        let extra = match reduce with None -> [] | Some r -> [ r.Ir.mr_src ] in
+        mark_cross_stage stages extra;
+        (* The reduction's source buffer feeds the implicit combine stage. *)
+        Option.iter (fun r -> r.Ir.mr_src.Ir.mem_double <- true) reduce
+      | Ir.Loop _ | Ir.Pipe _ | Ir.Parallel _ | Ir.Tile_load _ | Ir.Tile_store _ -> ())
+    d.d_top
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let validate (d : Ir.design) =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let declared = Hashtbl.create 16 in
+  List.iter (fun m -> Hashtbl.replace declared m.Ir.mem_id m) d.d_mems;
+  let check_declared ~where m =
+    if not (Hashtbl.mem declared m.Ir.mem_id) then
+      err "%s: memory %s is not declared in the design" where m.Ir.mem_name
+  in
+  List.iter
+    (fun m ->
+      if List.exists (fun dim -> dim <= 0) m.Ir.mem_dims then
+        err "memory %s has a non-positive dimension" m.Ir.mem_name;
+      match m.Ir.mem_kind with
+      | Ir.Reg ->
+        if m.Ir.mem_dims <> [] then err "register %s must be scalar" m.Ir.mem_name
+      | Ir.Offchip | Ir.Bram ->
+        if m.Ir.mem_dims = [] then err "memory %s needs at least one dimension" m.Ir.mem_name
+      | Ir.Queue -> ())
+    d.d_mems;
+  let check_counters label counters =
+    List.iter
+      (fun c ->
+        if c.Ir.ctr_step <= 0 then err "%s: counter %s has non-positive step" label c.Ir.ctr_name;
+        if c.Ir.ctr_stop <= c.Ir.ctr_start then
+          err "%s: counter %s is empty (start %d, stop %d)" label c.Ir.ctr_name c.Ir.ctr_start
+            c.Ir.ctr_stop)
+      counters
+  in
+  let check_operand ~where ~bound_iters ~defined = function
+    | Ir.Const _ -> ()
+    | Ir.Iter name ->
+      if not (List.mem name bound_iters) then err "%s: iterator %s is not in scope" where name
+    | Ir.Value v ->
+      if not (Hashtbl.mem defined v) then err "%s: value v%d used before definition" where v
+  in
+  let check_pipe ~bound_iters loop body reduce =
+    let label = loop.Ir.lp_label in
+    if loop.Ir.lp_par < 1 then err "%s: parallelization factor must be >= 1" label;
+    check_counters label loop.Ir.lp_counters;
+    let defined = Hashtbl.create 16 in
+    let check_addr ~where mem addr =
+      let want = List.length mem.Ir.mem_dims in
+      if List.length addr <> want then
+        err "%s: address arity %d does not match %d-dimensional memory %s" where
+          (List.length addr) want mem.Ir.mem_name
+    in
+    List.iter
+      (fun stmt ->
+        match stmt with
+        | Ir.Sop { dst; op; args; _ } ->
+          if List.length args <> Op.arity op then
+            err "%s: op %s applied to %d args (arity %d)" label (Op.name op) (List.length args)
+              (Op.arity op);
+          List.iter (check_operand ~where:label ~bound_iters ~defined) args;
+          if Hashtbl.mem defined dst then err "%s: value v%d defined twice" label dst;
+          Hashtbl.replace defined dst ()
+        | Ir.Sload { dst; mem; addr; _ } ->
+          check_declared ~where:label mem;
+          if mem.Ir.mem_kind <> Ir.Bram then
+            err "%s: Ld targets BRAM, not %s" label mem.Ir.mem_name;
+          check_addr ~where:label mem addr;
+          List.iter (check_operand ~where:label ~bound_iters ~defined) addr;
+          if Hashtbl.mem defined dst then err "%s: value v%d defined twice" label dst;
+          Hashtbl.replace defined dst ()
+        | Ir.Sstore { mem; addr; data } ->
+          check_declared ~where:label mem;
+          if mem.Ir.mem_kind <> Ir.Bram then
+            err "%s: St targets BRAM, not %s" label mem.Ir.mem_name;
+          check_addr ~where:label mem addr;
+          List.iter (check_operand ~where:label ~bound_iters ~defined) (data :: addr)
+        | Ir.Sread_reg { dst; reg } ->
+          check_declared ~where:label reg;
+          if reg.Ir.mem_kind <> Ir.Reg then err "%s: reg read of non-register %s" label reg.Ir.mem_name;
+          if Hashtbl.mem defined dst then err "%s: value v%d defined twice" label dst;
+          Hashtbl.replace defined dst ()
+        | Ir.Swrite_reg { reg; data } ->
+          check_declared ~where:label reg;
+          if reg.Ir.mem_kind <> Ir.Reg then
+            err "%s: reg write of non-register %s" label reg.Ir.mem_name;
+          check_operand ~where:label ~bound_iters ~defined data
+        | Ir.Spush { queue; data } ->
+          check_declared ~where:label queue;
+          if queue.Ir.mem_kind <> Ir.Queue then
+            err "%s: push into non-queue %s" label queue.Ir.mem_name;
+          check_operand ~where:label ~bound_iters ~defined data
+        | Ir.Spop { dst; queue } ->
+          check_declared ~where:label queue;
+          if queue.Ir.mem_kind <> Ir.Queue then
+            err "%s: pop from non-queue %s" label queue.Ir.mem_name;
+          if Hashtbl.mem defined dst then err "%s: value v%d defined twice" label dst;
+          Hashtbl.replace defined dst ())
+      body;
+    match reduce with
+    | None -> ()
+    | Some r ->
+      check_declared ~where:label r.Ir.sr_out;
+      if r.Ir.sr_out.Ir.mem_kind <> Ir.Reg then
+        err "%s: scalar reduce target %s must be a register" label r.Ir.sr_out.Ir.mem_name;
+      if not (Op.is_reduction_op r.Ir.sr_op) then
+        err "%s: %s is not a reduction operator" label (Op.name r.Ir.sr_op);
+      check_operand ~where:label ~bound_iters ~defined r.Ir.sr_value
+  in
+  let check_tile ~where ~offchip ~onchip ~offsets ~tile ~par ~bound_iters =
+    check_declared ~where offchip;
+    check_declared ~where onchip;
+    if offchip.Ir.mem_kind <> Ir.Offchip then
+      err "%s: %s must be an OffChipMem" where offchip.Ir.mem_name;
+    if onchip.Ir.mem_kind <> Ir.Bram then err "%s: %s must be a BRAM" where onchip.Ir.mem_name;
+    if List.length offsets <> List.length offchip.Ir.mem_dims then
+      err "%s: offset arity does not match %s" where offchip.Ir.mem_name;
+    if List.length tile <> List.length offchip.Ir.mem_dims then
+      err "%s: tile rank does not match %s" where offchip.Ir.mem_name;
+    if tile <> onchip.Ir.mem_dims then
+      err "%s: tile shape does not match buffer %s" where onchip.Ir.mem_name;
+    if par < 1 then err "%s: parallelization factor must be >= 1" where;
+    let defined = Hashtbl.create 1 in
+    List.iter (check_operand ~where ~bound_iters ~defined) offsets
+  in
+  let rec walk bound_iters ctrl =
+    let bound_iters =
+      match ctrl with
+      | Ir.Pipe { loop; _ } | Ir.Loop { loop; _ } ->
+        bound_iters @ List.map (fun c -> c.Ir.ctr_name) loop.Ir.lp_counters
+      | Ir.Parallel _ | Ir.Tile_load _ | Ir.Tile_store _ -> bound_iters
+    in
+    (match ctrl with
+    | Ir.Pipe { loop; body; reduce } -> check_pipe ~bound_iters loop body reduce
+    | Ir.Loop { loop; stages; reduce; _ } ->
+      if loop.Ir.lp_par < 1 then err "%s: parallelization factor must be >= 1" loop.Ir.lp_label;
+      check_counters loop.Ir.lp_label loop.Ir.lp_counters;
+      if stages = [] then err "%s: controller has no stages" loop.Ir.lp_label;
+      (match reduce with
+      | None -> ()
+      | Some r ->
+        check_declared ~where:loop.Ir.lp_label r.Ir.mr_src;
+        check_declared ~where:loop.Ir.lp_label r.Ir.mr_dst;
+        if not (Op.is_reduction_op r.Ir.mr_op) then
+          err "%s: %s is not a reduction operator" loop.Ir.lp_label (Op.name r.Ir.mr_op);
+        if r.Ir.mr_src.Ir.mem_dims <> r.Ir.mr_dst.Ir.mem_dims then
+          err "%s: reduce buffers %s and %s have different shapes" loop.Ir.lp_label
+            r.Ir.mr_src.Ir.mem_name r.Ir.mr_dst.Ir.mem_name)
+    | Ir.Parallel { par_label; stages } ->
+      if stages = [] then err "%s: parallel container has no stages" par_label
+    | Ir.Tile_load { src; dst; offsets; tile; par } ->
+      check_tile ~where:(Ir.ctrl_label ctrl) ~offchip:src ~onchip:dst ~offsets ~tile ~par
+        ~bound_iters
+    | Ir.Tile_store { dst; src; offsets; tile; par } ->
+      check_tile ~where:(Ir.ctrl_label ctrl) ~offchip:dst ~onchip:src ~offsets ~tile ~par
+        ~bound_iters);
+    List.iter (walk bound_iters) (Traverse.children ctrl)
+  in
+  walk [] d.d_top;
+  List.rev !errors
+
+let validate_exn d =
+  match validate d with
+  | [] -> ()
+  | errs -> failwith (Printf.sprintf "invalid design %s:\n%s" d.d_name (String.concat "\n" errs))

@@ -1,0 +1,41 @@
+(** Static analyses over DHDL designs: memory access collection, automatic
+    banking, double-buffer inference and well-formedness validation. *)
+
+type access = {
+  acc_mem : Ir.mem;
+  acc_write : bool;
+  acc_par : int;  (** Vector width of the accessing controller. *)
+  acc_ctrl : string;  (** Label of the accessing controller. *)
+}
+
+val accesses : Ir.design -> access list
+(** Every on-chip or off-chip access in the design, including implicit ones:
+    tile transfers touch both endpoints, scalar reductions write their
+    output register, memory reductions read [mr_src]/read-modify-write
+    [mr_dst]. *)
+
+val accesses_of_mem : Ir.design -> Ir.mem -> access list
+
+val infer_banking : Ir.design -> unit
+(** Set [mem_banks] of every on-chip memory to the maximum access vector
+    width, so on-chip bandwidth matches the parallelization (the paper prunes
+    banking as an independent design variable this way, Section IV.C). *)
+
+val infer_double_buffering : Ir.design -> unit
+(** Set [mem_double] on buffers communicating between different stages of a
+    pipelined [Loop] (MetaPipe), including the per-iteration result buffer of
+    a memory reduction. Clears the flag everywhere else. *)
+
+val written_mems : Ir.ctrl -> Ir.mem list
+(** Memories written anywhere under the controller (deduplicated). *)
+
+val read_mems : Ir.ctrl -> Ir.mem list
+
+val validate : Ir.design -> string list
+(** Well-formedness errors; the empty list means the design is valid.
+    Checks cover: declared memories, operand scoping, operator arity,
+    address arity vs. dimensionality, counter sanity, parallelization
+    factors, tile shapes, reduction legality and iterator scoping. *)
+
+val validate_exn : Ir.design -> unit
+(** Raises [Failure] with a joined message when {!validate} is non-empty. *)

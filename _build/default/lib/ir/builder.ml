@@ -1,0 +1,155 @@
+type t = {
+  name : string;
+  params : (string * int) list;
+  mutable next_mem : int;
+  mutable mems : Ir.mem list;
+}
+
+let create ?(params = []) name = { name; params; next_mem = 0; mems = [] }
+
+let add_mem t kind name ty dims =
+  let m =
+    {
+      Ir.mem_id = t.next_mem;
+      mem_name = name;
+      mem_kind = kind;
+      mem_ty = ty;
+      mem_dims = dims;
+      mem_banks = 1;
+      mem_double = false;
+    }
+  in
+  t.next_mem <- t.next_mem + 1;
+  t.mems <- m :: t.mems;
+  m
+
+let offchip t name ty dims = add_mem t Ir.Offchip name ty dims
+let bram t name ty dims = add_mem t Ir.Bram name ty dims
+let reg t name ty = add_mem t Ir.Reg name ty []
+let queue t name ty ~depth = add_mem t Ir.Queue name ty [ depth ]
+
+let const f = Ir.Const f
+let iter name = Ir.Iter name
+
+type pipe = { mutable next_value : int; mutable stmts : Ir.stmt list }
+
+let fresh_pipe () = { next_value = 0; stmts = [] }
+
+let fresh_value pb =
+  let v = pb.next_value in
+  pb.next_value <- v + 1;
+  v
+
+let push pb stmt = pb.stmts <- stmt :: pb.stmts
+
+let op pb ?ty o args =
+  let ty =
+    match ty with
+    | Some ty -> ty
+    | None ->
+      if Op.is_comparison o || Op.is_logical o then Dtype.bool_t else Dtype.float32
+  in
+  let dst = fresh_value pb in
+  push pb (Ir.Sop { dst; op = o; args; ty });
+  Ir.Value dst
+
+let load pb mem addr =
+  let dst = fresh_value pb in
+  push pb (Ir.Sload { dst; mem; addr; ty = mem.Ir.mem_ty });
+  Ir.Value dst
+
+let store pb mem addr data = push pb (Ir.Sstore { mem; addr; data })
+
+let read_reg pb r =
+  let dst = fresh_value pb in
+  push pb (Ir.Sread_reg { dst; reg = r });
+  Ir.Value dst
+
+let write_reg pb r data = push pb (Ir.Swrite_reg { reg = r; data })
+
+let push pb q data = push pb (Ir.Spush { queue = q; data })
+
+let pop pb q =
+  let dst = fresh_value pb in
+  (fun stmt -> pb.stmts <- stmt :: pb.stmts) (Ir.Spop { dst; queue = q });
+  Ir.Value dst
+
+let add pb a b = op pb Op.Add [ a; b ]
+let sub pb a b = op pb Op.Sub [ a; b ]
+let mul pb a b = op pb Op.Mul [ a; b ]
+let div pb a b = op pb Op.Div [ a; b ]
+let mux pb c a b = op pb Op.Mux [ c; a; b ]
+
+type counters = (string * int * int * int) list
+
+let to_counters specs =
+  List.map
+    (fun (ctr_name, ctr_start, ctr_stop, ctr_step) ->
+      { Ir.ctr_name; ctr_start; ctr_stop; ctr_step })
+    specs
+
+let pipe ~label ~counters ?(par = 1) build =
+  let pb = fresh_pipe () in
+  build pb;
+  Ir.Pipe
+    {
+      loop =
+        { lp_label = label; lp_counters = to_counters counters; lp_par = par; lp_pattern = Ir.Map_pattern };
+      body = List.rev pb.stmts;
+      reduce = None;
+    }
+
+let reduce_pipe ~label ~counters ?(par = 1) ~op:red_op ~out build =
+  let pb = fresh_pipe () in
+  let value = build pb in
+  Ir.Pipe
+    {
+      loop =
+        {
+          lp_label = label;
+          lp_counters = to_counters counters;
+          lp_par = par;
+          lp_pattern = Ir.Reduce_pattern;
+        };
+      body = List.rev pb.stmts;
+      reduce = Some { Ir.sr_op = red_op; sr_out = out; sr_value = value };
+    }
+
+let metapipe ~label ~counters ?(par = 1) ?(pipelined = true) ?reduce stages =
+  let reduce =
+    Option.map (fun (mr_op, mr_src, mr_dst) -> { Ir.mr_op; mr_src; mr_dst }) reduce
+  in
+  let pattern = match reduce with Some _ -> Ir.Reduce_pattern | None -> Ir.Map_pattern in
+  Ir.Loop
+    {
+      loop =
+        { lp_label = label; lp_counters = to_counters counters; lp_par = par; lp_pattern = pattern };
+      pipelined;
+      stages;
+      reduce;
+    }
+
+let sequential_block ~label stages =
+  Ir.Loop
+    {
+      loop = { lp_label = label; lp_counters = []; lp_par = 1; lp_pattern = Ir.Map_pattern };
+      pipelined = false;
+      stages;
+      reduce = None;
+    }
+
+let parallel ~label stages = Ir.Parallel { par_label = label; stages }
+
+let tile_load ~src ~dst ~offsets ?(par = 1) () =
+  Ir.Tile_load { src; dst; offsets; tile = dst.Ir.mem_dims; par }
+
+let tile_store ~dst ~src ~offsets ?(par = 1) () =
+  Ir.Tile_store { dst; src; offsets; tile = src.Ir.mem_dims; par }
+
+let finish t ~top =
+  let design =
+    { Ir.d_name = t.name; d_mems = List.rev t.mems; d_top = top; d_params = t.params }
+  in
+  Analysis.infer_banking design;
+  Analysis.infer_double_buffering design;
+  design

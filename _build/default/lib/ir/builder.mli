@@ -1,0 +1,108 @@
+(** Embedded construction language for DHDL designs.
+
+    Mirrors the surface syntax of the paper's Figure 4: declare memories,
+    build Pipe bodies with primitive operations, and compose controllers.
+    The host language (OCaml here, Scala in the paper) provides the
+    metaprogramming: an application is an OCaml function from parameter
+    values to a [Ir.design] instance. *)
+
+type t
+(** A design under construction; owns memory-id allocation. *)
+
+val create : ?params:(string * int) list -> string -> t
+
+(** {1 Memory declaration} *)
+
+val offchip : t -> string -> Dtype.t -> int list -> Ir.mem
+val bram : t -> string -> Dtype.t -> int list -> Ir.mem
+val reg : t -> string -> Dtype.t -> Ir.mem
+val queue : t -> string -> Dtype.t -> depth:int -> Ir.mem
+
+(** {1 Operands} *)
+
+val const : float -> Ir.operand
+val iter : string -> Ir.operand
+(** Reference an enclosing counter's iterator by name. *)
+
+(** {1 Pipe bodies} *)
+
+type pipe
+(** Accumulates the statements of one Pipe body. *)
+
+val op : pipe -> ?ty:Dtype.t -> Op.t -> Ir.operand list -> Ir.operand
+(** Append a primitive node; comparisons and logical ops get type [Bool],
+    everything else defaults to [ty] (float32 when omitted). *)
+
+val load : pipe -> Ir.mem -> Ir.operand list -> Ir.operand
+val store : pipe -> Ir.mem -> Ir.operand list -> Ir.operand -> unit
+val read_reg : pipe -> Ir.mem -> Ir.operand
+val write_reg : pipe -> Ir.mem -> Ir.operand -> unit
+
+val push : pipe -> Ir.mem -> Ir.operand -> unit
+(** Insert into a priority queue (bounded; evicts the largest when full). *)
+
+val pop : pipe -> Ir.mem -> Ir.operand
+(** Remove and return the smallest queue element. *)
+
+(** Convenience arithmetic wrappers over {!op}. *)
+
+val add : pipe -> Ir.operand -> Ir.operand -> Ir.operand
+val sub : pipe -> Ir.operand -> Ir.operand -> Ir.operand
+val mul : pipe -> Ir.operand -> Ir.operand -> Ir.operand
+val div : pipe -> Ir.operand -> Ir.operand -> Ir.operand
+val mux : pipe -> Ir.operand -> Ir.operand -> Ir.operand -> Ir.operand
+
+(** {1 Controllers} *)
+
+type counters = (string * int * int * int) list
+(** [(name, start, stop, step)] — e.g. [("r", 0, rows, tile)] reads as the
+    paper's "rows by tile". *)
+
+val pipe :
+  label:string -> counters:counters -> ?par:int -> (pipe -> unit) -> Ir.ctrl
+(** Map-patterned inner pipeline. *)
+
+val reduce_pipe :
+  label:string ->
+  counters:counters ->
+  ?par:int ->
+  op:Op.t ->
+  out:Ir.mem ->
+  (pipe -> Ir.operand) ->
+  Ir.ctrl
+(** Reduce-patterned pipeline folding each iteration's value into the [out]
+    register with combiner [op] (realized in hardware as a balanced tree of
+    width [par] plus an accumulator). *)
+
+val metapipe :
+  label:string ->
+  counters:counters ->
+  ?par:int ->
+  ?pipelined:bool ->
+  ?reduce:Op.t * Ir.mem * Ir.mem ->
+  Ir.ctrl list ->
+  Ir.ctrl
+(** Outer loop controller. [pipelined] (default true) is the MetaPipe toggle:
+    true executes stages as a coarse-grained pipeline, false sequentially.
+    [reduce (op, src, dst)] folds the BRAM [src] produced per iteration into
+    accumulator [dst]. *)
+
+val sequential_block : label:string -> Ir.ctrl list -> Ir.ctrl
+(** One-shot Sequential {...} region. *)
+
+val parallel : label:string -> Ir.ctrl list -> Ir.ctrl
+(** Fork-join of independent stages with a barrier. *)
+
+val tile_load :
+  src:Ir.mem -> dst:Ir.mem -> offsets:Ir.operand list -> ?par:int -> unit -> Ir.ctrl
+(** Load the [dst.mem_dims]-shaped tile at [offsets] from [src]. *)
+
+val tile_store :
+  dst:Ir.mem -> src:Ir.mem -> offsets:Ir.operand list -> ?par:int -> unit -> Ir.ctrl
+(** Store the [src.mem_dims]-shaped tile to [dst] at [offsets]. *)
+
+(** {1 Finalization} *)
+
+val finish : t -> top:Ir.ctrl -> Ir.design
+(** Seal the design; runs banking and double-buffering inference
+    ({!Analysis.infer_banking}, {!Analysis.infer_double_buffering}). *)

@@ -1,0 +1,146 @@
+module Intmath = Dhdl_util.Intmath
+
+type mem_kind = Offchip | Bram | Reg | Queue
+
+type mem = {
+  mem_id : int;
+  mem_name : string;
+  mem_kind : mem_kind;
+  mem_ty : Dtype.t;
+  mem_dims : int list;
+  mutable mem_banks : int;
+  mutable mem_double : bool;
+}
+
+let mem_words m = Intmath.prod m.mem_dims
+let mem_bits m = mem_words m * Dtype.bits m.mem_ty
+let mem_equal a b = a.mem_id = b.mem_id
+
+type operand = Const of float | Iter of string | Value of int
+
+type stmt =
+  | Sop of { dst : int; op : Op.t; args : operand list; ty : Dtype.t }
+  | Sload of { dst : int; mem : mem; addr : operand list; ty : Dtype.t }
+  | Sstore of { mem : mem; addr : operand list; data : operand }
+  | Sread_reg of { dst : int; reg : mem }
+  | Swrite_reg of { reg : mem; data : operand }
+  | Spush of { queue : mem; data : operand }
+  | Spop of { dst : int; queue : mem }
+
+type counter = { ctr_name : string; ctr_start : int; ctr_stop : int; ctr_step : int }
+
+let counter_trip c =
+  assert (c.ctr_step > 0);
+  Intmath.ceil_div (c.ctr_stop - c.ctr_start) c.ctr_step
+
+type pattern = Map_pattern | Reduce_pattern
+
+type scalar_reduce = { sr_op : Op.t; sr_out : mem; sr_value : operand }
+type mem_reduce = { mr_op : Op.t; mr_src : mem; mr_dst : mem }
+
+type loop_info = {
+  lp_label : string;
+  lp_counters : counter list;
+  lp_par : int;
+  lp_pattern : pattern;
+}
+
+type ctrl =
+  | Pipe of { loop : loop_info; body : stmt list; reduce : scalar_reduce option }
+  | Loop of { loop : loop_info; pipelined : bool; stages : ctrl list; reduce : mem_reduce option }
+  | Parallel of { par_label : string; stages : ctrl list }
+  | Tile_load of { src : mem; dst : mem; offsets : operand list; tile : int list; par : int }
+  | Tile_store of { dst : mem; src : mem; offsets : operand list; tile : int list; par : int }
+
+let loop_trip lp = List.fold_left (fun acc c -> acc * counter_trip c) 1 lp.lp_counters
+
+let loop_trip_vectorized lp =
+  let trip = loop_trip lp in
+  Intmath.ceil_div trip (max 1 lp.lp_par)
+
+let ctrl_label = function
+  | Pipe { loop; _ } | Loop { loop; _ } -> loop.lp_label
+  | Parallel { par_label; _ } -> par_label
+  | Tile_load { dst; _ } -> "load_" ^ dst.mem_name
+  | Tile_store { dst; _ } -> "store_" ^ dst.mem_name
+
+type design = {
+  d_name : string;
+  d_mems : mem list;
+  d_top : ctrl;
+  d_params : (string * int) list;
+}
+
+(* A structural fingerprint: fold controller shapes, parameters and memory
+   geometry into a string, then hash it. Stable across runs because it never
+   touches physical addresses. *)
+let design_hash d =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf d.d_name;
+  List.iter
+    (fun m ->
+      Buffer.add_string buf m.mem_name;
+      Buffer.add_string buf (Dtype.to_string m.mem_ty);
+      List.iter (fun dim -> Buffer.add_string buf (string_of_int dim)) m.mem_dims)
+    d.d_mems;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf k;
+      Buffer.add_string buf (string_of_int v))
+    d.d_params;
+  let operand_str = function
+    | Const f -> Printf.sprintf "c%g" f
+    | Iter s -> "i" ^ s
+    | Value v -> Printf.sprintf "v%d" v
+  in
+  let add_stmt = function
+    | Sop { dst; op; args; _ } ->
+      Buffer.add_string buf (Printf.sprintf "op%d%s" dst (Op.name op));
+      List.iter (fun a -> Buffer.add_string buf (operand_str a)) args
+    | Sload { dst; mem; addr; _ } ->
+      Buffer.add_string buf (Printf.sprintf "ld%d%s" dst mem.mem_name);
+      List.iter (fun a -> Buffer.add_string buf (operand_str a)) addr
+    | Sstore { mem; addr; data } ->
+      Buffer.add_string buf ("st" ^ mem.mem_name);
+      List.iter (fun a -> Buffer.add_string buf (operand_str a)) addr;
+      Buffer.add_string buf (operand_str data)
+    | Sread_reg { dst; reg } -> Buffer.add_string buf (Printf.sprintf "rr%d%s" dst reg.mem_name)
+    | Swrite_reg { reg; data } ->
+      Buffer.add_string buf ("wr" ^ reg.mem_name);
+      Buffer.add_string buf (operand_str data)
+    | Spush { queue; data } ->
+      Buffer.add_string buf ("qp" ^ queue.mem_name);
+      Buffer.add_string buf (operand_str data)
+    | Spop { dst; queue } -> Buffer.add_string buf (Printf.sprintf "qo%d%s" dst queue.mem_name)
+  in
+  let rec add_ctrl = function
+    | Pipe { loop; body; reduce } ->
+      Buffer.add_string buf (Printf.sprintf "P%s%d" loop.lp_label loop.lp_par);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%d:%d:%d" c.ctr_start c.ctr_stop c.ctr_step)) loop.lp_counters;
+      List.iter add_stmt body;
+      Option.iter (fun r -> Buffer.add_string buf ("R" ^ Op.name r.sr_op ^ r.sr_out.mem_name)) reduce
+    | Loop { loop; pipelined; stages; reduce } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s%d" (if pipelined then "M" else "S") loop.lp_label loop.lp_par);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%d:%d:%d" c.ctr_start c.ctr_stop c.ctr_step)) loop.lp_counters;
+      List.iter add_ctrl stages;
+      Option.iter (fun r -> Buffer.add_string buf ("R" ^ Op.name r.mr_op ^ r.mr_dst.mem_name)) reduce
+    | Parallel { par_label; stages } ->
+      Buffer.add_string buf ("F" ^ par_label);
+      List.iter add_ctrl stages
+    | Tile_load { src; dst; tile; par; _ } ->
+      Buffer.add_string buf (Printf.sprintf "TL%s%s%d" src.mem_name dst.mem_name par);
+      List.iter (fun t -> Buffer.add_string buf (string_of_int t)) tile
+    | Tile_store { dst; src; tile; par; _ } ->
+      Buffer.add_string buf (Printf.sprintf "TS%s%s%d" dst.mem_name src.mem_name par);
+      List.iter (fun t -> Buffer.add_string buf (string_of_int t)) tile
+  in
+  add_ctrl d.d_top;
+  Hashtbl.hash (Buffer.contents buf)
+
+let param d name = List.assoc name d.d_params
+
+let find_mem d name =
+  match List.find_opt (fun m -> m.mem_name = name) d.d_mems with
+  | Some m -> m
+  | None -> raise Not_found

@@ -1,0 +1,134 @@
+(** The DHDL intermediate representation.
+
+    A design is a hierarchical dataflow graph of architectural templates
+    (paper, Table I): primitive nodes inside [Pipe] bodies, on-chip and
+    off-chip memories, controllers ([Pipe], [MetaPipe], [Sequential],
+    [Parallel], [Counter]) and memory command generators ([TileLd]/[TileSt]).
+    Every template is parameterized; a design value here is one *instance*
+    of the parameterized program, produced by applying an application's
+    generator (see {!module:Dhdl_apps}) to concrete parameter values —
+    exactly the metaprogramming flow of the paper. *)
+
+(** {1 Memories} *)
+
+type mem_kind =
+  | Offchip  (** [OffChipMem]: N-dimensional DRAM region, tile-accessed. *)
+  | Bram  (** On-chip scratchpad built from M20K blocks. *)
+  | Reg  (** Non-pipeline register. *)
+  | Queue  (** Hardware (priority) queue. *)
+
+type mem = {
+  mem_id : int;  (** Unique within a design; identity for analyses. *)
+  mem_name : string;
+  mem_kind : mem_kind;
+  mem_ty : Dtype.t;
+  mem_dims : int list;  (** Concrete dimensions; [\[\]] for Reg. *)
+  mutable mem_banks : int;  (** Inferred by {!Analysis.infer_banking}. *)
+  mutable mem_double : bool;  (** Double-buffered (inferred). *)
+}
+
+val mem_words : mem -> int
+(** Total element count (product of dimensions; 1 for registers). *)
+
+val mem_bits : mem -> int
+(** Total storage bits. *)
+
+val mem_equal : mem -> mem -> bool
+(** Identity comparison by [mem_id]. *)
+
+(** {1 Dataflow inside Pipe bodies} *)
+
+type operand =
+  | Const of float
+  | Iter of string  (** A named loop iterator from an enclosing counter. *)
+  | Value of int  (** Result of an earlier statement in the same body. *)
+
+type stmt =
+  | Sop of { dst : int; op : Op.t; args : operand list; ty : Dtype.t }
+  | Sload of { dst : int; mem : mem; addr : operand list; ty : Dtype.t }
+      (** Banked on-chip load ([Ld] in Table I). *)
+  | Sstore of { mem : mem; addr : operand list; data : operand }
+      (** Banked on-chip store ([St]). *)
+  | Sread_reg of { dst : int; reg : mem }
+  | Swrite_reg of { reg : mem; data : operand }
+  | Spush of { queue : mem; data : operand }
+      (** Insert into a priority queue; when full, the largest element is
+          evicted (a bounded min-queue, the hardware sorting structure of
+          Table I). *)
+  | Spop of { dst : int; queue : mem }
+      (** Remove and return the smallest element (+infinity when empty). *)
+
+(** {1 Controllers} *)
+
+type counter = {
+  ctr_name : string;  (** Iterator name bound in nested bodies. *)
+  ctr_start : int;
+  ctr_stop : int;  (** Exclusive bound. *)
+  ctr_step : int;
+}
+
+val counter_trip : counter -> int
+(** Number of iterations: ceil((stop - start) / step). *)
+
+type pattern = Map_pattern | Reduce_pattern
+(** The parallel pattern a controller was generated from; maps replicate in
+    parallel, reduces replicate into balanced combine trees (Section III.B.3). *)
+
+type scalar_reduce = {
+  sr_op : Op.t;
+  sr_out : mem;  (** A [Reg] accumulator. *)
+  sr_value : operand;  (** Per-iteration value produced by the body. *)
+}
+
+type mem_reduce = {
+  mr_op : Op.t;
+  mr_src : mem;  (** BRAM produced by the final stage of each iteration. *)
+  mr_dst : mem;  (** BRAM accumulator (e.g. [sigT] in the GDA example). *)
+}
+
+type loop_info = {
+  lp_label : string;
+  lp_counters : counter list;  (** Empty list = a one-shot block. *)
+  lp_par : int;  (** Parallelization factor (vector width). *)
+  lp_pattern : pattern;
+}
+
+type ctrl =
+  | Pipe of { loop : loop_info; body : stmt list; reduce : scalar_reduce option }
+      (** Innermost dataflow pipeline of primitive nodes. *)
+  | Loop of { loop : loop_info; pipelined : bool; stages : ctrl list; reduce : mem_reduce option }
+      (** [pipelined = true] is a MetaPipe (coarse-grain pipeline across
+          stages with handshaking and double buffers), [false] a Sequential.
+          The MetaPipe toggle of the paper flips this flag. *)
+  | Parallel of { par_label : string; stages : ctrl list }
+      (** Fork-join container with a synchronizing barrier. *)
+  | Tile_load of { src : mem; dst : mem; offsets : operand list; tile : int list; par : int }
+      (** [TileLd]: burst-load a tile of an [Offchip] into a [Bram]. *)
+  | Tile_store of { dst : mem; src : mem; offsets : operand list; tile : int list; par : int }
+      (** [TileSt]: burst-store a [Bram] tile back to an [Offchip]. *)
+
+val loop_trip : loop_info -> int
+(** Total iteration count (product over counters; 1 when empty). *)
+
+val loop_trip_vectorized : loop_info -> int
+(** Iteration count after parallelization: ceil(trip / par). *)
+
+val ctrl_label : ctrl -> string
+
+(** {1 Designs} *)
+
+type design = {
+  d_name : string;
+  d_mems : mem list;  (** Every memory, on- and off-chip. *)
+  d_top : ctrl;
+  d_params : (string * int) list;  (** Instantiation parameters, for reports. *)
+}
+
+val design_hash : design -> int
+(** Structural hash (stable across runs); seeds the synthesis-noise model. *)
+
+val param : design -> string -> int
+(** Look up an instantiation parameter. Raises [Not_found]. *)
+
+val find_mem : design -> string -> mem
+(** Find a memory by name. Raises [Not_found]. *)

@@ -1,0 +1,116 @@
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Min
+  | Max
+  | Neg
+  | Abs
+  | Sqrt
+  | Exp
+  | Log
+  | Floor
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Neq
+  | And
+  | Or
+  | Not
+  | Mux
+
+let arity = function
+  | Neg | Abs | Sqrt | Exp | Log | Floor | Not -> 1
+  | Add | Sub | Mul | Div | Min | Max | Lt | Le | Gt | Ge | Eq | Neq | And | Or -> 2
+  | Mux -> 3
+
+let name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Min -> "min"
+  | Max -> "max"
+  | Neg -> "neg"
+  | Abs -> "abs"
+  | Sqrt -> "sqrt"
+  | Exp -> "exp"
+  | Log -> "log"
+  | Floor -> "floor"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Eq -> "eq"
+  | Neq -> "neq"
+  | And -> "and"
+  | Or -> "or"
+  | Not -> "not"
+  | Mux -> "mux"
+
+let all =
+  [ Add; Sub; Mul; Div; Min; Max; Neg; Abs; Sqrt; Exp; Log; Floor;
+    Lt; Le; Gt; Ge; Eq; Neq; And; Or; Not; Mux ]
+
+let is_comparison = function
+  | Lt | Le | Gt | Ge | Eq | Neq -> true
+  | Add | Sub | Mul | Div | Min | Max | Neg | Abs | Sqrt | Exp | Log | Floor | And | Or | Not | Mux ->
+    false
+
+let is_logical = function
+  | And | Or | Not -> true
+  | Add | Sub | Mul | Div | Min | Max | Neg | Abs | Sqrt | Exp | Log | Floor | Lt | Le | Gt | Ge
+  | Eq | Neq | Mux ->
+    false
+
+let is_multi_cycle = function
+  | Div | Sqrt | Exp | Log -> true
+  | Add | Sub | Mul | Min | Max | Neg | Abs | Floor | Lt | Le | Gt | Ge | Eq | Neq | And | Or
+  | Not | Mux ->
+    false
+
+let truth x = if x then 1.0 else 0.0
+let as_bool x = x <> 0.0
+
+let eval op args =
+  match (op, args) with
+  | Add, [ a; b ] -> a +. b
+  | Sub, [ a; b ] -> a -. b
+  | Mul, [ a; b ] -> a *. b
+  | Div, [ a; b ] -> a /. b
+  | Min, [ a; b ] -> Float.min a b
+  | Max, [ a; b ] -> Float.max a b
+  | Neg, [ a ] -> -.a
+  | Abs, [ a ] -> Float.abs a
+  | Sqrt, [ a ] -> sqrt a
+  | Exp, [ a ] -> exp a
+  | Log, [ a ] -> log a
+  | Floor, [ a ] -> Float.of_int (int_of_float (floor a))
+  | Lt, [ a; b ] -> truth (a < b)
+  | Le, [ a; b ] -> truth (a <= b)
+  | Gt, [ a; b ] -> truth (a > b)
+  | Ge, [ a; b ] -> truth (a >= b)
+  | Eq, [ a; b ] -> truth (a = b)
+  | Neq, [ a; b ] -> truth (a <> b)
+  | And, [ a; b ] -> truth (as_bool a && as_bool b)
+  | Or, [ a; b ] -> truth (as_bool a || as_bool b)
+  | Not, [ a ] -> truth (not (as_bool a))
+  | Mux, [ c; a; b ] -> if as_bool c then a else b
+  | _ -> invalid_arg (Printf.sprintf "Op.eval: %s expects %d args" (name op) (arity op))
+
+let is_reduction_op = function
+  | Add | Mul | Min | Max | And | Or -> true
+  | Sub | Div | Neg | Abs | Sqrt | Exp | Log | Floor | Lt | Le | Gt | Ge | Eq | Neq | Not | Mux ->
+    false
+
+let identity_element = function
+  | Add -> 0.0
+  | Mul -> 1.0
+  | Min -> infinity
+  | Max -> neg_infinity
+  | And -> 1.0
+  | Or -> 0.0
+  | op -> invalid_arg (Printf.sprintf "Op.identity_element: %s is not a reduction op" (name op))

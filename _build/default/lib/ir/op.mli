@@ -1,0 +1,50 @@
+(** Primitive operations — the leaf compute nodes of Table I.
+
+    Every primitive node represents a vector computation; the vector width is
+    the parallelization factor of the enclosing Pipe. Besides arity and
+    naming, this module supplies the reference semantics used by the
+    functional interpreter (booleans are encoded as 0.0 / 1.0). *)
+
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Min
+  | Max
+  | Neg
+  | Abs
+  | Sqrt
+  | Exp
+  | Log
+  | Floor
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Neq
+  | And
+  | Or
+  | Not
+  | Mux  (** [Mux(cond, a, b)] = if cond then a else b *)
+
+val arity : t -> int
+val name : t -> string
+val all : t list
+
+val is_comparison : t -> bool
+val is_logical : t -> bool
+val is_multi_cycle : t -> bool
+(** Complex primitives (sqrt, log, exp, division) implemented as multi-cycle
+    units (paper, Section III.B.1). *)
+
+val eval : t -> float list -> float
+(** Reference semantics. Raises [Invalid_argument] on arity mismatch. *)
+
+val is_reduction_op : t -> bool
+(** Ops usable as reduction combiners (associative, with identity). *)
+
+val identity_element : t -> float
+(** Identity of a reduction op: 0 for Add/Or/Max(-inf)... Raises
+    [Invalid_argument] when [is_reduction_op] is false. *)

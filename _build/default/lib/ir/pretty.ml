@@ -1,0 +1,123 @@
+let operand = function
+  | Ir.Const f -> Printf.sprintf "%g" f
+  | Ir.Iter name -> name
+  | Ir.Value v -> Printf.sprintf "v%d" v
+
+let addr_str addr = String.concat ", " (List.map operand addr)
+
+let stmt = function
+  | Ir.Sop { dst; op; args; ty } ->
+    Printf.sprintf "v%d : %s = %s(%s)" dst (Dtype.to_string ty) (Op.name op)
+      (String.concat ", " (List.map operand args))
+  | Ir.Sload { dst; mem; addr; _ } ->
+    Printf.sprintf "v%d = %s(%s)" dst mem.Ir.mem_name (addr_str addr)
+  | Ir.Sstore { mem; addr; data } ->
+    Printf.sprintf "%s(%s) = %s" mem.Ir.mem_name (addr_str addr) (operand data)
+  | Ir.Sread_reg { dst; reg } -> Printf.sprintf "v%d = %s" dst reg.Ir.mem_name
+  | Ir.Swrite_reg { reg; data } -> Printf.sprintf "%s := %s" reg.Ir.mem_name (operand data)
+  | Ir.Spush { queue; data } -> Printf.sprintf "%s.push(%s)" queue.Ir.mem_name (operand data)
+  | Ir.Spop { dst; queue } -> Printf.sprintf "v%d = %s.pop()" dst queue.Ir.mem_name
+
+let mem_kind_str = function
+  | Ir.Offchip -> "OffChipMem"
+  | Ir.Bram -> "BRAM"
+  | Ir.Reg -> "Reg"
+  | Ir.Queue -> "Queue"
+
+let mem m =
+  let dims =
+    match m.Ir.mem_dims with
+    | [] -> ""
+    | dims -> "(" ^ String.concat ", " (List.map string_of_int dims) ^ ")"
+  in
+  let extras =
+    (if m.Ir.mem_banks > 1 then [ Printf.sprintf "banks=%d" m.Ir.mem_banks ] else [])
+    @ if m.Ir.mem_double then [ "double" ] else []
+  in
+  let extras = match extras with [] -> "" | xs -> "  // " ^ String.concat ", " xs in
+  Printf.sprintf "val %s = %s[%s]%s%s" m.Ir.mem_name (mem_kind_str m.Ir.mem_kind)
+    (Dtype.to_string m.Ir.mem_ty) dims extras
+
+let counters_str counters =
+  String.concat ", "
+    (List.map
+       (fun c ->
+         if c.Ir.ctr_start = 0 && c.Ir.ctr_step = 1 then
+           Printf.sprintf "%s < %d" c.Ir.ctr_name c.Ir.ctr_stop
+         else
+           Printf.sprintf "%s in %d until %d by %d" c.Ir.ctr_name c.Ir.ctr_start c.Ir.ctr_stop
+             c.Ir.ctr_step)
+       counters)
+
+let rec ctrl_lines indent ctrl =
+  let pad = String.make indent ' ' in
+  match ctrl with
+  | Ir.Pipe { loop; body; reduce } ->
+    let head =
+      Printf.sprintf "%sPipe %s(%s) par=%d {" pad loop.Ir.lp_label
+        (counters_str loop.Ir.lp_counters) loop.Ir.lp_par
+    in
+    let stmts = List.map (fun s -> pad ^ "  " ^ stmt s) body in
+    let red =
+      match reduce with
+      | None -> []
+      | Some r ->
+        [
+          Printf.sprintf "%s  reduce(%s) into %s: %s" pad (Op.name r.Ir.sr_op)
+            r.Ir.sr_out.Ir.mem_name (operand r.Ir.sr_value);
+        ]
+    in
+    (head :: stmts) @ red @ [ pad ^ "}" ]
+  | Ir.Loop { loop; pipelined; stages; reduce } ->
+    let kind = if pipelined then "MetaPipe" else "Sequential" in
+    let head =
+      if loop.Ir.lp_counters = [] then Printf.sprintf "%s%s %s {" pad kind loop.Ir.lp_label
+      else
+        Printf.sprintf "%s%s %s(%s) par=%d {" pad kind loop.Ir.lp_label
+          (counters_str loop.Ir.lp_counters) loop.Ir.lp_par
+    in
+    let inner = List.concat_map (ctrl_lines (indent + 2)) stages in
+    let red =
+      match reduce with
+      | None -> []
+      | Some r ->
+        [
+          Printf.sprintf "%s  reduce(%s): %s -> %s" pad (Op.name r.Ir.mr_op)
+            r.Ir.mr_src.Ir.mem_name r.Ir.mr_dst.Ir.mem_name;
+        ]
+    in
+    (head :: inner) @ red @ [ pad ^ "}" ]
+  | Ir.Parallel { par_label; stages } ->
+    let head = Printf.sprintf "%sParallel %s {" pad par_label in
+    (head :: List.concat_map (ctrl_lines (indent + 2)) stages) @ [ pad ^ "}" ]
+  | Ir.Tile_load { src; dst; offsets; tile; par } ->
+    [
+      Printf.sprintf "%s%s := %s(%s :: tile %s) par=%d" pad dst.Ir.mem_name src.Ir.mem_name
+        (addr_str offsets)
+        (String.concat "x" (List.map string_of_int tile))
+        par;
+    ]
+  | Ir.Tile_store { dst; src; offsets; tile; par } ->
+    [
+      Printf.sprintf "%s%s(%s :: tile %s) := %s par=%d" pad dst.Ir.mem_name (addr_str offsets)
+        (String.concat "x" (List.map string_of_int tile))
+        src.Ir.mem_name par;
+    ]
+
+let ctrl c = String.concat "\n" (ctrl_lines 0 c)
+
+let design (d : Ir.design) =
+  let params =
+    match d.d_params with
+    | [] -> []
+    | ps ->
+      [
+        "// parameters: "
+        ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) ps);
+      ]
+  in
+  let mems = List.map mem d.d_mems in
+  String.concat "\n"
+    ((Printf.sprintf "design %s {" d.d_name :: List.map (fun s -> "  " ^ s) (params @ mems))
+    @ List.map (fun s -> "  " ^ s) (ctrl_lines 0 d.d_top)
+    @ [ "}" ])

@@ -1,0 +1,11 @@
+(** Textual rendering of DHDL designs, in a style close to the paper's
+    Figure 4 source listing. *)
+
+val operand : Ir.operand -> string
+val stmt : Ir.stmt -> string
+val mem : Ir.mem -> string
+val ctrl : Ir.ctrl -> string
+(** Multi-line, indented controller tree. *)
+
+val design : Ir.design -> string
+(** Full design listing: parameters, memory declarations, controller tree. *)

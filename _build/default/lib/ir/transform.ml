@@ -1,0 +1,144 @@
+(* The passes run in sequence over the ANF body: constant folding, CSE,
+   then dead-value elimination. A substitution environment maps value ids
+   to replacement operands; every operand is resolved through it before
+   use, so the passes compose in one forward walk. *)
+
+let resolve subst o =
+  match o with
+  | Ir.Value v -> ( match Hashtbl.find_opt subst v with Some o' -> o' | None -> o)
+  | Ir.Const _ | Ir.Iter _ -> o
+
+let stmt_operands = function
+  | Ir.Sop { args; _ } -> args
+  | Ir.Sload { addr; _ } -> addr
+  | Ir.Sstore { addr; data; _ } -> data :: addr
+  | Ir.Sread_reg _ | Ir.Spop _ -> []
+  | Ir.Swrite_reg { data; _ } | Ir.Spush { data; _ } -> [ data ]
+
+let optimize_body ?(keep = []) body =
+  let subst : (int, Ir.operand) Hashtbl.t = Hashtbl.create 16 in
+  (* Memories that are stored (or registers written) anywhere in this body:
+     their loads are not safe to merge or reorder past each other, so CSE
+     and folding skip them. *)
+  let stored = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      match s with
+      | Ir.Sstore { mem; _ } -> Hashtbl.replace stored mem.Ir.mem_id ()
+      | Ir.Swrite_reg { reg; _ } -> Hashtbl.replace stored reg.Ir.mem_id ()
+      | Ir.Spush { queue; _ } | Ir.Spop { queue; _ } -> Hashtbl.replace stored queue.Ir.mem_id ()
+      | Ir.Sop _ | Ir.Sload _ | Ir.Sread_reg _ -> ())
+    body;
+  let cse : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let key_of_operand = function
+    | Ir.Const f -> Printf.sprintf "c%h" f
+    | Ir.Iter s -> "i" ^ s
+    | Ir.Value v -> Printf.sprintf "v%d" v
+  in
+  let forward =
+    List.filter_map
+      (fun stmt ->
+        match stmt with
+        | Ir.Sop { dst; op; args; ty } -> (
+          let args = List.map (resolve subst) args in
+          let all_const =
+            List.for_all (function Ir.Const _ -> true | _ -> false) args
+          in
+          if all_const then begin
+            (* Constant folding. *)
+            let folded =
+              Op.eval op (List.map (function Ir.Const f -> f | _ -> assert false) args)
+            in
+            Hashtbl.replace subst dst (Ir.Const folded);
+            None
+          end
+          else
+            let key =
+              Printf.sprintf "op:%s:%s:%s" (Op.name op) (Dtype.to_string ty)
+                (String.concat "," (List.map key_of_operand args))
+            in
+            match Hashtbl.find_opt cse key with
+            | Some prev ->
+              Hashtbl.replace subst dst (Ir.Value prev);
+              None
+            | None ->
+              Hashtbl.replace cse key dst;
+              Some (Ir.Sop { dst; op; args; ty }))
+        | Ir.Sload { dst; mem; addr; ty } -> (
+          let addr = List.map (resolve subst) addr in
+          if Hashtbl.mem stored mem.Ir.mem_id then Some (Ir.Sload { dst; mem; addr; ty })
+          else
+            let key =
+              Printf.sprintf "ld:%d:%s" mem.Ir.mem_id
+                (String.concat "," (List.map key_of_operand addr))
+            in
+            match Hashtbl.find_opt cse key with
+            | Some prev ->
+              Hashtbl.replace subst dst (Ir.Value prev);
+              None
+            | None ->
+              Hashtbl.replace cse key dst;
+              Some (Ir.Sload { dst; mem; addr; ty }))
+        | Ir.Sstore { mem; addr; data } ->
+          Some
+            (Ir.Sstore
+               { mem; addr = List.map (resolve subst) addr; data = resolve subst data })
+        | Ir.Sread_reg _ | Ir.Spop _ -> Some stmt
+        | Ir.Swrite_reg { reg; data } -> Some (Ir.Swrite_reg { reg; data = resolve subst data })
+        | Ir.Spush { queue; data } -> Some (Ir.Spush { queue; data = resolve subst data }))
+      body
+  in
+  (* Dead-value elimination: work backwards from effects and kept values. *)
+  let live = Hashtbl.create 16 in
+  let mark o =
+    match o with Ir.Value v -> Hashtbl.replace live v () | Ir.Const _ | Ir.Iter _ -> ()
+  in
+  List.iter (fun o -> mark (resolve subst o)) keep;
+  let backward =
+    List.fold_left
+      (fun acc stmt ->
+        let is_effect =
+          match stmt with
+          | Ir.Sstore _ | Ir.Swrite_reg _ | Ir.Spush _ | Ir.Spop _ -> true
+          | Ir.Sop _ | Ir.Sload _ | Ir.Sread_reg _ -> false
+        in
+        let defines =
+          match stmt with
+          | Ir.Sop { dst; _ } | Ir.Sload { dst; _ } | Ir.Sread_reg { dst; _ } | Ir.Spop { dst; _ } ->
+            Some dst
+          | Ir.Sstore _ | Ir.Swrite_reg _ | Ir.Spush _ -> None
+        in
+        let needed =
+          is_effect || match defines with Some d -> Hashtbl.mem live d | None -> false
+        in
+        if needed then begin
+          List.iter mark (stmt_operands stmt);
+          stmt :: acc
+        end
+        else acc)
+      [] (List.rev forward)
+  in
+  (backward, resolve subst)
+
+let optimize_ctrl ctrl =
+  let rec go = function
+    | Ir.Pipe { loop; body; reduce } ->
+      let keep = match reduce with Some r -> [ r.Ir.sr_value ] | None -> [] in
+      let body, subst = optimize_body ~keep body in
+      let reduce =
+        Option.map (fun r -> { r with Ir.sr_value = subst r.Ir.sr_value }) reduce
+      in
+      Ir.Pipe { loop; body; reduce }
+    | Ir.Loop l -> Ir.Loop { l with stages = List.map go l.stages }
+    | Ir.Parallel p -> Ir.Parallel { p with stages = List.map go p.stages }
+    | (Ir.Tile_load _ | Ir.Tile_store _) as leaf -> leaf
+  in
+  go ctrl
+
+let optimize (d : Ir.design) =
+  let optimized = { d with Ir.d_top = optimize_ctrl d.Ir.d_top } in
+  Analysis.infer_banking optimized;
+  Analysis.infer_double_buffering optimized;
+  optimized
+
+let body_size = function Ir.Pipe { body; _ } -> List.length body | _ -> 0

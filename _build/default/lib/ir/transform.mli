@@ -1,0 +1,31 @@
+(** Dataflow optimizations over Pipe bodies.
+
+    The paper's step 1 performs high-level optimizations before handing
+    designs to estimation (Figure 1). These passes run on the DHDL IR
+    itself, cleaning up machine-generated bodies (e.g. from the parallel-
+    pattern frontend, which duplicates loads per use site):
+
+    - constant folding of primitive nodes with constant operands,
+    - common-subexpression elimination (loads are only merged when the
+      memory is never stored in the same body),
+    - dead-value elimination (values that reach no store, register write,
+      queue operation or reduction).
+
+    All passes preserve the interpreter semantics; the property tests check
+    this on random designs. *)
+
+val optimize_body :
+  ?keep:Ir.operand list -> Ir.stmt list -> Ir.stmt list * (Ir.operand -> Ir.operand)
+(** Optimize one body. [keep] lists externally observed operands (e.g. a
+    reduction's value). Returns the new statements and the substitution to
+    apply to external operand references. *)
+
+val optimize_ctrl : Ir.ctrl -> Ir.ctrl
+(** Apply {!optimize_body} to every [Pipe] in a controller tree. *)
+
+val optimize : Ir.design -> Ir.design
+(** Optimize every Pipe and re-run banking and double-buffering inference
+    (accesses may have disappeared). *)
+
+val body_size : Ir.ctrl -> int
+(** Statement count of a [Pipe] (0 otherwise) — for measuring shrinkage. *)

@@ -1,0 +1,83 @@
+let children = function
+  | Ir.Pipe _ | Ir.Tile_load _ | Ir.Tile_store _ -> []
+  | Ir.Loop { stages; _ } -> stages
+  | Ir.Parallel { stages; _ } -> stages
+
+let rec iter_ctrl f ctrl =
+  f ctrl;
+  List.iter (iter_ctrl f) (children ctrl)
+
+let rec fold_ctrl f acc ctrl =
+  let acc = f acc ctrl in
+  List.fold_left (fold_ctrl f) acc (children ctrl)
+
+let all_ctrls (d : Ir.design) = List.rev (fold_ctrl (fun acc c -> c :: acc) [] d.d_top)
+
+let ctrls_with_replication (d : Ir.design) =
+  let rec walk factor acc ctrl =
+    let acc = (ctrl, factor) :: acc in
+    let child_factor =
+      match ctrl with Ir.Loop { loop; _ } -> factor * max 1 loop.Ir.lp_par | _ -> factor
+    in
+    List.fold_left (walk child_factor) acc (children ctrl)
+  in
+  List.rev (walk 1 [] d.d_top)
+
+(* Memories referenced anywhere under a controller (loads, stores, tile
+   endpoints, reductions). *)
+let ctrl_touches ctrl (m : Ir.mem) =
+  let touches_stmt = function
+    | Ir.Sload { mem; _ } | Ir.Sstore { mem; _ } -> Ir.mem_equal mem m
+    | Ir.Sread_reg { reg; _ } | Ir.Swrite_reg { reg; _ } -> Ir.mem_equal reg m
+    | Ir.Spush { queue; _ } | Ir.Spop { queue; _ } -> Ir.mem_equal queue m
+    | Ir.Sop _ -> false
+  in
+  match ctrl with
+  | Ir.Pipe { body; reduce; _ } ->
+    List.exists touches_stmt body
+    || (match reduce with Some r -> Ir.mem_equal r.Ir.sr_out m | None -> false)
+  | Ir.Loop { reduce; _ } -> (
+    match reduce with
+    | Some r -> Ir.mem_equal r.Ir.mr_src m || Ir.mem_equal r.Ir.mr_dst m
+    | None -> false)
+  | Ir.Parallel _ -> false
+  | Ir.Tile_load { src; dst; _ } -> Ir.mem_equal src m || Ir.mem_equal dst m
+  | Ir.Tile_store { dst; src; _ } -> Ir.mem_equal dst m || Ir.mem_equal src m
+
+let mem_replication d m =
+  List.fold_left
+    (fun acc (c, factor) -> if ctrl_touches c m then max acc factor else acc)
+    1 (ctrls_with_replication d)
+
+let pipes d = List.filter (function Ir.Pipe _ -> true | _ -> false) (all_ctrls d)
+
+let tile_transfers d =
+  List.filter (function Ir.Tile_load _ | Ir.Tile_store _ -> true | _ -> false) (all_ctrls d)
+
+let rec depth ctrl =
+  match children ctrl with
+  | [] -> 1
+  | kids -> 1 + List.fold_left (fun acc k -> max acc (depth k)) 0 kids
+
+let count pred d = List.length (List.filter pred (all_ctrls d))
+
+let body_stmts = function Ir.Pipe { body; _ } -> body | _ -> []
+
+let stmt_count d =
+  List.fold_left (fun acc c -> acc + List.length (body_stmts c)) 0 (all_ctrls d)
+
+let ctrl_counters = function
+  | Ir.Pipe { loop; _ } | Ir.Loop { loop; _ } -> loop.Ir.lp_counters
+  | Ir.Parallel _ | Ir.Tile_load _ | Ir.Tile_store _ -> []
+
+let iterators_in_scope (d : Ir.design) target =
+  (* Search the tree for the target, accumulating counters along the path. *)
+  let rec search bound ctrl =
+    let bound = bound @ List.map (fun c -> c.Ir.ctr_name) (ctrl_counters ctrl) in
+    if ctrl == target then Some bound
+    else
+      List.fold_left
+        (fun acc kid -> match acc with Some _ -> acc | None -> search bound kid)
+        None (children ctrl)
+  in
+  match search [] d.d_top with Some names -> names | None -> raise Not_found

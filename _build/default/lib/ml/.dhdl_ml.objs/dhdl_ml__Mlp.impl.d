@@ -1,0 +1,1 @@
+lib/ml/mlp.ml: Array Dhdl_util List

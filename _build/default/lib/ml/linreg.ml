@@ -1,0 +1,41 @@
+module Matrix = Dhdl_util.Matrix
+
+type t = { coeffs : float array; intercept : float }
+
+let fit samples =
+  match samples with
+  | [] -> invalid_arg "Linreg.fit: empty sample list"
+  | (first, _) :: _ ->
+    let dim = Array.length first in
+    let rows =
+      List.map
+        (fun (x, _) ->
+          assert (Array.length x = dim);
+          Array.append x [| 1.0 |])
+        samples
+    in
+    let a = Matrix.of_rows (Array.of_list rows) in
+    let b = Array.of_list (List.map snd samples) in
+    let sol = Matrix.least_squares a b in
+    { coeffs = Array.sub sol 0 dim; intercept = sol.(dim) }
+
+let predict t x =
+  assert (Array.length x = Array.length t.coeffs);
+  let acc = ref t.intercept in
+  Array.iteri (fun i xi -> acc := !acc +. (t.coeffs.(i) *. xi)) x;
+  !acc
+
+let coefficients t = t.coeffs
+let intercept t = t.intercept
+
+let r_squared t samples =
+  match samples with
+  | [] -> 1.0
+  | _ ->
+    let ys = List.map snd samples in
+    let mean_y = Dhdl_util.Stats.mean ys in
+    let ss_tot = List.fold_left (fun acc y -> acc +. ((y -. mean_y) ** 2.0)) 0.0 ys in
+    let ss_res =
+      List.fold_left (fun acc (x, y) -> acc +. ((y -. predict t x) ** 2.0)) 0.0 samples
+    in
+    if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot)

@@ -1,0 +1,21 @@
+(** Ordinary least-squares linear regression with intercept.
+
+    The paper fits BRAM duplication as a linear function of routing LUTs and
+    fits per-template analytical area models from characterization runs;
+    both use this module. *)
+
+type t
+
+val fit : (float array * float) list -> t
+(** [fit samples] learns coefficients minimizing squared error; samples must
+    be non-empty and share one feature dimension. *)
+
+val predict : t -> float array -> float
+
+val coefficients : t -> float array
+(** Feature coefficients, without the intercept. *)
+
+val intercept : t -> float
+
+val r_squared : t -> (float array * float) list -> float
+(** Coefficient of determination on a sample set (1.0 = perfect). *)

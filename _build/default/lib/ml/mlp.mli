@@ -1,0 +1,35 @@
+(** Small fully connected feed-forward neural network.
+
+    The paper (Section IV.B) models place-and-route effects with three-layer
+    networks — eleven inputs, six hidden nodes, one output — trained with the
+    Encog library. This module provides the same model class: dense layers,
+    sigmoid hidden activations, linear output, trained with resilient
+    backpropagation (RPROP, Encog's default trainer). *)
+
+type t
+
+type activation = Sigmoid | Tanh | Linear
+
+val create : ?rng:Dhdl_util.Rng.t -> layer_sizes:int list -> ?hidden:activation -> unit -> t
+(** [create ~layer_sizes:[inputs; hidden1; ...; outputs] ()] builds a network
+    with small random initial weights. At least two sizes are required. *)
+
+val inputs : t -> int
+val outputs : t -> int
+
+val predict : t -> float array -> float array
+(** Forward pass; the input length must equal [inputs t]. *)
+
+val predict1 : t -> float array -> float
+(** Forward pass of a single-output network. *)
+
+val mse : t -> (float array * float array) list -> float
+(** Mean squared error over a sample set. *)
+
+val train_rprop : ?epochs:int -> ?target_mse:float -> t -> (float array * float array) list -> float
+(** Batch RPROP training; returns the final MSE. Mutates the network.
+    Defaults: 400 epochs, stop early below [target_mse] (1e-6). *)
+
+val train_sgd :
+  ?epochs:int -> ?rate:float -> ?rng:Dhdl_util.Rng.t -> t -> (float array * float array) list -> float
+(** Stochastic gradient descent alternative (used in ablation tests). *)

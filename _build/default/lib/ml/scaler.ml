@@ -1,0 +1,32 @@
+type t = { mins : float array; ranges : float array }
+
+let fit samples =
+  match samples with
+  | [] -> invalid_arg "Scaler.fit: empty sample list"
+  | first :: _ ->
+    let dim = Array.length first in
+    let mins = Array.make dim infinity in
+    let maxs = Array.make dim neg_infinity in
+    List.iter
+      (fun row ->
+        assert (Array.length row = dim);
+        Array.iteri
+          (fun i v ->
+            if v < mins.(i) then mins.(i) <- v;
+            if v > maxs.(i) then maxs.(i) <- v)
+          row)
+      samples;
+    { mins; ranges = Array.init dim (fun i -> maxs.(i) -. mins.(i)) }
+
+let transform t row =
+  Array.mapi
+    (fun i v ->
+      if t.ranges.(i) <= 0.0 then 0.5 else (v -. t.mins.(i)) /. t.ranges.(i))
+    row
+
+let transform_value ~lo ~hi v =
+  if hi -. lo <= 0.0 then 0.5 else (v -. lo) /. (hi -. lo)
+
+let inverse_value ~lo ~hi v = lo +. (v *. (hi -. lo))
+
+let dim t = Array.length t.mins

@@ -1,0 +1,15 @@
+(** Per-feature min-max normalization into [0, 1], the standard preprocessing
+    for sigmoid networks on resource-count features of wildly different
+    magnitudes (LUT counts vs. average fanout). *)
+
+type t
+
+val fit : float array list -> t
+(** Learn per-column minimum and range from a non-empty sample list. Columns
+    with zero range map to 0.5. *)
+
+val transform : t -> float array -> float array
+val transform_value : lo:float -> hi:float -> float -> float
+val inverse_value : lo:float -> hi:float -> float -> float
+
+val dim : t -> int

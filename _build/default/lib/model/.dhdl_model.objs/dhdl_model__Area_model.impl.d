@@ -1,0 +1,1 @@
+lib/model/area_model.ml: Characterization Dhdl_device Dhdl_ir Dhdl_ml Dhdl_util Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/model/area_model.mli: Characterization Dhdl_device Dhdl_ir

@@ -1,0 +1,1 @@
+lib/model/characterization.ml: Dhdl_device Dhdl_ir Dhdl_ml Dhdl_synth Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/model/characterization.mli: Dhdl_device Dhdl_ml

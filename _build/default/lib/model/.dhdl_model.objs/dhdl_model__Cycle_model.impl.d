@@ -1,0 +1,1 @@
+lib/model/cycle_model.ml: Area_model Dhdl_device Dhdl_ir Dhdl_util Float List

@@ -1,0 +1,1 @@
+lib/model/cycle_model.mli: Dhdl_device Dhdl_ir

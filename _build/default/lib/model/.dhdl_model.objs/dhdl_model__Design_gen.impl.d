@@ -1,0 +1,1 @@
+lib/model/design_gen.ml: Dhdl_ir Dhdl_util List Printf

@@ -1,0 +1,1 @@
+lib/model/design_gen.mli: Dhdl_ir Dhdl_util

@@ -1,0 +1,1 @@
+lib/model/estimator.ml: Area_model Characterization Cycle_model Dhdl_device Float Fun Hashtbl Logs Marshal Nn_correction Sys Unix

@@ -1,0 +1,1 @@
+lib/model/estimator.mli: Area_model Characterization Dhdl_device Dhdl_ir Nn_correction

@@ -1,0 +1,1 @@
+lib/model/nn_correction.ml: Area_model Design_gen Dhdl_device Dhdl_ml Dhdl_synth Dhdl_util Float List

@@ -1,0 +1,1 @@
+lib/model/nn_correction.mli: Area_model Characterization Dhdl_device

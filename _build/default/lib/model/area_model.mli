@@ -1,0 +1,42 @@
+(** Analytical (pre-place-and-route) area estimation from template models.
+
+    First half of the hybrid estimator (Section IV.B.2): walk the design's
+    hierarchical IR once, counting each node's resources from the primitive
+    library and the fitted per-template overhead models, including
+    delay-matching registers/BRAMs under ASAP scheduling, reduction trees,
+    automatic banking and double buffering. The output also carries the
+    graph-level statistics that feed the neural-network corrections. *)
+
+module Target = Dhdl_device.Target
+module Resources = Dhdl_device.Resources
+
+type raw = {
+  resources : Resources.t;  (** Estimated pre-P&R counts. *)
+  nets : int;
+  avg_fanout : float;
+  tree_depth : int;
+  streams : int;
+  ctrl_count : int;
+  double_buffers : int;
+  prim_count : int;
+}
+
+val raw_estimate : Characterization.t -> Target.t -> Dhdl_ir.Ir.design -> raw
+
+val features : Target.t -> raw -> float array
+(** The eleven neural-network inputs (Section IV.B.2): packable LUTs,
+    unpackable LUTs, registers, DSPs, BRAMs, nets, average fanout, tree
+    depth, off-chip streams, controller count, double-buffer count. *)
+
+val feature_count : int
+(** 11, matching the paper's network topology. *)
+
+val critical_path : Dhdl_ir.Ir.stmt list -> int
+(** Depth in cycles of a Pipe body under ASAP scheduling with the primitive
+    library's latencies (depth-first search of Section IV.B.1). *)
+
+val bram_blocks_estimate : Target.t -> Dhdl_ir.Ir.mem -> int
+(** The estimator's approximation of M20K blocks for an on-chip memory.
+    Deliberately simpler than the toolchain's exact geometry (fixed
+    512-deep, 40-wide block arithmetic), one documented source of the
+    paper's higher BRAM error. *)

@@ -1,0 +1,181 @@
+module Ir = Dhdl_ir.Ir
+module Op = Dhdl_ir.Op
+module Dtype = Dhdl_ir.Dtype
+module B = Dhdl_ir.Builder
+module Linreg = Dhdl_ml.Linreg
+module Target = Dhdl_device.Target
+module R = Dhdl_device.Resources
+module Primitives = Dhdl_device.Primitives
+module Toolchain = Dhdl_synth.Toolchain
+
+type t = {
+  pipe_overhead : Linreg.t;
+  pipe_overhead_regs : Linreg.t;
+  seq_overhead : Linreg.t;
+  seq_overhead_regs : Linreg.t;
+  metapipe_overhead : Linreg.t;
+  metapipe_overhead_regs : Linreg.t;
+  parallel_overhead : Linreg.t;
+  parallel_overhead_regs : Linreg.t;
+  tile_luts : Linreg.t;
+  tile_regs : Linreg.t;
+  tile_brams : Linreg.t;
+  microdesigns_synthesized : int;
+}
+
+let runs = ref 0
+
+let raw_of dev design =
+  incr runs;
+  (Toolchain.netlist ~dev design).Dhdl_synth.Netlist.raw
+
+(* One trivial integer pipe: the unit of measure for controller overheads. *)
+let micro_pipe ?(nctr = 1) ?(par = 1) label =
+  let counters = List.init nctr (fun i -> (Printf.sprintf "i%d" i, 0, 16, 1)) in
+  B.pipe ~label ~counters ~par (fun pb ->
+      let x = B.op pb ~ty:Dtype.int32 Op.Add [ B.iter "i0"; B.const 1.0 ] in
+      ignore x)
+
+let micro_pipe_design ~nctr ~par =
+  let b = B.create (Printf.sprintf "char_pipe_%d_%d" nctr par) in
+  B.finish b ~top:(micro_pipe ~nctr ~par "p0")
+
+let body_compute_luts ~par =
+  (* What the body itself costs, straight from the primitive library. *)
+  let r = R.scale par (Primitives.area Op.Add Dtype.int32) in
+  (float_of_int (R.luts r), float_of_int r.R.regs)
+
+let characterize ?(dev = Target.stratix_v) () =
+  runs := 0;
+  (* --- Pipe: overhead(counters, par) --------------------------------- *)
+  let pipe_samples =
+    List.concat_map
+      (fun nctr ->
+        List.map
+          (fun par ->
+            let raw = raw_of dev (micro_pipe_design ~nctr ~par) in
+            let body_luts, body_regs = body_compute_luts ~par in
+            let feats = [| float_of_int nctr; float_of_int par |] in
+            ( (feats, float_of_int (R.luts raw) -. body_luts),
+              (feats, float_of_int raw.R.regs -. body_regs) ))
+          [ 1; 2; 4 ])
+      [ 1; 2; 3 ]
+  in
+  let pipe_overhead = Linreg.fit (List.map fst pipe_samples) in
+  let pipe_overhead_regs = Linreg.fit (List.map snd pipe_samples) in
+  let est_pipe_luts ~nctr ~par =
+    let body_luts, _ = body_compute_luts ~par in
+    body_luts +. Linreg.predict pipe_overhead [| float_of_int nctr; float_of_int par |]
+  in
+  let est_pipe_regs ~nctr ~par =
+    let _, body_regs = body_compute_luts ~par in
+    body_regs +. Linreg.predict pipe_overhead_regs [| float_of_int nctr; float_of_int par |]
+  in
+  (* --- Loop controllers: overhead(stages, counters) ------------------- *)
+  let loop_samples ~pipelined =
+    List.concat_map
+      (fun nstages ->
+        List.map
+          (fun nctr ->
+            let b =
+              B.create (Printf.sprintf "char_loop_%b_%d_%d" pipelined nstages nctr)
+            in
+            let stages =
+              List.init nstages (fun i -> micro_pipe (Printf.sprintf "s%d" i))
+            in
+            let counters = List.init nctr (fun i -> (Printf.sprintf "o%d" i, 0, 8, 1)) in
+            let top = B.metapipe ~label:"L" ~counters ~pipelined stages in
+            let raw = raw_of dev (B.finish b ~top) in
+            let stage_luts = float_of_int nstages *. est_pipe_luts ~nctr:1 ~par:1 in
+            let stage_regs = float_of_int nstages *. est_pipe_regs ~nctr:1 ~par:1 in
+            let feats = [| float_of_int nstages; float_of_int nctr |] in
+            ( (feats, float_of_int (R.luts raw) -. stage_luts),
+              (feats, float_of_int raw.R.regs -. stage_regs) ))
+          [ 0; 1; 2 ])
+      [ 1; 2; 4 ]
+  in
+  let seq_s = loop_samples ~pipelined:false in
+  let meta_s = loop_samples ~pipelined:true in
+  let seq_overhead = Linreg.fit (List.map fst seq_s) in
+  let seq_overhead_regs = Linreg.fit (List.map snd seq_s) in
+  let metapipe_overhead = Linreg.fit (List.map fst meta_s) in
+  let metapipe_overhead_regs = Linreg.fit (List.map snd meta_s) in
+  (* --- Parallel ------------------------------------------------------- *)
+  let par_samples =
+    List.map
+      (fun nstages ->
+        let b = B.create (Printf.sprintf "char_par_%d" nstages) in
+        let stages = List.init nstages (fun i -> micro_pipe (Printf.sprintf "s%d" i)) in
+        let raw = raw_of dev (B.finish b ~top:(B.parallel ~label:"F" stages)) in
+        let stage_luts = float_of_int nstages *. est_pipe_luts ~nctr:1 ~par:1 in
+        let stage_regs = float_of_int nstages *. est_pipe_regs ~nctr:1 ~par:1 in
+        let feats = [| float_of_int nstages |] in
+        ( (feats, float_of_int (R.luts raw) -. stage_luts),
+          (feats, float_of_int raw.R.regs -. stage_regs) ))
+      [ 1; 2; 3; 4 ]
+  in
+  let parallel_overhead = Linreg.fit (List.map fst par_samples) in
+  let parallel_overhead_regs = Linreg.fit (List.map snd par_samples) in
+  (* --- Tile transfers: cost(par, word bits, rank) --------------------- *)
+  let tile_samples =
+    List.concat_map
+      (fun (ty, dims, tile) ->
+        List.map
+          (fun par ->
+            let b = B.create (Printf.sprintf "char_tile_%d_%d" (Dtype.bits ty) par) in
+            let src = B.offchip b "src" ty dims in
+            let dst = B.bram b "buf" ty tile in
+            let offsets = List.map (fun _ -> B.const 0.0) dims in
+            let top =
+              B.sequential_block ~label:"T" [ B.tile_load ~src ~dst ~offsets ~par () ]
+            in
+            let design = B.finish b ~top in
+            let raw = raw_of dev design in
+            (* Subtract the parts the estimator models analytically: the
+               sequential wrapper and the buffer's banks/blocks. *)
+            let buf = Ir.find_mem design "buf" in
+            let banks = max 1 buf.Ir.mem_banks in
+            let bank_luts = float_of_int (10 * banks) in
+            let blocks = Dhdl_synth.Netlist.bram_blocks_of_mem dev buf in
+            let wrapper_luts = Linreg.predict seq_overhead [| 1.0; 0.0 |] in
+            let wrapper_regs = Linreg.predict seq_overhead_regs [| 1.0; 0.0 |] in
+            let feats =
+              [| float_of_int par; float_of_int (Dtype.bits ty); float_of_int (List.length dims) |]
+            in
+            ( (feats, float_of_int (R.luts raw) -. wrapper_luts -. bank_luts),
+              ((feats, float_of_int raw.R.regs -. wrapper_regs),
+               (feats, float_of_int (raw.R.brams - blocks))) ))
+          [ 1; 2; 4; 8 ])
+      [
+        (Dtype.float32, [ 1024 ], [ 64 ]);
+        (Dtype.float32, [ 256; 64 ], [ 16; 64 ]);
+        (Dtype.float64, [ 1024 ], [ 64 ]);
+      ]
+  in
+  let tile_luts = Linreg.fit (List.map fst tile_samples) in
+  let tile_regs = Linreg.fit (List.map (fun (_, (r, _)) -> r) tile_samples) in
+  let tile_brams = Linreg.fit (List.map (fun (_, (_, b)) -> b) tile_samples) in
+  {
+    pipe_overhead;
+    pipe_overhead_regs;
+    seq_overhead;
+    seq_overhead_regs;
+    metapipe_overhead;
+    metapipe_overhead_regs;
+    parallel_overhead;
+    parallel_overhead_regs;
+    tile_luts;
+    tile_regs;
+    tile_brams;
+    microdesigns_synthesized = !runs;
+  }
+
+let memo : (string, t) Hashtbl.t = Hashtbl.create 4
+
+let default ?(dev = Target.stratix_v) () =
+  match Hashtbl.find_opt memo dev.Target.dev_name with
+  | Some t -> t
+  | None ->
+    let t = characterize ~dev () in
+    Hashtbl.replace memo dev.Target.dev_name t;
+    t

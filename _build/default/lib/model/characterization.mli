@@ -1,0 +1,36 @@
+(** One-time template characterization against the target toolchain.
+
+    Section IV.B: "We obtain characterization data by synthesizing multiple
+    instances of each template instantiated for combinations of its
+    parameters... Using this data, we create analytical models of each DHDL
+    template's resource requirements... Most templates require about six
+    synthesized designs to characterize."
+
+    This module builds those microdesigns, pushes them through the simulated
+    toolchain ({!Dhdl_synth.Toolchain}), and fits per-template linear models
+    for the controller overheads and memory-stream costs that the estimator
+    cannot read off the primitive library. Characterization is independent
+    of any application and is done once per (device, toolchain) pair. *)
+
+module Linreg = Dhdl_ml.Linreg
+module Target = Dhdl_device.Target
+
+type t = {
+  pipe_overhead : Linreg.t;  (** features [#counters; par] -> LUTs *)
+  pipe_overhead_regs : Linreg.t;
+  seq_overhead : Linreg.t;  (** features [#stages; #counters] -> LUTs *)
+  seq_overhead_regs : Linreg.t;
+  metapipe_overhead : Linreg.t;  (** features [#stages; #counters] -> LUTs *)
+  metapipe_overhead_regs : Linreg.t;
+  parallel_overhead : Linreg.t;  (** features [#stages] -> LUTs *)
+  parallel_overhead_regs : Linreg.t;
+  tile_luts : Linreg.t;  (** features [par; word_bits; #dims] -> LUTs *)
+  tile_regs : Linreg.t;
+  tile_brams : Linreg.t;
+  microdesigns_synthesized : int;  (** How many toolchain runs it took. *)
+}
+
+val characterize : ?dev:Target.t -> unit -> t
+
+val default : ?dev:Target.t -> unit -> t
+(** Memoized {!characterize} for the default device. *)

@@ -1,0 +1,119 @@
+module Ir = Dhdl_ir.Ir
+module Dtype = Dhdl_ir.Dtype
+module Traverse = Dhdl_ir.Traverse
+module Target = Dhdl_device.Target
+module Primitives = Dhdl_device.Primitives
+module Intmath = Dhdl_util.Intmath
+
+let word_bytes ty = max 1 (Dtype.bits ty / 8)
+
+(* Same read-modify-write initiation-interval analysis the hardware
+   generator applies; the estimator sees the same IR so it can predict it.
+   Rotating-address updates (innermost iterator in both addresses) keep
+   II = 1. *)
+let pipe_ii (loop : Ir.loop_info) body =
+  let innermost =
+    match List.rev loop.Ir.lp_counters with c :: _ -> Some c.Ir.ctr_name | [] -> None
+  in
+  let rotating addr =
+    match innermost with
+    | None -> false
+    | Some name -> List.exists (function Ir.Iter n -> n = name | _ -> false) addr
+  in
+  let stores =
+    List.filter_map
+      (function Ir.Sstore { mem; addr; _ } -> Some (mem.Ir.mem_id, rotating addr) | _ -> None)
+      body
+  in
+  let unsafe_rmw =
+    List.exists
+      (function
+        | Ir.Sload { mem; addr; _ } ->
+          List.exists (fun (id, st_rot) -> id = mem.Ir.mem_id && not (st_rot && rotating addr)) stores
+        | _ -> false)
+      body
+  in
+  if unsafe_rmw then
+    2
+    + List.fold_left
+        (fun acc s -> match s with Ir.Sop { op; ty; _ } -> max acc (Primitives.latency op ty) | _ -> acc)
+        1 body
+  else 1
+
+(* Contention: the model assumes concurrently active off-chip streams split
+   the channel evenly, approximating concurrency by the stream count of the
+   innermost parallel/pipelined region (a static, structure-only view). *)
+let transfer_estimate board ~contention ~(offchip : Ir.mem) ~ty ~tile =
+  let words = Intmath.prod tile in
+  let wb = word_bytes ty in
+  let row_words =
+    match (List.rev tile, List.rev offchip.Ir.mem_dims) with
+    | [], _ | _, [] -> words
+    | t_last :: _, d_last :: _ -> if t_last = d_last then min words (t_last * max 1 (words / t_last)) else t_last
+  in
+  let row_words = max 1 row_words in
+  let ncmds = Intmath.ceil_div words row_words in
+  let bytes = float_of_int (words * wb) in
+  let bw = Target.bytes_per_cycle board /. float_of_int (max 1 contention) in
+  float_of_int board.Target.dram_latency_cycles +. (4.0 *. float_of_int ncmds) +. (bytes /. bw)
+
+let mem_reduce_estimate (loop : Ir.loop_info) (r : Ir.mem_reduce) =
+  let words = Ir.mem_words r.Ir.mr_dst in
+  let lanes =
+    max (max 1 loop.Ir.lp_par)
+      (max (max 1 r.Ir.mr_src.Ir.mem_banks) (max 1 r.Ir.mr_dst.Ir.mem_banks))
+  in
+  let lat = Primitives.latency r.Ir.mr_op r.Ir.mr_dst.Ir.mem_ty in
+  float_of_int (Intmath.ceil_div words lanes + lat + 6)
+
+let contains_transfer ctrl =
+  Traverse.fold_ctrl
+    (fun acc c -> acc || match c with Ir.Tile_load _ | Ir.Tile_store _ -> true | _ -> false)
+    false ctrl
+
+let rec estimate_ctrl board ~contention ctrl =
+  match ctrl with
+  | Ir.Pipe { loop; body; reduce } ->
+    let trip_vec = Ir.loop_trip_vectorized loop in
+    let depth = max 1 (Area_model.critical_path body) in
+    let depth =
+      match reduce with
+      | None -> depth
+      | Some r ->
+        let lat = Primitives.latency r.Ir.sr_op r.Ir.sr_out.Ir.mem_ty in
+        depth + (Intmath.ilog2_ceil (max 2 loop.Ir.lp_par) * lat) + lat
+    in
+    float_of_int (depth + ((trip_vec - 1) * pipe_ii loop body) + 4)
+  | Ir.Loop { loop; stages; pipelined; reduce } ->
+    let trip_vec = Ir.loop_trip_vectorized loop in
+    let inner_contention = contention * max 1 loop.Ir.lp_par in
+    let transfer_stages = List.length (List.filter contains_transfer stages) in
+    let c = if pipelined then inner_contention * max 1 transfer_stages else inner_contention in
+    let costs = List.map (estimate_ctrl board ~contention:c) stages in
+    let costs = costs @ (match reduce with None -> [] | Some r -> [ mem_reduce_estimate loop r ]) in
+    if pipelined then
+      (* The paper's MetaPipe formula: (N-1) * max(stage) + sum(stages). *)
+      let slowest = List.fold_left max 0.0 costs in
+      let total = List.fold_left ( +. ) 0.0 costs in
+      (float_of_int (trip_vec - 1) *. slowest) +. total
+    else
+      let per_iter = List.fold_left ( +. ) 0.0 costs in
+      float_of_int trip_vec *. per_iter
+  | Ir.Parallel { stages; _ } ->
+    let transfer_stages = List.length (List.filter contains_transfer stages) in
+    let c = contention * max 1 transfer_stages in
+    List.fold_left (fun acc st -> Float.max acc (estimate_ctrl board ~contention:c st)) 0.0 stages
+  | Ir.Tile_load { src; dst; tile; _ } ->
+    transfer_estimate board ~contention ~offchip:src ~ty:dst.Ir.mem_ty ~tile
+  | Ir.Tile_store { dst; src; tile; _ } ->
+    transfer_estimate board ~contention ~offchip:dst ~ty:src.Ir.mem_ty ~tile
+
+let estimate ?dev:_ ?(board = Target.max4_maia) (d : Ir.design) =
+  estimate_ctrl board ~contention:1 d.Ir.d_top
+
+let estimate_seconds ?dev ?(board = Target.max4_maia) d =
+  ignore dev;
+  estimate ~board d /. (board.Target.fabric_mhz *. 1e6)
+
+let ctrl_estimate ?(board = Target.max4_maia) ~design:_ ctrl =
+  estimate_ctrl board ~contention:1 ctrl

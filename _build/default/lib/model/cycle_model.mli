@@ -1,0 +1,23 @@
+(** Closed-form cycle-count estimation (Section IV.B.1).
+
+    A recursive pass over the hierarchical IR: Pipe cycles come from the
+    body's critical path (depth-first search with primitive propagation
+    delays) plus one initiation interval per vectorized iteration; the total
+    for a MetaPipe with N iterations is
+    [(N-1) * max(cycles(n)) + sum(cycles(n))] over its stage nodes;
+    Sequential multiplies by the iteration count; off-chip transfers are
+    modeled from command count and length against the board's achievable
+    bandwidth with a whole-design contention factor. Unlike the performance
+    simulator, the model does not see burst-boundary rounding or per-stream
+    efficiency jitter — the sources of its ~6% average error. *)
+
+module Target = Dhdl_device.Target
+
+val estimate : ?dev:Target.t -> ?board:Target.board -> Dhdl_ir.Ir.design -> float
+(** Estimated fabric cycles for one execution of the design. *)
+
+val estimate_seconds : ?dev:Target.t -> ?board:Target.board -> Dhdl_ir.Ir.design -> float
+
+val ctrl_estimate :
+  ?board:Target.board -> design:Dhdl_ir.Ir.design -> Dhdl_ir.Ir.ctrl -> float
+(** Estimate for one controller subtree (contention from the whole design). *)

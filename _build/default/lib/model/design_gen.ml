@@ -1,0 +1,273 @@
+module Ir = Dhdl_ir.Ir
+module Op = Dhdl_ir.Op
+module Dtype = Dhdl_ir.Dtype
+module B = Dhdl_ir.Builder
+module Rng = Dhdl_util.Rng
+
+let binary_ops = [| Op.Add; Op.Sub; Op.Mul; Op.Mul; Op.Add; Op.Min; Op.Max; Op.Div |]
+let unary_ops = [| Op.Abs; Op.Sqrt; Op.Exp; Op.Log; Op.Neg |]
+
+(* Emit [n] random primitive statements reading from a growing pool of
+   available operands, and return one live operand. *)
+let random_body rng pb ~seeds ~n =
+  let pool = ref seeds in
+  let pick () = Rng.choice_list rng !pool in
+  for _ = 1 to n do
+    let v =
+      if Rng.int rng 4 = 0 then B.op pb (Rng.choice rng unary_ops) [ pick () ]
+      else B.op pb (Rng.choice rng binary_ops) [ pick (); pick () ]
+    in
+    pool := v :: !pool
+  done;
+  pick ()
+
+let sizes = [| 4_096; 16_384; 65_536; 262_144 |]
+let tiles = [| 16; 32; 64; 128; 256; 512; 1_024; 4_096; 16_384 |]
+let pars = [| 1; 1; 2; 2; 4; 8; 16; 32; 64; 128 |]
+
+(* Shape 1: tiled streaming reduction (dotproduct-like). *)
+let gen_stream_reduce rng idx =
+  let n = Rng.choice rng sizes in
+  let tile = Rng.choice rng tiles in
+  let par = Rng.choice rng pars in
+  let nops = 1 + Rng.int rng 6 in
+  let b =
+    B.create
+      ~params:[ ("tile", tile); ("par", par) ]
+      (Printf.sprintf "gen_reduce_%d" idx)
+  in
+  let x = B.offchip b "x" Dtype.float32 [ n ] in
+  let xt = B.bram b "xT" Dtype.float32 [ tile ] in
+  let partial = B.reg b "partial" Dtype.float32 in
+  let acc = B.reg b "acc" Dtype.float32 in
+  let inner =
+    B.reduce_pipe ~label:"rp" ~counters:[ ("i", 0, tile, 1) ] ~par ~op:Op.Add ~out:partial
+      (fun pb ->
+        let v = B.load pb xt [ B.iter "i" ] in
+        random_body rng pb ~seeds:[ v; B.const 2.0 ] ~n:nops)
+  in
+  let top =
+    B.metapipe ~label:"outer"
+      ~counters:[ ("t", 0, n, tile) ]
+      ~pipelined:(Rng.bool rng)
+      ~reduce:(Op.Add, partial, acc)
+      [ B.tile_load ~src:x ~dst:xt ~offsets:[ B.iter "t" ] ~par (); inner ]
+  in
+  B.finish b ~top
+
+(* Shape 2: tiled elementwise map (blackscholes-like). *)
+let gen_stream_map rng idx =
+  let n = Rng.choice rng sizes in
+  let tile = Rng.choice rng tiles in
+  let par = Rng.choice rng pars in
+  let nops = 2 + Rng.int rng 10 in
+  let b =
+    B.create ~params:[ ("tile", tile); ("par", par) ] (Printf.sprintf "gen_map_%d" idx)
+  in
+  let x = B.offchip b "x" Dtype.float32 [ n ] in
+  let y = B.offchip b "y" Dtype.float32 [ n ] in
+  let xt = B.bram b "xT" Dtype.float32 [ tile ] in
+  let yt = B.bram b "yT" Dtype.float32 [ tile ] in
+  let compute =
+    B.pipe ~label:"map" ~counters:[ ("i", 0, tile, 1) ] ~par (fun pb ->
+        let v = B.load pb xt [ B.iter "i" ] in
+        let r = random_body rng pb ~seeds:[ v; B.const 0.5 ] ~n:nops in
+        B.store pb yt [ B.iter "i" ] r)
+  in
+  let top =
+    B.metapipe ~label:"outer"
+      ~counters:[ ("t", 0, n, tile) ]
+      ~pipelined:(Rng.bool rng)
+      [
+        B.tile_load ~src:x ~dst:xt ~offsets:[ B.iter "t" ] ~par ();
+        compute;
+        B.tile_store ~dst:y ~src:yt ~offsets:[ B.iter "t" ] ~par ();
+      ]
+  in
+  B.finish b ~top
+
+(* Shape 3: 2-D tile compute with nested loops (gda-like). *)
+let gen_tile2d rng idx =
+  let rows = 4_096 in
+  let cols = Rng.choice rng [| 32; 64; 96; 128; 192 |] in
+  let rtile = Rng.choice rng [| 16; 32; 64 |] in
+  let par = Rng.choice rng [| 1; 2; 4; 8; 16; 48 |] in
+  let nops = 1 + Rng.int rng 4 in
+  let b =
+    B.create ~params:[ ("rtile", rtile); ("par", par) ] (Printf.sprintf "gen_2d_%d" idx)
+  in
+  let x = B.offchip b "x" Dtype.float32 [ rows; cols ] in
+  let out = B.offchip b "out" Dtype.float32 [ cols; cols ] in
+  let xt = B.bram b "xT" Dtype.float32 [ rtile; cols ] in
+  let acc = B.bram b "accT" Dtype.float32 [ cols; cols ] in
+  let work = B.bram b "workT" Dtype.float32 [ cols; cols ] in
+  let compute =
+    B.pipe ~label:"outerprod"
+      ~counters:[ ("i", 0, cols, 1); ("j", 0, cols, 1) ]
+      ~par
+      (fun pb ->
+        let a = B.load pb xt [ B.const 0.0; B.iter "i" ] in
+        let c = B.load pb xt [ B.const 0.0; B.iter "j" ] in
+        let r = random_body rng pb ~seeds:[ a; c ] ~n:nops in
+        B.store pb work [ B.iter "i"; B.iter "j" ] r)
+  in
+  let top =
+    B.sequential_block ~label:"main"
+      [
+        B.metapipe ~label:"rowloop"
+          ~counters:[ ("r", 0, rows, rtile) ]
+          ~pipelined:(Rng.bool rng) ~reduce:(Op.Add, work, acc)
+          [
+            B.tile_load ~src:x ~dst:xt ~offsets:[ B.iter "r"; B.const 0.0 ] ~par ();
+            compute;
+          ];
+        B.tile_store ~dst:out ~src:acc ~offsets:[ B.const 0.0; B.const 0.0 ] ~par ();
+      ]
+  in
+  B.finish b ~top
+
+(* Shape 4: two-stage MetaPipe with an intermediate buffer. *)
+let gen_two_stage rng idx =
+  let n = Rng.choice rng sizes in
+  let tile = Rng.choice rng tiles in
+  let par = Rng.choice rng pars in
+  let b =
+    B.create ~params:[ ("tile", tile); ("par", par) ] (Printf.sprintf "gen_stage_%d" idx)
+  in
+  let x = B.offchip b "x" Dtype.float32 [ n ] in
+  let y = B.offchip b "y" Dtype.float32 [ n ] in
+  let xt = B.bram b "xT" Dtype.float32 [ tile ] in
+  let mid = B.bram b "midT" Dtype.float32 [ tile ] in
+  let outt = B.bram b "outT" Dtype.float32 [ tile ] in
+  let stage1 =
+    B.pipe ~label:"s1" ~counters:[ ("i", 0, tile, 1) ] ~par (fun pb ->
+        let v = B.load pb xt [ B.iter "i" ] in
+        let r = random_body rng pb ~seeds:[ v ] ~n:(1 + Rng.int rng 5) in
+        B.store pb mid [ B.iter "i" ] r)
+  in
+  let stage2 =
+    B.pipe ~label:"s2" ~counters:[ ("i", 0, tile, 1) ] ~par (fun pb ->
+        let v = B.load pb mid [ B.iter "i" ] in
+        let r = random_body rng pb ~seeds:[ v; B.const 1.5 ] ~n:(1 + Rng.int rng 5) in
+        B.store pb outt [ B.iter "i" ] r)
+  in
+  let top =
+    B.metapipe ~label:"outer" ~counters:[ ("t", 0, n, tile) ] ~pipelined:true
+      [
+        B.tile_load ~src:x ~dst:xt ~offsets:[ B.iter "t" ] ~par ();
+        stage1;
+        stage2;
+        B.tile_store ~dst:y ~src:outt ~offsets:[ B.iter "t" ] ~par ();
+      ]
+  in
+  B.finish b ~top
+
+(* Shape 5: replicated sequential inner loop (kmeans-like outer-loop
+   parallelization exercising whole-subtree replication). *)
+let gen_replicated rng idx =
+  let n = Rng.choice rng sizes in
+  let tile = Rng.choice rng [| 64; 128; 256 |] in
+  let inner = Rng.choice rng [| 32; 64; 128 |] in
+  let par = Rng.choice rng [| 1; 2; 4; 8; 16 |] in
+  let pp = Rng.choice rng [| 1; 2; 4; 8; 16; 32 |] in
+  let b =
+    B.create ~params:[ ("tile", tile); ("par", par); ("pp", pp) ]
+      (Printf.sprintf "gen_repl_%d" idx)
+  in
+  let x = B.offchip b "x" Dtype.float32 [ n; inner ] in
+  let out = B.offchip b "out" Dtype.float32 [ n ] in
+  let xt = B.bram b "xT" Dtype.float32 [ tile; inner ] in
+  let outt = B.bram b "outT" Dtype.float32 [ tile ] in
+  let partial = B.reg b "partial" Dtype.float32 in
+  let per_row =
+    B.reduce_pipe ~label:"rowred" ~counters:[ ("j", 0, inner, 1) ] ~par ~op:Op.Add ~out:partial
+      (fun pb ->
+        let v = B.load pb xt [ B.iter "rr"; B.iter "j" ] in
+        random_body rng pb ~seeds:[ v ] ~n:(1 + Rng.int rng 4))
+  in
+  let writeback =
+    B.pipe ~label:"wb" ~counters:[] (fun pb ->
+        let v = B.read_reg pb partial in
+        B.store pb outt [ B.iter "rr" ] v)
+  in
+  let row_loop =
+    B.metapipe ~label:"rows" ~counters:[ ("rr", 0, tile, 1) ] ~par:pp ~pipelined:false
+      [ per_row; writeback ]
+  in
+  let top =
+    B.metapipe ~label:"tiles" ~counters:[ ("t", 0, n, tile) ] ~pipelined:(Rng.bool rng)
+      [
+        B.tile_load ~src:x ~dst:xt ~offsets:[ B.iter "t"; B.const 0.0 ] ~par ();
+        row_loop;
+        B.tile_store ~dst:out ~src:outt ~offsets:[ B.iter "t" ] ~par ();
+      ]
+  in
+  B.finish b ~top
+
+(* Shape 6: two-level element-wise reduction chain over 2-D buffers at high
+   parallelism (gda-like): stresses banking, double buffering and the wide
+   combine units. *)
+let gen_reduce_chain rng idx =
+  let rows = Rng.choice rng [| 65_536; 262_144 |] in
+  let cols = Rng.choice rng [| 32; 64; 96; 128; 192 |] in
+  let rtile = Rng.choice rng [| 32; 64; 128; 256 |] in
+  let p1 = Rng.choice rng [| 1; 2; 4; 8; 16; 32 |] in
+  let p2 = Rng.choice rng [| 4; 16; 48; 96; 144; 192 |] in
+  let b =
+    B.create ~params:[ ("rtile", rtile); ("p1", p1); ("p2", p2) ]
+      (Printf.sprintf "gen_chain_%d" idx)
+  in
+  let x = B.offchip b "x" Dtype.float32 [ rows; cols ] in
+  let out = B.offchip b "out" Dtype.float32 [ cols; cols ] in
+  let xt = B.bram b "xT" Dtype.float32 [ rtile; cols ] in
+  let vec = B.bram b "vecT" Dtype.float32 [ cols ] in
+  let work = B.bram b "workT" Dtype.float32 [ cols; cols ] in
+  let blk = B.bram b "blkT" Dtype.float32 [ cols; cols ] in
+  let acc = B.bram b "accT" Dtype.float32 [ cols; cols ] in
+  let stage1 =
+    B.pipe ~label:"prep" ~counters:[ ("cc", 0, cols, 1) ] ~par:p1 (fun pb ->
+        let v = B.load pb xt [ B.iter "rr"; B.iter "cc" ] in
+        let r = random_body rng pb ~seeds:[ v; B.const 1.0 ] ~n:(1 + Rng.int rng 3) in
+        B.store pb vec [ B.iter "cc" ] r)
+  in
+  let stage2 =
+    B.pipe ~label:"outer2"
+      ~counters:[ ("i2", 0, cols, 1); ("j2", 0, cols, 1) ]
+      ~par:p2
+      (fun pb ->
+        let a = B.load pb vec [ B.iter "i2" ] in
+        let c = B.load pb vec [ B.iter "j2" ] in
+        B.store pb work [ B.iter "i2"; B.iter "j2" ] (B.mul pb a c))
+  in
+  let inner =
+    B.metapipe ~label:"rowsIn"
+      ~counters:[ ("rr", 0, rtile, 1) ]
+      ~pipelined:(Rng.bool rng)
+      ~reduce:(Op.Add, work, blk)
+      [ stage1; stage2 ]
+  in
+  let outer =
+    B.metapipe ~label:"tilesOut"
+      ~counters:[ ("r", 0, rows, rtile) ]
+      ~pipelined:(Rng.bool rng)
+      ~reduce:(Op.Add, blk, acc)
+      [ B.tile_load ~src:x ~dst:xt ~offsets:[ B.iter "r"; B.const 0.0 ] ~par:p1 (); inner ]
+  in
+  let top =
+    B.sequential_block ~label:"main"
+      [ outer; B.tile_store ~dst:out ~src:acc ~offsets:[ B.const 0.0; B.const 0.0 ] ~par:p2 () ]
+  in
+  B.finish b ~top
+
+let generate rng idx =
+  match Rng.int rng 6 with
+  | 0 -> gen_stream_reduce rng idx
+  | 1 -> gen_stream_map rng idx
+  | 2 -> gen_tile2d rng idx
+  | 3 -> gen_replicated rng idx
+  | 4 -> gen_reduce_chain rng idx
+  | _ -> gen_two_stage rng idx
+
+let corpus ~seed n =
+  let rng = Rng.create seed in
+  List.init n (fun i -> generate rng i)

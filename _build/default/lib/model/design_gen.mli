@@ -1,0 +1,15 @@
+(** Random DHDL design generator.
+
+    Produces the "common set of 200 design samples with varying levels of
+    resource usage" the paper trains its neural networks on (Section IV.B.2),
+    and doubles as a fuzzer for property-based tests: every generated design
+    passes {!Dhdl_ir.Analysis.validate}. *)
+
+val generate : Dhdl_util.Rng.t -> int -> Dhdl_ir.Ir.design
+(** [generate rng i] builds the [i]-th random design: a controller tree of
+    bounded depth with random tile transfers, pipes over random float/fixed
+    bodies, optional reductions, random tile sizes and parallelization
+    factors. *)
+
+val corpus : seed:int -> int -> Dhdl_ir.Ir.design list
+(** [corpus ~seed n] generates [n] designs deterministically. *)

@@ -1,0 +1,141 @@
+module Target = Dhdl_device.Target
+module R = Dhdl_device.Resources
+
+let log_src = Logs.Src.create "dhdl.estimator" ~doc:"DHDL estimator setup and queries"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  dev : Target.t;
+  brd : Target.board;
+  char : Characterization.t;
+  nn : Nn_correction.t;
+}
+
+type area = {
+  alms : int;
+  luts : int;
+  regs : int;
+  dsps : int;
+  brams : int;
+  routing_luts : int;
+  unavailable_luts : int;
+  duplicated_regs : int;
+  duplicated_brams : int;
+}
+
+type estimate = { area : area; cycles : float; seconds : float; raw : Area_model.raw }
+
+let create ?(dev = Target.stratix_v) ?(board = Target.max4_maia) ?(seed = 1234)
+    ?(train_samples = 200) ?epochs () =
+  Log.info (fun m -> m "characterizing templates for %s" dev.Target.dev_name);
+  let char = Characterization.default ~dev () in
+  Log.info (fun m ->
+      m "characterization used %d toolchain runs" char.Characterization.microdesigns_synthesized);
+  Log.info (fun m -> m "training P&R correction networks on %d samples (seed %d)" train_samples seed);
+  let nn = Nn_correction.train ~seed ~samples:train_samples ?epochs char dev in
+  let r, g, u = Nn_correction.training_mse nn in
+  Log.info (fun m -> m "training MSE: route %.2e, dup-regs %.2e, unavailable %.2e" r g u);
+  { dev; brd = board; char; nn }
+
+let of_parts ?(dev = Target.stratix_v) ?(board = Target.max4_maia) char nn =
+  { dev; brd = board; char; nn }
+
+(* Final assembly (Section IV.B.2): add the NN-estimated corrections to the
+   raw counts, pack the characterized ~80% of packable LUTs pairwise
+   (Section IV.A measured the toolchain packing "about 80% of the functions
+   in each design in pairs"), and let each compute unit absorb two registers
+   on average. *)
+let pack_fraction = 0.80
+
+let assemble dev raw (c : Nn_correction.corrections) =
+  let res = raw.Area_model.resources in
+  let packable = res.R.lut_packable + c.Nn_correction.routing_luts in
+  let unpackable = res.R.lut_unpackable in
+  let luts = packable + unpackable + c.Nn_correction.unavailable_luts in
+  let packed = pack_fraction *. float_of_int packable in
+  let compute_units =
+    float_of_int unpackable
+    +. (float_of_int packable -. packed)
+    +. (packed /. 2.0)
+    +. float_of_int c.Nn_correction.unavailable_luts
+  in
+  let regs = res.R.regs + c.Nn_correction.duplicated_regs in
+  let leftover = Float.max 0.0 (float_of_int regs -. (2.0 *. compute_units)) in
+  let alms =
+    int_of_float (ceil (compute_units +. (leftover /. float_of_int dev.Target.regs_per_alm)))
+  in
+  {
+    alms;
+    luts;
+    regs;
+    dsps = res.R.dsps;
+    brams = res.R.brams + c.Nn_correction.duplicated_brams;
+    routing_luts = c.Nn_correction.routing_luts;
+    unavailable_luts = c.Nn_correction.unavailable_luts;
+    duplicated_regs = c.Nn_correction.duplicated_regs;
+    duplicated_brams = c.Nn_correction.duplicated_brams;
+  }
+
+let estimate t design =
+  let raw = Area_model.raw_estimate t.char t.dev design in
+  let corrections = Nn_correction.correct t.nn raw in
+  let area = assemble t.dev raw corrections in
+  let cycles = Cycle_model.estimate ~board:t.brd design in
+  { area; cycles; seconds = cycles /. (t.brd.Target.fabric_mhz *. 1e6); raw }
+
+let estimate_area t design = (estimate t design).area
+let estimate_cycles t design = Cycle_model.estimate ~board:t.brd design
+
+let estimate_area_uncorrected t design =
+  let raw = Area_model.raw_estimate t.char t.dev design in
+  let none =
+    {
+      Nn_correction.routing_luts = 0;
+      duplicated_regs = 0;
+      unavailable_luts = 0;
+      duplicated_brams = 0;
+    }
+  in
+  assemble t.dev raw none
+
+let fits t a = a.alms <= t.dev.Target.alms && a.dsps <= t.dev.Target.dsps && a.brams <= t.dev.Target.brams
+
+let utilization t a =
+  let pct used avail = 100.0 *. float_of_int used /. float_of_int avail in
+  (pct a.alms t.dev.Target.alms, pct a.dsps t.dev.Target.dsps, pct a.brams t.dev.Target.brams)
+
+let device t = t.dev
+let board t = t.brd
+let characterization t = t.char
+let corrections t = t.nn
+
+let timed_estimate t design =
+  let start = Unix.gettimeofday () in
+  let e = estimate t design in
+  (e, Unix.gettimeofday () -. start)
+
+(* Persistence: marshal the whole estimator with a magic tag so stale files
+   from other builds are rejected instead of misbehaving. *)
+let magic = "dhdl-estimator-v1:" ^ string_of_int (Hashtbl.hash Sys.ocaml_version)
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_char oc '\n';
+      Marshal.to_channel oc t [ Marshal.Closures ])
+
+let load path =
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          let line = input_line ic in
+          if line <> magic then None else Some (Marshal.from_channel ic : t)
+        with _ -> None)

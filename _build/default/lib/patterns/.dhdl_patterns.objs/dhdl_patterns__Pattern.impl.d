@@ -1,0 +1,1 @@
+lib/patterns/pattern.ml: Array Dhdl_ir Dhdl_util Hashtbl List Option Printf String

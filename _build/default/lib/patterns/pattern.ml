@@ -1,0 +1,340 @@
+module Ir = Dhdl_ir.Ir
+module Op = Dhdl_ir.Op
+module Dtype = Dhdl_ir.Dtype
+module B = Dhdl_ir.Builder
+module Intmath = Dhdl_util.Intmath
+
+(* ------------------------- Element expressions --------------------- *)
+
+type elt = Arg of int | Constf of float | Prim of Op.t * elt list
+
+let arg i = Arg i
+let constf f = Constf f
+let prim op args = Prim (op, args)
+let ( +% ) a b = Prim (Op.Add, [ a; b ])
+let ( -% ) a b = Prim (Op.Sub, [ a; b ])
+let ( *% ) a b = Prim (Op.Mul, [ a; b ])
+let ( /% ) a b = Prim (Op.Div, [ a; b ])
+
+let rec eval_elt e env =
+  match e with
+  | Arg i -> env.(i)
+  | Constf f -> f
+  | Prim (op, args) -> Op.eval op (List.map (fun a -> eval_elt a env) args)
+
+let rec elt_to_string = function
+  | Arg i -> Printf.sprintf "x%d" i
+  | Constf f -> Printf.sprintf "%g" f
+  | Prim (op, args) ->
+    Printf.sprintf "%s(%s)" (Op.name op) (String.concat ", " (List.map elt_to_string args))
+
+let rec elt_ops = function
+  | Arg _ | Constf _ -> 0
+  | Prim (_, args) -> 1 + List.fold_left (fun acc a -> acc + elt_ops a) 0 args
+
+(* Substitute the arguments of [f] with the given element expressions
+   (renumbered): the core of vertical fusion. *)
+let rec subst f ~args =
+  match f with
+  | Arg i -> List.nth args i
+  | Constf _ -> f
+  | Prim (op, xs) -> Prim (op, List.map (fun x -> subst x ~args) xs)
+
+(* ------------------------- Patterns -------------------------------- *)
+
+type t =
+  | Input of { name : string; ty : Dtype.t }
+  | Emap of { f : elt; args : t list }
+  | Ereduce of { op : Op.t; src : t }
+  | Eouter of { f : elt; a : t; b : t }
+
+let input ?(ty = Dtype.float32) name = Input { name; ty }
+let map f src = Emap { f = f (Arg 0); args = [ src ] }
+let zip2 f a b = Emap { f = f (Arg 0) (Arg 1); args = [ a; b ] }
+let zip3 f a b c = Emap { f = f (Arg 0) (Arg 1) (Arg 2); args = [ a; b; c ] }
+let zip4 f a b c d = Emap { f = f (Arg 0) (Arg 1) (Arg 2) (Arg 3); args = [ a; b; c; d ] }
+let reduce op src = Ereduce { op; src }
+
+let outer f a b = Eouter { f = f (Arg 0) (Arg 1); a; b }
+
+let filter_reduce ~pred ~f op src =
+  let keep = pred (Arg 0) in
+  let value = f (Arg 0) in
+  let masked = Prim (Op.Mux, [ keep; value; Constf (Op.identity_element op) ]) in
+  Ereduce { op; src = Emap { f = masked; args = [ src ] } }
+
+let inputs pat =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Input { name; ty } ->
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.replace seen name ();
+        out := (name, ty) :: !out
+      end
+    | Emap { args; _ } -> List.iter go args
+    | Ereduce { src; _ } -> go src
+    | Eouter { a; b; _ } ->
+      go a;
+      go b
+  in
+  go pat;
+  List.rev !out
+
+let is_scalar = function Ereduce _ -> true | Input _ | Emap _ | Eouter _ -> false
+
+let rec to_string = function
+  | Input { name; _ } -> name
+  | Emap { f; args } ->
+    Printf.sprintf "map[%s](%s)" (elt_to_string f) (String.concat ", " (List.map to_string args))
+  | Ereduce { op; src } -> Printf.sprintf "reduce[%s](%s)" (Op.name op) (to_string src)
+  | Eouter { f; a; b } ->
+    Printf.sprintf "outer[%s](%s, %s)" (elt_to_string f) (to_string a) (to_string b)
+
+(* ------------------------- Reference evaluator --------------------- *)
+
+let eval pat ~env =
+  (* 1-D collections take their length from their own inputs, so the two
+     sides of an outer pattern may differ in length. *)
+  let rec collection = function
+    | Input { name; _ } -> (
+      match List.assoc_opt name env with
+      | Some data -> data
+      | None -> invalid_arg (Printf.sprintf "Pattern.eval: missing input %s" name))
+    | Emap { f; args } ->
+      let srcs = List.map collection args in
+      let length =
+        match srcs with
+        | [] -> invalid_arg "Pattern.eval: map with no sources"
+        | first :: rest ->
+          List.iter
+            (fun s ->
+              if Array.length s <> Array.length first then
+                invalid_arg "Pattern.eval: zipped collections differ in length")
+            rest;
+          Array.length first
+      in
+      Array.init length (fun i -> eval_elt f (Array.of_list (List.map (fun s -> s.(i)) srcs)))
+    | Ereduce _ -> invalid_arg "Pattern.eval: nested reduction"
+    | Eouter _ -> invalid_arg "Pattern.eval: nested outer pattern"
+  in
+  let outer_matrix f a b =
+    let av = collection a and bv = collection b in
+    let n = Array.length av and m = Array.length bv in
+    Array.init (n * m) (fun idx -> eval_elt f [| av.(idx / m); bv.(idx mod m) |])
+  in
+  match pat with
+  | Ereduce { op; src = Eouter { f; a; b } } ->
+    let data = outer_matrix f a b in
+    [| Array.fold_left (fun acc v -> Op.eval op [ acc; v ]) (Op.identity_element op) data |]
+  | Ereduce { op; src } ->
+    let data = collection src in
+    [| Array.fold_left (fun acc v -> Op.eval op [ acc; v ]) (Op.identity_element op) data |]
+  | Eouter { f; a; b } -> outer_matrix f a b
+  | other -> collection other
+
+(* ------------------------- Fusion ---------------------------------- *)
+
+type fused =
+  | Fused_map of { f : elt; srcs : (string * Dtype.t) list }
+  | Fused_reduce of { op : Op.t; f : elt; srcs : (string * Dtype.t) list }
+  | Fused_outer of {
+      f : elt;
+      a_srcs : (string * Dtype.t) list;
+      b_srcs : (string * Dtype.t) list;
+      reduce : Op.t option;
+    }
+
+(* Fuse a collection expression into one element function over the leaf
+   inputs. Returns the function and the leaf list (dedup by name). *)
+let fuse_collection pat =
+  let srcs = inputs pat in
+  let index name =
+    let rec find i = function
+      | [] -> assert false
+      | (n, _) :: _ when n = name -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 srcs
+  in
+  let rec go = function
+    | Input { name; _ } -> Arg (index name)
+    | Emap { f; args } -> subst f ~args:(List.map go args)
+    | Ereduce _ -> failwith "Pattern.fuse: reduction nested inside a map is not streamable"
+    | Eouter _ -> failwith "Pattern.fuse: outer pattern nested inside a map is not streamable"
+  in
+  (go pat, srcs)
+
+(* Fuse both sides of an outer pattern and splice them into its binary
+   element function; column-side argument indices shift past the row side. *)
+let fuse_outer f a b ~reduce =
+  let fa, a_srcs = fuse_collection a in
+  let fb, b_srcs = fuse_collection b in
+  let rec shift k = function
+    | Arg i -> Arg (i + k)
+    | Constf _ as c -> c
+    | Prim (op, args) -> Prim (op, List.map (shift k) args)
+  in
+  let body = subst f ~args:[ fa; shift (List.length a_srcs) fb ] in
+  Fused_outer { f = body; a_srcs; b_srcs; reduce }
+
+let fuse = function
+  | Eouter { f; a; b } -> fuse_outer f a b ~reduce:None
+  | Ereduce { op; src = Eouter { f; a; b } } -> fuse_outer f a b ~reduce:(Some op)
+  | Ereduce { op; src } ->
+    let f, srcs = fuse_collection src in
+    Fused_reduce { op; f; srcs }
+  | other ->
+    let f, srcs = fuse_collection other in
+    Fused_map { f; srcs }
+
+let fused_ops = function
+  | Fused_map { f; _ } | Fused_reduce { f; _ } | Fused_outer { f; _ } -> elt_ops f
+
+(* ------------------------- Lowering -------------------------------- *)
+
+(* Emit a fused element function as primitive statements reading from the
+   per-input tile buffers at iterator [i]. *)
+let rec emit_elt pb tiles e =
+  match e with
+  | Arg i -> B.load pb (List.nth tiles i) [ B.iter "i" ]
+  | Constf f -> B.const f
+  | Prim (op, args) ->
+    let xs = List.map (emit_elt pb tiles) args in
+    B.op pb op xs
+
+let default_tile n = List.fold_left max 1 (Intmath.divisors_up_to n 1024)
+
+(* Lower an outer pattern: the two-level tiled loop nest of the outerprod
+   benchmark, with per-side input tiles; the fused body indexes row tiles
+   with ii and column tiles with jj. *)
+let lower_outer ~name ~n ~m ~tile_a ~tile_b ~par ~meta ~f ~a_srcs ~b_srcs ~red =
+  if n mod tile_a <> 0 then
+    invalid_arg (Printf.sprintf "Pattern.lower: tile %d does not divide n = %d" tile_a n);
+  if m mod tile_b <> 0 then
+    invalid_arg (Printf.sprintf "Pattern.lower: tile %d does not divide m = %d" tile_b m);
+  let b =
+    B.create
+      ~params:[ ("tileA", tile_a); ("tileB", tile_b); ("par", par); ("meta", (if meta then 1 else 0)) ]
+      name
+  in
+  let a_off = List.map (fun (nm, ty) -> B.offchip b nm ty [ n ]) a_srcs in
+  let b_off = List.map (fun (nm, ty) -> B.offchip b nm ty [ m ]) b_srcs in
+  let a_tiles = List.map (fun (nm, ty) -> B.bram b (nm ^ "T") ty [ tile_a ]) a_srcs in
+  let b_tiles = List.map (fun (nm, ty) -> B.bram b (nm ^ "T") ty [ tile_b ]) b_srcs in
+  let na = List.length a_srcs in
+  let rec emit pb e =
+    match e with
+    | Arg i ->
+      if i < na then B.load pb (List.nth a_tiles i) [ B.iter "ii" ]
+      else B.load pb (List.nth b_tiles (i - na)) [ B.iter "jj" ]
+    | Constf v -> B.const v
+    | Prim (op, args) -> B.op pb op (List.map (emit pb) args)
+  in
+  let a_loads =
+    List.map2 (fun src dst -> B.tile_load ~src ~dst ~offsets:[ B.iter "i" ] ~par ()) a_off a_tiles
+  in
+  let b_loads =
+    List.map2 (fun src dst -> B.tile_load ~src ~dst ~offsets:[ B.iter "j" ] ~par ()) b_off b_tiles
+  in
+  let stage loads = match loads with [ only ] -> only | many -> B.parallel ~label:"loads" many in
+  let top =
+    match red with
+    | None ->
+      let out = B.offchip b "out" Dtype.float32 [ n; m ] in
+      let outt = B.bram b "outT" Dtype.float32 [ tile_a; tile_b ] in
+      let compute =
+        B.pipe ~label:"fusedOuter"
+          ~counters:[ ("ii", 0, tile_a, 1); ("jj", 0, tile_b, 1) ]
+          ~par
+          (fun pb -> B.store pb outt [ B.iter "ii"; B.iter "jj" ] (emit pb f))
+      in
+      let cols =
+        B.metapipe ~label:"cols"
+          ~counters:[ ("j", 0, m, tile_b) ]
+          ~pipelined:meta
+          [
+            stage b_loads;
+            compute;
+            B.tile_store ~dst:out ~src:outt ~offsets:[ B.iter "i"; B.iter "j" ] ~par ();
+          ]
+      in
+      B.metapipe ~label:"rows" ~counters:[ ("i", 0, n, tile_a) ] ~pipelined:meta
+        (a_loads @ [ cols ])
+    | Some op ->
+      let partial = B.reg b "partial" Dtype.float32 in
+      let col_acc = B.reg b "colAcc" Dtype.float32 in
+      let out = B.reg b "out" Dtype.float32 in
+      let compute =
+        B.reduce_pipe ~label:"fusedOuterRed"
+          ~counters:[ ("ii", 0, tile_a, 1); ("jj", 0, tile_b, 1) ]
+          ~par ~op ~out:partial
+          (fun pb -> emit pb f)
+      in
+      let cols =
+        B.metapipe ~label:"cols"
+          ~counters:[ ("j", 0, m, tile_b) ]
+          ~pipelined:meta ~reduce:(op, partial, col_acc)
+          [ stage b_loads; compute ]
+      in
+      B.metapipe ~label:"rows"
+        ~counters:[ ("i", 0, n, tile_a) ]
+        ~pipelined:meta ~reduce:(op, col_acc, out)
+        (a_loads @ [ cols ])
+  in
+  B.finish b ~top
+
+let rec lower ~name ~n ?m ?tile ?tile_b ?(par = 4) ?(meta = true) pat =
+  match fuse pat with
+  | Fused_outer { f; a_srcs; b_srcs; reduce = red } ->
+    let m = Option.value m ~default:n in
+    let tile_a = Option.value tile ~default:(default_tile n) in
+    let tile_b = Option.value tile_b ~default:(default_tile m) in
+    lower_outer ~name ~n ~m ~tile_a ~tile_b ~par ~meta ~f ~a_srcs ~b_srcs ~red
+  | fused -> lower_streaming ~name ~n ~tile ~par ~meta ~fused
+
+and lower_streaming ~name ~n ~tile ~par ~meta ~fused =
+  let tile = match tile with Some t -> t | None -> default_tile n in
+  if n mod tile <> 0 then
+    invalid_arg (Printf.sprintf "Pattern.lower: tile %d does not divide n = %d" tile n);
+  let b = B.create ~params:[ ("tile", tile); ("par", par); ("meta", (if meta then 1 else 0)) ] name in
+  let srcs =
+    match fused with
+    | Fused_map { srcs; _ } | Fused_reduce { srcs; _ } -> srcs
+    | Fused_outer _ -> assert false
+  in
+  let offchips = List.map (fun (nm, ty) -> B.offchip b nm ty [ n ]) srcs in
+  let tiles = List.map (fun (nm, ty) -> B.bram b (nm ^ "T") ty [ tile ]) srcs in
+  let loads =
+    List.map2
+      (fun src dst -> B.tile_load ~src ~dst ~offsets:[ B.iter "t" ] ~par ())
+      offchips tiles
+  in
+  let load_stage = match loads with [ only ] -> only | many -> B.parallel ~label:"loads" many in
+  let top =
+    match fused with
+    | Fused_outer _ -> assert false
+    | Fused_map { f; _ } ->
+      let out = B.offchip b "out" Dtype.float32 [ n ] in
+      let outt = B.bram b "outT" Dtype.float32 [ tile ] in
+      let compute =
+        B.pipe ~label:"fusedMap" ~counters:[ ("i", 0, tile, 1) ] ~par (fun pb ->
+            B.store pb outt [ B.iter "i" ] (emit_elt pb tiles f))
+      in
+      B.metapipe ~label:"tiles"
+        ~counters:[ ("t", 0, n, tile) ]
+        ~pipelined:meta
+        [ load_stage; compute; B.tile_store ~dst:out ~src:outt ~offsets:[ B.iter "t" ] ~par () ]
+    | Fused_reduce { op; f; _ } ->
+      let partial = B.reg b "partial" Dtype.float32 in
+      let out = B.reg b "out" Dtype.float32 in
+      let compute =
+        B.reduce_pipe ~label:"fusedReduce" ~counters:[ ("i", 0, tile, 1) ] ~par ~op ~out:partial
+          (fun pb -> emit_elt pb tiles f)
+      in
+      B.metapipe ~label:"tiles"
+        ~counters:[ ("t", 0, n, tile) ]
+        ~pipelined:meta ~reduce:(op, partial, out)
+        [ load_stage; compute ]
+  in
+  B.finish b ~top

@@ -1,0 +1,118 @@
+(** Parallel patterns — the high-level input language of Figure 1 (step 1).
+
+    The paper's system is fed by DSLs built on parallel patterns (map,
+    zipWith, filter, reduce [16, 19, 20]); a prior compiler [22] fuses and
+    tiles them and emits DHDL. This module implements that front end for
+    one-dimensional streaming programs: a pure pattern IR, a reference
+    evaluator, a fusion transformation, and the lowering to tiled DHDL
+    templates (Section III.A's "explicit rules to generate DHDL for each
+    parallel pattern").
+
+    Element functions are scalar expression trees over the element(s) of the
+    source collections ({!elt}); patterns compose collections. A program is
+    a single output pattern over named inputs. *)
+
+(** {1 Element-level expressions} *)
+
+type elt =
+  | Arg of int  (** The i-th fused input element (0-based). *)
+  | Constf of float
+  | Prim of Dhdl_ir.Op.t * elt list
+
+val arg : int -> elt
+val constf : float -> elt
+val ( +% ) : elt -> elt -> elt
+val ( -% ) : elt -> elt -> elt
+val ( *% ) : elt -> elt -> elt
+val ( /% ) : elt -> elt -> elt
+val prim : Dhdl_ir.Op.t -> elt list -> elt
+
+val eval_elt : elt -> float array -> float
+(** Evaluate with [Arg i] bound to the i-th array element. *)
+
+val elt_to_string : elt -> string
+
+(** {1 Patterns} *)
+
+type t =
+  | Input of { name : string; ty : Dhdl_ir.Dtype.t }
+      (** A named 1-D input collection (length fixed at lowering). *)
+  | Emap of { f : elt; args : t list }
+      (** n-ary zipWith; [args] are evaluated element-wise and bound to
+          [Arg 0..n-1] of [f]. A unary [Emap] is a plain map. *)
+  | Ereduce of { op : Dhdl_ir.Op.t; src : t }
+      (** Full reduction of a collection to a scalar. *)
+  | Eouter of { f : elt; a : t; b : t }
+      (** Nested parallelism: the 2-D collection out[i,j] = f(a[i], b[j])
+          (outer product generalized to any binary element function). *)
+
+val input : ?ty:Dhdl_ir.Dtype.t -> string -> t
+val map : (elt -> elt) -> t -> t
+val zip2 : (elt -> elt -> elt) -> t -> t -> t
+val zip3 : (elt -> elt -> elt -> elt) -> t -> t -> t -> t
+val zip4 : (elt -> elt -> elt -> elt -> elt) -> t -> t -> t -> t -> t
+val reduce : Dhdl_ir.Op.t -> t -> t
+
+val outer : (elt -> elt -> elt) -> t -> t -> t
+(** [outer f a b]: the n x m collection f(a_i, b_j). May be reduced with
+    {!reduce} (a full 2-D reduction) or lowered as-is (a 2-D output). *)
+
+val filter_reduce : pred:(elt -> elt) -> f:(elt -> elt) -> Dhdl_ir.Op.t -> t -> t
+(** The paper's filter pattern in its common reduce position (TPC-H Q6):
+    reduce f(x) over elements satisfying pred, realized as a mux against the
+    reduction identity — exactly how filters lower to dataflow hardware
+    (Section V.D's "branches are implemented using simple multiplexers"). *)
+
+val inputs : t -> (string * Dhdl_ir.Dtype.t) list
+(** Distinct input collections, in first-use order. *)
+
+val is_scalar : t -> bool
+(** True for reductions (the output is one value, not a collection). *)
+
+val to_string : t -> string
+
+(** {1 Reference semantics} *)
+
+val eval : t -> env:(string * float array) list -> float array
+(** Evaluate on concrete inputs (all inputs must share one length). The
+    result is a singleton array for scalar patterns. *)
+
+(** {1 Fusion (the "high-level optimizations" of Figure 1 step 1)} *)
+
+type fused =
+  | Fused_map of { f : elt; srcs : (string * Dhdl_ir.Dtype.t) list }
+  | Fused_reduce of { op : Dhdl_ir.Op.t; f : elt; srcs : (string * Dhdl_ir.Dtype.t) list }
+  | Fused_outer of {
+      f : elt;  (** Args 0..|a|-1 come from the row inputs, the rest from the column inputs. *)
+      a_srcs : (string * Dhdl_ir.Dtype.t) list;
+      b_srcs : (string * Dhdl_ir.Dtype.t) list;
+      reduce : Dhdl_ir.Op.t option;
+    }
+
+val fuse : t -> fused
+(** Collapse arbitrary [Emap] compositions (and a trailing [Ereduce]) into a
+    single element function over the leaf inputs: vertical loop fusion.
+    Raises [Failure] on reductions nested under maps (not streamable). *)
+
+val fused_ops : fused -> int
+(** Primitive-operation count of the fused body (for tests and reports). *)
+
+(** {1 Lowering to DHDL (step 1's code generation)} *)
+
+val lower :
+  name:string ->
+  n:int ->
+  ?m:int ->
+  ?tile:int ->
+  ?tile_b:int ->
+  ?par:int ->
+  ?meta:bool ->
+  t ->
+  Dhdl_ir.Ir.design
+(** Tile and emit the pattern as a DHDL design: tile loads for every input,
+    one fused Pipe (map -> store, reduce -> reduction tree into a register
+    with a MetaPipe-level accumulator), a tile store for map outputs. The
+    output collection/scalar is named ["out"]. Outer patterns additionally
+    take the column length [m] (default [n]) and tile [tile_b]; their 2-D
+    output is n x m row-major. Defaults: tile 1024 (clamped to a divisor of
+    [n]), par 4, meta true. *)

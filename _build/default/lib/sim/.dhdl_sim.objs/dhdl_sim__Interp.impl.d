@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Dhdl_ir Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/sim/perf_sim.ml: Dhdl_device Dhdl_ir Dhdl_synth Dhdl_util Float Hashtbl List

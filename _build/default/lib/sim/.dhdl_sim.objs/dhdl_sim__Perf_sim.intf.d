@@ -1,0 +1,1 @@
+lib/sim/perf_sim.mli: Dhdl_device Dhdl_ir

@@ -1,0 +1,198 @@
+module Ir = Dhdl_ir.Ir
+module Op = Dhdl_ir.Op
+
+type env = {
+  design : Ir.design;
+  storage : (int, float array) Hashtbl.t;  (** mem_id -> flat contents *)
+  queues : (int, float list ref) Hashtbl.t;  (** mem_id -> sorted contents *)
+}
+
+let queue_state env (m : Ir.mem) =
+  match Hashtbl.find_opt env.queues m.Ir.mem_id with
+  | Some q -> q
+  | None ->
+    let q = ref [] in
+    Hashtbl.replace env.queues m.Ir.mem_id q;
+    q
+
+let mem_storage env (m : Ir.mem) =
+  match Hashtbl.find_opt env.storage m.Ir.mem_id with
+  | Some a -> a
+  | None ->
+    let a = Array.make (max 1 (Ir.mem_words m)) 0.0 in
+    Hashtbl.replace env.storage m.Ir.mem_id a;
+    a
+
+(* Row-major flattening with bounds checking on every dimension. *)
+let flatten_index (m : Ir.mem) idx =
+  let rec go dims idx acc =
+    match (dims, idx) with
+    | [], [] -> acc
+    | d :: dims, i :: idx ->
+      if i < 0 || i >= d then
+        failwith
+          (Printf.sprintf "interp: index %d out of bounds [0,%d) in %s" i d m.Ir.mem_name)
+      else go dims idx ((acc * d) + i)
+    | _ -> failwith (Printf.sprintf "interp: address arity mismatch for %s" m.Ir.mem_name)
+  in
+  go m.Ir.mem_dims idx 0
+
+type iter_env = (string * int) list
+
+let eval_operand (iters : iter_env) values = function
+  | Ir.Const f -> f
+  | Ir.Iter name -> (
+    match List.assoc_opt name iters with
+    | Some i -> float_of_int i
+    | None -> failwith (Printf.sprintf "interp: unbound iterator %s" name))
+  | Ir.Value v -> (
+    match Hashtbl.find_opt values v with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "interp: undefined value v%d" v))
+
+let eval_addr iters values addr =
+  List.map (fun o -> int_of_float (eval_operand iters values o)) addr
+
+(* Iterate a counter chain, invoking [f] with iterator bindings appended. *)
+let iterate_counters counters (iters : iter_env) f =
+  let rec go counters iters =
+    match counters with
+    | [] -> f iters
+    | c :: rest ->
+      let i = ref c.Ir.ctr_start in
+      while !i < c.Ir.ctr_stop do
+        go rest (iters @ [ (c.Ir.ctr_name, !i) ]);
+        i := !i + c.Ir.ctr_step
+      done
+  in
+  go counters iters
+
+let exec_stmt env iters values stmt =
+  match stmt with
+  | Ir.Sop { dst; op; args; _ } ->
+    let xs = List.map (eval_operand iters values) args in
+    Hashtbl.replace values dst (Op.eval op xs)
+  | Ir.Sload { dst; mem; addr; _ } ->
+    let data = mem_storage env mem in
+    let i = flatten_index mem (eval_addr iters values addr) in
+    Hashtbl.replace values dst data.(i)
+  | Ir.Sstore { mem; addr; data } ->
+    let arr = mem_storage env mem in
+    let i = flatten_index mem (eval_addr iters values addr) in
+    arr.(i) <- eval_operand iters values data
+  | Ir.Sread_reg { dst; reg } ->
+    let data = mem_storage env reg in
+    Hashtbl.replace values dst data.(0)
+  | Ir.Swrite_reg { reg; data } ->
+    let arr = mem_storage env reg in
+    arr.(0) <- eval_operand iters values data
+  | Ir.Spush { queue; data } ->
+    (* Bounded min-queue: keep contents sorted; evict the largest overflow. *)
+    let q = queue_state env queue in
+    let v = eval_operand iters values data in
+    let sorted = List.sort compare (v :: !q) in
+    let depth = max 1 (Ir.mem_words queue) in
+    q :=
+      (if List.length sorted > depth then List.filteri (fun i _ -> i < depth) sorted else sorted)
+  | Ir.Spop { dst; queue } ->
+    let q = queue_state env queue in
+    (match !q with
+    | [] -> Hashtbl.replace values dst infinity
+    | smallest :: rest ->
+      q := rest;
+      Hashtbl.replace values dst smallest)
+
+let exec_pipe env iters (loop : Ir.loop_info) body reduce =
+  let acc = ref (match reduce with Some r -> Op.identity_element r.Ir.sr_op | None -> 0.0) in
+  iterate_counters loop.Ir.lp_counters iters (fun iters ->
+      let values = Hashtbl.create 16 in
+      List.iter (exec_stmt env iters values) body;
+      match reduce with
+      | None -> ()
+      | Some r -> acc := Op.eval r.Ir.sr_op [ !acc; eval_operand iters values r.Ir.sr_value ]);
+  match reduce with
+  | None -> ()
+  | Some r -> (mem_storage env r.Ir.sr_out).(0) <- !acc
+
+let tile_region_iter (offchip : Ir.mem) offsets tile f =
+  (* Walk the N-d tile region in row-major order, producing (off-chip flat
+     index, on-chip flat index) pairs. *)
+  let rec go dims offs tiles pos_off pos_on =
+    match (dims, offs, tiles) with
+    | [], [], [] -> f pos_off pos_on
+    | d :: dims, o :: offs, t :: tiles ->
+      for i = 0 to t - 1 do
+        let coord = o + i in
+        if coord < 0 || coord >= d then
+          failwith
+            (Printf.sprintf "interp: tile coordinate %d out of bounds [0,%d) in %s" coord d
+               offchip.Ir.mem_name);
+        go dims offs tiles ((pos_off * d) + coord) ((pos_on * t) + i)
+      done
+    | _ -> failwith "interp: tile rank mismatch"
+  in
+  go offchip.Ir.mem_dims offsets tile 0 0
+
+let rec exec_ctrl env (iters : iter_env) ctrl =
+  match ctrl with
+  | Ir.Pipe { loop; body; reduce } -> exec_pipe env iters loop body reduce
+  | Ir.Loop { loop; stages; reduce; _ } ->
+    (* A loop-level reduction accumulates across this loop's iterations
+       only: the first iteration initializes the accumulator so each
+       execution of the loop (e.g. per output tile in gemm) starts fresh. *)
+    let first = ref true in
+    iterate_counters loop.Ir.lp_counters iters (fun iters ->
+        List.iter (exec_ctrl env iters) stages;
+        match reduce with
+        | None -> ()
+        | Some r ->
+          let src = mem_storage env r.Ir.mr_src in
+          let dst = mem_storage env r.Ir.mr_dst in
+          if !first then Array.blit src 0 dst 0 (Array.length src)
+          else Array.iteri (fun i s -> dst.(i) <- Op.eval r.Ir.mr_op [ dst.(i); s ]) src;
+          first := false)
+  | Ir.Parallel { stages; _ } -> List.iter (exec_ctrl env iters) stages
+  | Ir.Tile_load { src; dst; offsets; tile; _ } ->
+    let offs = List.map (fun o -> int_of_float (eval_operand iters (Hashtbl.create 1) o)) offsets in
+    let src_data = mem_storage env src in
+    let dst_data = mem_storage env dst in
+    tile_region_iter src offs tile (fun i_off i_on -> dst_data.(i_on) <- src_data.(i_off))
+  | Ir.Tile_store { dst; src; offsets; tile; _ } ->
+    let offs = List.map (fun o -> int_of_float (eval_operand iters (Hashtbl.create 1) o)) offsets in
+    let src_data = mem_storage env src in
+    let dst_data = mem_storage env dst in
+    tile_region_iter dst offs tile (fun i_off i_on -> dst_data.(i_off) <- src_data.(i_on))
+
+let run design ~inputs =
+  let env = { design; storage = Hashtbl.create 16; queues = Hashtbl.create 4 } in
+  List.iter
+    (fun (name, data) ->
+      let m = Ir.find_mem design name in
+      if Array.length data <> Ir.mem_words m then
+        failwith
+          (Printf.sprintf "interp: input %s has %d words, memory expects %d" name
+             (Array.length data) (Ir.mem_words m));
+      Hashtbl.replace env.storage m.Ir.mem_id (Array.copy data))
+    inputs;
+  exec_ctrl env [] design.Ir.d_top;
+  env
+
+let offchip env name =
+  let m = Ir.find_mem env.design name in
+  if m.Ir.mem_kind <> Ir.Offchip then raise Not_found;
+  Array.copy (mem_storage env m)
+
+let bram env name =
+  let m = Ir.find_mem env.design name in
+  if m.Ir.mem_kind <> Ir.Bram then raise Not_found;
+  Array.copy (mem_storage env m)
+
+let reg env name =
+  let m = Ir.find_mem env.design name in
+  if m.Ir.mem_kind <> Ir.Reg then raise Not_found;
+  (mem_storage env m).(0)
+
+let queue env name =
+  let m = Ir.find_mem env.design name in
+  if m.Ir.mem_kind <> Ir.Queue then raise Not_found;
+  !(queue_state env m)

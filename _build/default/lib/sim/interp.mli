@@ -1,0 +1,36 @@
+(** Functional interpreter for DHDL designs.
+
+    Executes a design instance on concrete data, giving the reference
+    semantics of the templates: counters iterate, Pipe bodies evaluate their
+    dataflow statements per iteration, scalar reductions fold each Pipe
+    execution into a register, memory reductions fold per-iteration buffers
+    element-wise, and tile transfers copy between off-chip arrays and BRAMs.
+
+    Parallelization factors and pipelining toggles do not change results
+    (they only change the schedule), so the interpreter executes sequentially
+    — this is what makes it usable as a correctness oracle for every point
+    of a design space. On-chip memories start zeroed; accumulators in the
+    benchmarks rely on that (Add/Or reductions).
+
+    Execution raises [Failure] on out-of-bounds addresses, making the
+    interpreter double as a dynamic checker for tiling arithmetic. *)
+
+type env
+
+val run : Dhdl_ir.Ir.design -> inputs:(string * float array) list -> env
+(** Execute the whole design. [inputs] binds off-chip memories by name; each
+    array must match the memory's total word count. Off-chip memories
+    without a binding start zeroed. *)
+
+val offchip : env -> string -> float array
+(** Final contents of an off-chip memory (a copy). Raises [Not_found]. *)
+
+val bram : env -> string -> float array
+(** Final contents of an on-chip buffer (a copy). Raises [Not_found]. *)
+
+val reg : env -> string -> float
+(** Final value of a register. Raises [Not_found]. *)
+
+val queue : env -> string -> float list
+(** Remaining contents of a priority queue, smallest first.
+    Raises [Not_found]. *)

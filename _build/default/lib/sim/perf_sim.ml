@@ -1,0 +1,215 @@
+module Ir = Dhdl_ir.Ir
+module Op = Dhdl_ir.Op
+module Dtype = Dhdl_ir.Dtype
+module Target = Dhdl_device.Target
+module Primitives = Dhdl_device.Primitives
+module Netlist = Dhdl_synth.Netlist
+module Intmath = Dhdl_util.Intmath
+module Rng = Dhdl_util.Rng
+
+type result = { cycles : float; seconds : float; dram_bytes : float }
+
+type ctx = {
+  dev : Target.t;
+  board : Target.board;
+  seed : int;
+  mutable dram_bytes : float;
+}
+
+let word_bytes ty = max 1 (Dtype.bits ty / 8)
+
+(* A Pipe updating a memory it also reads carries a loop dependence through
+   the read-modify-write chain. When both the load and the store address
+   contain the pipe's innermost iterator, consecutive iterations touch
+   different words, so the update still pipelines at II = 1 (a rotating
+   accumulator); otherwise the initiation interval is the chain latency. *)
+let initiation_interval = function
+  | Ir.Pipe { loop; body; _ } ->
+    let innermost =
+      match List.rev loop.Ir.lp_counters with c :: _ -> Some c.Ir.ctr_name | [] -> None
+    in
+    let rotating addr =
+      match innermost with
+      | None -> false
+      | Some name -> List.exists (function Ir.Iter n -> n = name | _ -> false) addr
+    in
+    let stores =
+      List.filter_map
+        (function Ir.Sstore { mem; addr; _ } -> Some (mem.Ir.mem_id, rotating addr) | _ -> None)
+        body
+    in
+    let unsafe_rmw =
+      List.exists
+        (function
+          | Ir.Sload { mem; addr; _ } ->
+            List.exists
+              (fun (id, st_rot) -> id = mem.Ir.mem_id && not (st_rot && rotating addr))
+              stores
+          | _ -> false)
+        body
+    in
+    if unsafe_rmw then
+      let max_lat =
+        List.fold_left
+          (fun acc s ->
+            match s with Ir.Sop { op; ty; _ } -> max acc (Primitives.latency op ty) | _ -> acc)
+          1 body
+      in
+      2 + max_lat
+    else 1
+  | Ir.Loop _ | Ir.Parallel _ | Ir.Tile_load _ | Ir.Tile_store _ -> 0
+
+let contains_transfer ctrl =
+  Dhdl_ir.Traverse.fold_ctrl
+    (fun acc c -> acc || match c with Ir.Tile_load _ | Ir.Tile_store _ -> true | _ -> false)
+    false ctrl
+
+(* Deterministic per-stream efficiency jitter in [1.0, 1.06]: bank conflicts
+   and refresh interference the closed-form estimator does not see. *)
+let stream_jitter ctx ~key =
+  let rng = Rng.create (ctx.seed lxor Hashtbl.hash key) in
+  1.0 +. Rng.float rng 0.06
+
+let transfer_cycles ctx ~overlap ~trips ~(offchip : Ir.mem) ~(ty : Dtype.t) ~tile ~label =
+  let words = Intmath.prod tile in
+  let wb = word_bytes ty in
+  let bytes = float_of_int (words * wb) in
+  ctx.dram_bytes <- ctx.dram_bytes +. (bytes *. trips);
+  (* Commands fetch contiguous rows: the innermost tile dimension if the
+     tile spans part of a row, or larger contiguous runs when inner
+     dimensions cover the full off-chip extent. *)
+  let row_words =
+    match (List.rev tile, List.rev offchip.Ir.mem_dims) with
+    | [], _ | _, [] -> words
+    | t_last :: _, d_last :: _ -> if t_last = d_last then min words (t_last * max 1 (words / t_last)) else t_last
+  in
+  let row_words = max 1 row_words in
+  let ncmds = Intmath.ceil_div words row_words in
+  let bytes_per_cmd = row_words * wb in
+  let burst = ctx.board.Target.burst_bytes in
+  let eff_bytes = float_of_int (ncmds * Intmath.round_up bytes_per_cmd burst) in
+  let bw = Target.bytes_per_cycle ctx.board /. float_of_int (max 1 overlap) in
+  let jitter = stream_jitter ctx ~key:label in
+  float_of_int ctx.board.Target.dram_latency_cycles
+  +. (4.0 *. float_of_int ncmds)
+  +. (eff_bytes /. bw *. jitter)
+
+let mem_reduce_cycles (loop : Ir.loop_info) (r : Ir.mem_reduce) =
+  let words = Ir.mem_words r.Ir.mr_dst in
+  (* Lanes match the accumulator's banking (see Netlist.mem_reduce_lanes). *)
+  let lanes =
+    max (max 1 loop.Ir.lp_par)
+      (max (max 1 r.Ir.mr_src.Ir.mem_banks) (max 1 r.Ir.mr_dst.Ir.mem_banks))
+  in
+  let lat = Primitives.latency r.Ir.mr_op r.Ir.mr_dst.Ir.mem_ty in
+  float_of_int (Intmath.ceil_div words lanes + lat + 6)
+
+let rec ctrl_cycles_rec ctx ~overlap ~trips ctrl =
+  match ctrl with
+  | Ir.Pipe { loop; reduce; _ } ->
+    let trip_vec = Ir.loop_trip_vectorized loop in
+    let depth = max 1 (Netlist.pipe_critical_path ctrl) in
+    let depth =
+      match reduce with
+      | None -> depth
+      | Some r ->
+        (* Balanced combine tree plus the pipelined accumulator. *)
+        let lat = Primitives.latency r.Ir.sr_op r.Ir.sr_out.Ir.mem_ty in
+        depth + (Intmath.ilog2_ceil (max 2 loop.Ir.lp_par) * lat) + lat
+    in
+    let ii = initiation_interval ctrl in
+    (* Banked parallel access occasionally conflicts (vector lanes hitting
+       the same bank), stretching the achieved initiation interval by a few
+       percent — visible in measurement, not in the closed-form model. *)
+    let stall =
+      if loop.Ir.lp_par > 1 then
+        let rng = Rng.create (ctx.seed lxor Hashtbl.hash loop.Ir.lp_label) in
+        Rng.float rng 0.04
+      else 0.0
+    in
+    float_of_int (depth + 4)
+    +. (float_of_int ((trip_vec - 1) * ii) *. (1.0 +. stall))
+  | Ir.Loop { loop; stages; pipelined; reduce } ->
+    let trip_vec = Ir.loop_trip_vectorized loop in
+    let inner_overlap = overlap * max 1 loop.Ir.lp_par in
+    let stage_cost =
+      let transfer_stages = List.length (List.filter contains_transfer stages) in
+      let o = if pipelined then inner_overlap * max 1 transfer_stages else inner_overlap in
+      let inner_trips = trips *. float_of_int (Ir.loop_trip loop) in
+      List.map (fun st -> ctrl_cycles_rec ctx ~overlap:o ~trips:inner_trips st) stages
+    in
+    let red = match reduce with None -> [] | Some r -> [ mem_reduce_cycles loop r ] in
+    let all_stages = stage_cost @ red in
+    let per_stage_sync = 2.0 *. float_of_int (List.length all_stages) in
+    if pipelined then begin
+      (* Fill the coarse-grain pipeline once, then each further iteration
+         costs the slowest stage (the recursive MetaPipe model of IV.B). *)
+      let fill = List.fold_left ( +. ) 0.0 all_stages in
+      let slowest = List.fold_left max 0.0 all_stages in
+      fill +. (float_of_int (trip_vec - 1) *. slowest) +. (2.0 *. float_of_int trip_vec) +. 4.0
+    end
+    else begin
+      let per_iter = List.fold_left ( +. ) 0.0 all_stages +. per_stage_sync in
+      (float_of_int trip_vec *. per_iter) +. 4.0
+    end
+  | Ir.Parallel { stages; _ } ->
+    let transfer_stages = List.length (List.filter contains_transfer stages) in
+    let o = overlap * max 1 transfer_stages in
+    let costs = List.map (fun st -> ctrl_cycles_rec ctx ~overlap:o ~trips st) stages in
+    List.fold_left max 0.0 costs +. 3.0
+  | Ir.Tile_load { src; dst; tile; _ } ->
+    transfer_cycles ctx ~overlap ~trips ~offchip:src ~ty:dst.Ir.mem_ty ~tile
+      ~label:("ld_" ^ src.Ir.mem_name ^ dst.Ir.mem_name)
+  | Ir.Tile_store { dst; src; tile; _ } ->
+    transfer_cycles ctx ~overlap ~trips ~offchip:dst ~ty:src.Ir.mem_ty ~tile
+      ~label:("st_" ^ dst.Ir.mem_name ^ src.Ir.mem_name)
+
+let make_ctx dev board design =
+  { dev; board; seed = Ir.design_hash design; dram_bytes = 0.0 }
+
+let ctrl_cycles ?(dev = Target.stratix_v) ?(board = Target.max4_maia) ~design ctrl =
+  let ctx = make_ctx dev board design in
+  ctrl_cycles_rec ctx ~overlap:1 ~trips:1.0 ctrl
+
+(* Per-controller totals: walk like the cycle recursion, but accumulate
+   each controller's contribution to the end-to-end total. In a pipelined
+   loop only the slowest stage accumulates steady-state weight; the others
+   contribute their (hidden) single activation. *)
+let breakdown ?(dev = Target.stratix_v) ?(board = Target.max4_maia) design =
+  let ctx = make_ctx dev board design in
+  let rows = ref [] in
+  let rec walk ~overlap ~weight ctrl =
+    let own = ctrl_cycles_rec ctx ~overlap ~trips:0.0 ctrl in
+    rows := (Ir.ctrl_label ctrl, own, own *. weight) :: !rows;
+    match ctrl with
+    | Ir.Pipe _ | Ir.Tile_load _ | Ir.Tile_store _ -> ()
+    | Ir.Parallel { stages; _ } ->
+      let transfer_stages = List.length (List.filter contains_transfer stages) in
+      List.iter (walk ~overlap:(overlap * max 1 transfer_stages) ~weight) stages
+    | Ir.Loop { loop; stages; pipelined; _ } ->
+      let trip_vec = float_of_int (Ir.loop_trip_vectorized loop) in
+      let inner_overlap = overlap * max 1 loop.Ir.lp_par in
+      let o =
+        if pipelined then inner_overlap * max 1 (List.length (List.filter contains_transfer stages))
+        else inner_overlap
+      in
+      if pipelined then begin
+        (* Steady state repeats only the slowest stage. *)
+        let costs = List.map (fun st -> ctrl_cycles_rec ctx ~overlap:o ~trips:0.0 st) stages in
+        let slowest = List.fold_left max 0.0 costs in
+        List.iter2
+          (fun st cost ->
+            let w = if cost >= slowest -. 1e-9 then weight *. trip_vec else weight in
+            walk ~overlap:o ~weight:w st)
+          stages costs
+      end
+      else List.iter (walk ~overlap:o ~weight:(weight *. trip_vec)) stages
+  in
+  walk ~overlap:1 ~weight:1.0 design.Ir.d_top;
+  let total = List.fold_left (fun acc (_, _, w) -> Float.max acc w) 1.0 !rows in
+  List.rev_map (fun (label, own, w) -> (label, own, 100.0 *. w /. total)) !rows
+
+let simulate ?(dev = Target.stratix_v) ?(board = Target.max4_maia) design =
+  let ctx = make_ctx dev board design in
+  let cycles = ctrl_cycles_rec ctx ~overlap:1 ~trips:1.0 design.Ir.d_top in
+  { cycles; seconds = cycles /. (board.Target.fabric_mhz *. 1e6); dram_bytes = ctx.dram_bytes }

@@ -1,0 +1,41 @@
+(** Cycle-level performance simulator — the "measured FPGA runtime" of the
+    reproduction.
+
+    Walks the controller hierarchy the way the generated hardware executes:
+    Pipes fill their pipeline depth then stream one vector of iterations per
+    initiation interval; Sequential loops run stage after stage; MetaPipes
+    overlap stages with handshaking (fill + (N-1) x slowest stage); Parallel
+    containers take the slowest branch plus a barrier. Off-chip transfers
+    see a DRAM channel model with command latency, burst-granularity
+    rounding, bandwidth sharing between concurrently active streams, and a
+    small deterministic per-stream efficiency jitter — the second-order
+    effects responsible for the paper's ~6% runtime estimation error. *)
+
+module Target = Dhdl_device.Target
+
+type result = {
+  cycles : float;  (** Fabric cycles for one execution of the design. *)
+  seconds : float;  (** At the board's fabric clock. *)
+  dram_bytes : float;  (** Total off-chip traffic. *)
+}
+
+val simulate : ?dev:Target.t -> ?board:Target.board -> Dhdl_ir.Ir.design -> result
+
+val ctrl_cycles :
+  ?dev:Target.t -> ?board:Target.board -> design:Dhdl_ir.Ir.design -> Dhdl_ir.Ir.ctrl -> float
+(** Cycles of a single controller subtree (used by template characterization
+    and by tests). Contention is evaluated within the subtree only. *)
+
+val breakdown :
+  ?dev:Target.t -> ?board:Target.board -> Dhdl_ir.Ir.design -> (string * float * float) list
+(** Per-controller profile: [(label, cycles of one activation, share of the
+    design's total cycles in percent)]. The share weights each controller's
+    activation cost by how many times it runs and how much of it is hidden
+    by coarse-grained pipelining, so a MetaPipe's dominant stage shows up
+    with the largest share — the quantity Section V.C reasons about when it
+    identifies each benchmark's bottleneck. *)
+
+val initiation_interval : Dhdl_ir.Ir.ctrl -> int
+(** The II the simulator charges a [Pipe]: 1 for pure feed-forward bodies,
+    the read-modify-write chain latency when the body updates a memory it
+    also reads (e.g. histogram-style accumulations). 0 for non-Pipes. *)

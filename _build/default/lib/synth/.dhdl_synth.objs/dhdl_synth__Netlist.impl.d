@@ -1,0 +1,1 @@
+lib/synth/netlist.ml: Dhdl_device Dhdl_ir Dhdl_util Hashtbl List Option Printf

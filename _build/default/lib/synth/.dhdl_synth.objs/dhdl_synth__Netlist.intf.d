@@ -1,0 +1,1 @@
+lib/synth/netlist.mli: Dhdl_device Dhdl_ir

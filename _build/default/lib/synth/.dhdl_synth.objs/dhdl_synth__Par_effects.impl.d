@@ -1,0 +1,1 @@
+lib/synth/par_effects.ml: Dhdl_device Dhdl_util Float Netlist Report

@@ -1,0 +1,1 @@
+lib/synth/par_effects.mli: Dhdl_device Netlist Report

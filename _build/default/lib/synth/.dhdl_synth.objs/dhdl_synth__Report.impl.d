@@ -1,0 +1,1 @@
+lib/synth/report.ml: Dhdl_device Printf

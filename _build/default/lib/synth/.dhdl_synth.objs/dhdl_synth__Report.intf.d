@@ -1,0 +1,1 @@
+lib/synth/report.mli: Dhdl_device

@@ -1,0 +1,1 @@
+lib/synth/toolchain.ml: Dhdl_device Dhdl_ir Netlist Par_effects

@@ -1,0 +1,1 @@
+lib/synth/toolchain.mli: Dhdl_device Dhdl_ir Netlist Report

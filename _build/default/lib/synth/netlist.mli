@@ -1,0 +1,39 @@
+(** Elaboration of a DHDL design instance into netlist-level statistics.
+
+    This is the front half of the simulated vendor toolchain: it replicates
+    primitive nodes by their vector widths, builds reduction trees, allocates
+    counters, controller FSMs, memory command generators and on-chip memory
+    blocks, inserts delay-balancing resources from an ASAP schedule of each
+    Pipe body, and applies the low-level datapath optimizations the Maxeler
+    compiler performs automatically (floating-point multiply-add fusion and
+    reduction-tree fusion, Section V.B). *)
+
+module Resources = Dhdl_device.Resources
+module Target = Dhdl_device.Target
+
+type t = {
+  raw : Resources.t;  (** Pre-place-and-route resource totals. *)
+  nets : int;  (** Point-to-point connections needing routing. *)
+  avg_fanout : float;
+  tree_depth : int;  (** Controller hierarchy depth. *)
+  streams : int;  (** Off-chip memory streams (TileLd/TileSt). *)
+  ctrl_count : int;
+  double_buffers : int;
+  prim_count : int;  (** Primitive instances after replication. *)
+  fused_fmas : int;  (** Multiply-add pairs fused by the backend. *)
+}
+
+val elaborate : Target.t -> Dhdl_ir.Ir.design -> t
+
+val bram_blocks_of_mem : Target.t -> Dhdl_ir.Ir.mem -> int
+(** M20K blocks for one on-chip memory after banking and double buffering.
+    0 for off-chip memories and registers. *)
+
+val pipe_delay_resources : Target.t -> Dhdl_ir.Ir.ctrl -> Resources.t
+(** Delay-balancing registers/BRAMs for a [Pipe] body under ASAP scheduling
+    (zero for other controllers). Exposed for the estimator's
+    characterization tests. *)
+
+val pipe_critical_path : Dhdl_ir.Ir.ctrl -> int
+(** Length in cycles of the longest register-to-register path through a
+    [Pipe] body (0 for other controllers). *)

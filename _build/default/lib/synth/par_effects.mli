@@ -1,0 +1,19 @@
+(** Place-and-route effects applied on top of elaborated netlist counts.
+
+    Models the four factors of Section IV.A with design-dependent magnitudes
+    and deterministic, design-seeded noise:
+    - routing LUTs (~10% of LUTs, congestion dependent),
+    - register duplication for fanout reduction (~5%),
+    - block RAM duplication (10-100%, inherently noisy),
+    - unavailable LUTs from packing constraints (~4%),
+    - pairwise LUT packing (~80% of packable functions pack, saving ~40%). *)
+
+module Target = Dhdl_device.Target
+
+val congestion : Netlist.t -> float
+(** Congestion score in [0, 1] derived from net count, fanout and density. *)
+
+val apply : Target.t -> seed:int -> Netlist.t -> Report.t
+(** Produce the post-place-and-route report. The same seed (derived from the
+    design's structural hash) always yields the same report, as a real
+    deterministic fitter would. *)

@@ -1,0 +1,27 @@
+module Resources = Dhdl_device.Resources
+module Target = Dhdl_device.Target
+
+type t = {
+  alms : int;
+  luts : int;
+  regs : int;
+  dsps : int;
+  brams : int;
+  luts_routing : int;
+  luts_unavailable : int;
+  regs_duplicated : int;
+  brams_duplicated : int;
+  packed_pairs : int;
+}
+
+let fits (dev : Target.t) r = r.alms <= dev.alms && r.dsps <= dev.dsps && r.brams <= dev.brams
+
+let utilization (dev : Target.t) r =
+  let pct used avail = 100.0 *. float_of_int used /. float_of_int avail in
+  (pct r.alms dev.alms, pct r.dsps dev.dsps, pct r.brams dev.brams)
+
+let to_string r =
+  Printf.sprintf
+    "ALMs=%d LUTs=%d (route %d, unavail %d) regs=%d (+%d dup) DSPs=%d BRAMs=%d (+%d dup) packed=%d"
+    r.alms r.luts r.luts_routing r.luts_unavailable r.regs r.regs_duplicated r.dsps r.brams
+    r.brams_duplicated r.packed_pairs

@@ -1,0 +1,26 @@
+(** Post-place-and-route report, mirroring the fields of a vendor fitter
+    report that the paper compares its estimates against. *)
+
+module Resources = Dhdl_device.Resources
+module Target = Dhdl_device.Target
+
+type t = {
+  alms : int;  (** Final adaptive logic modules after packing. *)
+  luts : int;  (** Total LUTs including route-throughs and unavailable. *)
+  regs : int;  (** Total registers including duplicates. *)
+  dsps : int;
+  brams : int;  (** M20K blocks including duplicates. *)
+  luts_routing : int;  (** Route-through LUTs. *)
+  luts_unavailable : int;  (** LUTs lost to packing constraints. *)
+  regs_duplicated : int;
+  brams_duplicated : int;
+  packed_pairs : int;  (** LUT pairs merged by the packer. *)
+}
+
+val fits : Target.t -> t -> bool
+(** True when every resource class fits on the device. *)
+
+val utilization : Target.t -> t -> float * float * float
+(** (ALM, DSP, BRAM) utilization as percentages of the device. *)
+
+val to_string : t -> string

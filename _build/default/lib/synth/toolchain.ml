@@ -1,0 +1,14 @@
+module Target = Dhdl_device.Target
+module Ir = Dhdl_ir.Ir
+
+let netlist ?(dev = Target.stratix_v) d = Netlist.elaborate dev d
+
+let synthesize ?(dev = Target.stratix_v) d =
+  let n = Netlist.elaborate dev d in
+  Par_effects.apply dev ~seed:(Ir.design_hash d) n
+
+(* Logic synthesis time grows roughly linearly in netlist size with a
+   noticeable constant: ~3 minutes floor, ~45 minutes per 100k LUTs. *)
+let synthesis_wall_seconds (n : Netlist.t) =
+  let luts = float_of_int (Dhdl_device.Resources.luts n.Netlist.raw) in
+  180.0 +. (luts /. 100_000.0 *. 2_700.0) +. (float_of_int n.Netlist.nets /. 1_000.0)

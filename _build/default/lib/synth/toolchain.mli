@@ -1,0 +1,17 @@
+(** The simulated vendor toolchain: elaborate then place-and-route.
+
+    Stands in for the Altera Quartus / Maxeler MaxCompiler flow the paper
+    synthesized its designs with. Results are deterministic per design. *)
+
+module Target = Dhdl_device.Target
+
+val synthesize : ?dev:Target.t -> Dhdl_ir.Ir.design -> Report.t
+(** Full flow: {!Netlist.elaborate} then {!Par_effects.apply} seeded by the
+    design's structural hash. Defaults to {!Target.stratix_v}. *)
+
+val netlist : ?dev:Target.t -> Dhdl_ir.Ir.design -> Netlist.t
+
+val synthesis_wall_seconds : Netlist.t -> float
+(** Model of how long the real toolchain would take on this design (the
+    "several hours per design" of Section I): minutes for tiny templates,
+    hours for full designs. Used only for reporting context, never slept. *)

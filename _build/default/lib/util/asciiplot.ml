@@ -1,0 +1,54 @@
+type series = { label : char; points : (float * float) list }
+
+let render ?(width = 64) ?(height = 20) ?(x_label = "x") ?(y_label = "y") ?(log_y = false) series =
+  let all =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun (x, y) ->
+            let y = if log_y then (if y <= 0.0 then nan else log10 y) else y in
+            if Float.is_nan x || Float.is_nan y then None else Some (x, y))
+          s.points)
+      series
+  in
+  match all with
+  | [] -> "(no points)\n"
+  | _ ->
+    let xs = List.map fst all and ys = List.map snd all in
+    let x_min = List.fold_left min (List.hd xs) xs in
+    let x_max = List.fold_left max (List.hd xs) xs in
+    let y_min = List.fold_left min (List.hd ys) ys in
+    let y_max = List.fold_left max (List.hd ys) ys in
+    let x_span = if x_max -. x_min < 1e-9 then 1.0 else x_max -. x_min in
+    let y_span = if y_max -. y_min < 1e-9 then 1.0 else y_max -. y_min in
+    let grid = Array.make_matrix height width ' ' in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (x, y) ->
+            let y = if log_y then (if y <= 0.0 then nan else log10 y) else y in
+            if not (Float.is_nan y) then begin
+              let col =
+                int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1))
+              in
+              let row =
+                height - 1 - int_of_float ((y -. y_min) /. y_span *. float_of_int (height - 1))
+              in
+              if row >= 0 && row < height && col >= 0 && col < width then grid.(row).(col) <- s.label
+            end)
+          s.points)
+      series;
+    let buf = Buffer.create ((width + 8) * (height + 3)) in
+    let y_hi = if log_y then Printf.sprintf "1e%.1f" y_max else Printf.sprintf "%.3g" y_max in
+    let y_lo = if log_y then Printf.sprintf "1e%.1f" y_min else Printf.sprintf "%.3g" y_min in
+    Buffer.add_string buf (Printf.sprintf "%s (top=%s, bottom=%s)\n" y_label y_hi y_lo);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "  |";
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "   %s: %.3g .. %.3g\n" x_label x_min x_max);
+    Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Terminal scatter plots for the design-space figures.
+
+    Renders (x, y) points into a character grid — enough to see the shape
+    of Figure 5's clouds and Pareto fronts in the bench output. *)
+
+type series = {
+  label : char;  (** Glyph used for the series ('.', '*', 'x'...). *)
+  points : (float * float) list;
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?log_y:bool ->
+  series list ->
+  string
+(** Later series draw over earlier ones. Axis ranges come from the data;
+    [log_y] plots log10 of y (cycles axes in the paper are log scale).
+    Defaults: 64 x 20 cells. *)

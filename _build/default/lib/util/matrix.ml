@@ -1,0 +1,107 @@
+type t = { data : float array array; nrows : int; ncols : int }
+
+let create nrows ncols =
+  assert (nrows > 0 && ncols > 0);
+  { data = Array.make_matrix nrows ncols 0.0; nrows; ncols }
+
+let of_rows data =
+  let nrows = Array.length data in
+  assert (nrows > 0);
+  let ncols = Array.length data.(0) in
+  Array.iter (fun r -> assert (Array.length r = ncols)) data;
+  { data; nrows; ncols }
+
+let rows m = m.nrows
+let cols m = m.ncols
+let get m i j = m.data.(i).(j)
+let set m i j v = m.data.(i).(j) <- v
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    m.data.(i).(i) <- 1.0
+  done;
+  m
+
+let transpose m =
+  let r = create m.ncols m.nrows in
+  for i = 0 to m.nrows - 1 do
+    for j = 0 to m.ncols - 1 do
+      r.data.(j).(i) <- m.data.(i).(j)
+    done
+  done;
+  r
+
+let mul a b =
+  assert (a.ncols = b.nrows);
+  let r = create a.nrows b.ncols in
+  for i = 0 to a.nrows - 1 do
+    for k = 0 to a.ncols - 1 do
+      let aik = a.data.(i).(k) in
+      if aik <> 0.0 then
+        for j = 0 to b.ncols - 1 do
+          r.data.(i).(j) <- r.data.(i).(j) +. (aik *. b.data.(k).(j))
+        done
+    done
+  done;
+  r
+
+let mul_vec a v =
+  assert (a.ncols = Array.length v);
+  Array.init a.nrows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to a.ncols - 1 do
+        acc := !acc +. (a.data.(i).(j) *. v.(j))
+      done;
+      !acc)
+
+let solve a b =
+  assert (a.nrows = a.ncols && a.nrows = Array.length b);
+  let n = a.nrows in
+  (* Work on copies: Gaussian elimination with partial pivoting. *)
+  let m = Array.map Array.copy a.data in
+  let rhs = Array.copy b in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs m.(row).(col) > Float.abs m.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs m.(!pivot).(col) < 1e-12 then failwith "Matrix.solve: singular system";
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let tb = rhs.(col) in
+      rhs.(col) <- rhs.(!pivot);
+      rhs.(!pivot) <- tb
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = m.(row).(col) /. m.(col).(col) in
+      if factor <> 0.0 then begin
+        for j = col to n - 1 do
+          m.(row).(j) <- m.(row).(j) -. (factor *. m.(col).(j))
+        done;
+        rhs.(row) <- rhs.(row) -. (factor *. rhs.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for row = n - 1 downto 0 do
+    let acc = ref rhs.(row) in
+    for j = row + 1 to n - 1 do
+      acc := !acc -. (m.(row).(j) *. x.(j))
+    done;
+    x.(row) <- !acc /. m.(row).(row)
+  done;
+  x
+
+let least_squares a b =
+  assert (a.nrows = Array.length b);
+  let at = transpose a in
+  let ata = mul at a in
+  (* Ridge regularization keeps near-collinear characterization data stable. *)
+  for i = 0 to ata.nrows - 1 do
+    ata.data.(i).(i) <- ata.data.(i).(i) +. 1e-8
+  done;
+  let atb = mul_vec at b in
+  solve ata atb

@@ -1,0 +1,28 @@
+(** Dense float matrices with just enough linear algebra for least-squares
+    fitting (normal equations) in the estimation models. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] is a zero matrix. *)
+
+val of_rows : float array array -> t
+(** Takes ownership of the array; rows must be equal length and non-empty. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val identity : int -> t
+val transpose : t -> t
+val mul : t -> t -> t
+val mul_vec : t -> float array -> float array
+
+val solve : t -> float array -> float array
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting. Raises [Failure] on (near-)singular systems. *)
+
+val least_squares : t -> float array -> float array
+(** [least_squares a b] solves min ||a x - b||^2 via the regularized normal
+    equations (ridge epsilon keeps rank-deficient fits stable). *)

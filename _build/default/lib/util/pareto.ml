@@ -1,0 +1,23 @@
+let dominates (ax, ay) (bx, by) =
+  ax <= bx && ay <= by && (ax < bx || ay < by)
+
+(* Sort by first objective then sweep keeping the running minimum of the
+   second: classic O(n log n) 2-D Pareto extraction. *)
+let frontier project items =
+  let tagged = List.map (fun it -> (project it, it)) items in
+  let sorted =
+    List.stable_sort
+      (fun ((ax, ay), _) ((bx, by), _) ->
+        match compare ax bx with 0 -> compare ay by | c -> c)
+      tagged
+  in
+  let rec sweep best_y acc = function
+    | [] -> List.rev acc
+    | ((_, y), it) :: rest ->
+      if y < best_y then sweep y (it :: acc) rest else sweep best_y acc rest
+  in
+  sweep infinity [] sorted
+
+let is_frontier_member project items candidate =
+  let c = project candidate in
+  not (List.exists (fun it -> dominates (project it) c) items)

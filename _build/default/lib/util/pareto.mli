@@ -1,0 +1,13 @@
+(** Pareto-frontier extraction for two-objective minimization (the paper's
+    DSE plots minimize execution cycles against resource usage). *)
+
+val dominates : float * float -> float * float -> bool
+(** [dominates a b] is true when [a] is no worse than [b] in both objectives
+    and strictly better in at least one (both minimized). *)
+
+val frontier : ('a -> float * float) -> 'a list -> 'a list
+(** Pareto-optimal subset under [dominates] of the projections. Stable with
+    respect to the input order among equals; O(n log n). *)
+
+val is_frontier_member : ('a -> float * float) -> 'a list -> 'a -> bool
+(** True when no element of the list strictly dominates the candidate. *)

@@ -1,0 +1,73 @@
+type t = { mutable state : int64 }
+
+let default_seed = 0x9E3779B97F4A7C15L
+
+let create seed =
+  let s = Int64.of_int seed in
+  { state = (if Int64.equal s 0L then default_seed else s) }
+
+let copy t = { state = t.state }
+
+(* xorshift64* : fast, good-quality 64-bit generator. *)
+let next t =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.shift_right_logical (next t) 1 in
+  Int64.to_int (Int64.rem r (Int64.of_int bound))
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random mantissa bits scaled into [0, bound). *)
+  let r = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float r /. 9007199254740992.0 *. bound
+
+let float_in t lo hi = lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (next t) 1L |> Int64.equal 1L
+
+let gaussian t ~mean ~sigma =
+  let rec draw () =
+    let u1 = float t 1.0 in
+    if u1 <= 1e-300 then draw () else u1
+  in
+  let u1 = draw () in
+  let u2 = float t 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (sigma *. z)
+
+let choice t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let choice_list t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choice_list: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t xs n =
+  let arr = Array.of_list xs in
+  shuffle t arr;
+  let k = min n (Array.length arr) in
+  Array.to_list (Array.sub arr 0 k)
+
+let split t =
+  let s = next t in
+  { state = (if Int64.equal s 0L then default_seed else s) }

@@ -1,0 +1,47 @@
+(** Deterministic, seedable pseudo-random number generator.
+
+    All stochastic parts of the framework (design-space sampling, synthesis
+    noise, training data) draw from explicit [Rng.t] states so that every
+    experiment is reproducible from its seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. The seed may be any integer;
+    zero is remapped internally to a fixed non-zero constant. *)
+
+val copy : t -> t
+(** Independent copy continuing from the same state. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val float_in : t -> float -> float -> float
+(** Uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mean:float -> sigma:float -> float
+(** Box-Muller normal sample. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choice_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample : t -> 'a list -> int -> 'a list
+(** [sample t xs n] draws up to [n] elements of [xs] without replacement,
+    preserving no particular order. *)
+
+val split : t -> t
+(** Derive an independent generator (useful to decorrelate subsystems). *)

@@ -1,0 +1,59 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let logsum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (logsum /. float_of_int (List.length xs))
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
+    sqrt var
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    if n mod 2 = 1 then arr.(n / 2)
+    else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+let minimum = function [] -> 0.0 | x :: xs -> List.fold_left min x xs
+let maximum = function [] -> 0.0 | x :: xs -> List.fold_left max x xs
+
+let percent_error ~actual ~predicted =
+  if Float.abs actual < 1e-12 then
+    if Float.abs predicted < 1e-12 then 0.0 else 100.0
+  else Float.abs (predicted -. actual) /. Float.abs actual *. 100.0
+
+let mean_abs_percent_error pairs =
+  mean (List.map (fun (actual, predicted) -> percent_error ~actual ~predicted) pairs)
+
+let correlation xs ys =
+  let n = List.length xs in
+  if n <> List.length ys || n < 2 then 0.0
+  else begin
+    let mx = mean xs and my = mean ys in
+    let num = List.fold_left2 (fun a x y -> a +. ((x -. mx) *. (y -. my))) 0.0 xs ys in
+    let sx = sqrt (List.fold_left (fun a x -> a +. ((x -. mx) *. (x -. mx))) 0.0 xs) in
+    let sy = sqrt (List.fold_left (fun a y -> a +. ((y -. my) *. (y -. my))) 0.0 ys) in
+    if sx *. sy < 1e-12 then 0.0 else num /. (sx *. sy)
+  end
+
+let rank_preserved actual predicted =
+  let idx = Array.init (List.length actual) (fun i -> i) in
+  let a = Array.of_list actual and p = Array.of_list predicted in
+  if Array.length a <> Array.length p then false
+  else begin
+    let by_a = Array.copy idx and by_p = Array.copy idx in
+    Array.sort (fun i j -> compare a.(i) a.(j)) by_a;
+    Array.sort (fun i j -> compare p.(i) p.(j)) by_p;
+    by_a = by_p
+  end

@@ -1,0 +1,32 @@
+(** Small statistics helpers used by estimation-error reporting. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0 for the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for lists shorter than 2. *)
+
+val median : float list -> float
+(** Median; 0 for the empty list. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val percent_error : actual:float -> predicted:float -> float
+(** Absolute relative error in percent, |predicted - actual| / |actual| * 100.
+    When [actual] is 0 the error is 0 if [predicted] is also 0, 100 otherwise
+    (the convention used for unused resource classes such as DSPs). *)
+
+val mean_abs_percent_error : (float * float) list -> float
+(** Average of [percent_error] over (actual, predicted) pairs. *)
+
+val correlation : float list -> float list -> float
+(** Pearson correlation of two equal-length series; 0 when undefined. *)
+
+val rank_preserved : float list -> float list -> bool
+(** [rank_preserved actual predicted] is true when sorting by the predicted
+    values yields the same order as sorting by the actual values. Used for
+    the paper's claim that estimates "preserve ordering across designs". *)

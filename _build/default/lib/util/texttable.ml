@@ -1,0 +1,45 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?aligns ~header rows =
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) (List.length header) rows in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let all = header :: rows in
+  let widths =
+    Array.init ncols (fun i ->
+        List.fold_left (fun acc row -> max acc (String.length (cell row i))) 0 all)
+  in
+  let aligns =
+    match aligns with
+    | Some a -> Array.init ncols (fun i -> match List.nth_opt a i with Some x -> x | None -> Right)
+    | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let line row =
+    String.concat "  " (List.init ncols (fun i -> pad aligns.(i) widths.(i) (cell row i)))
+  in
+  let rule =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body = List.map line rows in
+  String.concat "\n" ((line header :: rule :: body) @ [ "" ])
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let fmt_pct x = Printf.sprintf "%.1f%%" x
+
+let fmt_int_commas n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  (if n < 0 then "-" else "") ^ Buffer.contents buf

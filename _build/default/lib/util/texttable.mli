@@ -1,0 +1,17 @@
+(** Plain-text table rendering for benchmark and experiment reports. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with column separators and a
+    rule under the header. Missing cells render empty; [aligns] defaults to
+    left for the first column and right for the rest. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting, default 2 decimals. *)
+
+val fmt_pct : float -> string
+(** Percentage with one decimal and a ["%"] suffix. *)
+
+val fmt_int_commas : int -> string
+(** 1234567 -> "1,234,567" for cycle counts and dataset sizes. *)

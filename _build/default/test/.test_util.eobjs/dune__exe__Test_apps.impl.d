@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Dhdl_apps Dhdl_cpu Dhdl_dse Dhdl_ir Dhdl_sim Dhdl_util Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Dhdl_apps Dhdl_codegen Dhdl_ir List String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Dhdl_apps Dhdl_core Dhdl_dse Dhdl_model Dhdl_util Filename Lazy List String Sys

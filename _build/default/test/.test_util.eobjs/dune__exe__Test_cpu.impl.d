@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Dhdl_cpu Dhdl_util Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Dhdl_device Dhdl_ir List Printf String

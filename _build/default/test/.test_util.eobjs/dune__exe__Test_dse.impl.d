@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest Dhdl_apps Dhdl_dse Dhdl_model Dhdl_util Lazy List Printf String

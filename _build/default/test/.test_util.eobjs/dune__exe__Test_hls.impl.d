@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Dhdl_hls List String

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Dhdl_ir List Printf QCheck QCheck_alcotest String

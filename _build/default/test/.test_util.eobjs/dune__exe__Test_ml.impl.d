@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array Dhdl_ml Dhdl_util Float List

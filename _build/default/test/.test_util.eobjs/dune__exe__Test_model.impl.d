@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Dhdl_device Dhdl_ir Dhdl_ml Dhdl_model Dhdl_sim Dhdl_synth Dhdl_util Filename Lazy List Printf String Sys

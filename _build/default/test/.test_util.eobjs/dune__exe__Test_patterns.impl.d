@@ -1,0 +1,1 @@
+test/test_patterns.ml: Alcotest Array Dhdl_ir Dhdl_patterns Dhdl_sim Dhdl_synth Dhdl_util Float List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Dhdl_device Dhdl_ir Dhdl_model Dhdl_synth List

@@ -1,0 +1,170 @@
+(* Tests for the MaxJ hardware generator: structural checks on the emitted
+   kernel and manager sources. *)
+
+module Ir = Dhdl_ir.Ir
+module Op = Dhdl_ir.Op
+module Dtype = Dhdl_ir.Dtype
+module B = Dhdl_ir.Builder
+module Maxj = Dhdl_codegen.Maxj
+module App = Dhdl_apps.App
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let count_occurrences ~needle haystack =
+  let nl = String.length needle in
+  let rec go i acc =
+    if i + nl > String.length haystack then acc
+    else if String.sub haystack i nl = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let sample_design () =
+  let app = Dhdl_apps.Registry.find "dotproduct" in
+  let sizes = [ ("n", 4096) ] in
+  app.App.generate ~sizes ~params:[ ("tile", 256); ("par", 4); ("meta", 1) ]
+
+let test_class_name () =
+  Alcotest.(check string) "sanitized" "DotproductKernel" (Maxj.kernel_class_name (sample_design ()));
+  let b = B.create "weird-name.2" in
+  let top = B.pipe ~label:"p" ~counters:[ ("i", 0, 2, 1) ] (fun _ -> ()) in
+  Alcotest.(check string) "specials replaced" "Weird_name_2Kernel"
+    (Maxj.kernel_class_name (B.finish b ~top))
+
+let test_kernel_structure () =
+  let d = sample_design () in
+  let src = Maxj.emit d in
+  check_bool "package" true (contains ~needle:"package dhdl.generated;" src);
+  check_bool "extends Kernel" true (contains ~needle:"extends Kernel" src);
+  check_bool "class name" true (contains ~needle:"class DotproductKernel" src);
+  check_bool "parameters recorded" true (contains ~needle:"tile=256" src);
+  check_bool "counter chains" true (contains ~needle:"CounterChain" src);
+  check_bool "lmem commands" true (contains ~needle:"LMemCommandStream" src);
+  check_bool "reduction" true (contains ~needle:"Reductions.add" src)
+
+let test_kernel_balanced_braces () =
+  let src = Maxj.emit (sample_design ()) in
+  check_int "balanced braces" (count_occurrences ~needle:"{" src) (count_occurrences ~needle:"}" src)
+
+let test_one_var_per_stmt () =
+  let d = sample_design () in
+  let src = Maxj.emit d in
+  (* Each load and op statement becomes one DFEVar binding; dotproduct's
+     pipe has two loads and a multiply. *)
+  check_bool "v0 v1 v2 present" true
+    (contains ~needle:"DFEVar v0" src && contains ~needle:"DFEVar v1" src
+    && contains ~needle:"DFEVar v2" src)
+
+let test_memory_declarations () =
+  let d = sample_design () in
+  let src = Maxj.emit d in
+  check_bool "bram alloc" true (contains ~needle:"mem.alloc" src);
+  check_bool "banks comment" true (contains ~needle:"banks=4" src);
+  check_bool "double buffer note" true (contains ~needle:"double-buffered" src)
+
+let test_types () =
+  let b = B.create "types" in
+  let m = B.bram b "m" Dtype.float32 [ 4 ] in
+  let f = B.bram b "f" (Dtype.fixed ~int_bits:12 ~frac_bits:4 ()) [ 4 ] in
+  let top =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 4, 1) ] (fun pb ->
+        let v = B.load pb m [ B.iter "i" ] in
+        let w = B.load pb f [ B.iter "i" ] in
+        B.store pb m [ B.iter "i" ] (B.add pb v w))
+  in
+  let src = Maxj.emit (B.finish b ~top) in
+  check_bool "float type" true (contains ~needle:"dfeFloat(8, 24)" src);
+  check_bool "fixed type" true (contains ~needle:"dfeFixOffset(16, -4, SignMode.TWOSCOMPLEMENT)" src)
+
+let test_ops_lowered () =
+  let b = B.create "ops" in
+  let m = B.bram b "m" Dtype.float32 [ 8 ] in
+  let top =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 8, 1) ] (fun pb ->
+        let v = B.load pb m [ B.iter "i" ] in
+        let s = B.op pb Op.Sqrt [ v ] in
+        let e = B.op pb Op.Exp [ s ] in
+        let c = B.op pb Op.Lt [ e; B.const 1.0 ] in
+        B.store pb m [ B.iter "i" ] (B.mux pb c e v))
+  in
+  let src = Maxj.emit (B.finish b ~top) in
+  check_bool "sqrt" true (contains ~needle:"KernelMath.sqrt" src);
+  check_bool "exp" true (contains ~needle:"KernelMath.exp" src);
+  check_bool "ternary mux" true (contains ~needle:"?" src)
+
+let test_flat_addressing () =
+  let b = B.create "addr" in
+  let m = B.bram b "m" Dtype.float32 [ 4; 8 ] in
+  let top =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 4, 1); ("j", 0, 8, 1) ] (fun pb ->
+        B.store pb m [ B.iter "i"; B.iter "j" ] (B.const 0.0))
+  in
+  let src = Maxj.emit (B.finish b ~top) in
+  check_bool "row-major flatten" true (contains ~needle:"(i * 8 + j)" src)
+
+let test_manager () =
+  let d = sample_design () in
+  let src = Maxj.emit_manager d in
+  check_bool "manager class" true (contains ~needle:"class DotproductKernelManager" src);
+  (* dotproduct has two off-chip arrays -> two LMem interfaces. *)
+  check_int "lmem interfaces" 2 (count_occurrences ~needle:"addLMemInterface" src);
+  check_int "balanced" (count_occurrences ~needle:"{" src) (count_occurrences ~needle:"}" src)
+
+let test_all_benchmarks_emit () =
+  List.iter
+    (fun (app : App.t) ->
+      let d = App.generate_default app app.App.test_sizes in
+      let src = Maxj.emit d in
+      check_bool (app.App.name ^ " emits") true (String.length src > 500);
+      check_int
+        (app.App.name ^ " balanced")
+        (count_occurrences ~needle:"{" src)
+        (count_occurrences ~needle:"}" src))
+    Dhdl_apps.Registry.all
+
+let test_dot_structure () =
+  let d = sample_design () in
+  let dot = Dhdl_codegen.Dot.emit d in
+  check_bool "digraph" true (contains ~needle:"digraph dotproduct" dot);
+  check_bool "offchip cylinder" true (contains ~needle:"shape=cylinder" dot);
+  check_bool "clusters per controller" true (contains ~needle:"subgraph cluster_" dot);
+  check_bool "metapipe label" true (contains ~needle:"MetaPipe tiles" dot);
+  check_bool "reduction node" true (contains ~needle:"invtriangle" dot);
+  check_int "braces balanced" (count_occurrences ~needle:"{" dot) (count_occurrences ~needle:"}" dot)
+
+let test_dot_all_benchmarks () =
+  List.iter
+    (fun (app : App.t) ->
+      let d = App.generate_default app app.App.test_sizes in
+      let dot = Dhdl_codegen.Dot.emit d in
+      check_bool (app.App.name ^ " dot") true (String.length dot > 200))
+    Dhdl_apps.Registry.all
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "maxj",
+        [
+          Alcotest.test_case "class name" `Quick test_class_name;
+          Alcotest.test_case "kernel structure" `Quick test_kernel_structure;
+          Alcotest.test_case "balanced braces" `Quick test_kernel_balanced_braces;
+          Alcotest.test_case "one var per stmt" `Quick test_one_var_per_stmt;
+          Alcotest.test_case "memory declarations" `Quick test_memory_declarations;
+          Alcotest.test_case "types" `Quick test_types;
+          Alcotest.test_case "ops lowered" `Quick test_ops_lowered;
+          Alcotest.test_case "flat addressing" `Quick test_flat_addressing;
+          Alcotest.test_case "manager" `Quick test_manager;
+          Alcotest.test_case "all benchmarks emit" `Quick test_all_benchmarks_emit;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "structure" `Quick test_dot_structure;
+          Alcotest.test_case "all benchmarks" `Quick test_dot_all_benchmarks;
+        ] );
+    ]

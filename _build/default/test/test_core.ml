@@ -1,0 +1,177 @@
+(* Integration tests for the experiment drivers (one per table/figure).
+   These run scaled-down versions of each experiment; the full-size runs
+   live in the benchmark harness (bench/main.exe). *)
+
+module E = Dhdl_core.Experiments
+module Estimator = Dhdl_model.Estimator
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let estimator = lazy (Estimator.create ~seed:55 ~train_samples:80 ~epochs:150 ())
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_table2 () =
+  let s = E.render_table2 () in
+  List.iter
+    (fun name -> check_bool name true (contains ~needle:name s))
+    Dhdl_apps.Registry.names;
+  check_bool "paper sizes shown" true (contains ~needle:"187,200,000" s)
+
+let table3 = lazy (E.table3 ~seed:21 ~sample:60 ~pareto_points:3 (Lazy.force estimator))
+
+let test_table3_rows () =
+  let rows = Lazy.force table3 in
+  check_int "one row per benchmark" 7 (List.length rows);
+  List.iter
+    (fun r ->
+      check_bool (r.E.bench ^ " points") true (r.E.points > 0 && r.E.points <= 3);
+      check_bool (r.E.bench ^ " alm err finite") true (r.E.alm_err >= 0.0 && r.E.alm_err < 60.0);
+      check_bool (r.E.bench ^ " runtime err") true (r.E.runtime_err >= 0.0 && r.E.runtime_err < 40.0))
+    rows
+
+let test_table3_render () =
+  let s = E.render_table3 (Lazy.force table3) in
+  check_bool "has average row" true (contains ~needle:"Average" s);
+  check_bool "mentions paper" true (contains ~needle:"4.8%" s)
+
+let test_table4 () =
+  (* Tiny configuration: the point is the ordering, not the magnitudes. *)
+  let r =
+    E.table4 ~seed:21 ~ours_points:20 ~restricted_points:4 ~full_points:1 ~hls_cols:24
+      (Lazy.force estimator)
+  in
+  check_bool "ours fastest" true (r.E.ours_sec_per_design < r.E.hls_restricted_sec_per_design);
+  check_bool "full slowest" true
+    (r.E.hls_restricted_sec_per_design < r.E.hls_full_sec_per_design);
+  check_bool "speedups consistent" true (r.E.full_speedup > r.E.restricted_speedup);
+  check_int "ours points" 20 r.E.ours_points;
+  check_bool "renders" true (contains ~needle:"Our estimator" (E.render_table4 r))
+
+let test_fig5 () =
+  let apps = E.fig5 ~seed:21 ~max_points:60 ~apps:[ "dotproduct"; "gda" ] (Lazy.force estimator) in
+  check_int "two apps" 2 (List.length apps);
+  List.iter
+    (fun a ->
+      check_bool (a.E.app_name ^ " explored") true (a.E.result.Dhdl_dse.Explore.sampled > 10))
+    apps;
+  let s = E.render_fig5 apps in
+  check_bool "plots rendered" true (contains ~needle:"Pareto" s && contains ~needle:"ALM" s)
+
+let fig6 = lazy (E.fig6 ~seed:21 ~max_points:150 (Lazy.force estimator))
+
+let test_fig6_rows () =
+  let rows = Lazy.force fig6 in
+  check_int "seven rows" 7 (List.length rows);
+  List.iter
+    (fun r ->
+      check_bool (r.E.s_bench ^ " fpga time") true (r.E.fpga_seconds > 0.0);
+      check_bool (r.E.s_bench ^ " cpu time") true (r.E.cpu_seconds > 0.0);
+      check_bool (r.E.s_bench ^ " speedup") true (r.E.speedup > 0.0))
+    rows
+
+let test_fig6_shape () =
+  (* The qualitative Figure 6 claims that must survive any seed: gemm loses
+     badly; blackscholes wins by the largest margin. *)
+  let rows = Lazy.force fig6 in
+  let speedup name = (List.find (fun r -> r.E.s_bench = name) rows).E.speedup in
+  check_bool "gemm loses" true (speedup "gemm" < 0.7);
+  check_bool "blackscholes wins big" true (speedup "blackscholes" > 5.0);
+  check_bool "blackscholes is the best" true
+    (List.for_all (fun r -> r.E.speedup <= speedup "blackscholes") rows);
+  check_bool "gemm is the worst" true (List.for_all (fun r -> r.E.speedup >= speedup "gemm") rows)
+
+let test_fig6_render () =
+  let s = E.render_fig6 (Lazy.force fig6) in
+  check_bool "paper column" true (contains ~needle:"16.73x" s)
+
+let test_ablation_metapipe () =
+  let rows = E.ablation_metapipe ~seed:21 ~max_points:80 (Lazy.force estimator) in
+  check_bool "has rows" true (List.length rows >= 5);
+  (* Forcing Sequential can never beat the chosen pipelined design. *)
+  List.iter (fun m -> check_bool (m.E.m_bench ^ " benefit") true (m.E.benefit >= 0.99)) rows;
+  (* At least some benchmarks benefit substantially from MetaPipes. *)
+  check_bool "pipelining matters somewhere" true (List.exists (fun m -> m.E.benefit > 1.2) rows)
+
+let test_ablation_nn () =
+  let rows = E.ablation_nn_correction ~seed:21 ~sample:40 (Lazy.force estimator) in
+  check_int "seven rows" 7 (List.length rows);
+  let mean f = Dhdl_util.Stats.mean (List.map f rows) in
+  check_bool "corrections reduce mean error" true
+    (mean (fun r -> r.E.corrected_alm_err) < mean (fun r -> r.E.raw_alm_err));
+  let s = E.render_ablations (E.ablation_metapipe ~seed:21 ~max_points:40 (Lazy.force estimator)) rows in
+  check_bool "renders" true (contains ~needle:"Ablation" s)
+
+let test_ablation_sampling () =
+  let rows = E.ablation_sampling ~seed:21 ~app:"gda" ~budgets:[ 40; 120; 300 ] (Lazy.force estimator) in
+  check_int "three budgets" 3 (List.length rows);
+  (* Best-found cycles are monotonically non-increasing with budget. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a.E.sa_best_cycles >= b.E.sa_best_cycles && monotone rest
+    | _ -> true
+  in
+  check_bool "monotone improvement" true (monotone rows);
+  check_bool "renders" true (String.length (E.render_sampling "gda" rows) > 50)
+
+let test_ablation_device () =
+  let rows = E.ablation_device ~seed:21 ~max_points:120 (Lazy.force estimator) in
+  check_int "seven rows" 7 (List.length rows);
+  List.iter
+    (fun r ->
+      check_bool (r.E.d_bench ^ " validity shrinks") true (r.E.valid_d5 <= r.E.valid_d8);
+      check_bool (r.E.d_bench ^ " best slows") true (r.E.best_cycles_d5 >= r.E.best_cycles_d8))
+    rows;
+  check_bool "renders" true (String.length (E.render_device rows) > 50)
+
+let test_ablation_bandwidth () =
+  let rows = E.ablation_bandwidth ~seed:21 ~max_points:120 (Lazy.force estimator) in
+  check_int "seven rows" 7 (List.length rows);
+  List.iter
+    (fun r ->
+      check_bool (r.E.b_bench ^ " never hurts") true (r.E.speedup_75 >= r.E.speedup_37 *. 0.999))
+    rows;
+  (* At least one memory-bound benchmark gains substantially. *)
+  check_bool "bandwidth matters somewhere" true
+    (List.exists (fun r -> r.E.speedup_75 > r.E.speedup_37 *. 1.2) rows);
+  check_bool "renders" true (String.length (E.render_bandwidth rows) > 50)
+
+let test_fig5_csv_files () =
+  let apps = E.fig5 ~seed:21 ~max_points:40 ~apps:[ "dotproduct" ] (Lazy.force estimator) in
+  let dir = Filename.get_temp_dir_name () in
+  let paths = E.write_fig5_csvs ~dir apps in
+  check_int "one file" 1 (List.length paths);
+  List.iter
+    (fun p ->
+      check_bool "exists" true (Sys.file_exists p);
+      let ic = open_in p in
+      let header = input_line ic in
+      close_in ic;
+      check_bool "csv header" true (String.length header > 10);
+      Sys.remove p)
+    paths
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "experiments",
+        [
+          Alcotest.test_case "table2" `Quick test_table2;
+          Alcotest.test_case "table3 rows" `Slow test_table3_rows;
+          Alcotest.test_case "table3 render" `Slow test_table3_render;
+          Alcotest.test_case "table4" `Slow test_table4;
+          Alcotest.test_case "fig5" `Slow test_fig5;
+          Alcotest.test_case "fig6 rows" `Slow test_fig6_rows;
+          Alcotest.test_case "fig6 shape" `Slow test_fig6_shape;
+          Alcotest.test_case "fig6 render" `Slow test_fig6_render;
+          Alcotest.test_case "ablation metapipe" `Slow test_ablation_metapipe;
+          Alcotest.test_case "ablation nn" `Slow test_ablation_nn;
+          Alcotest.test_case "ablation sampling" `Slow test_ablation_sampling;
+          Alcotest.test_case "ablation device" `Slow test_ablation_device;
+          Alcotest.test_case "ablation bandwidth" `Slow test_ablation_bandwidth;
+          Alcotest.test_case "fig5 csv files" `Slow test_fig5_csv_files;
+        ] );
+    ]

@@ -1,0 +1,207 @@
+(* Tests for the CPU baseline layer: the reference kernels (functional
+   ground truth for the benchmarks) and the roofline cost model. *)
+
+module K = Dhdl_cpu.Kernels
+module CM = Dhdl_cpu.Cost_model
+module Rng = Dhdl_util.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------- Kernels --------------------------------- *)
+
+let test_dotproduct () =
+  check_float "known" 32.0 (K.dotproduct [| 1.0; 2.0; 3.0 |] [| 4.0; 5.0; 6.0 |]);
+  check_float "empty" 0.0 (K.dotproduct [||] [||])
+
+let test_outerprod () =
+  let o = K.outerprod [| 1.0; 2.0 |] [| 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (array (float 0.0))) "2x3" [| 3.0; 4.0; 5.0; 6.0; 8.0; 10.0 |] o
+
+let naive_gemm ~n ~m ~k a b =
+  Array.init (n * m) (fun idx ->
+      let i = idx / m and j = idx mod m in
+      let acc = ref 0.0 in
+      for kk = 0 to k - 1 do
+        acc := !acc +. (a.((i * k) + kk) *. b.((kk * m) + j))
+      done;
+      !acc)
+
+let prop_gemm_matches_naive =
+  QCheck.Test.make ~name:"gemm matches naive" ~count:50 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let n = 1 + Rng.int rng 6 and m = 1 + Rng.int rng 6 and k = 1 + Rng.int rng 6 in
+      let a = Array.init (n * k) (fun _ -> Rng.float_in rng (-2.0) 2.0) in
+      let b = Array.init (k * m) (fun _ -> Rng.float_in rng (-2.0) 2.0) in
+      let got = K.gemm ~n ~m ~k a b and want = naive_gemm ~n ~m ~k a b in
+      Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-6) got want)
+
+let test_gemm_identity () =
+  let i2 = [| 1.0; 0.0; 0.0; 1.0 |] in
+  let a = [| 5.0; 6.0; 7.0; 8.0 |] in
+  Alcotest.(check (array (float 1e-9))) "I*A" a (K.gemm ~n:2 ~m:2 ~k:2 i2 a)
+
+let test_tpchq6_predicates () =
+  (* One row per predicate boundary. *)
+  let prices = [| 10.0; 10.0; 10.0; 10.0; 10.0 |] in
+  let discounts = [| 0.06; 0.04; 0.06; 0.06; 0.07 |] in
+  let quantities = [| 10.0; 10.0; 30.0; 10.0; 23.0 |] in
+  let dates = [| 5.5; 5.5; 5.5; 7.5; 5.0 |] in
+  (* Row 0 passes; row 1 fails discount; row 2 fails quantity; row 3 fails
+     date; row 4 passes on all boundaries. *)
+  check_float "selective sum" ((10.0 *. 0.06) +. (10.0 *. 0.07))
+    (K.tpchq6 ~prices ~discounts ~quantities ~dates)
+
+let test_cndf_properties () =
+  check_float "cndf(0)" 0.5 (K.cndf 0.0);
+  Alcotest.(check (float 1e-7)) "symmetry" 1.0 (K.cndf 1.3 +. K.cndf (-1.3));
+  check_bool "monotone" true (K.cndf 1.0 > K.cndf 0.5);
+  check_bool "tails" true (K.cndf 6.0 > 0.999 && K.cndf (-6.0) < 0.001)
+
+let prop_blackscholes_put_call_parity =
+  (* C - P = S - K e^{-rT}: an identity independent of the CNDF details. *)
+  QCheck.Test.make ~name:"put-call parity" ~count:100 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 3) in
+      let s = Rng.float_in rng 10.0 200.0 and k = Rng.float_in rng 10.0 200.0 in
+      let t = Rng.float_in rng 0.1 5.0 in
+      let rate = 0.03 and vol = 0.25 in
+      let call =
+        (K.blackscholes ~spot:[| s |] ~strike:[| k |] ~time:[| t |] ~rate ~volatility:vol
+           ~otype:[| 0.0 |]).(0)
+      in
+      let put =
+        (K.blackscholes ~spot:[| s |] ~strike:[| k |] ~time:[| t |] ~rate ~volatility:vol
+           ~otype:[| 1.0 |]).(0)
+      in
+      Float.abs (call -. put -. (s -. (k *. exp (-.rate *. t)))) < 1e-6)
+
+let test_blackscholes_call_value_bounds () =
+  let price =
+    (K.blackscholes ~spot:[| 100.0 |] ~strike:[| 100.0 |] ~time:[| 1.0 |] ~rate:0.02
+       ~volatility:0.3 ~otype:[| 0.0 |]).(0)
+  in
+  (* ATM 1-year call at 30% vol is worth roughly 12-13% of spot. *)
+  check_bool "plausible premium" true (price > 8.0 && price < 18.0)
+
+let test_gda_symmetric () =
+  let rng = Rng.create 8 in
+  let rows = 10 and cols = 4 in
+  let x = Array.init (rows * cols) (fun _ -> Rng.float_in rng (-1.0) 1.0) in
+  let y = Array.init rows (fun _ -> if Rng.bool rng then 1.0 else 0.0) in
+  let mu0 = Array.init cols (fun _ -> Rng.float_in rng (-1.0) 1.0) in
+  let mu1 = Array.init cols (fun _ -> Rng.float_in rng (-1.0) 1.0) in
+  let sigma = K.gda ~rows ~cols ~x ~y ~mu0 ~mu1 in
+  for i = 0 to cols - 1 do
+    for j = 0 to cols - 1 do
+      Alcotest.(check (float 1e-9)) "symmetric" sigma.((i * cols) + j) sigma.((j * cols) + i)
+    done;
+    check_bool "nonneg diagonal" true (sigma.((i * cols) + i) >= 0.0)
+  done
+
+let test_gda_zero_when_centered () =
+  (* Rows exactly at their class mean contribute nothing. *)
+  let mu0 = [| 1.0; 2.0 |] and mu1 = [| -1.0; 0.5 |] in
+  let x = [| 1.0; 2.0; -1.0; 0.5 |] in
+  let sigma = K.gda ~rows:2 ~cols:2 ~x ~y:[| 0.0; 1.0 |] ~mu0 ~mu1 in
+  Array.iter (fun v -> check_float "zero scatter" 0.0 v) sigma
+
+let test_kmeans_obvious_clusters () =
+  (* Two tight groups around 0 and 100. *)
+  let data = [| 0.1; 0.2; 99.9; 100.1; 0.3; 100.0 |] in
+  let centroids = [| 1.0; 90.0 |] in
+  let sums, counts = K.kmeans_sums ~points:6 ~dims:1 ~k:2 ~data ~centroids in
+  check_float "cluster sizes" 3.0 counts.(0);
+  check_float "cluster sizes" 3.0 counts.(1);
+  Alcotest.(check (float 1e-6)) "sum 0" 0.6 sums.(0);
+  Alcotest.(check (float 1e-6)) "sum 1" 300.0 sums.(1);
+  let next = K.kmeans_step ~points:6 ~dims:1 ~k:2 ~data ~centroids in
+  Alcotest.(check (float 1e-6)) "centroid 0" 0.2 next.(0);
+  Alcotest.(check (float 1e-6)) "centroid 1" 100.0 next.(1)
+
+let test_kmeans_empty_cluster () =
+  let data = [| 0.0; 1.0 |] in
+  let centroids = [| 0.5; 1000.0 |] in
+  let next = K.kmeans_step ~points:2 ~dims:1 ~k:2 ~data ~centroids in
+  check_float "empty keeps centroid" 1000.0 next.(1)
+
+let prop_kmeans_counts_sum =
+  QCheck.Test.make ~name:"cluster counts sum to n" ~count:50 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 9) in
+      let n = 5 + Rng.int rng 40 and d = 1 + Rng.int rng 4 and k = 1 + Rng.int rng 5 in
+      let data = Array.init (n * d) (fun _ -> Rng.float_in rng (-5.0) 5.0) in
+      let cents = Array.init (k * d) (fun _ -> Rng.float_in rng (-5.0) 5.0) in
+      let _, counts = K.kmeans_sums ~points:n ~dims:d ~k ~data ~centroids:cents in
+      int_of_float (Array.fold_left ( +. ) 0.0 counts) = n)
+
+(* ------------------------- Cost model ------------------------------ *)
+
+let test_roofline_max () =
+  let compute_bound = { CM.wl_name = "c"; flops = 1e12; bytes = 1.0; compute_eff = 1.0; bw_eff = 1.0 } in
+  let memory_bound = { CM.wl_name = "m"; flops = 1.0; bytes = 1e12; compute_eff = 1.0; bw_eff = 1.0 } in
+  check_bool "compute side" true (CM.seconds compute_bound > 1.0);
+  check_bool "memory side" true (CM.seconds memory_bound > 1.0)
+
+let test_machine_constants () =
+  let m = CM.xeon_e5_2630 in
+  check_bool "6 cores at 2.3GHz" true (m.CM.cores = 6 && m.CM.ghz = 2.3);
+  check_bool "bandwidth" true (m.CM.mem_bw_gbs = 42.6)
+
+let test_workloads_positive () =
+  let wls =
+    [
+      CM.dotproduct ~n:1000;
+      CM.outerprod ~n:100 ~m:100;
+      CM.gemm ~n:64 ~m:64 ~k:64;
+      CM.tpchq6 ~n:1000;
+      CM.blackscholes ~n:1000;
+      CM.gda ~rows:100 ~cols:16;
+      CM.kmeans ~points:100 ~dims:8 ~k:4;
+    ]
+  in
+  List.iter
+    (fun wl ->
+      check_bool (wl.CM.wl_name ^ " flops") true (wl.CM.flops > 0.0);
+      check_bool (wl.CM.wl_name ^ " bytes") true (wl.CM.bytes > 0.0);
+      check_bool (wl.CM.wl_name ^ " time") true (CM.seconds wl > 0.0))
+    wls
+
+let test_gemm_cpu_rate () =
+  (* Section V.D: OpenBLAS at ~89 GFLOP/s on the paper's gemm. *)
+  let wl = CM.gemm ~n:1536 ~m:1536 ~k:1536 in
+  let gflops = wl.CM.flops /. CM.seconds wl /. 1e9 in
+  check_bool "~89 GFLOP/s" true (gflops > 70.0 && gflops < 100.0)
+
+let test_streaming_scales_linearly () =
+  let t1 = CM.seconds (CM.dotproduct ~n:1_000_000) in
+  let t4 = CM.seconds (CM.dotproduct ~n:4_000_000) in
+  Alcotest.(check (float 0.01)) "4x data, 4x time" 4.0 (t4 /. t1)
+
+let () =
+  Alcotest.run "cpu"
+    [
+      ( "kernels",
+        [
+          Alcotest.test_case "dotproduct" `Quick test_dotproduct;
+          Alcotest.test_case "outerprod" `Quick test_outerprod;
+          Alcotest.test_case "gemm identity" `Quick test_gemm_identity;
+          Alcotest.test_case "tpchq6 predicates" `Quick test_tpchq6_predicates;
+          Alcotest.test_case "cndf" `Quick test_cndf_properties;
+          Alcotest.test_case "blackscholes bounds" `Quick test_blackscholes_call_value_bounds;
+          Alcotest.test_case "gda symmetric" `Quick test_gda_symmetric;
+          Alcotest.test_case "gda centered" `Quick test_gda_zero_when_centered;
+          Alcotest.test_case "kmeans clusters" `Quick test_kmeans_obvious_clusters;
+          Alcotest.test_case "kmeans empty cluster" `Quick test_kmeans_empty_cluster;
+          qtest prop_gemm_matches_naive;
+          qtest prop_blackscholes_put_call_parity;
+          qtest prop_kmeans_counts_sum;
+        ] );
+      ( "cost_model",
+        [
+          Alcotest.test_case "roofline max" `Quick test_roofline_max;
+          Alcotest.test_case "machine constants" `Quick test_machine_constants;
+          Alcotest.test_case "workloads positive" `Quick test_workloads_positive;
+          Alcotest.test_case "gemm rate" `Quick test_gemm_cpu_rate;
+          Alcotest.test_case "streaming linear" `Quick test_streaming_scales_linearly;
+        ] );
+    ]

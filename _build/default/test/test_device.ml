@@ -1,0 +1,155 @@
+(* Tests for the device model: resource vectors, M20K geometry and the
+   characterized primitive library. *)
+
+module R = Dhdl_device.Resources
+module Target = Dhdl_device.Target
+module Primitives = Dhdl_device.Primitives
+module Op = Dhdl_ir.Op
+module Dtype = Dhdl_ir.Dtype
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------- Resources ------------------------------- *)
+
+let test_resources_algebra () =
+  let a = R.make ~packable:10 ~unpackable:5 ~regs:20 ~dsps:1 ~brams:2 () in
+  let b = R.make ~packable:1 ~unpackable:2 ~regs:3 ~dsps:4 ~brams:5 () in
+  let s = R.add a b in
+  check_int "packable" 11 s.R.lut_packable;
+  check_int "unpackable" 7 s.R.lut_unpackable;
+  check_int "regs" 23 s.R.regs;
+  check_int "dsps" 5 s.R.dsps;
+  check_int "brams" 7 s.R.brams;
+  check_int "luts" 18 (R.luts s);
+  check_bool "zero identity" true (R.equal a (R.add a R.zero));
+  check_bool "sum" true (R.equal s (R.sum [ a; b ]));
+  check_bool "scale" true (R.equal (R.add a a) (R.scale 2 a))
+
+let test_resources_string () =
+  let s = R.to_string (R.make ~packable:1 ~unpackable:2 ~regs:3 ~dsps:4 ~brams:5 ()) in
+  check_bool "non-empty" true (String.length s > 10)
+
+(* ------------------------- Target ---------------------------------- *)
+
+let test_device_constants () =
+  let d = Target.stratix_v in
+  check_int "alms" 262_400 d.Target.alms;
+  check_int "dsps" 1_963 d.Target.dsps;
+  check_int "brams" 2_567 d.Target.brams;
+  check_bool "board clock" true (Target.max4_maia.Target.fabric_mhz = 150.0)
+
+let test_smaller_device () =
+  let d5 = Target.stratix_v_d5 and d8 = Target.stratix_v in
+  check_bool "strictly smaller" true
+    (d5.Target.alms < d8.Target.alms && d5.Target.dsps < d8.Target.dsps
+    && d5.Target.brams < d8.Target.brams);
+  check_bool "same block geometry" true (d5.Target.bram_bits = d8.Target.bram_bits)
+
+let test_bytes_per_cycle () =
+  (* 37.5 GB/s at 150 MHz = 250 bytes per fabric cycle. *)
+  Alcotest.(check (float 1e-6)) "bytes/cycle" 250.0 (Target.bytes_per_cycle Target.max4_maia)
+
+let test_bram_geometry () =
+  let d = Target.stratix_v in
+  check_int "one block" 1 (Target.bram_blocks_for d ~width_bits:32 ~depth:512);
+  check_int "deep doubles" 2 (Target.bram_blocks_for d ~width_bits:32 ~depth:1024);
+  check_int "wide doubles" 2 (Target.bram_blocks_for d ~width_bits:64 ~depth:512);
+  (* Narrow memories reconfigure deeper: 1 bit x 16K fits one block. *)
+  check_int "narrow deep" 1 (Target.bram_blocks_for d ~width_bits:1 ~depth:16_384);
+  check_int "narrow deep 20b" 1 (Target.bram_blocks_for d ~width_bits:20 ~depth:1_024);
+  check_int "tiny" 1 (Target.bram_blocks_for d ~width_bits:8 ~depth:4)
+
+(* ------------------------- Primitives ------------------------------ *)
+
+let types = [ Dtype.float32; Dtype.float64; Dtype.int32; Dtype.int16; Dtype.bool_t ]
+
+let test_primitives_total () =
+  (* Every (op, type) combination characterizes to positive area and
+     latency. *)
+  List.iter
+    (fun op ->
+      List.iter
+        (fun ty ->
+          let area = Primitives.area op ty in
+          check_bool
+            (Printf.sprintf "%s %s area" (Op.name op) (Dtype.to_string ty))
+            true
+            (R.luts area > 0 || area.R.dsps > 0);
+          check_bool
+            (Printf.sprintf "%s %s latency" (Op.name op) (Dtype.to_string ty))
+            true
+            (Primitives.latency op ty >= 1))
+        types)
+    Op.all
+
+let test_float_mul_uses_dsp () =
+  check_bool "fmul dsp" true ((Primitives.area Op.Mul Dtype.float32).R.dsps >= 1);
+  check_bool "fadd no dsp" true ((Primitives.area Op.Add Dtype.float32).R.dsps = 0)
+
+let test_complex_ops_cost_more () =
+  let luts op = R.luts (Primitives.area op Dtype.float32) in
+  check_bool "div > add" true (luts Op.Div > luts Op.Add);
+  check_bool "log > mul" true (luts Op.Log > luts Op.Mul);
+  check_bool "div latency > add" true
+    (Primitives.latency Op.Div Dtype.float32 > Primitives.latency Op.Add Dtype.float32)
+
+let test_multi_cycle_classification () =
+  check_bool "sqrt multi" true (Op.is_multi_cycle Op.Sqrt);
+  check_bool "add single class" false (Op.is_multi_cycle Op.Add)
+
+let test_fixed_width_scaling () =
+  let luts b =
+    R.luts (Primitives.area Op.Add (Dtype.fixed ~int_bits:b ~frac_bits:0 ()))
+  in
+  check_bool "wider fixed adder costs more" true (luts 64 > luts 16)
+
+let test_fixed_mul_dsps () =
+  check_int "16-bit mul: one slice" 1
+    (Primitives.area Op.Mul (Dtype.fixed ~int_bits:16 ~frac_bits:0 ())).R.dsps;
+  check_int "54-bit mul: four slices" 4
+    (Primitives.area Op.Mul (Dtype.fixed ~int_bits:54 ~frac_bits:0 ())).R.dsps
+
+let test_fifo_area () =
+  let dev = Target.stratix_v in
+  let small = Primitives.fifo_area ~width_bits:32 ~depth:16 dev in
+  check_int "small fifo in registers" 0 small.R.brams;
+  let big = Primitives.fifo_area ~width_bits:32 ~depth:1024 dev in
+  check_bool "deep fifo uses brams" true (big.R.brams >= 2)
+
+let test_counter_area_monotone () =
+  let l b = R.luts (Primitives.counter_area ~bits:b) in
+  check_bool "monotone" true (l 32 > l 8)
+
+let test_load_store () =
+  check_bool "f32 load area" true (R.luts (Primitives.load_store_area Dtype.float32) > 0);
+  check_int "latency" 1 Primitives.load_store_latency
+
+let () =
+  Alcotest.run "device"
+    [
+      ( "resources",
+        [
+          Alcotest.test_case "algebra" `Quick test_resources_algebra;
+          Alcotest.test_case "to_string" `Quick test_resources_string;
+        ] );
+      ( "target",
+        [
+          Alcotest.test_case "constants" `Quick test_device_constants;
+          Alcotest.test_case "smaller device" `Quick test_smaller_device;
+          Alcotest.test_case "bytes per cycle" `Quick test_bytes_per_cycle;
+          Alcotest.test_case "bram geometry" `Quick test_bram_geometry;
+        ] );
+      ( "primitives",
+        [
+          Alcotest.test_case "total coverage" `Quick test_primitives_total;
+          Alcotest.test_case "fmul uses dsp" `Quick test_float_mul_uses_dsp;
+          Alcotest.test_case "complex ops cost more" `Quick test_complex_ops_cost_more;
+          Alcotest.test_case "multi-cycle class" `Quick test_multi_cycle_classification;
+          Alcotest.test_case "fixed width scaling" `Quick test_fixed_width_scaling;
+          Alcotest.test_case "fixed mul dsps" `Quick test_fixed_mul_dsps;
+          Alcotest.test_case "fifo area" `Quick test_fifo_area;
+          Alcotest.test_case "counter monotone" `Quick test_counter_area_monotone;
+          Alcotest.test_case "load/store" `Quick test_load_store;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+(* Tests for the simulated high-level synthesis baseline: the C-like loop
+   IR, pragma handling, unrolling, dependence analysis and scheduling. *)
+
+module Cir = Dhdl_hls.Cir
+module Scheduler = Dhdl_hls.Scheduler
+module Gda_c = Dhdl_hls.Gda_c
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* ------------------------- Cir ------------------------------------- *)
+
+let test_cir_listing () =
+  let f = Gda_c.build ~rows:100 ~cols:8 Gda_c.default in
+  let s = Cir.to_string f in
+  check_bool "function header" true (contains ~needle:"void gda" s);
+  check_bool "pipeline pragma" true (contains ~needle:"#pragma HLS PIPELINE II=1" s);
+  check_bool "loop bound" true (contains ~needle:"i < 100" s);
+  check_bool "accumulation" true (contains ~needle:"sigma[j1][j2] +=" s);
+  check_bool "ternary" true (contains ~needle:"?" s)
+
+let test_cir_unroll_pragma () =
+  let f = Gda_c.build ~cols:8 { Gda_c.default with unroll_l122 = 4 } in
+  check_bool "unroll pragma" true (contains ~needle:"#pragma HLS UNROLL factor=4" (Cir.to_string f))
+
+let test_loop_count () =
+  let f = Gda_c.build ~cols:8 Gda_c.default in
+  check_int "four loops" 4 (Cir.loop_count f)
+
+(* ------------------------- Design points --------------------------- *)
+
+let test_design_points_counts () =
+  let restricted = Gda_c.design_points ~restricted:true in
+  let full = Gda_c.design_points ~restricted:false in
+  check_int "restricted: 5*5*2*2*2" 200 (List.length restricted);
+  check_int "full doubles" 400 (List.length full);
+  check_bool "restricted never pipelines L1" true
+    (List.for_all (fun d -> not d.Gda_c.pipeline_l1) restricted);
+  check_int "full space has 200 outer-pipelined points" 200
+    (List.length (List.filter (fun d -> d.Gda_c.pipeline_l1) full))
+
+(* ------------------------- Scheduler ------------------------------- *)
+
+let small_kernel d = Gda_c.build ~rows:1000 ~cols:8 d
+
+let test_estimate_basic () =
+  let r = Scheduler.estimate (small_kernel Gda_c.default) in
+  check_bool "latency positive" true (r.Scheduler.latency_cycles > 0.0);
+  check_bool "nodes scheduled" true (r.Scheduler.nodes_scheduled > 0);
+  check_bool "regions" true (r.Scheduler.regions > 0);
+  check_bool "timed" true (r.Scheduler.elapsed_seconds >= 0.0)
+
+let test_estimate_latency_deterministic () =
+  let a = Scheduler.estimate (small_kernel Gda_c.default) in
+  let b = Scheduler.estimate (small_kernel Gda_c.default) in
+  Alcotest.(check (float 0.0)) "same latency" a.Scheduler.latency_cycles b.Scheduler.latency_cycles
+
+let test_unroll_grows_graph () =
+  let u1 = Scheduler.estimate (small_kernel { Gda_c.default with unroll_l122 = 1; pipeline_l122 = false }) in
+  let u8 = Scheduler.estimate (small_kernel { Gda_c.default with unroll_l122 = 8; pipeline_l122 = false }) in
+  check_bool "more nodes" true (u8.Scheduler.nodes_scheduled > u1.Scheduler.nodes_scheduled);
+  check_bool "quadratic dependence work" true
+    (u8.Scheduler.dependence_checks > 8 * max 1 u1.Scheduler.dependence_checks)
+
+let test_pipelining_reduces_latency () =
+  let off =
+    Scheduler.estimate
+      (small_kernel { Gda_c.default with pipeline_l11 = false; pipeline_l122 = false })
+  in
+  let on = Scheduler.estimate (small_kernel Gda_c.default) in
+  check_bool "pipelined latency lower" true
+    (on.Scheduler.latency_cycles < off.Scheduler.latency_cycles)
+
+let test_outer_pipeline_explodes_work () =
+  (* The Table IV mechanism: pipelining L1 fully unrolls everything below,
+     and estimation cost explodes with it. *)
+  let base = Scheduler.estimate (small_kernel Gda_c.default) in
+  let full = Scheduler.estimate (small_kernel { Gda_c.default with pipeline_l1 = true }) in
+  check_bool "orders of magnitude more nodes" true
+    (full.Scheduler.nodes_scheduled > 20 * base.Scheduler.nodes_scheduled);
+  check_bool "wall time grows" true
+    (full.Scheduler.elapsed_seconds > base.Scheduler.elapsed_seconds)
+
+let test_accum_recurrence_ii () =
+  (* A pipelined accumulation onto a scalar location cannot reach II=1;
+     its latency reflects the recurrence-bound II. *)
+  let open Cir in
+  let scalar_acc =
+    { fn_name = "acc";
+      fn_body =
+        [ for_ ~pipeline:true "i" 1000
+            [ Accum { arr = "s"; idx = [ Const 0.0 ]; rhs = Load ("x", [ Var "i" ]) } ] ] }
+  in
+  let streaming =
+    { fn_name = "str";
+      fn_body =
+        [ for_ ~pipeline:true "i" 1000
+            [ Assign { arr = "y"; idx = [ Var "i" ]; rhs = Load ("x", [ Var "i" ]) } ] ] }
+  in
+  let a = Scheduler.estimate scalar_acc in
+  let s = Scheduler.estimate streaming in
+  check_bool "recurrence serializes" true (a.Scheduler.latency_cycles > 5.0 *. s.Scheduler.latency_cycles)
+
+let test_non_pipelined_loop_multiplies () =
+  let open Cir in
+  let mk extent =
+    { fn_name = "loop";
+      fn_body =
+        [ for_ "i" extent [ Assign { arr = "y"; idx = [ Var "i" ]; rhs = Const 1.0 } ] ] }
+  in
+  let l100 = (Scheduler.estimate (mk 100)).Scheduler.latency_cycles in
+  let l400 = (Scheduler.estimate (mk 400)).Scheduler.latency_cycles in
+  check_bool "4x extent, ~4x latency" true (l400 > 3.5 *. l100 && l400 < 4.5 *. l100)
+
+let test_latency_scales_with_rows () =
+  let l rows =
+    (Scheduler.estimate (Gda_c.build ~rows ~cols:8 Gda_c.default)).Scheduler.latency_cycles
+  in
+  let l1 = l 1000 and l4 = l 4000 in
+  check_bool "4x rows ~4x latency" true (l4 > 3.5 *. l1 && l4 < 4.5 *. l1)
+
+let test_ternary_scheduled () =
+  let open Cir in
+  let f =
+    { fn_name = "tern";
+      fn_body =
+        [ for_ ~pipeline:true "i" 100
+            [ Assign
+                { arr = "y"; idx = [ Var "i" ];
+                  rhs = Ternary (Bin (Gt, Load ("x", [ Var "i" ]), Const 0.0),
+                                 Load ("a", [ Var "i" ]), Load ("b", [ Var "i" ])) } ] ] }
+  in
+  let r = Scheduler.estimate f in
+  (* loads x a b + compare + select + store = 6 nodes *)
+  check_int "six nodes" 6 r.Scheduler.nodes_scheduled
+
+let test_unroll_reduces_trips () =
+  let open Cir in
+  let mk unroll =
+    { fn_name = "u";
+      fn_body = [ for_ ~unroll "i" 256 [ Assign { arr = "y"; idx = [ Var "i" ]; rhs = Const 1.0 } ] ] }
+  in
+  let l1 = (Scheduler.estimate (mk 1)).Scheduler.latency_cycles in
+  let l8 = (Scheduler.estimate (mk 8)).Scheduler.latency_cycles in
+  check_bool "unrolling shortens the loop" true (l8 < l1)
+
+let () =
+  Alcotest.run "hls"
+    [
+      ( "cir",
+        [
+          Alcotest.test_case "listing" `Quick test_cir_listing;
+          Alcotest.test_case "unroll pragma" `Quick test_cir_unroll_pragma;
+          Alcotest.test_case "loop count" `Quick test_loop_count;
+        ] );
+      ( "design_points", [ Alcotest.test_case "sweep counts" `Quick test_design_points_counts ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "basic estimate" `Quick test_estimate_basic;
+          Alcotest.test_case "deterministic latency" `Quick test_estimate_latency_deterministic;
+          Alcotest.test_case "unroll grows graph" `Quick test_unroll_grows_graph;
+          Alcotest.test_case "pipelining helps" `Quick test_pipelining_reduces_latency;
+          Alcotest.test_case "outer pipeline explodes" `Quick test_outer_pipeline_explodes_work;
+          Alcotest.test_case "accumulation recurrence" `Quick test_accum_recurrence_ii;
+          Alcotest.test_case "loop multiplies" `Quick test_non_pipelined_loop_multiplies;
+          Alcotest.test_case "latency scales with rows" `Quick test_latency_scales_with_rows;
+          Alcotest.test_case "ternary scheduled" `Quick test_ternary_scheduled;
+          Alcotest.test_case "unroll reduces trips" `Quick test_unroll_reduces_trips;
+        ] );
+    ]

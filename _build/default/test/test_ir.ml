@@ -1,0 +1,496 @@
+(* Tests for the DHDL IR: data types, primitive operations, counters, the
+   builder eDSL, traversals, banking/double-buffering inference and the
+   well-formedness validator. *)
+
+module Ir = Dhdl_ir.Ir
+module Op = Dhdl_ir.Op
+module Dtype = Dhdl_ir.Dtype
+module B = Dhdl_ir.Builder
+module Analysis = Dhdl_ir.Analysis
+module Traverse = Dhdl_ir.Traverse
+module Pretty = Dhdl_ir.Pretty
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------- Dtype ----------------------------------- *)
+
+let test_dtype_bits () =
+  check_int "f32" 32 (Dtype.bits Dtype.float32);
+  check_int "f64" 64 (Dtype.bits Dtype.float64);
+  check_int "i32" 32 (Dtype.bits Dtype.int32);
+  check_int "i16" 16 (Dtype.bits Dtype.int16);
+  check_int "bool" 1 (Dtype.bits Dtype.bool_t);
+  check_int "fixed 10.6" 16 (Dtype.bits (Dtype.fixed ~int_bits:10 ~frac_bits:6 ()))
+
+let test_dtype_predicates () =
+  check_bool "float" true (Dtype.is_float Dtype.float32);
+  check_bool "fixed" true (Dtype.is_fixed Dtype.int32);
+  check_bool "bool" true (Dtype.is_bool Dtype.bool_t);
+  check_bool "not float" false (Dtype.is_float Dtype.int32)
+
+let test_dtype_equal () =
+  check_bool "same" true (Dtype.equal Dtype.float32 Dtype.float32);
+  check_bool "diff class" false (Dtype.equal Dtype.float32 Dtype.int32);
+  check_bool "diff width" false (Dtype.equal Dtype.float32 Dtype.float64)
+
+let test_dtype_strings () =
+  Alcotest.(check string) "f32" "Float(8,24)" (Dtype.to_string Dtype.float32);
+  Alcotest.(check string) "bool" "Bool" (Dtype.to_string Dtype.bool_t);
+  Alcotest.(check string) "u32" "UFix(32.0)" (Dtype.to_string Dtype.uint32)
+
+(* ------------------------- Op -------------------------------------- *)
+
+let test_op_arity_eval_consistent () =
+  List.iter
+    (fun op ->
+      let args = List.init (Op.arity op) (fun i -> 0.5 +. float_of_int i) in
+      ignore (Op.eval op args);
+      Alcotest.check_raises "wrong arity"
+        (Invalid_argument
+           (Printf.sprintf "Op.eval: %s expects %d args" (Op.name op) (Op.arity op)))
+        (fun () -> ignore (Op.eval op (1.0 :: args))))
+    Op.all
+
+let test_op_semantics () =
+  check_float "add" 5.0 (Op.eval Op.Add [ 2.0; 3.0 ]);
+  check_float "sub" (-1.0) (Op.eval Op.Sub [ 2.0; 3.0 ]);
+  check_float "mul" 6.0 (Op.eval Op.Mul [ 2.0; 3.0 ]);
+  check_float "div" 2.5 (Op.eval Op.Div [ 5.0; 2.0 ]);
+  check_float "min" 2.0 (Op.eval Op.Min [ 2.0; 3.0 ]);
+  check_float "max" 3.0 (Op.eval Op.Max [ 2.0; 3.0 ]);
+  check_float "mux true" 7.0 (Op.eval Op.Mux [ 1.0; 7.0; 9.0 ]);
+  check_float "mux false" 9.0 (Op.eval Op.Mux [ 0.0; 7.0; 9.0 ]);
+  check_float "lt" 1.0 (Op.eval Op.Lt [ 1.0; 2.0 ]);
+  check_float "ge" 0.0 (Op.eval Op.Ge [ 1.0; 2.0 ]);
+  check_float "and" 1.0 (Op.eval Op.And [ 1.0; 3.0 ]);
+  check_float "not" 1.0 (Op.eval Op.Not [ 0.0 ]);
+  check_float "abs" 4.0 (Op.eval Op.Abs [ -4.0 ]);
+  check_float "floor" 3.0 (Op.eval Op.Floor [ 3.9 ]);
+  check_float "neg" (-2.0) (Op.eval Op.Neg [ 2.0 ])
+
+let test_op_identity () =
+  check_float "add" 0.0 (Op.identity_element Op.Add);
+  check_float "mul" 1.0 (Op.identity_element Op.Mul);
+  check_float "min" infinity (Op.identity_element Op.Min);
+  check_float "max" neg_infinity (Op.identity_element Op.Max);
+  Alcotest.check_raises "non-reduction"
+    (Invalid_argument "Op.identity_element: sub is not a reduction op") (fun () ->
+      ignore (Op.identity_element Op.Sub))
+
+let prop_reduction_identity =
+  (* Arithmetic reductions are neutral on all floats; the logical ones only
+     on the boolean encoding. *)
+  QCheck.Test.make ~name:"identity element is neutral" ~count:200
+    QCheck.(pair (int_range 0 5) (float_range (-100.0) 100.0))
+    (fun (i, x) ->
+      let op = List.nth (List.filter Op.is_reduction_op Op.all) i in
+      let x = if Op.is_logical op then (if x > 0.0 then 1.0 else 0.0) else x in
+      let id = Op.identity_element op in
+      Op.eval op [ id; x ] = x)
+
+(* ------------------------- Counters and loops ---------------------- *)
+
+let ctr name start stop step = { Ir.ctr_name = name; ctr_start = start; ctr_stop = stop; ctr_step = step }
+
+let test_counter_trip () =
+  check_int "unit step" 10 (Ir.counter_trip (ctr "i" 0 10 1));
+  check_int "strided" 4 (Ir.counter_trip (ctr "i" 0 10 3));
+  check_int "offset" 5 (Ir.counter_trip (ctr "i" 5 10 1))
+
+let test_loop_trip () =
+  let loop =
+    { Ir.lp_label = "l"; lp_counters = [ ctr "i" 0 8 1; ctr "j" 0 4 1 ]; lp_par = 4; lp_pattern = Ir.Map_pattern }
+  in
+  check_int "trip" 32 (Ir.loop_trip loop);
+  check_int "vectorized" 8 (Ir.loop_trip_vectorized loop);
+  let odd = { loop with Ir.lp_par = 5 } in
+  check_int "ceil" 7 (Ir.loop_trip_vectorized odd)
+
+(* ------------------------- Builder --------------------------------- *)
+
+let small_design ?(par = 2) () =
+  let b = B.create ~params:[ ("tile", 16) ] "small" in
+  let x = B.offchip b "x" Dtype.float32 [ 64 ] in
+  let xt = B.bram b "xT" Dtype.float32 [ 16 ] in
+  let acc = B.reg b "acc" Dtype.float32 in
+  let partial = B.reg b "partial" Dtype.float32 in
+  let inner =
+    B.reduce_pipe ~label:"sum" ~counters:[ ("i", 0, 16, 1) ] ~par ~op:Op.Add ~out:partial
+      (fun pb ->
+        let v = B.load pb xt [ B.iter "i" ] in
+        B.mul pb v v)
+  in
+  let top =
+    B.metapipe ~label:"outer" ~counters:[ ("t", 0, 64, 16) ] ~reduce:(Op.Add, partial, acc)
+      [ B.tile_load ~src:x ~dst:xt ~offsets:[ B.iter "t" ] ~par (); inner ]
+  in
+  B.finish b ~top
+
+let test_builder_mems () =
+  let d = small_design () in
+  check_int "mem count" 4 (List.length d.Ir.d_mems);
+  let ids = List.map (fun m -> m.Ir.mem_id) d.Ir.d_mems in
+  check_int "unique ids" 4 (List.length (List.sort_uniq compare ids));
+  check_int "param" 16 (Ir.param d "tile");
+  check_bool "find_mem" true ((Ir.find_mem d "xT").Ir.mem_name = "xT")
+
+let test_builder_valid () =
+  Alcotest.(check (list string)) "no errors" [] (Analysis.validate (small_design ()))
+
+let test_builder_banking () =
+  let d = small_design ~par:8 () in
+  let xt = Ir.find_mem d "xT" in
+  check_int "banks follow par" 8 xt.Ir.mem_banks
+
+let test_builder_double_buffering () =
+  let d = small_design () in
+  let xt = Ir.find_mem d "xT" in
+  check_bool "tile buffer double" true xt.Ir.mem_double;
+  check_bool "reduce source double" true (Ir.find_mem d "partial").Ir.mem_double
+
+let test_sequential_no_double () =
+  let b = B.create "seq" in
+  let x = B.offchip b "x" Dtype.float32 [ 64 ] in
+  let xt = B.bram b "xT" Dtype.float32 [ 16 ] in
+  let yt = B.bram b "yT" Dtype.float32 [ 16 ] in
+  let compute =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 16, 1) ] (fun pb ->
+        B.store pb yt [ B.iter "i" ] (B.load pb xt [ B.iter "i" ]))
+  in
+  let top =
+    B.metapipe ~label:"outer" ~counters:[ ("t", 0, 64, 16) ] ~pipelined:false
+      [ B.tile_load ~src:x ~dst:xt ~offsets:[ B.iter "t" ] (); compute ]
+  in
+  let d = B.finish b ~top in
+  check_bool "sequential loop: no double buffering" false (Ir.find_mem d "xT").Ir.mem_double
+
+let test_mem_words_bits () =
+  let d = small_design () in
+  let xt = Ir.find_mem d "xT" in
+  check_int "words" 16 (Ir.mem_words xt);
+  check_int "bits" 512 (Ir.mem_bits xt);
+  check_int "reg words" 1 (Ir.mem_words (Ir.find_mem d "acc"))
+
+let test_design_hash_stable () =
+  let a = small_design () and b = small_design () in
+  check_int "identical builds hash equal" (Ir.design_hash a) (Ir.design_hash b);
+  let c = small_design ~par:8 () in
+  check_bool "different par hashes differ" true (Ir.design_hash a <> Ir.design_hash c)
+
+(* ------------------------- Traverse -------------------------------- *)
+
+let test_traverse_counts () =
+  let d = small_design () in
+  check_int "controllers" 3 (List.length (Traverse.all_ctrls d));
+  check_int "pipes" 1 (List.length (Traverse.pipes d));
+  check_int "transfers" 1 (List.length (Traverse.tile_transfers d));
+  check_int "depth" 2 (Traverse.depth d.Ir.d_top);
+  check_int "stmts" 2 (Traverse.stmt_count d)
+
+let test_traverse_replication () =
+  let b = B.create "repl" in
+  let inner =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 8, 1) ] (fun pb ->
+        ignore (B.op pb ~ty:Dtype.int32 Op.Add [ B.iter "i"; B.const 1.0 ]))
+  in
+  let mid = B.metapipe ~label:"mid" ~counters:[ ("j", 0, 16, 1) ] ~par:4 ~pipelined:false [ inner ] in
+  let top = B.metapipe ~label:"top" ~counters:[ ("k", 0, 16, 1) ] ~par:2 ~pipelined:false [ mid ] in
+  let d = B.finish b ~top in
+  let factors = Traverse.ctrls_with_replication d in
+  let factor_of label =
+    let _, f = List.find (fun (c, _) -> Ir.ctrl_label c = label) factors in
+    f
+  in
+  check_int "top unreplicated" 1 (factor_of "top");
+  check_int "mid by outer par" 2 (factor_of "mid");
+  check_int "pipe by both" 8 (factor_of "p")
+
+let test_mem_replication () =
+  let b = B.create "memrepl" in
+  let buf = B.bram b "buf" Dtype.float32 [ 8 ] in
+  let inner =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 8, 1) ] (fun pb ->
+        B.store pb buf [ B.iter "i" ] (B.const 1.0))
+  in
+  let top = B.metapipe ~label:"top" ~counters:[ ("k", 0, 16, 1) ] ~par:4 ~pipelined:false [ inner ] in
+  let d = B.finish b ~top in
+  check_int "buffer duplicated per replica" 4 (Traverse.mem_replication d buf)
+
+let test_iterators_in_scope () =
+  let d = small_design () in
+  let pipe = List.hd (Traverse.pipes d) in
+  Alcotest.(check (list string)) "scoped" [ "t"; "i" ] (Traverse.iterators_in_scope d pipe)
+
+(* ------------------------- Banking fixpoint ------------------------ *)
+
+let test_banking_reduce_chain () =
+  let b = B.create "chain" in
+  let work = B.bram b "work" Dtype.float32 [ 8; 8 ] in
+  let blk = B.bram b "blk" Dtype.float32 [ 8; 8 ] in
+  let acc = B.bram b "acc" Dtype.float32 [ 8; 8 ] in
+  let compute =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 8, 1); ("j", 0, 8, 1) ] ~par:16 (fun pb ->
+        B.store pb work [ B.iter "i"; B.iter "j" ] (B.const 2.0))
+  in
+  let inner =
+    B.metapipe ~label:"in" ~counters:[ ("r", 0, 4, 1) ] ~reduce:(Op.Add, work, blk) [ compute ]
+  in
+  let top =
+    B.metapipe ~label:"out" ~counters:[ ("t", 0, 4, 1) ] ~reduce:(Op.Add, blk, acc) [ inner ]
+  in
+  let d = B.finish b ~top in
+  check_int "work banks from pipe" 16 (Ir.find_mem d "work").Ir.mem_banks;
+  check_int "blk inherits" 16 (Ir.find_mem d "blk").Ir.mem_banks;
+  check_int "acc inherits transitively" 16 (Ir.find_mem d "acc").Ir.mem_banks
+
+(* ------------------------- Validation ------------------------------ *)
+
+let expect_invalid build =
+  let d = build () in
+  Alcotest.(check bool) "rejected" true (Analysis.validate d <> [])
+
+let test_invalid_unbound_iterator () =
+  expect_invalid (fun () ->
+      let b = B.create "bad" in
+      let xt = B.bram b "xT" Dtype.float32 [ 8 ] in
+      let top =
+        B.pipe ~label:"p" ~counters:[ ("i", 0, 8, 1) ] (fun pb ->
+            B.store pb xt [ B.iter "nope" ] (B.const 1.0))
+      in
+      B.finish b ~top)
+
+let test_invalid_undeclared_mem () =
+  expect_invalid (fun () ->
+      let b = B.create "bad" in
+      let other = B.create "other" in
+      let foreign = B.bram other "foreign" Dtype.float32 [ 8 ] in
+      let top =
+        B.pipe ~label:"p" ~counters:[ ("i", 0, 8, 1) ] (fun pb ->
+            B.store pb foreign [ B.iter "i" ] (B.const 1.0))
+      in
+      B.finish b ~top)
+
+let test_invalid_arity () =
+  expect_invalid (fun () ->
+      let b = B.create "bad" in
+      let top =
+        Ir.Pipe
+          {
+            loop = { lp_label = "p"; lp_counters = [ ctr "i" 0 8 1 ]; lp_par = 1; lp_pattern = Ir.Map_pattern };
+            body = [ Ir.Sop { dst = 0; op = Op.Add; args = [ Ir.Const 1.0 ]; ty = Dtype.float32 } ];
+            reduce = None;
+          }
+      in
+      B.finish b ~top)
+
+let test_invalid_forward_ref () =
+  expect_invalid (fun () ->
+      let b = B.create "bad" in
+      let top =
+        Ir.Pipe
+          {
+            loop = { lp_label = "p"; lp_counters = [ ctr "i" 0 8 1 ]; lp_par = 1; lp_pattern = Ir.Map_pattern };
+            body = [ Ir.Sop { dst = 0; op = Op.Neg; args = [ Ir.Value 99 ]; ty = Dtype.float32 } ];
+            reduce = None;
+          }
+      in
+      B.finish b ~top)
+
+let test_invalid_addr_arity () =
+  expect_invalid (fun () ->
+      let b = B.create "bad" in
+      let m = B.bram b "m" Dtype.float32 [ 8; 8 ] in
+      let top =
+        B.pipe ~label:"p" ~counters:[ ("i", 0, 8, 1) ] (fun pb ->
+            B.store pb m [ B.iter "i" ] (B.const 1.0))
+      in
+      B.finish b ~top)
+
+let test_invalid_reduce_target () =
+  expect_invalid (fun () ->
+      let b = B.create "bad" in
+      let m = B.bram b "m" Dtype.float32 [ 8 ] in
+      let top =
+        Ir.Pipe
+          {
+            loop = { lp_label = "p"; lp_counters = [ ctr "i" 0 8 1 ]; lp_par = 1; lp_pattern = Ir.Reduce_pattern };
+            body = [];
+            reduce = Some { Ir.sr_op = Op.Add; sr_out = m; sr_value = Ir.Const 1.0 };
+          }
+      in
+      B.finish b ~top)
+
+let test_invalid_nonreduction_op () =
+  expect_invalid (fun () ->
+      let b = B.create "bad" in
+      let r = B.reg b "r" Dtype.float32 in
+      let top =
+        Ir.Pipe
+          {
+            loop = { lp_label = "p"; lp_counters = [ ctr "i" 0 8 1 ]; lp_par = 1; lp_pattern = Ir.Reduce_pattern };
+            body = [];
+            reduce = Some { Ir.sr_op = Op.Sub; sr_out = r; sr_value = Ir.Const 1.0 };
+          }
+      in
+      B.finish b ~top)
+
+let test_invalid_empty_counter () =
+  expect_invalid (fun () ->
+      let b = B.create "bad" in
+      let top = B.pipe ~label:"p" ~counters:[ ("i", 5, 5, 1) ] (fun _ -> ()) in
+      B.finish b ~top)
+
+let test_invalid_tile_shape () =
+  expect_invalid (fun () ->
+      let b = B.create "bad" in
+      let x = B.offchip b "x" Dtype.float32 [ 64 ] in
+      let xt = B.bram b "xT" Dtype.float32 [ 16 ] in
+      let top =
+        B.sequential_block ~label:"s"
+          [ Ir.Tile_load { src = x; dst = xt; offsets = [ Ir.Const 0.0 ]; tile = [ 32 ]; par = 1 } ]
+      in
+      B.finish b ~top)
+
+let test_invalid_tile_endpoints () =
+  expect_invalid (fun () ->
+      let b = B.create "bad" in
+      let x = B.bram b "x" Dtype.float32 [ 16 ] in
+      let y = B.bram b "y" Dtype.float32 [ 16 ] in
+      let top =
+        B.sequential_block ~label:"s"
+          [ Ir.Tile_load { src = x; dst = y; offsets = [ Ir.Const 0.0 ]; tile = [ 16 ]; par = 1 } ]
+      in
+      B.finish b ~top)
+
+let test_invalid_mismatched_reduce_shapes () =
+  expect_invalid (fun () ->
+      let b = B.create "bad" in
+      let s = B.bram b "s" Dtype.float32 [ 8 ] in
+      let d = B.bram b "d" Dtype.float32 [ 16 ] in
+      let inner = B.pipe ~label:"p" ~counters:[ ("i", 0, 8, 1) ] (fun _ -> ()) in
+      let top = B.metapipe ~label:"m" ~counters:[ ("t", 0, 4, 1) ] ~reduce:(Op.Add, s, d) [ inner ] in
+      B.finish b ~top)
+
+let test_invalid_empty_stages () =
+  expect_invalid (fun () ->
+      let b = B.create "bad" in
+      let top = B.sequential_block ~label:"s" [] in
+      B.finish b ~top)
+
+let test_validate_exn () =
+  Alcotest.check_raises "raises on invalid"
+    (Failure "invalid design bad:\np: iterator nope is not in scope") (fun () ->
+      let b = B.create "bad" in
+      let xt = B.bram b "xT" Dtype.float32 [ 8 ] in
+      let top =
+        B.pipe ~label:"p" ~counters:[ ("i", 0, 8, 1) ] (fun pb ->
+            B.store pb xt [ B.iter "nope" ] (B.const 1.0))
+      in
+      Analysis.validate_exn (B.finish b ~top))
+
+(* ------------------------- Pretty ----------------------------------- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_pretty_design () =
+  let s = Pretty.design (small_design ()) in
+  check_bool "has design name" true (contains ~needle:"design small" s);
+  check_bool "has offchip" true (contains ~needle:"OffChipMem" s);
+  check_bool "has metapipe" true (contains ~needle:"MetaPipe outer" s);
+  check_bool "has reduce" true (contains ~needle:"reduce(add)" s);
+  check_bool "has banks annotation" true (contains ~needle:"banks=2" s)
+
+let test_pretty_stmt () =
+  Alcotest.(check string) "op" "v1 : Float(8,24) = mul(v0, 3)"
+    (Pretty.stmt (Ir.Sop { dst = 1; op = Op.Mul; args = [ Ir.Value 0; Ir.Const 3.0 ]; ty = Dtype.float32 }))
+
+(* ------------------------- Access analysis ------------------------- *)
+
+let test_accesses () =
+  let d = small_design () in
+  let xt = Ir.find_mem d "xT" in
+  let accs = Analysis.accesses_of_mem d xt in
+  check_bool "has write from tile load" true (List.exists (fun a -> a.Analysis.acc_write) accs);
+  check_bool "has read from pipe" true (List.exists (fun a -> not a.Analysis.acc_write) accs)
+
+let test_written_read_mems () =
+  let d = small_design () in
+  let written = Analysis.written_mems d.Ir.d_top in
+  let read = Analysis.read_mems d.Ir.d_top in
+  check_bool "xT written" true (List.exists (fun m -> m.Ir.mem_name = "xT") written);
+  check_bool "xT read" true (List.exists (fun m -> m.Ir.mem_name = "xT") read);
+  check_bool "x read (offchip)" true (List.exists (fun m -> m.Ir.mem_name = "x") read)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "dtype",
+        [
+          Alcotest.test_case "bits" `Quick test_dtype_bits;
+          Alcotest.test_case "predicates" `Quick test_dtype_predicates;
+          Alcotest.test_case "equal" `Quick test_dtype_equal;
+          Alcotest.test_case "strings" `Quick test_dtype_strings;
+        ] );
+      ( "op",
+        [
+          Alcotest.test_case "arity/eval consistent" `Quick test_op_arity_eval_consistent;
+          Alcotest.test_case "semantics" `Quick test_op_semantics;
+          Alcotest.test_case "identity elements" `Quick test_op_identity;
+          qtest prop_reduction_identity;
+        ] );
+      ( "loops",
+        [
+          Alcotest.test_case "counter trip" `Quick test_counter_trip;
+          Alcotest.test_case "loop trip" `Quick test_loop_trip;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "memories" `Quick test_builder_mems;
+          Alcotest.test_case "valid design" `Quick test_builder_valid;
+          Alcotest.test_case "banking" `Quick test_builder_banking;
+          Alcotest.test_case "double buffering" `Quick test_builder_double_buffering;
+          Alcotest.test_case "sequential no double" `Quick test_sequential_no_double;
+          Alcotest.test_case "mem words/bits" `Quick test_mem_words_bits;
+          Alcotest.test_case "hash stable" `Quick test_design_hash_stable;
+        ] );
+      ( "traverse",
+        [
+          Alcotest.test_case "counts" `Quick test_traverse_counts;
+          Alcotest.test_case "replication factors" `Quick test_traverse_replication;
+          Alcotest.test_case "mem replication" `Quick test_mem_replication;
+          Alcotest.test_case "iterator scope" `Quick test_iterators_in_scope;
+        ] );
+      ( "banking", [ Alcotest.test_case "reduce chain fixpoint" `Quick test_banking_reduce_chain ] );
+      ( "validation",
+        [
+          Alcotest.test_case "unbound iterator" `Quick test_invalid_unbound_iterator;
+          Alcotest.test_case "undeclared memory" `Quick test_invalid_undeclared_mem;
+          Alcotest.test_case "op arity" `Quick test_invalid_arity;
+          Alcotest.test_case "forward reference" `Quick test_invalid_forward_ref;
+          Alcotest.test_case "address arity" `Quick test_invalid_addr_arity;
+          Alcotest.test_case "reduce target kind" `Quick test_invalid_reduce_target;
+          Alcotest.test_case "non-reduction op" `Quick test_invalid_nonreduction_op;
+          Alcotest.test_case "empty counter" `Quick test_invalid_empty_counter;
+          Alcotest.test_case "tile shape" `Quick test_invalid_tile_shape;
+          Alcotest.test_case "tile endpoints" `Quick test_invalid_tile_endpoints;
+          Alcotest.test_case "reduce shapes" `Quick test_invalid_mismatched_reduce_shapes;
+          Alcotest.test_case "empty stages" `Quick test_invalid_empty_stages;
+          Alcotest.test_case "validate_exn" `Quick test_validate_exn;
+        ] );
+      ( "pretty",
+        [
+          Alcotest.test_case "design listing" `Quick test_pretty_design;
+          Alcotest.test_case "statement" `Quick test_pretty_stmt;
+        ] );
+      ( "accesses",
+        [
+          Alcotest.test_case "per-mem accesses" `Quick test_accesses;
+          Alcotest.test_case "written/read sets" `Quick test_written_read_mems;
+        ] );
+    ]

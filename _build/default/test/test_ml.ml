@@ -1,0 +1,172 @@
+(* Tests for the machine-learning layer: min-max scaling, linear regression
+   and the multilayer perceptron with RPROP training (Encog's model class,
+   Section IV.B.2). *)
+
+module Mlp = Dhdl_ml.Mlp
+module Scaler = Dhdl_ml.Scaler
+module Linreg = Dhdl_ml.Linreg
+module Rng = Dhdl_util.Rng
+
+let check_float = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------- Scaler ---------------------------------- *)
+
+let test_scaler_bounds () =
+  let samples = [ [| 0.0; 10.0 |]; [| 5.0; 20.0 |]; [| 10.0; 30.0 |] ] in
+  let s = Scaler.fit samples in
+  Alcotest.(check int) "dim" 2 (Scaler.dim s);
+  let t = Scaler.transform s [| 5.0; 20.0 |] in
+  check_float "mid x" 0.5 t.(0);
+  check_float "mid y" 0.5 t.(1);
+  let lo = Scaler.transform s [| 0.0; 10.0 |] in
+  check_float "low" 0.0 lo.(0);
+  let hi = Scaler.transform s [| 10.0; 30.0 |] in
+  check_float "high" 1.0 hi.(1)
+
+let test_scaler_zero_range () =
+  let s = Scaler.fit [ [| 7.0 |]; [| 7.0 |] ] in
+  check_float "constant column maps to 0.5" 0.5 (Scaler.transform s [| 7.0 |]).(0)
+
+let test_scaler_value_roundtrip () =
+  let v = Scaler.transform_value ~lo:10.0 ~hi:20.0 15.0 in
+  check_float "forward" 0.5 v;
+  check_float "inverse" 15.0 (Scaler.inverse_value ~lo:10.0 ~hi:20.0 v)
+
+let test_scaler_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Scaler.fit: empty sample list") (fun () ->
+      ignore (Scaler.fit []))
+
+(* ------------------------- Linreg ---------------------------------- *)
+
+let test_linreg_exact () =
+  (* y = 2a - 3b + 5 *)
+  let samples =
+    [
+      ([| 0.0; 0.0 |], 5.0);
+      ([| 1.0; 0.0 |], 7.0);
+      ([| 0.0; 1.0 |], 2.0);
+      ([| 2.0; 1.0 |], 6.0);
+      ([| 3.0; 2.0 |], 5.0);
+    ]
+  in
+  let m = Linreg.fit samples in
+  Alcotest.(check (float 1e-3)) "coef a" 2.0 (Linreg.coefficients m).(0);
+  Alcotest.(check (float 1e-3)) "coef b" (-3.0) (Linreg.coefficients m).(1);
+  Alcotest.(check (float 1e-3)) "intercept" 5.0 (Linreg.intercept m);
+  Alcotest.(check (float 1e-3)) "predict" 4.0 (Linreg.predict m [| 1.0; 1.0 |]);
+  Alcotest.(check (float 1e-6)) "r2 exact" 1.0 (Linreg.r_squared m samples)
+
+let test_linreg_noisy_r2 () =
+  let rng = Rng.create 4 in
+  let samples =
+    List.init 50 (fun i ->
+        let x = float_of_int i in
+        ([| x |], (2.0 *. x) +. Rng.gaussian rng ~mean:0.0 ~sigma:5.0))
+  in
+  let m = Linreg.fit samples in
+  let r2 = Linreg.r_squared m samples in
+  check_bool "good but not perfect" true (r2 > 0.9 && r2 < 1.0)
+
+let test_linreg_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Linreg.fit: empty sample list") (fun () ->
+      ignore (Linreg.fit []))
+
+(* ------------------------- Mlp ------------------------------------- *)
+
+let test_mlp_shape () =
+  let net = Mlp.create ~layer_sizes:[ 11; 6; 1 ] () in
+  Alcotest.(check int) "inputs" 11 (Mlp.inputs net);
+  Alcotest.(check int) "outputs" 1 (Mlp.outputs net)
+
+let test_mlp_deterministic () =
+  let net = Mlp.create ~rng:(Rng.create 9) ~layer_sizes:[ 3; 4; 2 ] () in
+  let a = Mlp.predict net [| 0.1; 0.2; 0.3 |] in
+  let b = Mlp.predict net [| 0.1; 0.2; 0.3 |] in
+  Alcotest.(check (float 0.0)) "same output 0" a.(0) b.(0);
+  Alcotest.(check (float 0.0)) "same output 1" a.(1) b.(1)
+
+let xor_samples =
+  [
+    ([| 0.0; 0.0 |], [| 0.0 |]);
+    ([| 0.0; 1.0 |], [| 1.0 |]);
+    ([| 1.0; 0.0 |], [| 1.0 |]);
+    ([| 1.0; 1.0 |], [| 0.0 |]);
+  ]
+
+let test_mlp_rprop_xor () =
+  let net = Mlp.create ~rng:(Rng.create 17) ~layer_sizes:[ 2; 6; 1 ] () in
+  let mse = Mlp.train_rprop ~epochs:600 net xor_samples in
+  Alcotest.(check bool) "xor learned" true (mse < 0.01);
+  List.iter
+    (fun (x, t) ->
+      let y = Mlp.predict1 net x in
+      Alcotest.(check bool) "classified" true (Float.abs (y -. t.(0)) < 0.3))
+    xor_samples
+
+let test_mlp_rprop_quadratic () =
+  (* The universal-approximation claim the paper cites [35]: fit x^2. *)
+  let samples =
+    List.init 21 (fun i ->
+        let x = float_of_int i /. 20.0 in
+        ([| x |], [| x *. x |]))
+  in
+  let net = Mlp.create ~rng:(Rng.create 23) ~layer_sizes:[ 1; 6; 1 ] () in
+  let mse = Mlp.train_rprop ~epochs:800 net samples in
+  Alcotest.(check bool) "quadratic fit" true (mse < 1e-3)
+
+let test_mlp_sgd_reduces_error () =
+  let net = Mlp.create ~rng:(Rng.create 31) ~layer_sizes:[ 2; 6; 1 ] () in
+  let before = Mlp.mse net xor_samples in
+  let after = Mlp.train_sgd ~epochs:400 ~rate:0.3 net xor_samples in
+  Alcotest.(check bool) "sgd improves" true (after < before)
+
+let test_mlp_multi_output () =
+  (* Learn [sum; product] of two inputs on a small grid. *)
+  let samples =
+    List.concat_map
+      (fun i ->
+        List.map
+          (fun j ->
+            let a = float_of_int i /. 4.0 and b = float_of_int j /. 4.0 in
+            ([| a; b |], [| (a +. b) /. 2.0; a *. b |]))
+          [ 0; 1; 2; 3; 4 ])
+      [ 0; 1; 2; 3; 4 ]
+  in
+  let net = Mlp.create ~rng:(Rng.create 41) ~layer_sizes:[ 2; 8; 2 ] () in
+  let mse = Mlp.train_rprop ~epochs:800 net samples in
+  Alcotest.(check bool) "two-output regression" true (mse < 5e-3)
+
+let test_mlp_early_stop () =
+  (* With target_mse huge, training stops after the first epoch. *)
+  let net = Mlp.create ~rng:(Rng.create 5) ~layer_sizes:[ 2; 4; 1 ] () in
+  let mse = Mlp.train_rprop ~epochs:100000 ~target_mse:1e9 net xor_samples in
+  Alcotest.(check bool) "stops early" true (mse < 1e9 +. 1.0)
+
+let () =
+  Alcotest.run "ml"
+    [
+      ( "scaler",
+        [
+          Alcotest.test_case "bounds" `Quick test_scaler_bounds;
+          Alcotest.test_case "zero range" `Quick test_scaler_zero_range;
+          Alcotest.test_case "value roundtrip" `Quick test_scaler_value_roundtrip;
+          Alcotest.test_case "empty" `Quick test_scaler_empty;
+        ] );
+      ( "linreg",
+        [
+          Alcotest.test_case "exact fit" `Quick test_linreg_exact;
+          Alcotest.test_case "noisy r2" `Quick test_linreg_noisy_r2;
+          Alcotest.test_case "empty" `Quick test_linreg_empty;
+        ] );
+      ( "mlp",
+        [
+          Alcotest.test_case "shape" `Quick test_mlp_shape;
+          Alcotest.test_case "deterministic" `Quick test_mlp_deterministic;
+          Alcotest.test_case "rprop xor" `Quick test_mlp_rprop_xor;
+          Alcotest.test_case "rprop quadratic" `Quick test_mlp_rprop_quadratic;
+          Alcotest.test_case "sgd improves" `Quick test_mlp_sgd_reduces_error;
+          Alcotest.test_case "multi output" `Quick test_mlp_multi_output;
+          Alcotest.test_case "early stop" `Quick test_mlp_early_stop;
+        ] );
+    ]

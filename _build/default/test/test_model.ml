@@ -1,0 +1,291 @@
+(* Tests for the estimation stack: template characterization, the
+   analytical area pass, the random design generator, the NN corrections
+   and the assembled hybrid estimator.
+
+   The expensive fixtures (characterization, NN training) are built once
+   and shared across cases. *)
+
+module Ir = Dhdl_ir.Ir
+module Op = Dhdl_ir.Op
+module Dtype = Dhdl_ir.Dtype
+module B = Dhdl_ir.Builder
+module R = Dhdl_device.Resources
+module Target = Dhdl_device.Target
+module Char_ = Dhdl_model.Characterization
+module Area_model = Dhdl_model.Area_model
+module Design_gen = Dhdl_model.Design_gen
+module Nn = Dhdl_model.Nn_correction
+module Cycle_model = Dhdl_model.Cycle_model
+module Estimator = Dhdl_model.Estimator
+module Stats = Dhdl_util.Stats
+
+let dev = Target.stratix_v
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let char = lazy (Char_.default ())
+let estimator = lazy (Estimator.create ~seed:77 ~train_samples:120 ~epochs:250 ())
+
+(* ------------------------- Characterization ------------------------ *)
+
+let test_char_runs () =
+  let c = Lazy.force char in
+  (* "Most templates require about six synthesized designs": the whole
+     characterization is a few dozen toolchain runs. *)
+  check_bool "microdesign count" true
+    (c.Char_.microdesigns_synthesized >= 20 && c.Char_.microdesigns_synthesized <= 80)
+
+let test_char_memoized () =
+  let a = Char_.default () and b = Char_.default () in
+  check_bool "same instance" true (a == b)
+
+let test_char_fits_micro_pipe () =
+  (* The fitted pipe model must predict a characterized point closely. *)
+  let c = Lazy.force char in
+  let pred = Dhdl_ml.Linreg.predict c.Char_.pipe_overhead [| 1.0; 1.0 |] in
+  check_bool "positive overhead" true (pred > 10.0 && pred < 2000.0)
+
+(* ------------------------- Design generator ------------------------ *)
+
+let test_corpus_valid () =
+  List.iter
+    (fun d ->
+      Alcotest.(check (list string)) (d.Ir.d_name ^ " valid") [] (Dhdl_ir.Analysis.validate d))
+    (Design_gen.corpus ~seed:123 60)
+
+let test_corpus_deterministic () =
+  let a = Design_gen.corpus ~seed:5 10 and b = Design_gen.corpus ~seed:5 10 in
+  List.iter2
+    (fun x y -> check_int "same hash" (Ir.design_hash x) (Ir.design_hash y))
+    a b
+
+let test_corpus_diverse () =
+  let ds = Design_gen.corpus ~seed:7 40 in
+  let shapes = List.sort_uniq compare (List.map (fun d -> List.hd (String.split_on_char '_' (String.sub d.Ir.d_name 4 (String.length d.Ir.d_name - 4)))) ds) in
+  check_bool "several shapes" true (List.length shapes >= 4)
+
+(* ------------------------- Area model ------------------------------ *)
+
+let test_features_shape () =
+  let d = List.hd (Design_gen.corpus ~seed:9 1) in
+  let raw = Area_model.raw_estimate (Lazy.force char) dev d in
+  check_int "eleven NN inputs" Area_model.feature_count
+    (Array.length (Area_model.features dev raw))
+
+let test_raw_tracks_truth () =
+  (* The analytical pass should land within ~15% of the toolchain's pre-P&R
+     LUT counts across a corpus sample. *)
+  let c = Lazy.force char in
+  let designs = Design_gen.corpus ~seed:31 15 in
+  let errs =
+    List.map
+      (fun d ->
+        let est = float_of_int (R.luts (Area_model.raw_estimate c dev d).Area_model.resources) in
+        let act = float_of_int (R.luts (Dhdl_synth.Toolchain.netlist ~dev d).Dhdl_synth.Netlist.raw) in
+        Stats.percent_error ~actual:act ~predicted:est)
+      designs
+  in
+  check_bool "mean raw LUT error < 15%" true (Stats.mean errs < 15.0)
+
+let test_bram_estimate_geometry () =
+  let b = B.create "g" in
+  let m = B.bram b "m" Dtype.float32 [ 2048 ] in
+  let top =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 2048, 1) ] (fun pb ->
+        ignore (B.load pb m [ B.iter "i" ]))
+  in
+  let d = B.finish b ~top in
+  check_int "4 blocks for 2048 words" 4 (Area_model.bram_blocks_estimate dev (Ir.find_mem d "m"))
+
+let test_critical_path_exposed () =
+  let b = B.create "cp" in
+  let top =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 4, 1) ] (fun pb ->
+        let m = B.op pb Op.Mul [ B.const 2.0; B.const 3.0 ] in
+        ignore (B.add pb m (B.const 1.0)))
+  in
+  let d = B.finish b ~top in
+  let body = Dhdl_ir.Traverse.body_stmts (List.hd (Dhdl_ir.Traverse.pipes d)) in
+  check_int "mul+add" 13 (Area_model.critical_path body)
+
+(* ------------------------- Cycle model ----------------------------- *)
+
+let test_cycle_model_matches_formula () =
+  (* Sequential loop: N x sum; MetaPipe: (N-1) max + sum. *)
+  let mk pipelined =
+    let b = B.create (Printf.sprintf "cyc%b" pipelined) in
+    let p1 =
+      B.pipe ~label:"a" ~counters:[ ("i", 0, 100, 1) ] (fun pb ->
+          ignore (B.op pb ~ty:Dtype.int32 Op.Add [ B.iter "i"; B.const 1.0 ]))
+    in
+    let p2 =
+      B.pipe ~label:"b" ~counters:[ ("i", 0, 300, 1) ] (fun pb ->
+          ignore (B.op pb ~ty:Dtype.int32 Op.Add [ B.iter "i"; B.const 1.0 ]))
+    in
+    B.finish b ~top:(B.metapipe ~label:"m" ~counters:[ ("t", 0, 10, 1) ] ~pipelined [ p1; p2 ])
+  in
+  let seq = Cycle_model.estimate (mk false) in
+  let piped = Cycle_model.estimate (mk true) in
+  (* Stage cycles: depth 1 + (trip-1) * II + 4 = 104 and 304. *)
+  Alcotest.(check (float 1.0)) "sequential" (10.0 *. (104.0 +. 304.0)) seq;
+  Alcotest.(check (float 1.0)) "metapipe" ((9.0 *. 304.0) +. 104.0 +. 304.0) piped
+
+let test_cycle_estimate_close_to_sim () =
+  let designs = Design_gen.corpus ~seed:37 12 in
+  let errs =
+    List.map
+      (fun d ->
+        Stats.percent_error
+          ~actual:(Dhdl_sim.Perf_sim.simulate ~dev d).Dhdl_sim.Perf_sim.cycles
+          ~predicted:(Cycle_model.estimate d))
+      designs
+  in
+  check_bool "mean runtime error < 10%" true (Stats.mean errs < 10.0)
+
+(* ------------------------- NN corrections -------------------------- *)
+
+let test_nn_trains () =
+  let est = Lazy.force estimator in
+  let nn = Estimator.corrections est in
+  let r, g, u = Nn.training_mse nn in
+  check_bool "converged" true (r < 1e-3 && g < 1e-3 && u < 1e-3);
+  check_int "samples" 120 (Nn.samples_used nn)
+
+let test_nn_corrections_nonnegative () =
+  let est = Lazy.force estimator in
+  let nn = Estimator.corrections est in
+  let c = Lazy.force char in
+  List.iter
+    (fun d ->
+      let raw = Area_model.raw_estimate c dev d in
+      let corr = Nn.correct nn raw in
+      check_bool "route >= 0" true (corr.Nn.routing_luts >= 0);
+      check_bool "regs >= 0" true (corr.Nn.duplicated_regs >= 0);
+      check_bool "unavail >= 0" true (corr.Nn.unavailable_luts >= 0);
+      check_bool "brams >= 0" true (corr.Nn.duplicated_brams >= 0))
+    (Design_gen.corpus ~seed:91 8)
+
+(* ------------------------- Estimator ------------------------------- *)
+
+let holdout () = Design_gen.corpus ~seed:4242 15
+
+let test_estimator_alm_accuracy () =
+  (* Held-out designs (different seed from training): mean ALM error within
+     the paper's band. *)
+  let est = Lazy.force estimator in
+  let errs =
+    List.map
+      (fun d ->
+        let e = Estimator.estimate est d in
+        let rpt = Dhdl_synth.Toolchain.synthesize ~dev d in
+        Stats.percent_error
+          ~actual:(float_of_int rpt.Dhdl_synth.Report.alms)
+          ~predicted:(float_of_int e.Estimator.area.Estimator.alms))
+      (holdout ())
+  in
+  check_bool "mean ALM error < 10%" true (Stats.mean errs < 10.0)
+
+let test_estimator_correction_helps () =
+  (* The hybrid scheme's point: corrected estimates beat raw-only ones. *)
+  let est = Lazy.force estimator in
+  let raw_errs, cor_errs =
+    List.split
+      (List.map
+         (fun d ->
+           let rpt = Dhdl_synth.Toolchain.synthesize ~dev d in
+           let actual = float_of_int rpt.Dhdl_synth.Report.alms in
+           let raw = Estimator.estimate_area_uncorrected est d in
+           let cor = Estimator.estimate_area est d in
+           ( Stats.percent_error ~actual ~predicted:(float_of_int raw.Estimator.alms),
+             Stats.percent_error ~actual ~predicted:(float_of_int cor.Estimator.alms) ))
+         (holdout ()))
+  in
+  check_bool "NN correction reduces mean error" true (Stats.mean cor_errs < Stats.mean raw_errs)
+
+let test_estimator_deterministic () =
+  let est = Lazy.force estimator in
+  let d = List.hd (holdout ()) in
+  let a = Estimator.estimate est d and b = Estimator.estimate est d in
+  check_int "same alms" a.Estimator.area.Estimator.alms b.Estimator.area.Estimator.alms;
+  Alcotest.(check (float 0.0)) "same cycles" a.Estimator.cycles b.Estimator.cycles
+
+let test_estimator_speed () =
+  (* The headline property: estimation is milliseconds, not hours. *)
+  let est = Lazy.force estimator in
+  let d = List.hd (holdout ()) in
+  let _, elapsed = Estimator.timed_estimate est d in
+  check_bool "sub-50ms" true (elapsed < 0.05)
+
+let test_estimator_fits () =
+  let est = Lazy.force estimator in
+  let big = { Estimator.alms = 10_000_000; luts = 0; regs = 0; dsps = 0; brams = 0;
+              routing_luts = 0; unavailable_luts = 0; duplicated_regs = 0; duplicated_brams = 0 } in
+  check_bool "too big" false (Estimator.fits est big);
+  let ok = { big with Estimator.alms = 100 } in
+  check_bool "fits" true (Estimator.fits est ok);
+  let alm_pct, _, _ = Estimator.utilization est ok in
+  check_bool "utilization small" true (alm_pct < 1.0)
+
+let test_estimator_save_load () =
+  let est = Lazy.force estimator in
+  let path = Filename.temp_file "dhdl_est" ".bin" in
+  Estimator.save est path;
+  (match Estimator.load path with
+  | None -> Alcotest.fail "expected reload to succeed"
+  | Some est' ->
+    let d = List.hd (holdout ()) in
+    check_int "same estimate after reload"
+      (Estimator.estimate est d).Estimator.area.Estimator.alms
+      (Estimator.estimate est' d).Estimator.area.Estimator.alms);
+  Sys.remove path;
+  check_bool "missing file" true (Estimator.load path = None);
+  (* Corrupt / foreign files are rejected, not crashed on. *)
+  let bad = Filename.temp_file "dhdl_bad" ".bin" in
+  let oc = open_out bad in
+  output_string oc "not an estimator";
+  close_out oc;
+  check_bool "garbage rejected" true (Estimator.load bad = None);
+  Sys.remove bad
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "characterization",
+        [
+          Alcotest.test_case "run count" `Quick test_char_runs;
+          Alcotest.test_case "memoized" `Quick test_char_memoized;
+          Alcotest.test_case "pipe overhead fit" `Quick test_char_fits_micro_pipe;
+        ] );
+      ( "design_gen",
+        [
+          Alcotest.test_case "corpus valid" `Quick test_corpus_valid;
+          Alcotest.test_case "deterministic" `Quick test_corpus_deterministic;
+          Alcotest.test_case "diverse shapes" `Quick test_corpus_diverse;
+        ] );
+      ( "area_model",
+        [
+          Alcotest.test_case "feature shape" `Quick test_features_shape;
+          Alcotest.test_case "raw tracks truth" `Quick test_raw_tracks_truth;
+          Alcotest.test_case "bram geometry" `Quick test_bram_estimate_geometry;
+          Alcotest.test_case "critical path" `Quick test_critical_path_exposed;
+        ] );
+      ( "cycle_model",
+        [
+          Alcotest.test_case "controller formulas" `Quick test_cycle_model_matches_formula;
+          Alcotest.test_case "close to simulator" `Quick test_cycle_estimate_close_to_sim;
+        ] );
+      ( "nn",
+        [
+          Alcotest.test_case "training converges" `Quick test_nn_trains;
+          Alcotest.test_case "corrections nonnegative" `Quick test_nn_corrections_nonnegative;
+        ] );
+      ( "estimator",
+        [
+          Alcotest.test_case "holdout ALM accuracy" `Quick test_estimator_alm_accuracy;
+          Alcotest.test_case "correction helps" `Quick test_estimator_correction_helps;
+          Alcotest.test_case "deterministic" `Quick test_estimator_deterministic;
+          Alcotest.test_case "speed" `Quick test_estimator_speed;
+          Alcotest.test_case "fits/utilization" `Quick test_estimator_fits;
+          Alcotest.test_case "save/load" `Quick test_estimator_save_load;
+        ] );
+    ]

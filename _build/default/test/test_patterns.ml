@@ -1,0 +1,386 @@
+(* Tests for the parallel-pattern frontend (Figure 1 step 1): reference
+   semantics, fusion, lowering to DHDL, and the IR optimization passes. *)
+
+module P = Dhdl_patterns.Pattern
+module Ir = Dhdl_ir.Ir
+module Op = Dhdl_ir.Op
+module Dtype = Dhdl_ir.Dtype
+module Transform = Dhdl_ir.Transform
+module Interp = Dhdl_sim.Interp
+module Rng = Dhdl_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-4))
+let qtest = QCheck_alcotest.to_alcotest
+
+let open_ops = P.(( +% ), ( -% ), ( *% ))
+let () = ignore open_ops
+
+(* ------------------------- Element expressions --------------------- *)
+
+let test_elt_eval () =
+  let e = P.((arg 0 *% arg 1) +% constf 1.0) in
+  check_float "eval" 7.0 (P.eval_elt e [| 2.0; 3.0 |]);
+  Alcotest.(check string) "to_string" "add(mul(x0, x1), 1)" (P.elt_to_string e)
+
+(* ------------------------- Patterns and eval ----------------------- *)
+
+let saxpy = P.(zip2 (fun x y -> (constf 2.0 *% x) +% y) (input "x") (input "y"))
+let dot = P.(reduce Op.Add (zip2 (fun x y -> x *% y) (input "x") (input "y")))
+
+let q6 =
+  P.(
+    filter_reduce
+      ~pred:(fun x -> prim Op.Lt [ x; constf 0.5 ])
+      ~f:(fun x -> x *% constf 10.0)
+      Op.Add (input "x"))
+
+let test_inputs () =
+  Alcotest.(check (list string)) "dedup in order" [ "x"; "y" ]
+    (List.map fst (P.inputs dot));
+  check_bool "scalar" true (P.is_scalar dot);
+  check_bool "collection" false (P.is_scalar saxpy)
+
+let test_eval_map () =
+  let x = [| 1.0; 2.0 |] and y = [| 10.0; 20.0 |] in
+  Alcotest.(check (array (float 1e-9))) "saxpy" [| 12.0; 24.0 |]
+    (P.eval saxpy ~env:[ ("x", x); ("y", y) ])
+
+let test_eval_reduce () =
+  let x = [| 1.0; 2.0; 3.0 |] and y = [| 4.0; 5.0; 6.0 |] in
+  check_float "dot" 32.0 (P.eval dot ~env:[ ("x", x); ("y", y) ]).(0)
+
+let test_eval_filter_reduce () =
+  let x = [| 0.1; 0.9; 0.3 |] in
+  check_float "masked sum" 4.0 (P.eval q6 ~env:[ ("x", x) ]).(0)
+
+(* ------------------------- Fusion ---------------------------------- *)
+
+let test_fusion_collapses_maps () =
+  (* map f (map g (map h x)) fuses into one body over one input. *)
+  let chained =
+    P.(map (fun v -> v +% constf 1.0) (map (fun v -> v *% v) (map (fun v -> v -% constf 3.0) (input "x"))))
+  in
+  match P.fuse chained with
+  | P.Fused_map { f; srcs } ->
+    check_int "one leaf input" 1 (List.length srcs);
+    (* Substitution duplicates the shared subtree (sub appears twice);
+       CSE removes the duplicate after lowering. *)
+    check_int "four fused ops" 4 (P.fused_ops (P.Fused_map { f; srcs }));
+    check_float "semantics" 10.0 (P.eval_elt f [| 6.0 |])
+  | P.Fused_reduce _ | P.Fused_outer _ -> Alcotest.fail "expected a map"
+
+let test_fusion_shares_inputs () =
+  (* x used twice fuses to a single leaf. *)
+  let twice = P.(zip2 (fun a b -> a *% b) (input "x") (map (fun v -> v +% constf 1.0) (input "x"))) in
+  match P.fuse twice with
+  | P.Fused_map { srcs; _ } -> check_int "single shared leaf" 1 (List.length srcs)
+  | P.Fused_reduce _ | P.Fused_outer _ -> Alcotest.fail "expected a map"
+
+let test_fusion_rejects_nested_reduce () =
+  let bad = P.(map (fun v -> v +% constf 1.0) (reduce Op.Add (input "x"))) in
+  check_bool "raises" true
+    (try
+       ignore (P.fuse bad);
+       false
+     with Failure _ -> true)
+
+(* ------------------------- Lowering -------------------------------- *)
+
+let test_lower_map_matches_eval () =
+  let n = 512 in
+  let d = P.lower ~name:"saxpy" ~n ~tile:64 ~par:4 saxpy in
+  Alcotest.(check (list string)) "valid" [] (Dhdl_ir.Analysis.validate d);
+  let rng = Rng.create 5 in
+  let x = Array.init n (fun _ -> Rng.float_in rng (-2.0) 2.0) in
+  let y = Array.init n (fun _ -> Rng.float_in rng (-2.0) 2.0) in
+  let env = Interp.run d ~inputs:[ ("x", x); ("y", y) ] in
+  Alcotest.(check (array (float 1e-4))) "lowered = reference"
+    (P.eval saxpy ~env:[ ("x", x); ("y", y) ])
+    (Interp.offchip env "out")
+
+let test_lower_reduce_matches_eval () =
+  let n = 256 in
+  let d = P.lower ~name:"dot" ~n ~tile:32 ~par:8 dot in
+  let rng = Rng.create 6 in
+  let x = Array.init n (fun _ -> Rng.float_in rng (-1.0) 1.0) in
+  let y = Array.init n (fun _ -> Rng.float_in rng (-1.0) 1.0) in
+  let env = Interp.run d ~inputs:[ ("x", x); ("y", y) ] in
+  check_float "lowered reduce" (P.eval dot ~env:[ ("x", x); ("y", y) ]).(0)
+    (Interp.reg env "out")
+
+let test_lower_filter_reduce () =
+  let n = 128 in
+  let d = P.lower ~name:"q6" ~n ~tile:64 q6 in
+  let rng = Rng.create 7 in
+  let x = Array.init n (fun _ -> Rng.float_in rng 0.0 1.0) in
+  let env = Interp.run d ~inputs:[ ("x", x) ] in
+  check_float "filter-reduce" (P.eval q6 ~env:[ ("x", x) ]).(0) (Interp.reg env "out")
+
+let test_lower_single_pipe () =
+  (* Fusion means the lowered design has exactly one compute Pipe. *)
+  let d = P.lower ~name:"fused" ~n:256 ~tile:64 saxpy in
+  check_int "one pipe" 1 (List.length (Dhdl_ir.Traverse.pipes d))
+
+let test_lower_estimable () =
+  let d = P.lower ~name:"est" ~n:65_536 dot in
+  let rpt = Dhdl_synth.Toolchain.synthesize d in
+  check_bool "synthesizes" true (rpt.Dhdl_synth.Report.alms > 0);
+  check_bool "simulates" true ((Dhdl_sim.Perf_sim.simulate d).Dhdl_sim.Perf_sim.cycles > 0.0)
+
+let test_lower_bad_tile () =
+  check_bool "tile must divide" true
+    (try
+       ignore (P.lower ~name:"bad" ~n:100 ~tile:33 dot);
+       false
+     with Invalid_argument _ -> true)
+
+(* Random pattern generator for the equivalence property. *)
+let random_pattern rng =
+  let leaf () = P.input (Dhdl_util.Rng.choice rng [| "a"; "b"; "c" |]) in
+  let rec grow depth =
+    if depth = 0 then leaf ()
+    else
+      match Dhdl_util.Rng.int rng 3 with
+      | 0 -> P.map (fun v -> P.(v +% constf (float_of_int (Dhdl_util.Rng.int rng 5)))) (grow (depth - 1))
+      | 1 -> P.zip2 (fun x y -> P.(x *% y)) (grow (depth - 1)) (grow (depth - 1))
+      | _ -> P.map (fun v -> P.(prim Op.Max [ v; constf 0.5 ])) (grow (depth - 1))
+  in
+  let body = grow (1 + Dhdl_util.Rng.int rng 3) in
+  if Dhdl_util.Rng.bool rng then P.reduce Op.Add body else body
+
+let prop_lowering_preserves_semantics =
+  QCheck.Test.make ~name:"lowered designs match reference evaluation" ~count:25
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 11) in
+      let pat = random_pattern rng in
+      let n = 64 in
+      let d = P.lower ~name:"prop" ~n ~tile:16 ~par:2 pat in
+      let env_data =
+        List.map
+          (fun (name, _) -> (name, Array.init n (fun _ -> Rng.float_in rng (-1.0) 1.0)))
+          (P.inputs pat)
+      in
+      let expect = P.eval pat ~env:env_data in
+      let env = Interp.run d ~inputs:env_data in
+      let got = if P.is_scalar pat then [| Interp.reg env "out" |] else Interp.offchip env "out" in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-3 *. Float.max 1.0 (Float.abs a)) expect got)
+
+(* ------------------------- Outer patterns -------------------------- *)
+
+let outer_prod = P.(outer (fun a b -> a *% b) (input "x") (input "y"))
+
+let correlation_sum =
+  (* Full 2-D reduction of a generalized outer product. *)
+  P.(
+    reduce Op.Add
+      (outer
+         (fun a b -> prim Op.Abs [ a -% b ])
+         (map (fun v -> v *% constf 2.0) (input "x"))
+         (input "y")))
+
+let test_outer_eval () =
+  let x = [| 1.0; 2.0 |] and y = [| 3.0; 4.0; 5.0 |] in
+  Alcotest.(check (array (float 1e-9))) "outer 2x3" [| 3.0; 4.0; 5.0; 6.0; 8.0; 10.0 |]
+    (P.eval outer_prod ~env:[ ("x", x); ("y", y) ]);
+  check_bool "prints" true (String.length (P.to_string outer_prod) > 10)
+
+let test_outer_fusion () =
+  match P.fuse correlation_sum with
+  | P.Fused_outer { a_srcs; b_srcs; reduce; _ } ->
+    check_int "row inputs" 1 (List.length a_srcs);
+    check_int "col inputs" 1 (List.length b_srcs);
+    check_bool "reduce op" true (reduce = Some Op.Add)
+  | _ -> Alcotest.fail "expected a fused outer"
+
+let test_outer_lowered_map () =
+  let n = 64 and m = 48 in
+  let d = P.lower ~name:"op" ~n ~m ~tile:16 ~tile_b:12 ~par:4 outer_prod in
+  Alcotest.(check (list string)) "valid" [] (Dhdl_ir.Analysis.validate d);
+  let rng = Rng.create 8 in
+  let x = Array.init n (fun _ -> Rng.float_in rng (-2.0) 2.0) in
+  let y = Array.init m (fun _ -> Rng.float_in rng (-2.0) 2.0) in
+  let env = Interp.run d ~inputs:[ ("x", x); ("y", y) ] in
+  Alcotest.(check (array (float 1e-4))) "lowered outer"
+    (P.eval outer_prod ~env:[ ("x", x); ("y", y) ])
+    (Interp.offchip env "out")
+
+let test_outer_lowered_reduce () =
+  let n = 32 and m = 24 in
+  let d = P.lower ~name:"corr" ~n ~m ~tile:8 ~tile_b:6 ~par:2 correlation_sum in
+  let rng = Rng.create 9 in
+  let x = Array.init n (fun _ -> Rng.float_in rng (-1.0) 1.0) in
+  let y = Array.init m (fun _ -> Rng.float_in rng (-1.0) 1.0) in
+  let env = Interp.run d ~inputs:[ ("x", x); ("y", y) ] in
+  let expect = (P.eval correlation_sum ~env:[ ("x", x); ("y", y) ]).(0) in
+  check_bool "2-D reduce matches" true (Float.abs (Interp.reg env "out" -. expect) < 1e-3 *. Float.abs expect)
+
+let test_outer_estimable () =
+  let d = P.lower ~name:"bigouter" ~n:38_400 ~m:38_400 ~tile:128 ~tile_b:128 ~par:8 outer_prod in
+  check_bool "synthesizes" true ((Dhdl_synth.Toolchain.synthesize d).Dhdl_synth.Report.alms > 0)
+
+(* ------------------------- Transform passes ------------------------ *)
+
+let test_transform_constant_folding () =
+  let b = Dhdl_ir.Builder.create "cf" in
+  let m = Dhdl_ir.Builder.bram b "m" Dtype.float32 [ 4 ] in
+  let top =
+    Dhdl_ir.Builder.pipe ~label:"p" ~counters:[ ("i", 0, 4, 1) ] (fun pb ->
+        let c = Dhdl_ir.Builder.add pb (Dhdl_ir.Builder.const 2.0) (Dhdl_ir.Builder.const 3.0) in
+        Dhdl_ir.Builder.store pb m [ Dhdl_ir.Builder.iter "i" ] c)
+  in
+  let d = Dhdl_ir.Builder.finish b ~top in
+  let d' = Transform.optimize d in
+  check_int "folded to just the store" 1 (Transform.body_size d'.Ir.d_top);
+  let env = Interp.run d' ~inputs:[] in
+  check_float "value preserved" 5.0 (Interp.bram env "m").(0)
+
+let test_transform_cse_loads () =
+  (* The pattern frontend duplicates loads per use; CSE merges them. *)
+  let pat = P.(zip2 (fun x y -> (x *% y) +% (x *% y)) (input "x") (input "x")) in
+  ignore pat;
+  let b = Dhdl_ir.Builder.create "cse" in
+  let m = Dhdl_ir.Builder.bram b "m" Dtype.float32 [ 8 ] in
+  let o = Dhdl_ir.Builder.bram b "o" Dtype.float32 [ 8 ] in
+  let top =
+    Dhdl_ir.Builder.pipe ~label:"p" ~counters:[ ("i", 0, 8, 1) ] (fun pb ->
+        let a = Dhdl_ir.Builder.load pb m [ Dhdl_ir.Builder.iter "i" ] in
+        let b' = Dhdl_ir.Builder.load pb m [ Dhdl_ir.Builder.iter "i" ] in
+        let p1 = Dhdl_ir.Builder.mul pb a b' in
+        let p2 = Dhdl_ir.Builder.mul pb a b' in
+        Dhdl_ir.Builder.store pb o [ Dhdl_ir.Builder.iter "i" ] (Dhdl_ir.Builder.add pb p1 p2))
+  in
+  let d = Dhdl_ir.Builder.finish b ~top in
+  check_int "before: 6 statements" 6 (Transform.body_size d.Ir.d_top);
+  let d' = Transform.optimize d in
+  (* load, mul, add, store *)
+  check_int "after: 4 statements" 4 (Transform.body_size d'.Ir.d_top)
+
+let test_transform_no_cse_across_stores () =
+  (* Loads of a memory that is stored in the same body must not merge. *)
+  let b = Dhdl_ir.Builder.create "nocse" in
+  let m = Dhdl_ir.Builder.bram b "m" Dtype.float32 [ 8 ] in
+  let top =
+    Dhdl_ir.Builder.pipe ~label:"p" ~counters:[ ("k", 0, 2, 1); ("i", 0, 8, 1) ] (fun pb ->
+        let a = Dhdl_ir.Builder.load pb m [ Dhdl_ir.Builder.iter "i" ] in
+        Dhdl_ir.Builder.store pb m [ Dhdl_ir.Builder.iter "i" ]
+          (Dhdl_ir.Builder.add pb a (Dhdl_ir.Builder.const 1.0));
+        let c = Dhdl_ir.Builder.load pb m [ Dhdl_ir.Builder.iter "i" ] in
+        Dhdl_ir.Builder.store pb m [ Dhdl_ir.Builder.iter "i" ]
+          (Dhdl_ir.Builder.add pb c (Dhdl_ir.Builder.const 1.0)))
+  in
+  let d = Dhdl_ir.Builder.finish b ~top in
+  let d' = Transform.optimize d in
+  check_int "nothing merged" 6 (Transform.body_size d'.Ir.d_top);
+  let env = Interp.run d' ~inputs:[] in
+  check_float "rmw semantics preserved" 4.0 (Interp.bram env "m").(0)
+
+let test_transform_dce () =
+  let b = Dhdl_ir.Builder.create "dce" in
+  let m = Dhdl_ir.Builder.bram b "m" Dtype.float32 [ 4 ] in
+  let top =
+    Dhdl_ir.Builder.pipe ~label:"p" ~counters:[ ("i", 0, 4, 1) ] (fun pb ->
+        let v = Dhdl_ir.Builder.load pb m [ Dhdl_ir.Builder.iter "i" ] in
+        (* Dead: computed but never observed. *)
+        ignore (Dhdl_ir.Builder.op pb Op.Exp [ v ]);
+        Dhdl_ir.Builder.store pb m [ Dhdl_ir.Builder.iter "i" ]
+          (Dhdl_ir.Builder.add pb v (Dhdl_ir.Builder.const 1.0)))
+  in
+  let d = Dhdl_ir.Builder.finish b ~top in
+  let d' = Transform.optimize d in
+  check_int "dead exp removed" 3 (Transform.body_size d'.Ir.d_top)
+
+let test_transform_keeps_reduce_value () =
+  let b = Dhdl_ir.Builder.create "red" in
+  let out = Dhdl_ir.Builder.reg b "out" Dtype.float32 in
+  let top =
+    Dhdl_ir.Builder.reduce_pipe ~label:"p" ~counters:[ ("i", 0, 4, 1) ] ~op:Op.Add ~out (fun pb ->
+        Dhdl_ir.Builder.op pb Op.Mul [ Dhdl_ir.Builder.iter "i"; Dhdl_ir.Builder.const 2.0 ])
+  in
+  let d = Dhdl_ir.Builder.finish b ~top in
+  let d' = Transform.optimize d in
+  check_int "reduce value kept" 1 (Transform.body_size d'.Ir.d_top);
+  let env = Interp.run d' ~inputs:[] in
+  check_float "sum 0+2+4+6" 12.0 (Interp.reg env "out")
+
+let prop_transform_preserves_semantics =
+  (* Optimizing random lowered pattern designs (plus their reductions)
+     never changes interpreter results. Patterns keep the designs small
+     enough to interpret quickly. *)
+  QCheck.Test.make ~name:"optimize preserves semantics" ~count:30 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 21) in
+      let pat = random_pattern rng in
+      let n = 48 in
+      let d = P.lower ~name:"tp" ~n ~tile:16 ~par:2 pat in
+      let inputs =
+        List.map
+          (fun (name, _) -> (name, Array.init n (fun _ -> Rng.float_in rng (-1.0) 1.0)))
+          (P.inputs pat)
+      in
+      let d' = Transform.optimize d in
+      let read dd =
+        let env = Interp.run dd ~inputs in
+        if P.is_scalar pat then [| Interp.reg env "out" |] else Interp.offchip env "out"
+      in
+      let close a b =
+        (not (Float.is_finite a) && not (Float.is_finite b))
+        || Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.abs a)
+      in
+      Array.for_all2 close (read d) (read d'))
+
+let test_transform_shrinks_lowered_patterns () =
+  (* The frontend's duplicated loads disappear. *)
+  let pat = P.(reduce Op.Add (zip2 (fun x y -> (x *% y) +% (x *% x)) (input "x") (input "x"))) in
+  let d = P.lower ~name:"dupe" ~n:64 ~tile:16 pat in
+  let before = Dhdl_util.Intmath.prod [ Dhdl_ir.Traverse.stmt_count d ] in
+  let d' = Transform.optimize d in
+  check_bool "smaller" true (Dhdl_ir.Traverse.stmt_count d' < before)
+
+let () =
+  Alcotest.run "patterns"
+    [
+      ( "elt",
+        [ Alcotest.test_case "eval and print" `Quick test_elt_eval ] );
+      ( "patterns",
+        [
+          Alcotest.test_case "inputs" `Quick test_inputs;
+          Alcotest.test_case "eval map" `Quick test_eval_map;
+          Alcotest.test_case "eval reduce" `Quick test_eval_reduce;
+          Alcotest.test_case "eval filter-reduce" `Quick test_eval_filter_reduce;
+        ] );
+      ( "fusion",
+        [
+          Alcotest.test_case "collapses maps" `Quick test_fusion_collapses_maps;
+          Alcotest.test_case "shares inputs" `Quick test_fusion_shares_inputs;
+          Alcotest.test_case "rejects nested reduce" `Quick test_fusion_rejects_nested_reduce;
+        ] );
+      ( "lowering",
+        [
+          Alcotest.test_case "map matches eval" `Quick test_lower_map_matches_eval;
+          Alcotest.test_case "reduce matches eval" `Quick test_lower_reduce_matches_eval;
+          Alcotest.test_case "filter-reduce" `Quick test_lower_filter_reduce;
+          Alcotest.test_case "single fused pipe" `Quick test_lower_single_pipe;
+          Alcotest.test_case "estimable" `Quick test_lower_estimable;
+          Alcotest.test_case "bad tile" `Quick test_lower_bad_tile;
+          qtest prop_lowering_preserves_semantics;
+        ] );
+      ( "outer",
+        [
+          Alcotest.test_case "eval" `Quick test_outer_eval;
+          Alcotest.test_case "fusion" `Quick test_outer_fusion;
+          Alcotest.test_case "lowered map" `Quick test_outer_lowered_map;
+          Alcotest.test_case "lowered reduce" `Quick test_outer_lowered_reduce;
+          Alcotest.test_case "estimable" `Quick test_outer_estimable;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "constant folding" `Quick test_transform_constant_folding;
+          Alcotest.test_case "cse loads" `Quick test_transform_cse_loads;
+          Alcotest.test_case "no cse across stores" `Quick test_transform_no_cse_across_stores;
+          Alcotest.test_case "dead code" `Quick test_transform_dce;
+          Alcotest.test_case "keeps reduce value" `Quick test_transform_keeps_reduce_value;
+          Alcotest.test_case "shrinks lowered patterns" `Quick test_transform_shrinks_lowered_patterns;
+          qtest prop_transform_preserves_semantics;
+        ] );
+    ]

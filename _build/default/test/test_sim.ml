@@ -1,0 +1,364 @@
+(* Tests for the functional interpreter and the cycle-level performance
+   simulator. *)
+
+module Ir = Dhdl_ir.Ir
+module Op = Dhdl_ir.Op
+module Dtype = Dhdl_ir.Dtype
+module B = Dhdl_ir.Builder
+module Interp = Dhdl_sim.Interp
+module Perf_sim = Dhdl_sim.Perf_sim
+module Rng = Dhdl_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------- Interpreter ----------------------------- *)
+
+let test_interp_map () =
+  let b = B.create "map" in
+  let x = B.offchip b "x" Dtype.float32 [ 8 ] in
+  let y = B.offchip b "y" Dtype.float32 [ 8 ] in
+  let xt = B.bram b "xT" Dtype.float32 [ 8 ] in
+  let yt = B.bram b "yT" Dtype.float32 [ 8 ] in
+  let compute =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 8, 1) ] (fun pb ->
+        let v = B.load pb xt [ B.iter "i" ] in
+        B.store pb yt [ B.iter "i" ] (B.add pb (B.mul pb v (B.const 3.0)) (B.const 1.0)))
+  in
+  let top =
+    B.sequential_block ~label:"s"
+      [
+        B.tile_load ~src:x ~dst:xt ~offsets:[ B.const 0.0 ] ();
+        compute;
+        B.tile_store ~dst:y ~src:yt ~offsets:[ B.const 0.0 ] ();
+      ]
+  in
+  let d = B.finish b ~top in
+  let env = Interp.run d ~inputs:[ ("x", Array.init 8 float_of_int) ] in
+  let y = Interp.offchip env "y" in
+  Array.iteri (fun i v -> check_float "map" ((3.0 *. float_of_int i) +. 1.0) v) y
+
+let test_interp_strided_counter () =
+  let b = B.create "stride" in
+  let m = B.bram b "m" Dtype.float32 [ 10 ] in
+  let top =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 10, 3) ] (fun pb ->
+        B.store pb m [ B.iter "i" ] (B.const 1.0))
+  in
+  let d = B.finish b ~top in
+  let env = Interp.run d ~inputs:[] in
+  let m = Interp.bram env "m" in
+  Array.iteri
+    (fun i v -> check_float (Printf.sprintf "idx %d" i) (if i mod 3 = 0 then 1.0 else 0.0) v)
+    m
+
+let test_interp_scalar_reduce_resets () =
+  (* Each Pipe execution re-reduces from the identity; the register holds
+     the last execution's total, not an accumulation. *)
+  let b = B.create "reduce" in
+  let out = B.reg b "out" Dtype.float32 in
+  let inner =
+    B.reduce_pipe ~label:"r" ~counters:[ ("i", 0, 4, 1) ] ~op:Op.Add ~out (fun pb ->
+        ignore pb;
+        B.const 1.0)
+  in
+  let top = B.metapipe ~label:"m" ~counters:[ ("t", 0, 3, 1) ] ~pipelined:false [ inner ] in
+  let d = B.finish b ~top in
+  let env = Interp.run d ~inputs:[] in
+  check_float "last execution total" 4.0 (Interp.reg env "out")
+
+let test_interp_mem_reduce_fresh_per_execution () =
+  (* Regression for the gemm accumulator: a loop-level reduction must start
+     fresh on the loop's first iteration, even when the loop runs several
+     times (enclosing loop). *)
+  let b = B.create "memred" in
+  let src = B.bram b "src" Dtype.float32 [ 2 ] in
+  let dst = B.bram b "dst" Dtype.float32 [ 2 ] in
+  let fill =
+    B.pipe ~label:"fill" ~counters:[ ("i", 0, 2, 1) ] (fun pb ->
+        B.store pb src [ B.iter "i" ] (B.const 1.0))
+  in
+  let inner = B.metapipe ~label:"in" ~counters:[ ("k", 0, 5, 1) ] ~reduce:(Op.Add, src, dst) [ fill ] in
+  let top = B.metapipe ~label:"out" ~counters:[ ("t", 0, 3, 1) ] ~pipelined:false [ inner ] in
+  let d = B.finish b ~top in
+  let env = Interp.run d ~inputs:[] in
+  (* Each execution of [inner] sums 5 ones; runs 3 times but must NOT
+     accumulate to 15. *)
+  check_float "fresh accumulator" 5.0 (Interp.bram env "dst").(0)
+
+let test_interp_reduce_min () =
+  let b = B.create "minred" in
+  let xt = B.bram b "xT" Dtype.float32 [ 4 ] in
+  let out = B.reg b "out" Dtype.float32 in
+  let fill =
+    B.pipe ~label:"fill" ~counters:[ ("i", 0, 4, 1) ] (fun pb ->
+        B.store pb xt [ B.iter "i" ]
+          (B.sub pb (B.const 10.0) (B.op pb Op.Mul [ B.iter "i"; B.const 2.0 ])))
+  in
+  let reduce =
+    B.reduce_pipe ~label:"r" ~counters:[ ("i", 0, 4, 1) ] ~op:Op.Min ~out (fun pb ->
+        B.load pb xt [ B.iter "i" ])
+  in
+  let d = B.finish b ~top:(B.sequential_block ~label:"s" [ fill; reduce ]) in
+  let env = Interp.run d ~inputs:[] in
+  check_float "min" 4.0 (Interp.reg env "out")
+
+let test_interp_out_of_bounds () =
+  let b = B.create "oob" in
+  let m = B.bram b "m" Dtype.float32 [ 4 ] in
+  let top =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 8, 1) ] (fun pb ->
+        B.store pb m [ B.iter "i" ] (B.const 1.0))
+  in
+  let d = B.finish b ~top in
+  check_bool "raises" true
+    (try
+       ignore (Interp.run d ~inputs:[]);
+       false
+     with Failure msg -> String.length msg > 0)
+
+let test_interp_wrong_input_size () =
+  let b = B.create "badin" in
+  let x = B.offchip b "x" Dtype.float32 [ 8 ] in
+  let xt = B.bram b "xT" Dtype.float32 [ 8 ] in
+  let top = B.sequential_block ~label:"s" [ B.tile_load ~src:x ~dst:xt ~offsets:[ B.const 0.0 ] () ] in
+  let d = B.finish b ~top in
+  check_bool "raises" true
+    (try
+       ignore (Interp.run d ~inputs:[ ("x", [| 1.0 |]) ]);
+       false
+     with Failure _ -> true)
+
+let test_interp_2d_tiles () =
+  (* Round-trip a 2-D tile through on-chip memory with offsets. *)
+  let b = B.create "t2d" in
+  let x = B.offchip b "x" Dtype.float32 [ 4; 6 ] in
+  let y = B.offchip b "y" Dtype.float32 [ 4; 6 ] in
+  let t = B.bram b "t" Dtype.float32 [ 2; 3 ] in
+  let top =
+    B.metapipe ~label:"m"
+      ~counters:[ ("r", 0, 4, 2); ("c", 0, 6, 3) ]
+      ~pipelined:false
+      [
+        B.tile_load ~src:x ~dst:t ~offsets:[ B.iter "r"; B.iter "c" ] ();
+        B.tile_store ~dst:y ~src:t ~offsets:[ B.iter "r"; B.iter "c" ] ();
+      ]
+  in
+  let d = B.finish b ~top in
+  let data = Array.init 24 float_of_int in
+  let env = Interp.run d ~inputs:[ ("x", data) ] in
+  Alcotest.(check (array (float 0.0))) "identity copy" data (Interp.offchip env "y")
+
+let test_interp_parallel_stages () =
+  let b = B.create "par" in
+  let m1 = B.bram b "m1" Dtype.float32 [ 2 ] in
+  let m2 = B.bram b "m2" Dtype.float32 [ 2 ] in
+  let p1 =
+    B.pipe ~label:"p1" ~counters:[ ("i", 0, 2, 1) ] (fun pb -> B.store pb m1 [ B.iter "i" ] (B.const 1.0))
+  in
+  let p2 =
+    B.pipe ~label:"p2" ~counters:[ ("i", 0, 2, 1) ] (fun pb -> B.store pb m2 [ B.iter "i" ] (B.const 2.0))
+  in
+  let d = B.finish b ~top:(B.parallel ~label:"f" [ p1; p2 ]) in
+  let env = Interp.run d ~inputs:[] in
+  check_float "fork 1" 1.0 (Interp.bram env "m1").(0);
+  check_float "fork 2" 2.0 (Interp.bram env "m2").(0)
+
+let prop_interp_par_invariant =
+  (* Parallelization factors never change results (they only change the
+     schedule) — checked on the dotproduct benchmark. *)
+  QCheck.Test.make ~name:"results independent of par" ~count:20
+    QCheck.(pair (int_range 0 1000) (int_range 0 3))
+    (fun (seed, pidx) ->
+      let app = Dhdl_apps.Registry.find "dotproduct" in
+      let sizes = [ ("n", 256) ] in
+      let par = List.nth [ 1; 2; 4; 8 ] pidx in
+      let d =
+        app.Dhdl_apps.App.generate ~sizes ~params:[ ("tile", 64); ("par", par); ("meta", 1) ]
+      in
+      let rng = Rng.create seed in
+      let x = Array.init 256 (fun _ -> Rng.float_in rng (-1.0) 1.0) in
+      let y = Array.init 256 (fun _ -> Rng.float_in rng (-1.0) 1.0) in
+      let env = Interp.run d ~inputs:[ ("x", x); ("y", y) ] in
+      Float.abs (Interp.reg env "result" -. Dhdl_cpu.Kernels.dotproduct x y) < 1e-3)
+
+let test_interp_priority_queue () =
+  let b = B.create "pq" in
+  let q = B.queue b "q" Dtype.float32 ~depth:3 in
+  let outt = B.bram b "outT" Dtype.float32 [ 3 ] in
+  let fill =
+    B.pipe ~label:"fill" ~counters:[ ("i", 0, 6, 1) ] (fun pb ->
+        (* Push 5, 4, 3, 2, 1, 0: the bounded min-queue keeps {0,1,2}. *)
+        B.push pb q (B.sub pb (B.const 5.0) (B.op pb ~ty:Dtype.float32 Op.Mux [ B.const 0.0; B.const 0.0; B.iter "i" ])))
+  in
+  let drain =
+    B.pipe ~label:"drain" ~counters:[ ("j", 0, 3, 1) ] (fun pb ->
+        B.store pb outt [ B.iter "j" ] (B.pop pb q))
+  in
+  let d = B.finish b ~top:(B.sequential_block ~label:"s" [ fill; drain ]) in
+  let env = Interp.run d ~inputs:[] in
+  Alcotest.(check (array (float 1e-9))) "three smallest, sorted" [| 0.0; 1.0; 2.0 |]
+    (Interp.bram env "outT")
+
+let test_interp_pop_empty () =
+  let b = B.create "pqe" in
+  let q = B.queue b "q" Dtype.float32 ~depth:2 in
+  let r = B.reg b "r" Dtype.float32 in
+  let d =
+    B.finish b
+      ~top:(B.pipe ~label:"p" ~counters:[] (fun pb -> B.write_reg pb r (B.pop pb q)))
+  in
+  let env = Interp.run d ~inputs:[] in
+  check_bool "empty pop is +inf" true (Interp.reg env "r" = infinity)
+
+(* ------------------------- Performance simulator ------------------- *)
+
+let stream_design ?(par = 1) ?(pipelined = true) ?(tile = 256) ?(n = 4096) () =
+  let b = B.create (Printf.sprintf "stream_%d_%b_%d" par pipelined tile) in
+  let x = B.offchip b "x" Dtype.float32 [ n ] in
+  let xt = B.bram b "xT" Dtype.float32 [ tile ] in
+  let out = B.reg b "out" Dtype.float32 in
+  let partial = B.reg b "partial" Dtype.float32 in
+  let compute =
+    B.reduce_pipe ~label:"r" ~counters:[ ("i", 0, tile, 1) ] ~par ~op:Op.Add ~out:partial
+      (fun pb -> B.load pb xt [ B.iter "i" ])
+  in
+  let top =
+    B.metapipe ~label:"m" ~counters:[ ("t", 0, n, tile) ] ~pipelined ~reduce:(Op.Add, partial, out)
+      [ B.tile_load ~src:x ~dst:xt ~offsets:[ B.iter "t" ] ~par (); compute ]
+  in
+  B.finish b ~top
+
+let test_sim_deterministic () =
+  let d = stream_design () in
+  let a = Perf_sim.simulate d and b = Perf_sim.simulate d in
+  check_float "same cycles" a.Perf_sim.cycles b.Perf_sim.cycles
+
+let test_sim_par_speeds_up () =
+  let slow = (Perf_sim.simulate (stream_design ~par:1 ())).Perf_sim.cycles in
+  let fast = (Perf_sim.simulate (stream_design ~par:8 ())).Perf_sim.cycles in
+  check_bool "par helps" true (fast < slow)
+
+let test_sim_metapipe_beats_sequential () =
+  let piped = (Perf_sim.simulate (stream_design ~pipelined:true ())).Perf_sim.cycles in
+  let seq = (Perf_sim.simulate (stream_design ~pipelined:false ())).Perf_sim.cycles in
+  check_bool "overlap wins" true (piped < seq)
+
+let test_sim_dram_accounting () =
+  let d = stream_design ~n:4096 () in
+  let r = Perf_sim.simulate d in
+  check_float "bytes = n * 4" (4096.0 *. 4.0) r.Perf_sim.dram_bytes
+
+let test_sim_seconds () =
+  let d = stream_design () in
+  let r = Perf_sim.simulate d in
+  Alcotest.(check (float 1e-12)) "150 MHz conversion" (r.Perf_sim.cycles /. 150.0e6) r.Perf_sim.seconds
+
+let test_ii_feedforward () =
+  let d =
+    stream_design ~par:1 ()
+  in
+  let pipe = List.hd (Dhdl_ir.Traverse.pipes d) in
+  check_int "feed-forward II" 1 (Perf_sim.initiation_interval pipe)
+
+let test_ii_rmw () =
+  (* Accumulating into a fixed address (no innermost iterator in the
+     address) serializes on the adder latency. *)
+  let b = B.create "rmw" in
+  let m = B.bram b "m" Dtype.float32 [ 4 ] in
+  let top =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 64, 1) ] (fun pb ->
+        let v = B.load pb m [ B.const 0.0 ] in
+        B.store pb m [ B.const 0.0 ] (B.add pb v (B.const 1.0)))
+  in
+  let d = B.finish b ~top in
+  let pipe = List.hd (Dhdl_ir.Traverse.pipes d) in
+  check_bool "long II" true (Perf_sim.initiation_interval pipe > 5)
+
+let test_ii_rotating () =
+  (* Same read-modify-write but the innermost iterator rotates the address:
+     II stays 1 (gemm's cAcc update). *)
+  let b = B.create "rot" in
+  let m = B.bram b "m" Dtype.float32 [ 64 ] in
+  let top =
+    B.pipe ~label:"p" ~counters:[ ("k", 0, 4, 1); ("i", 0, 64, 1) ] (fun pb ->
+        let v = B.load pb m [ B.iter "i" ] in
+        B.store pb m [ B.iter "i" ] (B.add pb v (B.const 1.0)))
+  in
+  let d = B.finish b ~top in
+  let pipe = List.hd (Dhdl_ir.Traverse.pipes d) in
+  check_int "rotating II" 1 (Perf_sim.initiation_interval pipe)
+
+let test_sim_bigger_data_costs_more () =
+  let small = (Perf_sim.simulate (stream_design ~n:4096 ())).Perf_sim.cycles in
+  let large = (Perf_sim.simulate (stream_design ~n:16384 ())).Perf_sim.cycles in
+  check_bool "4x data ~4x cycles" true (large > 3.0 *. small && large < 5.0 *. small)
+
+let test_interp_queue_api () =
+  let b = B.create "qapi" in
+  let q = B.queue b "q" Dtype.float32 ~depth:4 in
+  let d =
+    B.finish b
+      ~top:(B.pipe ~label:"p" ~counters:[ ("i", 0, 3, 1) ] (fun pb ->
+                B.push pb q (B.op pb Op.Neg [ B.iter "i" ])))
+  in
+  let env = Interp.run d ~inputs:[] in
+  Alcotest.(check (list (float 1e-9))) "sorted remaining contents" [ -2.0; -1.0; 0.0 ]
+    (Interp.queue env "q")
+
+let test_breakdown () =
+  let d = stream_design ~par:1 ~pipelined:true () in
+  let rows = Perf_sim.breakdown d in
+  check_bool "has rows" true (List.length rows >= 3);
+  List.iter (fun (_, own, share) ->
+      check_bool "own positive" true (own > 0.0);
+      check_bool "share in range" true (share >= 0.0 && share <= 100.001)) rows;
+  (* The dominant stage of the metapipe carries (close to) full share. *)
+  let _, _, top_share = List.hd rows in
+  check_bool "root is total" true (top_share > 99.0);
+  check_bool "a stage dominates" true
+    (List.exists (fun (l, _, s) -> l <> "m" && s > 50.0) rows)
+
+let test_ctrl_cycles_subtree () =
+  let d = stream_design () in
+  let pipe = List.hd (Dhdl_ir.Traverse.pipes d) in
+  let c = Perf_sim.ctrl_cycles ~design:d pipe in
+  check_bool "pipe subtree cheaper than design" true
+    (c > 0.0 && c < (Perf_sim.simulate d).Perf_sim.cycles)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "interp",
+        [
+          Alcotest.test_case "elementwise map" `Quick test_interp_map;
+          Alcotest.test_case "strided counter" `Quick test_interp_strided_counter;
+          Alcotest.test_case "scalar reduce resets" `Quick test_interp_scalar_reduce_resets;
+          Alcotest.test_case "mem reduce fresh" `Quick test_interp_mem_reduce_fresh_per_execution;
+          Alcotest.test_case "min reduction" `Quick test_interp_reduce_min;
+          Alcotest.test_case "out of bounds" `Quick test_interp_out_of_bounds;
+          Alcotest.test_case "wrong input size" `Quick test_interp_wrong_input_size;
+          Alcotest.test_case "2d tiles" `Quick test_interp_2d_tiles;
+          Alcotest.test_case "parallel stages" `Quick test_interp_parallel_stages;
+          Alcotest.test_case "priority queue" `Quick test_interp_priority_queue;
+          Alcotest.test_case "pop empty" `Quick test_interp_pop_empty;
+          qtest prop_interp_par_invariant;
+        ] );
+      ( "perf",
+        [
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+          Alcotest.test_case "par speeds up" `Quick test_sim_par_speeds_up;
+          Alcotest.test_case "metapipe beats sequential" `Quick test_sim_metapipe_beats_sequential;
+          Alcotest.test_case "dram accounting" `Quick test_sim_dram_accounting;
+          Alcotest.test_case "seconds conversion" `Quick test_sim_seconds;
+          Alcotest.test_case "II feed-forward" `Quick test_ii_feedforward;
+          Alcotest.test_case "II read-modify-write" `Quick test_ii_rmw;
+          Alcotest.test_case "II rotating address" `Quick test_ii_rotating;
+          Alcotest.test_case "data scaling" `Quick test_sim_bigger_data_costs_more;
+          Alcotest.test_case "subtree cycles" `Quick test_ctrl_cycles_subtree;
+          Alcotest.test_case "breakdown" `Quick test_breakdown;
+          Alcotest.test_case "queue api" `Quick test_interp_queue_api;
+        ] );
+    ]

@@ -1,0 +1,269 @@
+(* Tests for the simulated vendor toolchain: netlist elaboration, delay
+   balancing, datapath fusion, and place-and-route effects. *)
+
+module Ir = Dhdl_ir.Ir
+module Op = Dhdl_ir.Op
+module Dtype = Dhdl_ir.Dtype
+module B = Dhdl_ir.Builder
+module R = Dhdl_device.Resources
+module Target = Dhdl_device.Target
+module Primitives = Dhdl_device.Primitives
+module Netlist = Dhdl_synth.Netlist
+module Par_effects = Dhdl_synth.Par_effects
+module Toolchain = Dhdl_synth.Toolchain
+module Report = Dhdl_synth.Report
+
+let dev = Target.stratix_v
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* One-pipe designs with a configurable body. *)
+let pipe_design ?(par = 1) label build =
+  let b = B.create label in
+  let xt = B.bram b "xT" Dtype.float32 [ 64 ] in
+  let top = B.pipe ~label:"p" ~counters:[ ("i", 0, 64, 1) ] ~par (fun pb -> build pb xt) in
+  B.finish b ~top
+
+let reduce_design ?(par = 1) label build =
+  let b = B.create label in
+  let xt = B.bram b "xT" Dtype.float32 [ 64 ] in
+  let out = B.reg b "out" Dtype.float32 in
+  let top =
+    B.reduce_pipe ~label:"p" ~counters:[ ("i", 0, 64, 1) ] ~par ~op:Op.Add ~out (fun pb ->
+        build pb xt)
+  in
+  B.finish b ~top
+
+(* ------------------------- Elaboration ----------------------------- *)
+
+let test_netlist_counts () =
+  let d =
+    pipe_design "counts" (fun pb xt ->
+        let v = B.load pb xt [ B.iter "i" ] in
+        B.store pb xt [ B.iter "i" ] (B.mul pb v v) |> ignore)
+  in
+  let n = Netlist.elaborate dev d in
+  check_bool "luts" true (R.luts n.Netlist.raw > 0);
+  check_bool "nets" true (n.Netlist.nets > 0);
+  check_int "streams" 0 n.Netlist.streams;
+  check_int "ctrls" 1 n.Netlist.ctrl_count;
+  check_int "prims (3 stmts x par 1)" 3 n.Netlist.prim_count;
+  check_bool "fanout sane" true (n.Netlist.avg_fanout > 0.0 && n.Netlist.avg_fanout < 20.0)
+
+let test_par_scales_compute () =
+  let body pb xt = ignore (B.mul pb (B.load pb xt [ B.iter "i" ]) (B.const 2.0)) in
+  let r1 = (Netlist.elaborate dev (pipe_design ~par:1 "p1" body)).Netlist.raw in
+  let r8 = (Netlist.elaborate dev (pipe_design ~par:8 "p8" body)).Netlist.raw in
+  check_bool "8x lanes cost more" true (R.luts r8 > 4 * R.luts r1);
+  check_int "dsps scale linearly" (8 * r1.R.dsps) r8.R.dsps
+
+let test_replication_scales () =
+  let make par =
+    let b = B.create "repl" in
+    let inner =
+      B.pipe ~label:"p" ~counters:[ ("i", 0, 8, 1) ] (fun pb ->
+          ignore (B.op pb Op.Mul [ B.const 2.0; B.const 3.0 ]))
+    in
+    B.finish b ~top:(B.metapipe ~label:"m" ~counters:[ ("t", 0, 32, 1) ] ~par ~pipelined:false [ inner ])
+  in
+  let d1 = (Netlist.elaborate dev (make 1)).Netlist.raw in
+  let d4 = (Netlist.elaborate dev (make 4)).Netlist.raw in
+  check_bool "outer par replicates subtree" true (d4.R.dsps = 4 * d1.R.dsps)
+
+let test_mem_blocks () =
+  let b = B.create "mems" in
+  let m = B.bram b "m" Dtype.float32 [ 1024 ] in
+  let top =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 1024, 1) ] ~par:4 (fun pb ->
+        B.store pb m [ B.iter "i" ] (B.const 0.0))
+  in
+  let d = B.finish b ~top in
+  (* 4 banks x 256 words each -> 4 blocks (512-deep min). *)
+  check_int "banked blocks" 4 (Netlist.bram_blocks_of_mem dev (Ir.find_mem d "m"))
+
+let test_double_buffer_doubles_blocks () =
+  let b = B.create "dbl" in
+  let x = B.offchip b "x" Dtype.float32 [ 4096 ] in
+  let m = B.bram b "m" Dtype.float32 [ 1024 ] in
+  let consume =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 1024, 1) ] (fun pb ->
+        ignore (B.load pb m [ B.iter "i" ]))
+  in
+  let top =
+    B.metapipe ~label:"outer" ~counters:[ ("t", 0, 4096, 1024) ] ~pipelined:true
+      [ B.tile_load ~src:x ~dst:m ~offsets:[ B.iter "t" ] (); consume ]
+  in
+  let d = B.finish b ~top in
+  check_int "double buffering doubles BRAM" 4 (Netlist.bram_blocks_of_mem dev (Ir.find_mem d "m"))
+
+(* ------------------------- Scheduling ------------------------------ *)
+
+let test_critical_path_chain () =
+  (* mul (6) then add (7): depth 1 + 6 + 7 = 14 with the 1-cycle load. *)
+  let d =
+    pipe_design "chain" (fun pb xt ->
+        let v = B.load pb xt [ B.iter "i" ] in
+        let m = B.mul pb v v in
+        ignore (B.add pb m (B.const 1.0)))
+  in
+  let pipe = List.hd (Dhdl_ir.Traverse.pipes d) in
+  check_int "depth" 14 (Netlist.pipe_critical_path pipe)
+
+let test_delay_balancing_regs () =
+  (* A skewed join: one path through exp (17 cycles), one direct. The
+     direct operand needs a delay line. *)
+  let d =
+    pipe_design "skew" (fun pb xt ->
+        let v = B.load pb xt [ B.iter "i" ] in
+        let slow = B.op pb Op.Exp [ v ] in
+        ignore (B.add pb slow v))
+  in
+  let pipe = List.hd (Dhdl_ir.Traverse.pipes d) in
+  let delays = Netlist.pipe_delay_resources dev pipe in
+  check_bool "balanced path uses brams (17 > threshold)" true (delays.R.brams >= 1)
+
+let test_delay_balancing_short_slack () =
+  let d =
+    pipe_design "short" (fun pb xt ->
+        let v = B.load pb xt [ B.iter "i" ] in
+        let slow = B.op pb Op.Min [ v; B.const 0.0 ] in
+        ignore (B.add pb slow v))
+  in
+  let pipe = List.hd (Dhdl_ir.Traverse.pipes d) in
+  let delays = Netlist.pipe_delay_resources dev pipe in
+  check_int "short slack in registers" 0 delays.R.brams;
+  check_bool "some registers" true (delays.R.regs > 0)
+
+let test_balanced_no_delays () =
+  let d =
+    pipe_design "bal" (fun pb xt ->
+        let v = B.load pb xt [ B.iter "i" ] in
+        ignore (B.mul pb v v))
+  in
+  let pipe = List.hd (Dhdl_ir.Traverse.pipes d) in
+  check_bool "no delays" true (R.equal R.zero (Netlist.pipe_delay_resources dev pipe))
+
+(* ------------------------- Fusion ---------------------------------- *)
+
+let test_fma_fusion () =
+  let fused_design =
+    pipe_design "fma" (fun pb xt ->
+        let v = B.load pb xt [ B.iter "i" ] in
+        let m = B.mul pb v (B.const 2.0) in
+        ignore (B.add pb m (B.const 1.0)))
+  in
+  check_int "one fused pair" 1 (Netlist.elaborate dev fused_design).Netlist.fused_fmas;
+  (* A multiply with two uses cannot fuse. *)
+  let unfused =
+    pipe_design "nofma" (fun pb xt ->
+        let v = B.load pb xt [ B.iter "i" ] in
+        let m = B.mul pb v (B.const 2.0) in
+        let _ = B.add pb m (B.const 1.0) in
+        ignore (B.add pb m (B.const 2.0)))
+  in
+  check_int "no fusion on fanout" 0 (Netlist.elaborate dev unfused).Netlist.fused_fmas
+
+let test_reduce_tree_fusion_savings () =
+  (* A multiply feeding a wide float reduction tree fuses its first level:
+     the fused netlist must be smaller than par * (mul + add) + tree. *)
+  let mk par =
+    reduce_design ~par "tree" (fun pb xt ->
+        let v = B.load pb xt [ B.iter "i" ] in
+        B.mul pb v v)
+  in
+  let n8 = Netlist.elaborate dev (mk 8) in
+  check_bool "tree fusions counted" true (n8.Netlist.fused_fmas >= 4)
+
+(* ------------------------- P&R effects ----------------------------- *)
+
+let big_design () =
+  List.nth (Dhdl_model.Design_gen.corpus ~seed:5 3) 2
+
+let test_congestion_range () =
+  let n = Netlist.elaborate dev (big_design ()) in
+  let c = Par_effects.congestion n in
+  check_bool "congestion in [0,1]" true (c >= 0.0 && c <= 1.0)
+
+let test_par_deterministic () =
+  let d = big_design () in
+  let a = Toolchain.synthesize ~dev d in
+  let b = Toolchain.synthesize ~dev d in
+  check_bool "same report" true (a = b)
+
+let test_report_consistency () =
+  let d = big_design () in
+  let n = Netlist.elaborate dev d in
+  let rpt = Par_effects.apply dev ~seed:42 n in
+  check_int "lut total = raw + route + unavail"
+    (R.luts n.Netlist.raw + rpt.Report.luts_routing + rpt.Report.luts_unavailable)
+    rpt.Report.luts;
+  check_bool "regs include duplicates" true (rpt.Report.regs >= n.Netlist.raw.R.regs);
+  check_bool "brams include duplicates" true (rpt.Report.brams >= n.Netlist.raw.R.brams);
+  check_bool "alms positive" true (rpt.Report.alms > 0);
+  check_bool "packing happened" true (rpt.Report.packed_pairs > 0)
+
+let test_route_fraction_plausible () =
+  (* Section IV.A: route-throughs are around 10% of LUTs. *)
+  let d = big_design () in
+  let n = Netlist.elaborate dev d in
+  let rpt = Par_effects.apply dev ~seed:42 n in
+  let frac = float_of_int rpt.Report.luts_routing /. float_of_int (R.luts n.Netlist.raw) in
+  check_bool "5-20%" true (frac > 0.04 && frac < 0.20)
+
+let test_dsp_noise_zero_base () =
+  (* Designs with no DSPs never gain phantom DSPs. *)
+  let d =
+    pipe_design "nodsp" (fun pb xt ->
+        let v = B.load pb xt [ B.iter "i" ] in
+        ignore (B.add pb v v))
+  in
+  check_int "no phantom dsps" 0 (Toolchain.synthesize ~dev d).Report.dsps
+
+let test_fits_and_utilization () =
+  let d =
+    pipe_design "tiny" (fun pb xt -> ignore (B.load pb xt [ B.iter "i" ]))
+  in
+  let rpt = Toolchain.synthesize ~dev d in
+  check_bool "tiny design fits" true (Report.fits dev rpt);
+  let alm, dsp, bram = Report.utilization dev rpt in
+  check_bool "utilizations sane" true (alm >= 0.0 && alm < 1.0 && dsp = 0.0 && bram >= 0.0)
+
+let test_synthesis_time_model () =
+  let n = Netlist.elaborate dev (big_design ()) in
+  let t = Toolchain.synthesis_wall_seconds n in
+  check_bool "minutes to hours" true (t > 60.0 && t < 48.0 *. 3600.0)
+
+let () =
+  Alcotest.run "synth"
+    [
+      ( "elaboration",
+        [
+          Alcotest.test_case "netlist counts" `Quick test_netlist_counts;
+          Alcotest.test_case "par scales compute" `Quick test_par_scales_compute;
+          Alcotest.test_case "replication scales" `Quick test_replication_scales;
+          Alcotest.test_case "mem blocks" `Quick test_mem_blocks;
+          Alcotest.test_case "double buffer blocks" `Quick test_double_buffer_doubles_blocks;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "critical path" `Quick test_critical_path_chain;
+          Alcotest.test_case "delay brams" `Quick test_delay_balancing_regs;
+          Alcotest.test_case "delay regs" `Quick test_delay_balancing_short_slack;
+          Alcotest.test_case "balanced" `Quick test_balanced_no_delays;
+        ] );
+      ( "fusion",
+        [
+          Alcotest.test_case "fma pairs" `Quick test_fma_fusion;
+          Alcotest.test_case "reduce tree" `Quick test_reduce_tree_fusion_savings;
+        ] );
+      ( "par_effects",
+        [
+          Alcotest.test_case "congestion range" `Quick test_congestion_range;
+          Alcotest.test_case "deterministic" `Quick test_par_deterministic;
+          Alcotest.test_case "report consistency" `Quick test_report_consistency;
+          Alcotest.test_case "route fraction" `Quick test_route_fraction_plausible;
+          Alcotest.test_case "dsp zero base" `Quick test_dsp_noise_zero_base;
+          Alcotest.test_case "fits/utilization" `Quick test_fits_and_utilization;
+          Alcotest.test_case "synthesis time" `Quick test_synthesis_time_model;
+        ] );
+    ]
