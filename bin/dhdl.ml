@@ -9,6 +9,8 @@ module Registry = Dhdl_apps.Registry
 module Estimator = Dhdl_model.Estimator
 module Explore = Dhdl_dse.Explore
 module Experiments = Dhdl_core.Experiments
+module Lint = Dhdl_lint.Lint
+module Diag = Dhdl_ir.Diag
 
 let parse_params strs =
   List.map
@@ -136,7 +138,9 @@ let dse_cmd =
       (Experiments.render_fig5 [ { Experiments.app_name = a.App.name; result } ]);
     Printf.printf "\n%.2f ms per design point (%d points in %.2f s)\n"
       (Explore.seconds_per_design result *. 1000.0)
-      result.Explore.sampled result.Explore.elapsed_seconds
+      result.Explore.sampled result.Explore.elapsed_seconds;
+    Printf.printf "pruned by lint errors: %d point(s); estimated but over device capacity: %d point(s)\n"
+      result.Explore.lint_pruned (Explore.unfit_count result)
   in
   Cmd.v
     (Cmd.info "dse" ~doc:"Explore a benchmark's design space and print the Pareto frontier.")
@@ -295,6 +299,59 @@ let interpret_cmd =
     (Cmd.info "interpret" ~doc:"Run a benchmark's design through the functional interpreter.")
     Term.(const run $ app_arg)
 
+let lint_cmd =
+  let app_opt =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name (omit with $(b,--all)).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report.") in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Lint every registered benchmark at paper sizes.")
+  in
+  let fail_on =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("error", Diag.Error); ("warning", Diag.Warning); ("info", Diag.Info) ])
+          Diag.Error
+      & info [ "fail-on" ] ~docv:"SEVERITY"
+          ~doc:"Exit non-zero when diagnostics at or above SEVERITY are present (error|warning|info).")
+  in
+  let run app_opt params json all fail_on =
+    let targets =
+      if all then
+        List.map
+          (fun (a : App.t) ->
+            let sizes = a.App.paper_sizes in
+            a.App.generate ~sizes ~params:(a.App.default_params sizes))
+          Registry.all
+      else
+        match app_opt with
+        | None -> failwith "expected a BENCHMARK name (or --all)"
+        | Some app -> [ snd (design_of ~app ~params) ]
+    in
+    let reports = List.map (fun design -> (design, Lint.check design)) targets in
+    if json then
+      match reports with
+      | [ (design, diags) ] when not all -> print_endline (Lint.render_json ~design diags)
+      | _ ->
+        print_endline
+          ("["
+          ^ String.concat ",\n "
+              (List.map (fun (design, diags) -> Lint.render_json ~design diags) reports)
+          ^ "]")
+    else List.iter (fun (design, diags) -> print_endline (Lint.render_text ~design diags)) reports;
+    let code = Lint.exit_code ~fail_on (List.concat_map snd reports) in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the static-analysis passes (races, hazards, capacity, dead code) on a design.")
+    Term.(const run $ app_opt $ params_arg $ json $ all $ fail_on)
+
 let list_cmd =
   let run () =
     print_string (Experiments.render_table2 ());
@@ -310,4 +367,4 @@ let list_cmd =
 let () =
   let doc = "DHDL: automatic generation of efficient accelerators for reconfigurable hardware" in
   let info = Cmd.info "dhdl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ estimate_cmd; compare_cmd; synth_cmd; dse_cmd; codegen_cmd; dot_cmd; print_cmd; experiments_cmd; interpret_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ estimate_cmd; compare_cmd; synth_cmd; dse_cmd; lint_cmd; codegen_cmd; dot_cmd; print_cmd; experiments_cmd; interpret_cmd; list_cmd ]))

@@ -1,4 +1,5 @@
 module Estimator = Dhdl_model.Estimator
+module Lint = Dhdl_lint.Lint
 module Pareto = Dhdl_util.Pareto
 
 type evaluation = {
@@ -16,6 +17,7 @@ type result = {
   pareto : evaluation list;
   raw_space : int;
   sampled : int;
+  lint_pruned : int;
   elapsed_seconds : float;
 }
 
@@ -35,10 +37,26 @@ let pareto_of evals =
   let valid = List.filter (fun e -> e.valid) evals in
   Pareto.frontier (fun e -> (e.estimate.Estimator.cycles, e.alm_pct)) valid
 
-let run ?(seed = 2016) ?(max_points = 75_000) est ~space ~generate () =
+let run ?(seed = 2016) ?(max_points = 75_000) ?(lint = true) est ~space ~generate () =
   let t0 = Unix.gettimeofday () in
   let points = Space.sample space ~seed ~max_points in
-  let evaluations = List.map (fun p -> evaluate est p (generate p)) points in
+  let dev = Estimator.device est in
+  let lint_pruned = ref 0 in
+  let evaluations =
+    List.filter_map
+      (fun p ->
+        let design = generate p in
+        (* Error-level diagnostics (races, hazards, provable capacity
+           overflow) mean the point can never produce working hardware, so
+           skip the estimator entirely — the paper's pre-estimation pruning
+           (Section IV.C). *)
+        if lint && Lint.has_errors (Lint.check ~dev design) then begin
+          incr lint_pruned;
+          None
+        end
+        else Some (evaluate est p design))
+      points
+  in
   let pareto = pareto_of evaluations in
   {
     space_name = Space.name space;
@@ -46,8 +64,11 @@ let run ?(seed = 2016) ?(max_points = 75_000) est ~space ~generate () =
     pareto;
     raw_space = Space.raw_size space;
     sampled = List.length points;
+    lint_pruned = !lint_pruned;
     elapsed_seconds = Unix.gettimeofday () -. t0;
   }
+
+let unfit_count r = List.length (List.filter (fun e -> not e.valid) r.evaluations)
 
 let best r =
   match r.pareto with

@@ -18,22 +18,32 @@ type evaluation = {
 
 type result = {
   space_name : string;
-  evaluations : evaluation list;  (** Every sampled legal point. *)
+  evaluations : evaluation list;  (** Every sampled point that passed lint. *)
   pareto : evaluation list;  (** Pareto-optimal valid designs. *)
   raw_space : int;  (** Cardinality before pruning/sampling. *)
-  sampled : int;
+  sampled : int;  (** Sampled points, including lint-pruned ones. *)
+  lint_pruned : int;  (** Points dropped before estimation by lint errors. *)
   elapsed_seconds : float;
 }
 
 val run :
   ?seed:int ->
   ?max_points:int ->
+  ?lint:bool ->
   Estimator.t ->
   space:Space.t ->
   generate:(Space.point -> Dhdl_ir.Ir.design) ->
   unit ->
   result
-(** Defaults: seed 2016, up to 75,000 sampled points (the paper's cap). *)
+(** Defaults: seed 2016, up to 75,000 sampled points (the paper's cap).
+    When [lint] is [true] (the default), each generated design runs through
+    {!Dhdl_lint.Lint.check} against the estimator's device and points with
+    error-level diagnostics are pruned before estimation; [lint_pruned]
+    counts them. *)
+
+val unfit_count : result -> int
+(** Evaluated points that do not fit the device ([valid = false]) —
+    distinct from [lint_pruned], which never reached the estimator. *)
 
 val best : result -> evaluation option
 (** Fastest valid design (first Pareto point by cycles). *)

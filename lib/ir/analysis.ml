@@ -158,126 +158,164 @@ let infer_double_buffering (d : Ir.design) =
 (* Validation                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let validate (d : Ir.design) =
-  let errors = ref [] in
-  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+let validate_diags (d : Ir.design) =
+  let diags = ref [] in
+  let emit ?mem ~code ~path fmt =
+    Printf.ksprintf
+      (fun message -> diags := Diag.make ~code ~severity:Diag.Error ~path ?mem message :: !diags)
+      fmt
+  in
   let declared = Hashtbl.create 16 in
   List.iter (fun m -> Hashtbl.replace declared m.Ir.mem_id m) d.d_mems;
-  let check_declared ~where m =
+  let check_declared ~path m =
     if not (Hashtbl.mem declared m.Ir.mem_id) then
-      err "%s: memory %s is not declared in the design" where m.Ir.mem_name
+      emit ~code:"V003" ~path ~mem:m.Ir.mem_name "memory %s is not declared in the design"
+        m.Ir.mem_name
   in
+  (* Duplicate ids or names make [Ir.find_mem] and every id-keyed analysis
+     silently pick one of the two, so they are structural errors. *)
+  let seen_ids = Hashtbl.create 16 and seen_names = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      (match Hashtbl.find_opt seen_ids m.Ir.mem_id with
+      | Some other ->
+        emit ~code:"V002" ~path:[] ~mem:m.Ir.mem_name
+          "duplicate memory id %d shared by %s and %s" m.Ir.mem_id other m.Ir.mem_name
+      | None -> Hashtbl.add seen_ids m.Ir.mem_id m.Ir.mem_name);
+      if Hashtbl.mem seen_names m.Ir.mem_name then
+        emit ~code:"V002" ~path:[] ~mem:m.Ir.mem_name "duplicate memory name %s" m.Ir.mem_name
+      else Hashtbl.add seen_names m.Ir.mem_name ())
+    d.d_mems;
   List.iter
     (fun m ->
       if List.exists (fun dim -> dim <= 0) m.Ir.mem_dims then
-        err "memory %s has a non-positive dimension" m.Ir.mem_name;
+        emit ~code:"V001" ~path:[] ~mem:m.Ir.mem_name "memory %s has a non-positive dimension"
+          m.Ir.mem_name;
       match m.Ir.mem_kind with
       | Ir.Reg ->
-        if m.Ir.mem_dims <> [] then err "register %s must be scalar" m.Ir.mem_name
+        if m.Ir.mem_dims <> [] then
+          emit ~code:"V001" ~path:[] ~mem:m.Ir.mem_name "register %s must be scalar" m.Ir.mem_name
       | Ir.Offchip | Ir.Bram ->
-        if m.Ir.mem_dims = [] then err "memory %s needs at least one dimension" m.Ir.mem_name
+        if m.Ir.mem_dims = [] then
+          emit ~code:"V001" ~path:[] ~mem:m.Ir.mem_name "memory %s needs at least one dimension"
+            m.Ir.mem_name
       | Ir.Queue -> ())
     d.d_mems;
-  let check_counters label counters =
+  let check_counters path counters =
     List.iter
       (fun c ->
-        if c.Ir.ctr_step <= 0 then err "%s: counter %s has non-positive step" label c.Ir.ctr_name;
+        if c.Ir.ctr_step <= 0 then
+          emit ~code:"V004" ~path "counter %s has non-positive step" c.Ir.ctr_name;
         if c.Ir.ctr_stop <= c.Ir.ctr_start then
-          err "%s: counter %s is empty (start %d, stop %d)" label c.Ir.ctr_name c.Ir.ctr_start
-            c.Ir.ctr_stop)
+          emit ~code:"V004" ~path "counter %s is empty (start %d, stop %d)" c.Ir.ctr_name
+            c.Ir.ctr_start c.Ir.ctr_stop)
       counters
   in
-  let check_operand ~where ~bound_iters ~defined = function
+  let check_operand ~path ~bound_iters ~defined = function
     | Ir.Const _ -> ()
     | Ir.Iter name ->
-      if not (List.mem name bound_iters) then err "%s: iterator %s is not in scope" where name
+      if not (List.mem name bound_iters) then
+        emit ~code:"V006" ~path "iterator %s is not in scope" name
     | Ir.Value v ->
-      if not (Hashtbl.mem defined v) then err "%s: value v%d used before definition" where v
+      if not (Hashtbl.mem defined v) then
+        emit ~code:"V006" ~path "value v%d used before definition" v
   in
-  let check_pipe ~bound_iters loop body reduce =
-    let label = loop.Ir.lp_label in
-    if loop.Ir.lp_par < 1 then err "%s: parallelization factor must be >= 1" label;
-    check_counters label loop.Ir.lp_counters;
+  let check_pipe ~path ~bound_iters loop body reduce =
+    if loop.Ir.lp_par < 1 then emit ~code:"V005" ~path "parallelization factor must be >= 1";
+    check_counters path loop.Ir.lp_counters;
     let defined = Hashtbl.create 16 in
-    let check_addr ~where mem addr =
+    let check_addr mem addr =
       let want = List.length mem.Ir.mem_dims in
       if List.length addr <> want then
-        err "%s: address arity %d does not match %d-dimensional memory %s" where
-          (List.length addr) want mem.Ir.mem_name
+        emit ~code:"V009" ~path ~mem:mem.Ir.mem_name
+          "address arity %d does not match %d-dimensional memory %s" (List.length addr) want
+          mem.Ir.mem_name
     in
     List.iter
       (fun stmt ->
         match stmt with
         | Ir.Sop { dst; op; args; _ } ->
           if List.length args <> Op.arity op then
-            err "%s: op %s applied to %d args (arity %d)" label (Op.name op) (List.length args)
-              (Op.arity op);
-          List.iter (check_operand ~where:label ~bound_iters ~defined) args;
-          if Hashtbl.mem defined dst then err "%s: value v%d defined twice" label dst;
+            emit ~code:"V007" ~path "op %s applied to %d args (arity %d)" (Op.name op)
+              (List.length args) (Op.arity op);
+          List.iter (check_operand ~path ~bound_iters ~defined) args;
+          if Hashtbl.mem defined dst then emit ~code:"V006" ~path "value v%d defined twice" dst;
           Hashtbl.replace defined dst ()
         | Ir.Sload { dst; mem; addr; _ } ->
-          check_declared ~where:label mem;
+          check_declared ~path mem;
           if mem.Ir.mem_kind <> Ir.Bram then
-            err "%s: Ld targets BRAM, not %s" label mem.Ir.mem_name;
-          check_addr ~where:label mem addr;
-          List.iter (check_operand ~where:label ~bound_iters ~defined) addr;
-          if Hashtbl.mem defined dst then err "%s: value v%d defined twice" label dst;
+            emit ~code:"V008" ~path ~mem:mem.Ir.mem_name "Ld targets BRAM, not %s" mem.Ir.mem_name;
+          check_addr mem addr;
+          List.iter (check_operand ~path ~bound_iters ~defined) addr;
+          if Hashtbl.mem defined dst then emit ~code:"V006" ~path "value v%d defined twice" dst;
           Hashtbl.replace defined dst ()
         | Ir.Sstore { mem; addr; data } ->
-          check_declared ~where:label mem;
+          check_declared ~path mem;
           if mem.Ir.mem_kind <> Ir.Bram then
-            err "%s: St targets BRAM, not %s" label mem.Ir.mem_name;
-          check_addr ~where:label mem addr;
-          List.iter (check_operand ~where:label ~bound_iters ~defined) (data :: addr)
+            emit ~code:"V008" ~path ~mem:mem.Ir.mem_name "St targets BRAM, not %s" mem.Ir.mem_name;
+          check_addr mem addr;
+          List.iter (check_operand ~path ~bound_iters ~defined) (data :: addr)
         | Ir.Sread_reg { dst; reg } ->
-          check_declared ~where:label reg;
-          if reg.Ir.mem_kind <> Ir.Reg then err "%s: reg read of non-register %s" label reg.Ir.mem_name;
-          if Hashtbl.mem defined dst then err "%s: value v%d defined twice" label dst;
+          check_declared ~path reg;
+          if reg.Ir.mem_kind <> Ir.Reg then
+            emit ~code:"V008" ~path ~mem:reg.Ir.mem_name "reg read of non-register %s"
+              reg.Ir.mem_name;
+          if Hashtbl.mem defined dst then emit ~code:"V006" ~path "value v%d defined twice" dst;
           Hashtbl.replace defined dst ()
         | Ir.Swrite_reg { reg; data } ->
-          check_declared ~where:label reg;
+          check_declared ~path reg;
           if reg.Ir.mem_kind <> Ir.Reg then
-            err "%s: reg write of non-register %s" label reg.Ir.mem_name;
-          check_operand ~where:label ~bound_iters ~defined data
+            emit ~code:"V008" ~path ~mem:reg.Ir.mem_name "reg write of non-register %s"
+              reg.Ir.mem_name;
+          check_operand ~path ~bound_iters ~defined data
         | Ir.Spush { queue; data } ->
-          check_declared ~where:label queue;
+          check_declared ~path queue;
           if queue.Ir.mem_kind <> Ir.Queue then
-            err "%s: push into non-queue %s" label queue.Ir.mem_name;
-          check_operand ~where:label ~bound_iters ~defined data
+            emit ~code:"V008" ~path ~mem:queue.Ir.mem_name "push into non-queue %s"
+              queue.Ir.mem_name;
+          check_operand ~path ~bound_iters ~defined data
         | Ir.Spop { dst; queue } ->
-          check_declared ~where:label queue;
+          check_declared ~path queue;
           if queue.Ir.mem_kind <> Ir.Queue then
-            err "%s: pop from non-queue %s" label queue.Ir.mem_name;
-          if Hashtbl.mem defined dst then err "%s: value v%d defined twice" label dst;
+            emit ~code:"V008" ~path ~mem:queue.Ir.mem_name "pop from non-queue %s"
+              queue.Ir.mem_name;
+          if Hashtbl.mem defined dst then emit ~code:"V006" ~path "value v%d defined twice" dst;
           Hashtbl.replace defined dst ())
       body;
     match reduce with
     | None -> ()
     | Some r ->
-      check_declared ~where:label r.Ir.sr_out;
+      check_declared ~path r.Ir.sr_out;
       if r.Ir.sr_out.Ir.mem_kind <> Ir.Reg then
-        err "%s: scalar reduce target %s must be a register" label r.Ir.sr_out.Ir.mem_name;
+        emit ~code:"V011" ~path ~mem:r.Ir.sr_out.Ir.mem_name
+          "scalar reduce target %s must be a register" r.Ir.sr_out.Ir.mem_name;
       if not (Op.is_reduction_op r.Ir.sr_op) then
-        err "%s: %s is not a reduction operator" label (Op.name r.Ir.sr_op);
-      check_operand ~where:label ~bound_iters ~defined r.Ir.sr_value
+        emit ~code:"V011" ~path "%s is not a reduction operator" (Op.name r.Ir.sr_op);
+      check_operand ~path ~bound_iters ~defined r.Ir.sr_value
   in
-  let check_tile ~where ~offchip ~onchip ~offsets ~tile ~par ~bound_iters =
-    check_declared ~where offchip;
-    check_declared ~where onchip;
+  let check_tile ~path ~offchip ~onchip ~offsets ~tile ~par ~bound_iters =
+    check_declared ~path offchip;
+    check_declared ~path onchip;
     if offchip.Ir.mem_kind <> Ir.Offchip then
-      err "%s: %s must be an OffChipMem" where offchip.Ir.mem_name;
-    if onchip.Ir.mem_kind <> Ir.Bram then err "%s: %s must be a BRAM" where onchip.Ir.mem_name;
+      emit ~code:"V010" ~path ~mem:offchip.Ir.mem_name "%s must be an OffChipMem"
+        offchip.Ir.mem_name;
+    if onchip.Ir.mem_kind <> Ir.Bram then
+      emit ~code:"V010" ~path ~mem:onchip.Ir.mem_name "%s must be a BRAM" onchip.Ir.mem_name;
     if List.length offsets <> List.length offchip.Ir.mem_dims then
-      err "%s: offset arity does not match %s" where offchip.Ir.mem_name;
+      emit ~code:"V010" ~path ~mem:offchip.Ir.mem_name "offset arity does not match %s"
+        offchip.Ir.mem_name;
     if List.length tile <> List.length offchip.Ir.mem_dims then
-      err "%s: tile rank does not match %s" where offchip.Ir.mem_name;
+      emit ~code:"V010" ~path ~mem:offchip.Ir.mem_name "tile rank does not match %s"
+        offchip.Ir.mem_name;
     if tile <> onchip.Ir.mem_dims then
-      err "%s: tile shape does not match buffer %s" where onchip.Ir.mem_name;
-    if par < 1 then err "%s: parallelization factor must be >= 1" where;
+      emit ~code:"V010" ~path ~mem:onchip.Ir.mem_name "tile shape does not match buffer %s"
+        onchip.Ir.mem_name;
+    if par < 1 then emit ~code:"V005" ~path "parallelization factor must be >= 1";
     let defined = Hashtbl.create 1 in
-    List.iter (check_operand ~where ~bound_iters ~defined) offsets
+    List.iter (check_operand ~path ~bound_iters ~defined) offsets
   in
-  let rec walk bound_iters ctrl =
+  let rec walk path bound_iters ctrl =
+    let path = path @ [ Ir.ctrl_label ctrl ] in
     let bound_iters =
       match ctrl with
       | Ir.Pipe { loop; _ } | Ir.Loop { loop; _ } ->
@@ -285,33 +323,42 @@ let validate (d : Ir.design) =
       | Ir.Parallel _ | Ir.Tile_load _ | Ir.Tile_store _ -> bound_iters
     in
     (match ctrl with
-    | Ir.Pipe { loop; body; reduce } -> check_pipe ~bound_iters loop body reduce
+    | Ir.Pipe { loop; body; reduce } -> check_pipe ~path ~bound_iters loop body reduce
     | Ir.Loop { loop; stages; reduce; _ } ->
-      if loop.Ir.lp_par < 1 then err "%s: parallelization factor must be >= 1" loop.Ir.lp_label;
-      check_counters loop.Ir.lp_label loop.Ir.lp_counters;
-      if stages = [] then err "%s: controller has no stages" loop.Ir.lp_label;
+      if loop.Ir.lp_par < 1 then emit ~code:"V005" ~path "parallelization factor must be >= 1";
+      check_counters path loop.Ir.lp_counters;
+      if stages = [] then emit ~code:"V012" ~path "controller has no stages";
       (match reduce with
       | None -> ()
       | Some r ->
-        check_declared ~where:loop.Ir.lp_label r.Ir.mr_src;
-        check_declared ~where:loop.Ir.lp_label r.Ir.mr_dst;
+        check_declared ~path r.Ir.mr_src;
+        check_declared ~path r.Ir.mr_dst;
         if not (Op.is_reduction_op r.Ir.mr_op) then
-          err "%s: %s is not a reduction operator" loop.Ir.lp_label (Op.name r.Ir.mr_op);
+          emit ~code:"V011" ~path "%s is not a reduction operator" (Op.name r.Ir.mr_op);
         if r.Ir.mr_src.Ir.mem_dims <> r.Ir.mr_dst.Ir.mem_dims then
-          err "%s: reduce buffers %s and %s have different shapes" loop.Ir.lp_label
+          emit ~code:"V011" ~path "reduce buffers %s and %s have different shapes"
             r.Ir.mr_src.Ir.mem_name r.Ir.mr_dst.Ir.mem_name)
-    | Ir.Parallel { par_label; stages } ->
-      if stages = [] then err "%s: parallel container has no stages" par_label
+    | Ir.Parallel { stages; _ } ->
+      if stages = [] then emit ~code:"V012" ~path "parallel container has no stages"
     | Ir.Tile_load { src; dst; offsets; tile; par } ->
-      check_tile ~where:(Ir.ctrl_label ctrl) ~offchip:src ~onchip:dst ~offsets ~tile ~par
-        ~bound_iters
+      check_tile ~path ~offchip:src ~onchip:dst ~offsets ~tile ~par ~bound_iters
     | Ir.Tile_store { dst; src; offsets; tile; par } ->
-      check_tile ~where:(Ir.ctrl_label ctrl) ~offchip:dst ~onchip:src ~offsets ~tile ~par
-        ~bound_iters);
-    List.iter (walk bound_iters) (Traverse.children ctrl)
+      check_tile ~path ~offchip:dst ~onchip:src ~offsets ~tile ~par ~bound_iters);
+    List.iter (walk path bound_iters) (Traverse.children ctrl)
   in
-  walk [] d.d_top;
-  List.rev !errors
+  walk [] [] d.d_top;
+  List.rev !diags
+
+(* Compatibility shim: the historical flat-string interface, rendered from
+   the typed diagnostics as "innermost-label: message" (design-level
+   diagnostics stay bare). *)
+let validate (d : Ir.design) =
+  List.map
+    (fun g ->
+      match List.rev g.Diag.path with
+      | [] -> g.Diag.message
+      | label :: _ -> label ^ ": " ^ g.Diag.message)
+    (validate_diags d)
 
 let validate_exn d =
   match validate d with

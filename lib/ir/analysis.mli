@@ -31,11 +31,16 @@ val written_mems : Ir.ctrl -> Ir.mem list
 
 val read_mems : Ir.ctrl -> Ir.mem list
 
-val validate : Ir.design -> string list
-(** Well-formedness errors; the empty list means the design is valid.
-    Checks cover: declared memories, operand scoping, operator arity,
-    address arity vs. dimensionality, counter sanity, parallelization
+val validate_diags : Ir.design -> Diag.t list
+(** Well-formedness diagnostics (all [Diag.Error], codes ["V001"]–["V012"]);
+    the empty list means the design is valid. Checks cover: memory shapes
+    and duplicate ids/names, declared memories, operand scoping, operator
+    arity, address arity vs. dimensionality, counter sanity, parallelization
     factors, tile shapes, reduction legality and iterator scoping. *)
+
+val validate : Ir.design -> string list
+(** {!validate_diags} rendered to the historical flat strings
+    (["label: message"]); the empty list means the design is valid. *)
 
 val validate_exn : Ir.design -> unit
 (** Raises [Failure] with a joined message when {!validate} is non-empty. *)

@@ -1,0 +1,341 @@
+(* The individual lint passes. Each is a pure function from a design to a
+   list of diagnostics; Lint.passes assembles them into the registry. *)
+
+module Ir = Dhdl_ir.Ir
+module Diag = Dhdl_ir.Diag
+module Analysis = Dhdl_ir.Analysis
+module Traverse = Dhdl_ir.Traverse
+module Target = Dhdl_device.Target
+module Area_model = Dhdl_model.Area_model
+module Intmath = Dhdl_util.Intmath
+
+let fold_with_path f init (d : Ir.design) =
+  let rec go path acc ctrl =
+    let path = path @ [ Ir.ctrl_label ctrl ] in
+    let acc = f path ctrl acc in
+    List.fold_left (go path) acc (Traverse.children ctrl)
+  in
+  go [] init d.Ir.d_top
+
+(* L001: concurrent stages of a Parallel run with no ordering between them,
+   so any shared memory with at least one writer is a race. Queues are the
+   sanctioned cross-stage channel and are exempt. *)
+let race_pass (d : Ir.design) =
+  fold_with_path
+    (fun path ctrl diags ->
+      match ctrl with
+      | Ir.Parallel { stages; _ } ->
+        let tagged =
+          List.mapi
+            (fun i st ->
+              (i, Ir.ctrl_label st, Analysis.written_mems st, Analysis.read_mems st))
+            stages
+        in
+        let found = ref [] in
+        let overlap a b = List.filter (fun m -> List.exists (Ir.mem_equal m) b) a in
+        let dedup mems =
+          let seen = Hashtbl.create 4 in
+          List.filter
+            (fun m ->
+              if Hashtbl.mem seen m.Ir.mem_id then false
+              else begin
+                Hashtbl.add seen m.Ir.mem_id ();
+                true
+              end)
+            mems
+        in
+        List.iter
+          (fun (i, li, wi, ri) ->
+            List.iter
+              (fun (j, lj, wj, rj) ->
+                if j > i then begin
+                  let ww = overlap wi wj in
+                  let rw =
+                    List.filter
+                      (fun m -> not (List.exists (Ir.mem_equal m) ww))
+                      (overlap wi rj @ overlap ri wj)
+                  in
+                  let emit kind m =
+                    if m.Ir.mem_kind <> Ir.Queue then
+                      found :=
+                        Diag.makef ~path ~mem:m.Ir.mem_name ~code:"L001" ~severity:Diag.Error
+                          "%s race on %s between concurrent stages %s and %s" kind m.Ir.mem_name
+                          li lj
+                        :: !found
+                  in
+                  List.iter (emit "write-write") ww;
+                  List.iter (emit "read-write") (dedup rw)
+                end)
+              tagged)
+          tagged;
+        !found @ diags
+      | Ir.Pipe _ | Ir.Loop _ | Ir.Tile_load _ | Ir.Tile_store _ -> diags)
+    [] d
+
+(* L002: in a MetaPipe, consecutive outer iterations occupy adjacent stages
+   simultaneously, so a buffer flowing between stages must be double
+   buffered or stage N+1 reads data stage N is overwriting. *)
+let metapipe_pass (d : Ir.design) =
+  fold_with_path
+    (fun path ctrl diags ->
+      match ctrl with
+      | Ir.Loop { pipelined = true; stages; reduce; _ } ->
+        let tagged =
+          List.mapi (fun i st -> (i, Analysis.written_mems st, Analysis.read_mems st)) stages
+        in
+        let found = ref [] in
+        let flag m fmt =
+          Printf.ksprintf
+            (fun message ->
+              if
+                m.Ir.mem_kind <> Ir.Offchip
+                && m.Ir.mem_kind <> Ir.Queue
+                && (not m.Ir.mem_double)
+                && not (List.exists (fun g -> g.Diag.mem = Some m.Ir.mem_name) !found)
+              then
+                found :=
+                  Diag.make ~path ~mem:m.Ir.mem_name ~code:"L002" ~severity:Diag.Error message
+                  :: !found)
+            fmt
+        in
+        List.iter
+          (fun (i, writes, _) ->
+            List.iter
+              (fun m ->
+                if
+                  List.exists
+                    (fun (j, _, reads) -> j <> i && List.exists (Ir.mem_equal m) reads)
+                    tagged
+                then
+                  flag m "buffer %s crosses pipelined stages without double buffering"
+                    m.Ir.mem_name)
+              writes)
+          tagged;
+        (match reduce with
+        | Some r ->
+          flag r.Ir.mr_src
+            "reduce source %s feeds the combine stage of a pipelined loop without double buffering"
+            r.Ir.mr_src.Ir.mem_name
+        | None -> ());
+        !found @ diags
+      | Ir.Loop _ | Ir.Pipe _ | Ir.Parallel _ | Ir.Tile_load _ | Ir.Tile_store _ -> diags)
+    [] d
+
+(* L003: an access vector wider than the memory's banking cannot be served
+   in one cycle; the paper couples banking to the widest access precisely
+   to rule this out. *)
+let banking_pass (d : Ir.design) =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun a ->
+      let m = a.Analysis.acc_mem in
+      let banks = max 1 m.Ir.mem_banks in
+      if
+        m.Ir.mem_kind = Ir.Bram
+        && a.Analysis.acc_par > banks
+        && not (Hashtbl.mem seen (m.Ir.mem_id, a.Analysis.acc_ctrl))
+      then begin
+        Hashtbl.add seen (m.Ir.mem_id, a.Analysis.acc_ctrl) ();
+        Some
+          (Diag.makef ~path:[ a.Analysis.acc_ctrl ] ~mem:m.Ir.mem_name ~code:"L003"
+             ~severity:Diag.Error "access vector width %d exceeds the %d bank(s) of %s"
+             a.Analysis.acc_par banks m.Ir.mem_name)
+      end
+      else None)
+    (Analysis.accesses d)
+
+(* L004: dead memories waste BRAM and usually indicate a generator bug.
+   Off-chip memories are the design's I/O surface and exempt; registers may
+   legitimately hold the final result, so written-never-read only applies
+   to BRAMs (queue protocol issues are L007's). *)
+let dead_mem_pass (d : Ir.design) =
+  let accs = Analysis.accesses d in
+  List.filter_map
+    (fun m ->
+      let mine = List.filter (fun a -> Ir.mem_equal a.Analysis.acc_mem m) accs in
+      let read = List.exists (fun a -> not a.Analysis.acc_write) mine in
+      match m.Ir.mem_kind with
+      | Ir.Offchip -> None
+      | _ when mine = [] ->
+        Some
+          (Diag.makef ~mem:m.Ir.mem_name ~code:"L004" ~severity:Diag.Warning
+             "memory %s is declared but never accessed" m.Ir.mem_name)
+      | Ir.Bram when not read ->
+        Some
+          (Diag.makef ~mem:m.Ir.mem_name ~code:"L004" ~severity:Diag.Warning
+             "buffer %s is written but never read" m.Ir.mem_name)
+      | _ -> None)
+    d.Ir.d_mems
+
+(* L005: an Sop/Sload result nobody consumes is dead hardware. Sread_reg
+   and Spop are exempt: a pop has the side effect of dequeuing. *)
+let dead_value_pass (d : Ir.design) =
+  fold_with_path
+    (fun path ctrl diags ->
+      match ctrl with
+      | Ir.Pipe { body; reduce; _ } ->
+        let used = Hashtbl.create 16 in
+        let use = function Ir.Value v -> Hashtbl.replace used v () | Ir.Const _ | Ir.Iter _ -> () in
+        List.iter
+          (fun stmt ->
+            match stmt with
+            | Ir.Sop { args; _ } -> List.iter use args
+            | Ir.Sload { addr; _ } -> List.iter use addr
+            | Ir.Sstore { addr; data; _ } -> List.iter use (data :: addr)
+            | Ir.Swrite_reg { data; _ } -> use data
+            | Ir.Spush { data; _ } -> use data
+            | Ir.Sread_reg _ | Ir.Spop _ -> ())
+          body;
+        (match reduce with Some r -> use r.Ir.sr_value | None -> ());
+        let dead =
+          List.filter_map
+            (fun stmt ->
+              match stmt with
+              | Ir.Sop { dst; _ } when not (Hashtbl.mem used dst) ->
+                Some
+                  (Diag.makef ~path ~code:"L005" ~severity:Diag.Warning
+                     "op result v%d is never consumed" dst)
+              | Ir.Sload { dst; mem; _ } when not (Hashtbl.mem used dst) ->
+                Some
+                  (Diag.makef ~path ~mem:mem.Ir.mem_name ~code:"L005" ~severity:Diag.Warning
+                     "value v%d loaded from %s is never consumed" dst mem.Ir.mem_name)
+              | _ -> None)
+            body
+        in
+        dead @ diags
+      | Ir.Loop _ | Ir.Parallel _ | Ir.Tile_load _ | Ir.Tile_store _ -> diags)
+    [] d
+
+let mem_limit_words = 65_536
+
+(* L006: device fit. The per-memory block count mirrors the area model's
+   bram_blocks_estimate times the controller replication factor, so it is a
+   lower bound on what the estimator will charge — a design flagged here can
+   never fit, which makes error-level pruning in Explore.run sound. *)
+let capacity_pass dev (d : Ir.design) =
+  let blocks m = Traverse.mem_replication d m * Area_model.bram_blocks_estimate dev m in
+  let total = List.fold_left (fun acc m -> acc + blocks m) 0 d.Ir.d_mems in
+  let big =
+    List.filter_map
+      (fun m ->
+        if m.Ir.mem_kind <> Ir.Offchip && Ir.mem_words m > mem_limit_words then
+          Some
+            (Diag.makef ~mem:m.Ir.mem_name ~code:"L006" ~severity:Diag.Warning
+               "on-chip memory %s holds %d words; consider tiling below %d" m.Ir.mem_name
+               (Ir.mem_words m) mem_limit_words)
+        else None)
+      d.Ir.d_mems
+  in
+  let fit =
+    if total > dev.Target.brams then
+      [
+        Diag.makef ~code:"L006" ~severity:Diag.Error
+          "on-chip memories need at least %d BRAM blocks; %s has %d" total dev.Target.dev_name
+          dev.Target.brams;
+      ]
+    else if total * 10 > dev.Target.brams * 8 then
+      [
+        Diag.makef ~code:"L006" ~severity:Diag.Info
+          "on-chip memories use %d of %d BRAM blocks (over 80%%) before logic overheads" total
+          dev.Target.brams;
+      ]
+    else []
+  in
+  fit @ big
+
+(* L007: queue protocol. A popped-never-pushed queue provably returns only
+   +infinity; a pushed-never-popped queue is write-only storage; a
+   zero-capacity queue can hold nothing. *)
+let queue_pass (d : Ir.design) =
+  let pushes = Hashtbl.create 4 and pops = Hashtbl.create 4 in
+  List.iter
+    (fun ctrl ->
+      match ctrl with
+      | Ir.Pipe { body; _ } ->
+        List.iter
+          (fun stmt ->
+            match stmt with
+            | Ir.Spush { queue; _ } -> Hashtbl.replace pushes queue.Ir.mem_id ()
+            | Ir.Spop { queue; _ } -> Hashtbl.replace pops queue.Ir.mem_id ()
+            | Ir.Sop _ | Ir.Sload _ | Ir.Sstore _ | Ir.Sread_reg _ | Ir.Swrite_reg _ -> ())
+          body
+      | Ir.Loop _ | Ir.Parallel _ | Ir.Tile_load _ | Ir.Tile_store _ -> ())
+    (Traverse.all_ctrls d);
+  List.concat_map
+    (fun m ->
+      if m.Ir.mem_kind <> Ir.Queue then []
+      else begin
+        let pushed = Hashtbl.mem pushes m.Ir.mem_id in
+        let popped = Hashtbl.mem pops m.Ir.mem_id in
+        let zero =
+          if Ir.mem_words m <= 0 then
+            [
+              Diag.makef ~mem:m.Ir.mem_name ~code:"L007" ~severity:Diag.Error
+                "queue %s has zero capacity" m.Ir.mem_name;
+            ]
+          else []
+        in
+        let proto =
+          if pushed && not popped then
+            [
+              Diag.makef ~mem:m.Ir.mem_name ~code:"L007" ~severity:Diag.Warning
+                "queue %s is pushed but never popped" m.Ir.mem_name;
+            ]
+          else if popped && not pushed then
+            [
+              Diag.makef ~mem:m.Ir.mem_name ~code:"L007" ~severity:Diag.Error
+                "queue %s is popped but never pushed (pops only ever return +inf)" m.Ir.mem_name;
+            ]
+          else []
+        in
+        zero @ proto
+      end)
+    d.Ir.d_mems
+
+let safe_trip counters =
+  List.fold_left
+    (fun acc c ->
+      let t =
+        if c.Ir.ctr_step <= 0 then 0
+        else max 0 (Intmath.ceil_div (c.Ir.ctr_stop - c.Ir.ctr_start) c.Ir.ctr_step)
+      in
+      acc * t)
+    1 counters
+
+(* L008: degenerate loops. Zero-trip loops synthesize dead control logic;
+   par > trip leaves lanes permanently idle; a non-divisor par wastes lanes
+   only in the final vector, worth an info note. *)
+let loop_pass (d : Ir.design) =
+  fold_with_path
+    (fun path ctrl diags ->
+      match ctrl with
+      | Ir.Pipe { loop; _ } | Ir.Loop { loop; _ } ->
+        if loop.Ir.lp_counters = [] then diags
+        else begin
+          let trip = safe_trip loop.Ir.lp_counters in
+          let par = max 1 loop.Ir.lp_par in
+          if trip = 0 then
+            Diag.makef ~path ~code:"L008" ~severity:Diag.Warning
+              "loop never executes (zero-trip counter chain)"
+            :: diags
+          else begin
+            let over =
+              if par > trip then
+                [
+                  Diag.makef ~path ~code:"L008" ~severity:Diag.Warning
+                    "parallelization %d exceeds trip count %d; %d lane(s) are always idle" par
+                    trip (par - trip);
+                ]
+              else if trip mod par <> 0 then
+                [
+                  Diag.makef ~path ~code:"L008" ~severity:Diag.Info
+                    "trip count %d is not divisible by par %d; the final vector wastes %d lane(s)"
+                    trip par (par - (trip mod par));
+                ]
+              else []
+            in
+            over @ diags
+          end
+        end
+      | Ir.Parallel _ | Ir.Tile_load _ | Ir.Tile_store _ -> diags)
+    [] d

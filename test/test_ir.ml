@@ -7,6 +7,7 @@ module Op = Dhdl_ir.Op
 module Dtype = Dhdl_ir.Dtype
 module B = Dhdl_ir.Builder
 module Analysis = Dhdl_ir.Analysis
+module Diag = Dhdl_ir.Diag
 module Traverse = Dhdl_ir.Traverse
 module Pretty = Dhdl_ir.Pretty
 
@@ -380,6 +381,30 @@ let test_invalid_empty_stages () =
       let top = B.sequential_block ~label:"s" [] in
       B.finish b ~top)
 
+let test_invalid_duplicate_mem_name () =
+  expect_invalid (fun () ->
+      let b = B.create "dupname" in
+      let x1 = B.bram b "x" Dtype.float32 [ 8 ] in
+      let _x2 = B.bram b "x" Dtype.float32 [ 8 ] in
+      let top =
+        B.pipe ~label:"p" ~counters:[ ("i", 0, 8, 1) ] (fun pb ->
+            B.store pb x1 [ B.iter "i" ] (B.const 1.0))
+      in
+      B.finish b ~top)
+
+let test_invalid_duplicate_mem_id () =
+  let b = B.create "dupid" in
+  let x = B.bram b "x" Dtype.float32 [ 8 ] in
+  let top =
+    B.pipe ~label:"p" ~counters:[ ("i", 0, 8, 1) ] (fun pb ->
+        B.store pb x [ B.iter "i" ] (B.const 1.0))
+  in
+  let d = B.finish b ~top in
+  let d = { d with Ir.d_mems = d.Ir.d_mems @ [ { x with Ir.mem_name = "y" } ] } in
+  check_bool "flagged V002" true
+    (List.exists (fun g -> g.Diag.code = "V002") (Analysis.validate_diags d));
+  check_bool "string shim rejects too" true (Analysis.validate d <> [])
+
 let test_validate_exn () =
   Alcotest.check_raises "raises on invalid"
     (Failure "invalid design bad:\np: iterator nope is not in scope") (fun () ->
@@ -481,6 +506,8 @@ let () =
           Alcotest.test_case "tile endpoints" `Quick test_invalid_tile_endpoints;
           Alcotest.test_case "reduce shapes" `Quick test_invalid_mismatched_reduce_shapes;
           Alcotest.test_case "empty stages" `Quick test_invalid_empty_stages;
+          Alcotest.test_case "duplicate mem name" `Quick test_invalid_duplicate_mem_name;
+          Alcotest.test_case "duplicate mem id" `Quick test_invalid_duplicate_mem_id;
           Alcotest.test_case "validate_exn" `Quick test_validate_exn;
         ] );
       ( "pretty",
