@@ -12,6 +12,8 @@
 module E = Dhdl_core.Experiments
 module Estimator = Dhdl_model.Estimator
 module App = Dhdl_apps.App
+module Explore = Dhdl_dse.Explore
+module Obs = Dhdl_obs.Obs
 
 let seed = 2016
 
@@ -97,6 +99,50 @@ let run_ablations ~quick () =
   print_string (E.render_bandwidth (E.ablation_bandwidth ~seed ~max_points est))
 
 (* ------------------------------------------------------------------ *)
+(* DSE throughput: the start of the perf trajectory                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs a telemetry-instrumented GDA sweep and writes BENCH_dse.json with
+   points/sec and the ms-per-design p50/p95 straight from the
+   [dse.ms_per_design] histogram, so successive PRs can track estimator
+   and DSE throughput from CI artifacts. *)
+let run_dseperf ~quick () =
+  banner "DSE throughput (telemetry-derived): points/sec and ms/design percentiles";
+  let est = the_estimator ~quick () in
+  let app = Dhdl_apps.Registry.find "gda" in
+  let sizes = app.App.paper_sizes in
+  let points = if quick then 200 else 1_000 in
+  Obs.enable ();
+  let r =
+    Explore.run ~seed ~max_points:points est ~space:(app.App.space sizes)
+      ~generate:(fun p -> app.App.generate ~sizes ~params:p)
+      ()
+  in
+  let snap = Obs.snapshot () in
+  Obs.disable ();
+  let ms = try List.assoc "dse.ms_per_design" snap.Obs.snap_hists with Not_found -> [||] in
+  let estimated = r.Explore.sampled - r.Explore.lint_pruned in
+  let points_per_sec =
+    if r.Explore.elapsed_seconds > 0.0 then
+      float_of_int r.Explore.sampled /. r.Explore.elapsed_seconds
+    else 0.0
+  in
+  let p50 = Obs.percentile ms 50.0 and p95 = Obs.percentile ms 95.0 in
+  let json =
+    Printf.sprintf
+      "{\"app\":\"gda\",\"points\":%d,\"estimated\":%d,\"lint_pruned\":%d,\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"ms_per_design_p50\":%.4f,\"ms_per_design_p95\":%.4f}\n"
+      r.Explore.sampled estimated r.Explore.lint_pruned r.Explore.elapsed_seconds points_per_sec
+      p50 p95
+  in
+  let oc = open_out "BENCH_dse.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "%d points (%d estimated, %d lint-pruned) in %.2f s: %.0f points/sec\n"
+    r.Explore.sampled estimated r.Explore.lint_pruned r.Explore.elapsed_seconds points_per_sec;
+  Printf.printf "ms per design: p50 %.4f, p95 %.4f\n" p50 p95;
+  Printf.printf "written to BENCH_dse.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one per table/figure                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -162,6 +208,7 @@ let all_sections =
     ("fig5", run_fig5);
     ("fig6", run_fig6);
     ("ablations", run_ablations);
+    ("dseperf", run_dseperf);
     ("micro", run_micro);
   ]
 

@@ -11,6 +11,7 @@ module Explore = Dhdl_dse.Explore
 module Experiments = Dhdl_core.Experiments
 module Lint = Dhdl_lint.Lint
 module Diag = Dhdl_ir.Diag
+module Obs = Dhdl_obs.Obs
 
 let parse_params strs =
   List.map
@@ -73,10 +74,67 @@ let cache_arg =
     & opt (some string) None
     & info [ "cache" ] ~docv:"FILE" ~doc:"Cache the trained estimator in FILE (load if present).")
 
+(* --- telemetry ------------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON of the run to FILE (load it in \
+           chrome://tracing or https://ui.perfetto.dev).")
+
+let jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jsonl" ] ~docv:"FILE" ~doc:"Write the telemetry event log to FILE as JSON Lines.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the telemetry summary (counters, histograms, span rollups) after the run.")
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+(* Enable the sink when any telemetry output was requested, run the command
+   body, then export. The sink stays disabled (and the instrumented paths
+   stay on their no-op fast path) when no flag is given. *)
+let with_obs ~trace ~jsonl ~metrics f =
+  let wanted = metrics || trace <> None || jsonl <> None in
+  if not wanted then f ()
+  else begin
+    Obs.enable ();
+    let finish () =
+      let snap = Obs.snapshot () in
+      Option.iter
+        (fun path ->
+          write_file path (Obs.to_chrome_trace snap);
+          Printf.eprintf "[obs] Chrome trace written to %s\n%!" path)
+        trace;
+      Option.iter
+        (fun path ->
+          write_file path (Obs.to_jsonl snap);
+          Printf.eprintf "[obs] JSONL event log written to %s\n%!" path)
+        jsonl;
+      if metrics then begin
+        print_newline ();
+        print_string (Obs.render_summary snap)
+      end;
+      Obs.disable ()
+    in
+    Fun.protect ~finally:finish f
+  end
+
 (* --- commands ------------------------------------------------------- *)
 
 let estimate_cmd =
-  let run app params seed train cache =
+  let run app params seed train cache trace jsonl metrics =
+    with_obs ~trace ~jsonl ~metrics @@ fun () ->
     let est = make_estimator ?cache ~seed ~train_samples:train () in
     let _, design = design_of ~app ~params in
     let e, elapsed = Estimator.timed_estimate est design in
@@ -98,10 +156,13 @@ let estimate_cmd =
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Estimate area and cycles of one design point.")
-    Term.(const run $ app_arg $ params_arg $ seed_arg $ train_arg $ cache_arg)
+    Term.(
+      const run $ app_arg $ params_arg $ seed_arg $ train_arg $ cache_arg $ trace_arg $ jsonl_arg
+      $ metrics_arg)
 
 let synth_cmd =
-  let run app params =
+  let run app params trace jsonl metrics =
+    with_obs ~trace ~jsonl ~metrics @@ fun () ->
     let _, design = design_of ~app ~params in
     let rpt = Dhdl_synth.Toolchain.synthesize design in
     let sim = Dhdl_sim.Perf_sim.simulate design in
@@ -122,10 +183,11 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Run the simulated vendor toolchain and performance simulator.")
-    Term.(const run $ app_arg $ params_arg)
+    Term.(const run $ app_arg $ params_arg $ trace_arg $ jsonl_arg $ metrics_arg)
 
 let dse_cmd =
-  let run app seed train points cache =
+  let run app seed train points cache trace jsonl metrics =
+    with_obs ~trace ~jsonl ~metrics @@ fun () ->
     let est = make_estimator ?cache ~seed ~train_samples:train () in
     let a = lookup_app app in
     let result =
@@ -144,7 +206,9 @@ let dse_cmd =
   in
   Cmd.v
     (Cmd.info "dse" ~doc:"Explore a benchmark's design space and print the Pareto frontier.")
-    Term.(const run $ app_arg $ seed_arg $ train_arg $ points_arg $ cache_arg)
+    Term.(
+      const run $ app_arg $ seed_arg $ train_arg $ points_arg $ cache_arg $ trace_arg $ jsonl_arg
+      $ metrics_arg)
 
 let codegen_cmd =
   let manager =
@@ -352,6 +416,41 @@ let lint_cmd =
        ~doc:"Run the static-analysis passes (races, hazards, capacity, dead code) on a design.")
     Term.(const run $ app_opt $ params_arg $ json $ all $ fail_on)
 
+let metrics_cmd =
+  let run app params seed train points cache trace jsonl =
+    Obs.enable ();
+    let est = make_estimator ?cache ~seed ~train_samples:train () in
+    let a, design = design_of ~app ~params in
+    let e = Estimator.estimate est design in
+    ignore (Dhdl_sim.Perf_sim.simulate design);
+    let result =
+      Explore.run ~seed ~max_points:points est
+        ~space:(a.App.space a.App.paper_sizes)
+        ~generate:(fun p -> a.App.generate ~sizes:a.App.paper_sizes ~params:p)
+        ()
+    in
+    Printf.printf "instrumented run of %s: %s cycles at default point, %d DSE point(s) explored\n"
+      a.App.name
+      (Dhdl_util.Texttable.fmt_int_commas (int_of_float e.Estimator.cycles))
+      result.Explore.sampled;
+    let snap = Obs.snapshot () in
+    Option.iter (fun path -> write_file path (Obs.to_chrome_trace snap)) trace;
+    Option.iter (fun path -> write_file path (Obs.to_jsonl snap)) jsonl;
+    print_newline ();
+    print_string (Obs.render_summary snap);
+    Option.iter (Printf.printf "\nChrome trace written to %s\n") trace;
+    Option.iter (Printf.printf "JSONL event log written to %s\n") jsonl;
+    Obs.disable ()
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run an instrumented workload (setup, one estimate, one simulation, a DSE sweep) and \
+          dump the telemetry sink: counters, histograms, span rollups, optional trace exports.")
+    Term.(
+      const run $ app_arg $ params_arg $ seed_arg $ train_arg $ points_arg $ cache_arg $ trace_arg
+      $ jsonl_arg)
+
 let list_cmd =
   let run () =
     print_string (Experiments.render_table2 ());
@@ -367,4 +466,4 @@ let list_cmd =
 let () =
   let doc = "DHDL: automatic generation of efficient accelerators for reconfigurable hardware" in
   let info = Cmd.info "dhdl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ estimate_cmd; compare_cmd; synth_cmd; dse_cmd; lint_cmd; codegen_cmd; dot_cmd; print_cmd; experiments_cmd; interpret_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ estimate_cmd; compare_cmd; synth_cmd; dse_cmd; lint_cmd; metrics_cmd; codegen_cmd; dot_cmd; print_cmd; experiments_cmd; interpret_cmd; list_cmd ]))

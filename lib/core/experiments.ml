@@ -10,8 +10,10 @@ module Stats = Dhdl_util.Stats
 module Texttable = Dhdl_util.Texttable
 module Asciiplot = Dhdl_util.Asciiplot
 module Rng = Dhdl_util.Rng
+module Obs = Dhdl_obs.Obs
 
 let explore_app ?(seed = 2016) ~max_points est (app : App.t) =
+  Obs.span "experiment.explore" ~attrs:[ ("app", app.App.name) ] @@ fun () ->
   let sizes = app.App.paper_sizes in
   Explore.run ~seed ~max_points est ~space:(app.App.space sizes)
     ~generate:(fun point -> app.App.generate ~sizes ~params:point)
@@ -71,6 +73,7 @@ type accuracy_row = {
 }
 
 let table3 ?(seed = 2016) ?(sample = 300) ?(pareto_points = 5) est =
+  Obs.span "experiment.table3" @@ fun () ->
   List.map
     (fun (app : App.t) ->
       let result = explore_app ~seed ~max_points:sample est app in
@@ -176,6 +179,7 @@ type speed_result = {
 
 let table4 ?(seed = 2016) ?(ours_points = 250) ?(restricted_points = 40) ?(full_points = 4)
     ?(hls_cols = 96) est =
+  Obs.span "experiment.table4" @@ fun () ->
   (* Our estimator on GDA design points. *)
   let app = Registry.find "gda" in
   let sizes = app.App.paper_sizes in
@@ -247,6 +251,7 @@ let render_table4 r =
 type dse_app = { app_name : string; result : Explore.result }
 
 let fig5 ?(seed = 2016) ?(max_points = 2_000) ?apps est =
+  Obs.span "experiment.fig5" @@ fun () ->
   let selected =
     match apps with
     | None -> Registry.all
@@ -335,6 +340,7 @@ type speedup_row = {
 }
 
 let fig6 ?(seed = 2016) ?(max_points = 2_000) est =
+  Obs.span "experiment.fig6" @@ fun () ->
   List.map
     (fun (app : App.t) ->
       let result = explore_app ~seed ~max_points est app in

@@ -1,6 +1,7 @@
 module Estimator = Dhdl_model.Estimator
 module Lint = Dhdl_lint.Lint
 module Pareto = Dhdl_util.Pareto
+module Obs = Dhdl_obs.Obs
 
 type evaluation = {
   point : Space.point;
@@ -13,6 +14,7 @@ type evaluation = {
 
 type result = {
   space_name : string;
+  param_names : string list;
   evaluations : evaluation list;
   pareto : evaluation list;
   raw_space : int;
@@ -37,14 +39,29 @@ let pareto_of evals =
   let valid = List.filter (fun e -> e.valid) evals in
   Pareto.frontier (fun e -> (e.estimate.Estimator.cycles, e.alm_pct)) valid
 
-let run ?(seed = 2016) ?(max_points = 75_000) ?(lint = true) est ~space ~generate () =
+let run ?(seed = 2016) ?(max_points = 75_000) ?(lint = true) ?(span_every = 100)
+    ?(tick_every = 1000) est ~space ~generate () =
+  Obs.span "dse.run" ~attrs:[ ("space", Space.name space) ] @@ fun () ->
   let t0 = Unix.gettimeofday () in
-  let points = Space.sample space ~seed ~max_points in
+  let points = Obs.span "dse.sample" (fun () -> Space.sample space ~seed ~max_points) in
+  let total = List.length points in
+  if Obs.enabled () then begin
+    (* Register the pruning counters up front so reports show them at zero
+       for sweeps where nothing gets pruned. *)
+    Obs.count ~by:total "dse.points_sampled";
+    Obs.count ~by:0 "dse.lint_pruned";
+    Obs.count ~by:0 "dse.estimated"
+  end;
   let dev = Estimator.device est in
   let lint_pruned = ref 0 in
+  let idx = ref 0 in
   let evaluations =
     List.filter_map
       (fun p ->
+        let i = !idx in
+        incr idx;
+        Obs.tick ~every:tick_every ~label:("dse " ^ Space.name space) ~total i;
+        Obs.span_sampled ~every:span_every ~i "dse.point" @@ fun () ->
         let design = generate p in
         (* Error-level diagnostics (races, hazards, provable capacity
            overflow) mean the point can never produce working hardware, so
@@ -52,20 +69,35 @@ let run ?(seed = 2016) ?(max_points = 75_000) ?(lint = true) est ~space ~generat
            (Section IV.C). *)
         if lint && Lint.has_errors (Lint.check ~dev design) then begin
           incr lint_pruned;
+          Obs.count "dse.lint_pruned";
           None
+        end
+        else if Obs.enabled () then begin
+          Obs.count "dse.estimated";
+          let t0 = Unix.gettimeofday () in
+          let e = evaluate est p design in
+          Obs.observe "dse.ms_per_design" ((Unix.gettimeofday () -. t0) *. 1000.0);
+          Some e
         end
         else Some (evaluate est p design))
       points
   in
-  let pareto = pareto_of evaluations in
+  let pareto = Obs.span "dse.pareto" (fun () -> pareto_of evaluations) in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if Obs.enabled () then begin
+    Obs.count ~by:(List.length (List.filter (fun e -> not e.valid) evaluations)) "dse.unfit";
+    Obs.gauge "dse.points_per_sec"
+      (if elapsed > 0.0 then float_of_int total /. elapsed else 0.0)
+  end;
   {
     space_name = Space.name space;
+    param_names = List.map fst (Space.dims space);
     evaluations;
     pareto;
     raw_space = Space.raw_size space;
-    sampled = List.length points;
+    sampled = total;
     lint_pruned = !lint_pruned;
-    elapsed_seconds = Unix.gettimeofday () -. t0;
+    elapsed_seconds = elapsed;
   }
 
 let unfit_count r = List.length (List.filter (fun e -> not e.valid) r.evaluations)
@@ -79,19 +111,18 @@ let best r =
          (fun acc e -> if e.estimate.Estimator.cycles < acc.estimate.Estimator.cycles then e else acc)
          first rest)
 
+(* Lint-pruned points never reach the estimator, so the paper's ms/design
+   metric (Table IV) divides by the points actually estimated. *)
 let seconds_per_design r =
-  if r.sampled = 0 then 0.0 else r.elapsed_seconds /. float_of_int r.sampled
+  let estimated = r.sampled - r.lint_pruned in
+  if estimated <= 0 then 0.0 else r.elapsed_seconds /. float_of_int estimated
 
 let to_csv r =
   let buf = Buffer.create 4096 in
-  let param_names =
-    match r.evaluations with
-    | [] -> []
-    | e :: _ -> List.map fst e.point
-  in
-  Buffer.add_string buf (String.concat "," param_names);
+  Buffer.add_string buf (String.concat "," r.param_names);
   Buffer.add_string buf ",cycles,alm_pct,dsp_pct,bram_pct,valid,pareto\n";
-  let pareto_set = List.map (fun e -> e.point) r.pareto in
+  let pareto_set = Hashtbl.create (2 * List.length r.pareto) in
+  List.iter (fun e -> Hashtbl.replace pareto_set e.point ()) r.pareto;
   List.iter
     (fun e ->
       List.iter (fun (_, v) -> Buffer.add_string buf (string_of_int v ^ ",")) e.point;
@@ -99,6 +130,6 @@ let to_csv r =
         (Printf.sprintf "%.0f,%.3f,%.3f,%.3f,%d,%d\n" e.estimate.Estimator.cycles e.alm_pct
            e.dsp_pct e.bram_pct
            (if e.valid then 1 else 0)
-           (if List.mem e.point pareto_set then 1 else 0)))
+           (if Hashtbl.mem pareto_set e.point then 1 else 0)))
     r.evaluations;
   Buffer.contents buf

@@ -18,6 +18,7 @@ type evaluation = {
 
 type result = {
   space_name : string;
+  param_names : string list;  (** Parameter names in point order. *)
   evaluations : evaluation list;  (** Every sampled point that passed lint. *)
   pareto : evaluation list;  (** Pareto-optimal valid designs. *)
   raw_space : int;  (** Cardinality before pruning/sampling. *)
@@ -30,6 +31,8 @@ val run :
   ?seed:int ->
   ?max_points:int ->
   ?lint:bool ->
+  ?span_every:int ->
+  ?tick_every:int ->
   Estimator.t ->
   space:Space.t ->
   generate:(Space.point -> Dhdl_ir.Ir.design) ->
@@ -39,7 +42,15 @@ val run :
     When [lint] is [true] (the default), each generated design runs through
     {!Dhdl_lint.Lint.check} against the estimator's device and points with
     error-level diagnostics are pruned before estimation; [lint_pruned]
-    counts them. *)
+    counts them.
+
+    When the {!Dhdl_obs.Obs} sink is enabled the sweep records counters
+    ([dse.points_sampled] / [dse.lint_pruned] / [dse.estimated] /
+    [dse.unfit]), a [dse.ms_per_design] histogram over estimator calls, a
+    per-point [dse.point] span for every [span_every]-th point (default
+    100; 0 disables), and a progress tick on stderr every [tick_every]
+    points (default 1000). With the sink disabled (the default) none of
+    this costs anything. *)
 
 val unfit_count : result -> int
 (** Evaluated points that do not fit the device ([valid = false]) —
@@ -52,7 +63,9 @@ val pareto_of : evaluation list -> evaluation list
 (** Frontier minimizing (cycles, ALM%) over valid evaluations. *)
 
 val seconds_per_design : result -> float
-(** Average estimation time per sampled design point (Table IV's metric). *)
+(** Average estimation time per design point actually estimated, i.e.
+    [sampled - lint_pruned] — lint-pruned points skip the estimator and
+    would deflate the metric (Table IV's metric). *)
 
 val to_csv : result -> string
 (** The full evaluation set as CSV (one row per sampled point: parameters,

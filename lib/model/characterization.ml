@@ -7,6 +7,7 @@ module Target = Dhdl_device.Target
 module R = Dhdl_device.Resources
 module Primitives = Dhdl_device.Primitives
 module Toolchain = Dhdl_synth.Toolchain
+module Obs = Dhdl_obs.Obs
 
 type t = {
   pipe_overhead : Linreg.t;
@@ -27,6 +28,7 @@ let runs = ref 0
 
 let raw_of dev design =
   incr runs;
+  Obs.count "characterize.toolchain_runs";
   (Toolchain.netlist ~dev design).Dhdl_synth.Netlist.raw
 
 (* One trivial integer pipe: the unit of measure for controller overheads. *)
@@ -46,9 +48,11 @@ let body_compute_luts ~par =
   (float_of_int (R.luts r), float_of_int r.R.regs)
 
 let characterize ?(dev = Target.stratix_v) () =
+  Obs.span "characterize" ~attrs:[ ("device", dev.Target.dev_name) ] @@ fun () ->
   runs := 0;
   (* --- Pipe: overhead(counters, par) --------------------------------- *)
   let pipe_samples =
+    Obs.span "characterize.pipes" @@ fun () ->
     List.concat_map
       (fun nctr ->
         List.map
@@ -94,14 +98,15 @@ let characterize ?(dev = Target.stratix_v) () =
           [ 0; 1; 2 ])
       [ 1; 2; 4 ]
   in
-  let seq_s = loop_samples ~pipelined:false in
-  let meta_s = loop_samples ~pipelined:true in
+  let seq_s = Obs.span "characterize.sequentials" (fun () -> loop_samples ~pipelined:false) in
+  let meta_s = Obs.span "characterize.metapipes" (fun () -> loop_samples ~pipelined:true) in
   let seq_overhead = Linreg.fit (List.map fst seq_s) in
   let seq_overhead_regs = Linreg.fit (List.map snd seq_s) in
   let metapipe_overhead = Linreg.fit (List.map fst meta_s) in
   let metapipe_overhead_regs = Linreg.fit (List.map snd meta_s) in
   (* --- Parallel ------------------------------------------------------- *)
   let par_samples =
+    Obs.span "characterize.parallels" @@ fun () ->
     List.map
       (fun nstages ->
         let b = B.create (Printf.sprintf "char_par_%d" nstages) in
@@ -118,6 +123,7 @@ let characterize ?(dev = Target.stratix_v) () =
   let parallel_overhead_regs = Linreg.fit (List.map snd par_samples) in
   (* --- Tile transfers: cost(par, word bits, rank) --------------------- *)
   let tile_samples =
+    Obs.span "characterize.tiles" @@ fun () ->
     List.concat_map
       (fun (ty, dims, tile) ->
         List.map

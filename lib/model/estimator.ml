@@ -1,5 +1,6 @@
 module Target = Dhdl_device.Target
 module R = Dhdl_device.Resources
+module Obs = Dhdl_obs.Obs
 
 let log_src = Logs.Src.create "dhdl.estimator" ~doc:"DHDL estimator setup and queries"
 
@@ -28,12 +29,15 @@ type estimate = { area : area; cycles : float; seconds : float; raw : Area_model
 
 let create ?(dev = Target.stratix_v) ?(board = Target.max4_maia) ?(seed = 1234)
     ?(train_samples = 200) ?epochs () =
+  Obs.span "setup" ~attrs:[ ("device", dev.Target.dev_name) ] @@ fun () ->
   Log.info (fun m -> m "characterizing templates for %s" dev.Target.dev_name);
-  let char = Characterization.default ~dev () in
+  let char = Obs.span "setup.characterize" (fun () -> Characterization.default ~dev ()) in
   Log.info (fun m ->
       m "characterization used %d toolchain runs" char.Characterization.microdesigns_synthesized);
   Log.info (fun m -> m "training P&R correction networks on %d samples (seed %d)" train_samples seed);
-  let nn = Nn_correction.train ~seed ~samples:train_samples ?epochs char dev in
+  let nn =
+    Obs.span "setup.train_nn" (fun () -> Nn_correction.train ~seed ~samples:train_samples ?epochs char dev)
+  in
   let r, g, u = Nn_correction.training_mse nn in
   Log.info (fun m -> m "training MSE: route %.2e, dup-regs %.2e, unavailable %.2e" r g u);
   { dev; brd = board; char; nn }
@@ -77,12 +81,25 @@ let assemble dev raw (c : Nn_correction.corrections) =
     duplicated_brams = c.Nn_correction.duplicated_brams;
   }
 
+(* The untraced path stays free of telemetry closures so a disabled sink
+   adds nothing to the paper's headline ms-per-design metric; the traced
+   path breaks the estimate into its three per-phase spans (area model, NN
+   correction, cycle model). *)
 let estimate t design =
-  let raw = Area_model.raw_estimate t.char t.dev design in
-  let corrections = Nn_correction.correct t.nn raw in
-  let area = assemble t.dev raw corrections in
-  let cycles = Cycle_model.estimate ~board:t.brd design in
-  { area; cycles; seconds = cycles /. (t.brd.Target.fabric_mhz *. 1e6); raw }
+  if not (Obs.enabled ()) then
+    let raw = Area_model.raw_estimate t.char t.dev design in
+    let corrections = Nn_correction.correct t.nn raw in
+    let area = assemble t.dev raw corrections in
+    let cycles = Cycle_model.estimate ~board:t.brd design in
+    { area; cycles; seconds = cycles /. (t.brd.Target.fabric_mhz *. 1e6); raw }
+  else
+    Obs.span "estimate" ~attrs:[ ("design", design.Dhdl_ir.Ir.d_name) ] @@ fun () ->
+    let raw = Obs.span "estimate.area_model" (fun () -> Area_model.raw_estimate t.char t.dev design) in
+    let corrections = Obs.span "estimate.nn_correction" (fun () -> Nn_correction.correct t.nn raw) in
+    let area = assemble t.dev raw corrections in
+    let cycles = Obs.span "estimate.cycle_model" (fun () -> Cycle_model.estimate ~board:t.brd design) in
+    Obs.count "estimator.estimates";
+    { area; cycles; seconds = cycles /. (t.brd.Target.fabric_mhz *. 1e6); raw }
 
 let estimate_area t design = (estimate t design).area
 let estimate_cycles t design = Cycle_model.estimate ~board:t.brd design

@@ -5,6 +5,7 @@ module Scaler = Dhdl_ml.Scaler
 module Linreg = Dhdl_ml.Linreg
 module Rng = Dhdl_util.Rng
 module Toolchain = Dhdl_synth.Toolchain
+module Obs = Dhdl_obs.Obs
 
 (* Each P&R factor is predicted by a small bagged ensemble of identical
    11-6-1 networks trained from different initializations; averaging damps
@@ -41,8 +42,10 @@ type corrections = {
 let ratio num den = if den <= 0 then 0.0 else float_of_int num /. float_of_int den
 
 let train ?(seed = 1234) ?(samples = 200) ?(epochs = 400) char dev =
-  let designs = Design_gen.corpus ~seed samples in
+  Obs.count ~by:samples "train.corpus_designs";
+  let designs = Obs.span "train.corpus" (fun () -> Design_gen.corpus ~seed samples) in
   let rows =
+    Obs.span "train.ground_truth" @@ fun () ->
     List.map
       (fun d ->
         let raw = Area_model.raw_estimate char dev d in
@@ -67,6 +70,7 @@ let train ?(seed = 1234) ?(samples = 200) ?(epochs = 400) char dev =
         ratio rpt.Dhdl_synth.Report.luts_unavailable (R.luts raw.Area_model.resources))
   in
   let train_ensemble i samples =
+    Obs.span "train.ensemble" ~attrs:[ ("target", string_of_int i) ] @@ fun () ->
     let nets =
       List.init ensemble_size (fun j ->
           Mlp.create

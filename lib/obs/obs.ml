@@ -1,0 +1,326 @@
+module Texttable = Dhdl_util.Texttable
+
+type attrs = (string * string) list
+
+type span = {
+  sp_name : string;
+  sp_start_us : float;
+  sp_dur_us : float;
+  sp_depth : int;
+  sp_seq : int;
+  sp_attrs : attrs;
+}
+
+type snapshot = {
+  snap_spans : span list;
+  snap_counters : (string * int) list;
+  snap_gauges : (string * float) list;
+  snap_hists : (string * float array) list;
+}
+
+(* Growable sample buffer for histograms. *)
+type hist = { mutable hdata : float array; mutable hlen : int }
+
+type sink = {
+  mutex : Mutex.t;
+  clock : unit -> float;
+  epoch : float;
+  mutable spans : span list;  (* reverse completion order *)
+  mutable depth : int;
+  mutable seq : int;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+(* The ambient sink. [live] mirrors [current <> None] so the disabled fast
+   path is a single immediate-bool load with no option allocation. *)
+let current : sink option ref = ref None
+let live = ref false
+
+let enable ?(clock = Unix.gettimeofday) () =
+  current :=
+    Some
+      {
+        mutex = Mutex.create ();
+        clock;
+        epoch = clock ();
+        spans = [];
+        depth = 0;
+        seq = 0;
+        counters = Hashtbl.create 32;
+        gauges = Hashtbl.create 16;
+        hists = Hashtbl.create 16;
+      };
+  live := true
+
+let disable () =
+  live := false;
+  current := None
+
+let enabled () = !live
+
+let now_us s = (s.clock () -. s.epoch) *. 1e6
+
+let locked s f =
+  Mutex.lock s.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
+
+let span ?(attrs = []) name f =
+  match !current with
+  | None -> f ()
+  | Some s ->
+    let start = now_us s in
+    let depth, seq =
+      locked s (fun () ->
+          let d = s.depth and q = s.seq in
+          s.depth <- d + 1;
+          s.seq <- q + 1;
+          (d, q))
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = now_us s -. start in
+        locked s (fun () ->
+            s.depth <- s.depth - 1;
+            s.spans <-
+              { sp_name = name; sp_start_us = start; sp_dur_us = dur; sp_depth = depth;
+                sp_seq = seq; sp_attrs = attrs }
+              :: s.spans))
+      f
+
+let span_sampled ~every ~i ?attrs name f =
+  if !live && every > 0 && i mod every = 0 then span ?attrs name f else f ()
+
+let count ?(by = 1) name =
+  match !current with
+  | None -> ()
+  | Some s ->
+    locked s (fun () ->
+        match Hashtbl.find_opt s.counters name with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.replace s.counters name (ref by))
+
+let counter_value name =
+  match !current with
+  | None -> 0
+  | Some s -> locked s (fun () -> match Hashtbl.find_opt s.counters name with Some r -> !r | None -> 0)
+
+let gauge name v =
+  match !current with
+  | None -> ()
+  | Some s -> locked s (fun () -> Hashtbl.replace s.gauges name v)
+
+let observe name v =
+  match !current with
+  | None -> ()
+  | Some s ->
+    locked s (fun () ->
+        let h =
+          match Hashtbl.find_opt s.hists name with
+          | Some h -> h
+          | None ->
+            let h = { hdata = Array.make 64 0.0; hlen = 0 } in
+            Hashtbl.replace s.hists name h;
+            h
+        in
+        if h.hlen = Array.length h.hdata then begin
+          let bigger = Array.make (2 * h.hlen) 0.0 in
+          Array.blit h.hdata 0 bigger 0 h.hlen;
+          h.hdata <- bigger
+        end;
+        h.hdata.(h.hlen) <- v;
+        h.hlen <- h.hlen + 1)
+
+let tick ?(every = 1000) ~label ~total i =
+  if !live && every > 0 && i > 0 && i mod every = 0 then
+    Printf.eprintf "[obs] %s: %d/%d points\n%!" label i total
+
+(* ---------------- snapshot + aggregates ------------------------------- *)
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot () =
+  match !current with
+  | None -> { snap_spans = []; snap_counters = []; snap_gauges = []; snap_hists = [] }
+  | Some s ->
+    locked s (fun () ->
+        {
+          snap_spans = List.sort (fun a b -> compare a.sp_seq b.sp_seq) s.spans;
+          snap_counters = sorted_bindings s.counters (fun r -> !r);
+          snap_gauges = sorted_bindings s.gauges Fun.id;
+          snap_hists = sorted_bindings s.hists (fun h -> Array.sub h.hdata 0 h.hlen);
+        })
+
+let percentile values q =
+  let n = Array.length values in
+  if n = 0 then 0.0
+  else begin
+    let s = Array.copy values in
+    Array.sort compare s;
+    let rank = int_of_float (ceil (q /. 100.0 *. float_of_int n)) in
+    s.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let mean values =
+  let n = Array.length values in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 values /. float_of_int n
+
+let maximum values = Array.fold_left Float.max 0.0 values
+
+(* ---------------- exporters ------------------------------------------- *)
+
+let fmt_us = Printf.sprintf "%.3f"
+
+let render_summary snap =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "telemetry summary\n";
+  let empty =
+    snap.snap_spans = [] && snap.snap_counters = [] && snap.snap_gauges = []
+    && snap.snap_hists = []
+  in
+  if empty then Buffer.add_string buf "(no events recorded)\n"
+  else begin
+    if snap.snap_counters <> [] then begin
+      Buffer.add_string buf "\ncounters\n";
+      Buffer.add_string buf
+        (Texttable.render ~header:[ "counter"; "value" ]
+           (List.map (fun (n, v) -> [ n; Texttable.fmt_int_commas v ]) snap.snap_counters))
+    end;
+    if snap.snap_gauges <> [] then begin
+      Buffer.add_string buf "\ngauges\n";
+      Buffer.add_string buf
+        (Texttable.render ~header:[ "gauge"; "value" ]
+           (List.map (fun (n, v) -> [ n; Texttable.fmt_float ~decimals:3 v ]) snap.snap_gauges))
+    end;
+    if snap.snap_hists <> [] then begin
+      Buffer.add_string buf "\nhistograms\n";
+      Buffer.add_string buf
+        (Texttable.render ~header:[ "histogram"; "count"; "mean"; "p50"; "p95"; "max" ]
+           (List.map
+              (fun (n, vs) ->
+                [ n; string_of_int (Array.length vs);
+                  Texttable.fmt_float ~decimals:3 (mean vs);
+                  Texttable.fmt_float ~decimals:3 (percentile vs 50.0);
+                  Texttable.fmt_float ~decimals:3 (percentile vs 95.0);
+                  Texttable.fmt_float ~decimals:3 (maximum vs) ])
+              snap.snap_hists))
+    end;
+    if snap.snap_spans <> [] then begin
+      (* Roll spans up by name, preserving first-start order. *)
+      let order = ref [] in
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun sp ->
+          match Hashtbl.find_opt tbl sp.sp_name with
+          | Some samples -> samples := sp.sp_dur_us :: !samples
+          | None ->
+            Hashtbl.replace tbl sp.sp_name (ref [ sp.sp_dur_us ]);
+            order := sp.sp_name :: !order)
+        snap.snap_spans;
+      Buffer.add_string buf "\nspans\n";
+      Buffer.add_string buf
+        (Texttable.render
+           ~header:[ "span"; "count"; "total ms"; "mean ms"; "p50 ms"; "p95 ms"; "max ms" ]
+           (List.rev_map
+              (fun name ->
+                let vs = Array.of_list !(Hashtbl.find tbl name) in
+                let ms = Array.map (fun us -> us /. 1000.0) vs in
+                [ name; string_of_int (Array.length ms);
+                  Texttable.fmt_float ~decimals:3 (Array.fold_left ( +. ) 0.0 ms);
+                  Texttable.fmt_float ~decimals:3 (mean ms);
+                  Texttable.fmt_float ~decimals:3 (percentile ms 50.0);
+                  Texttable.fmt_float ~decimals:3 (percentile ms 95.0);
+                  Texttable.fmt_float ~decimals:3 (maximum ms) ])
+              !order))
+    end
+  end;
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_attrs attrs =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)) attrs)
+  ^ "}"
+
+let to_jsonl snap =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun sp ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"type\":\"span\",\"name\":\"%s\",\"start_us\":%s,\"dur_us\":%s,\"depth\":%d,\"attrs\":%s}\n"
+           (json_escape sp.sp_name) (fmt_us sp.sp_start_us) (fmt_us sp.sp_dur_us) sp.sp_depth
+           (json_attrs sp.sp_attrs)))
+    snap.snap_spans;
+  List.iter
+    (fun (n, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%d}\n" (json_escape n) v))
+    snap.snap_counters;
+  List.iter
+    (fun (n, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%s}\n" (json_escape n)
+           (fmt_us v)))
+    snap.snap_gauges;
+  List.iter
+    (fun (n, vs) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"mean\":%s,\"p50\":%s,\"p95\":%s,\"max\":%s}\n"
+           (json_escape n) (Array.length vs) (fmt_us (mean vs))
+           (fmt_us (percentile vs 50.0))
+           (fmt_us (percentile vs 95.0))
+           (fmt_us (maximum vs))))
+    snap.snap_hists;
+  Buffer.contents buf
+
+let to_chrome_trace snap =
+  let end_ts =
+    List.fold_left (fun acc sp -> Float.max acc (sp.sp_start_us +. sp.sp_dur_us)) 0.0
+      snap.snap_spans
+  in
+  let events = Buffer.create 4096 in
+  Buffer.add_string events
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"dhdl\"}}";
+  List.iter
+    (fun sp ->
+      Buffer.add_string events
+        (Printf.sprintf
+           ",\n{\"name\":\"%s\",\"cat\":\"dhdl\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%s,\"dur\":%s,\"args\":%s}"
+           (json_escape sp.sp_name) (fmt_us sp.sp_start_us) (fmt_us sp.sp_dur_us)
+           (json_attrs sp.sp_attrs)))
+    snap.snap_spans;
+  List.iter
+    (fun (n, v) ->
+      Buffer.add_string events
+        (Printf.sprintf
+           ",\n{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":%s,\"args\":{\"value\":%d}}"
+           (json_escape n) (fmt_us end_ts) v))
+    snap.snap_counters;
+  List.iter
+    (fun (n, v) ->
+      Buffer.add_string events
+        (Printf.sprintf
+           ",\n{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":%s,\"args\":{\"value\":%s}}"
+           (json_escape n) (fmt_us end_ts) (fmt_us v)))
+    snap.snap_gauges;
+  Printf.sprintf "{\"traceEvents\":[\n%s\n],\"displayTimeUnit\":\"ms\"}\n" (Buffer.contents events)

@@ -1,0 +1,92 @@
+(** Telemetry core: hierarchical spans, counters / gauges / histograms, and
+    three exporters (summary table, JSONL event log, Chrome [trace_event]
+    JSON loadable in chrome://tracing or Perfetto).
+
+    The sink is a process-global ambient singleton so hot paths can be
+    instrumented without threading a handle through every signature. It is
+    disabled by default: every recording entry point first checks one
+    mutable flag and returns immediately, so instrumented code pays no
+    allocation and no lock when telemetry is off. When enabled, mutation of
+    the sink is serialized by a mutex (safe under domains; span nesting
+    depth is tracked globally, so spans from concurrent domains interleave
+    their depths but never corrupt the sink). *)
+
+type attrs = (string * string) list
+
+type span = {
+  sp_name : string;
+  sp_start_us : float;  (** Start, microseconds since [enable]. *)
+  sp_dur_us : float;  (** Duration in microseconds. *)
+  sp_depth : int;  (** Nesting depth; 0 for root spans. *)
+  sp_seq : int;  (** Start-order sequence number (stable sort key). *)
+  sp_attrs : attrs;
+}
+
+type snapshot = {
+  snap_spans : span list;  (** In start order. *)
+  snap_counters : (string * int) list;  (** Sorted by name. *)
+  snap_gauges : (string * float) list;  (** Sorted by name. *)
+  snap_hists : (string * float array) list;
+      (** Sorted by name; samples in insertion order. *)
+}
+
+(** {1 Lifecycle} *)
+
+val enable : ?clock:(unit -> float) -> unit -> unit
+(** Install a fresh live sink (discarding any previous one). [clock]
+    defaults to [Unix.gettimeofday]; tests inject a deterministic clock.
+    Timestamps are recorded relative to the moment of [enable]. *)
+
+val disable : unit -> unit
+(** Drop the sink; instrumented paths return to the no-op fast path. *)
+
+val enabled : unit -> bool
+
+(** {1 Recording} *)
+
+val span : ?attrs:attrs -> string -> (unit -> 'a) -> 'a
+(** [span name f] times [f] and records a completed span (also on
+    exception). When disabled this is exactly [f ()]. *)
+
+val span_sampled : every:int -> i:int -> ?attrs:attrs -> string -> (unit -> 'a) -> 'a
+(** Record the span only for every [every]-th index ([i mod every = 0],
+    [every > 0]); otherwise just run [f]. For per-point spans in long DSE
+    sweeps where tracing every point would swamp the sink. *)
+
+val count : ?by:int -> string -> unit
+(** Increment a named counter. [count ~by:0 name] registers the counter at
+    zero without incrementing (so reports show it even when never hit). *)
+
+val counter_value : string -> int
+(** Current value, 0 when absent or disabled. *)
+
+val gauge : string -> float -> unit
+(** Set a named gauge to its latest value. *)
+
+val observe : string -> float -> unit
+(** Append a sample to a named histogram (e.g. per-design estimation ms). *)
+
+val tick : ?every:int -> label:string -> total:int -> int -> unit
+(** [tick ~label ~total i] prints a progress line to stderr every [every]
+    (default 1000) increments while enabled; no-op when disabled. *)
+
+(** {1 Export} *)
+
+val snapshot : unit -> snapshot
+(** Copy of the sink's current contents; empty when disabled. *)
+
+val percentile : float array -> float -> float
+(** Nearest-rank percentile (argument in percent, e.g. [95.0]) over a copy
+    of the samples; 0 on empty input. *)
+
+val render_summary : snapshot -> string
+(** Human-readable tables: counters, gauges, histogram aggregates
+    (count / mean / p50 / p95 / max) and per-name span rollups. *)
+
+val to_jsonl : snapshot -> string
+(** One JSON object per line: spans in start order, then counters, gauges,
+    and histogram aggregates. *)
+
+val to_chrome_trace : snapshot -> string
+(** Chrome [trace_event] JSON ("X" complete events for spans, "C" counter
+    events), loadable in chrome://tracing and Perfetto. *)

@@ -1,5 +1,6 @@
 module Ir = Dhdl_ir.Ir
 module Op = Dhdl_ir.Op
+module Obs = Dhdl_obs.Obs
 
 type env = {
   design : Ir.design;
@@ -104,7 +105,9 @@ let exec_stmt env iters values stmt =
 
 let exec_pipe env iters (loop : Ir.loop_info) body reduce =
   let acc = ref (match reduce with Some r -> Op.identity_element r.Ir.sr_op | None -> 0.0) in
+  let nstmts = List.length body in
   iterate_counters loop.Ir.lp_counters iters (fun iters ->
+      if Obs.enabled () then Obs.count ~by:nstmts "interp.stmts";
       let values = Hashtbl.create 16 in
       List.iter (exec_stmt env iters values) body;
       match reduce with
@@ -134,6 +137,9 @@ let tile_region_iter (offchip : Ir.mem) offsets tile f =
   go offchip.Ir.mem_dims offsets tile 0 0
 
 let rec exec_ctrl env (iters : iter_env) ctrl =
+  (* Per-controller activation counters: one per entry into the controller,
+     matching the performance simulator's breakdown labels. *)
+  if Obs.enabled () then Obs.count ("interp.act." ^ Ir.ctrl_label ctrl);
   match ctrl with
   | Ir.Pipe { loop; body; reduce } -> exec_pipe env iters loop body reduce
   | Ir.Loop { loop; stages; reduce; _ } ->
@@ -164,6 +170,7 @@ let rec exec_ctrl env (iters : iter_env) ctrl =
     tile_region_iter dst offs tile (fun i_off i_on -> dst_data.(i_off) <- src_data.(i_on))
 
 let run design ~inputs =
+  Obs.span "interp.run" ~attrs:[ ("design", design.Ir.d_name) ] @@ fun () ->
   let env = { design; storage = Hashtbl.create 16; queues = Hashtbl.create 4 } in
   List.iter
     (fun (name, data) ->

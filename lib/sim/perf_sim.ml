@@ -6,6 +6,7 @@ module Primitives = Dhdl_device.Primitives
 module Netlist = Dhdl_synth.Netlist
 module Intmath = Dhdl_util.Intmath
 module Rng = Dhdl_util.Rng
+module Obs = Dhdl_obs.Obs
 
 type result = { cycles : float; seconds : float; dram_bytes : float }
 
@@ -105,6 +106,7 @@ let mem_reduce_cycles (loop : Ir.loop_info) (r : Ir.mem_reduce) =
   float_of_int (Intmath.ceil_div words lanes + lat + 6)
 
 let rec ctrl_cycles_rec ctx ~overlap ~trips ctrl =
+  if Obs.enabled () then Obs.count "sim.ctrl_model_evals";
   match ctrl with
   | Ir.Pipe { loop; reduce; _ } ->
     let trip_vec = Ir.loop_trip_vectorized loop in
@@ -181,6 +183,11 @@ let breakdown ?(dev = Target.stratix_v) ?(board = Target.max4_maia) design =
   let rec walk ~overlap ~weight ctrl =
     let own = ctrl_cycles_rec ctx ~overlap ~trips:0.0 ctrl in
     rows := (Ir.ctrl_label ctrl, own, own *. weight) :: !rows;
+    (* Per-controller activation counters: [weight] is the steady-state
+       activation count this controller contributes to the end-to-end
+       total, so the metrics report mirrors the breakdown table. *)
+    if Obs.enabled () then
+      Obs.count ~by:(max 1 (int_of_float weight)) ("sim.act." ^ Ir.ctrl_label ctrl);
     match ctrl with
     | Ir.Pipe _ | Ir.Tile_load _ | Ir.Tile_store _ -> ()
     | Ir.Parallel { stages; _ } ->
@@ -210,6 +217,8 @@ let breakdown ?(dev = Target.stratix_v) ?(board = Target.max4_maia) design =
   List.rev_map (fun (label, own, w) -> (label, own, 100.0 *. w /. total)) !rows
 
 let simulate ?(dev = Target.stratix_v) ?(board = Target.max4_maia) design =
+  Obs.span "sim.perf" ~attrs:[ ("design", design.Ir.d_name) ] @@ fun () ->
   let ctx = make_ctx dev board design in
   let cycles = ctrl_cycles_rec ctx ~overlap:1 ~trips:1.0 design.Ir.d_top in
+  if Obs.enabled () then Obs.gauge "sim.dram_mb" (ctx.dram_bytes /. 1e6);
   { cycles; seconds = cycles /. (board.Target.fabric_mhz *. 1e6); dram_bytes = ctx.dram_bytes }
