@@ -17,7 +17,10 @@ let parse_params strs =
   List.map
     (fun s ->
       match String.split_on_char '=' s with
-      | [ k; v ] -> (k, int_of_string v)
+      | [ k; v ] -> (
+        match int_of_string_opt v with
+        | Some n -> (k, n)
+        | None -> failwith (Printf.sprintf "bad parameter %S (%S is not an integer)" s v))
       | _ -> failwith (Printf.sprintf "bad parameter %S (expected name=value)" s))
     strs
 
@@ -185,13 +188,59 @@ let synth_cmd =
     (Cmd.info "synth" ~doc:"Run the simulated vendor toolchain and performance simulator.")
     Term.(const run $ app_arg $ params_arg $ trace_arg $ jsonl_arg $ metrics_arg)
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Periodically write completed evaluations and sweep metadata to FILE (JSONL, atomic \
+           temp-file + rename) so an interrupted sweep can be resumed with $(b,--resume).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Continue an interrupted sweep from the $(b,--checkpoint) file, skipping every point \
+           already evaluated there. The checkpoint must match the sweep (benchmark space, seed, \
+           point budget).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Stop the sweep gracefully after SECONDS, reporting the partial result as truncated \
+           (resumable via $(b,--checkpoint)).")
+
+let inject_faults_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "inject-faults" ] ~docv:"P"
+        ~doc:
+          "(dev) Deterministically inject faults into the generator, lint, and estimator stages \
+           with probability P per point per stage, to exercise the failure barriers.")
+
+let faults_seed_arg =
+  Arg.(value & opt int 42 & info [ "faults-seed" ] ~doc:"(dev) Seed for $(b,--inject-faults).")
+
 let dse_cmd =
-  let run app seed train points cache trace jsonl metrics =
+  let run app seed train points cache trace jsonl metrics checkpoint resume deadline inject
+      faults_seed =
     with_obs ~trace ~jsonl ~metrics @@ fun () ->
+    if resume && checkpoint = None then failwith "--resume requires --checkpoint FILE";
+    Option.iter
+      (fun p ->
+        Dhdl_util.Faults.configure ~seed:faults_seed ~p ();
+        Printf.printf "[dev] injecting faults at p=%g (seed %d)\n%!" p faults_seed)
+      inject;
     let est = make_estimator ?cache ~seed ~train_samples:train () in
     let a = lookup_app app in
     let result =
-      Explore.run ~seed ~max_points:points est
+      Explore.run ~seed ~max_points:points ?checkpoint ~resume ?deadline_seconds:deadline est
         ~space:(a.App.space a.App.paper_sizes)
         ~generate:(fun p -> a.App.generate ~sizes:a.App.paper_sizes ~params:p)
         ()
@@ -202,13 +251,34 @@ let dse_cmd =
       (Explore.seconds_per_design result *. 1000.0)
       result.Explore.sampled result.Explore.elapsed_seconds;
     Printf.printf "pruned by lint errors: %d point(s); estimated but over device capacity: %d point(s)\n"
-      result.Explore.lint_pruned (Explore.unfit_count result)
+      result.Explore.lint_pruned (Explore.unfit_count result);
+    if result.Explore.resumed > 0 then
+      Printf.printf "resumed from checkpoint: %d point(s) reused, %d recomputed\n"
+        result.Explore.resumed
+        (result.Explore.processed - result.Explore.resumed);
+    if Explore.failed_count result > 0 then begin
+      Printf.printf "failed points (isolated, sweep continued): %d\n"
+        (Explore.failed_count result);
+      List.iter
+        (fun (stage, n) ->
+          if n > 0 then
+            Printf.printf "  %-12s %d point(s)\n" (Dhdl_dse.Outcome.stage_name stage) n)
+        (Explore.failure_counts result)
+    end;
+    if result.Explore.truncated then
+      Printf.printf
+        "deadline hit: stopped after %d of %d point(s)%s\n" result.Explore.processed
+        result.Explore.sampled
+        (match checkpoint with
+        | Some f -> Printf.sprintf "; resume with --checkpoint %s --resume" f
+        | None -> " (no checkpoint; use --checkpoint FILE to make this resumable)")
   in
   Cmd.v
     (Cmd.info "dse" ~doc:"Explore a benchmark's design space and print the Pareto frontier.")
     Term.(
       const run $ app_arg $ seed_arg $ train_arg $ points_arg $ cache_arg $ trace_arg $ jsonl_arg
-      $ metrics_arg)
+      $ metrics_arg $ checkpoint_arg $ resume_arg $ deadline_arg $ inject_faults_arg
+      $ faults_seed_arg)
 
 let codegen_cmd =
   let manager =
@@ -463,7 +533,15 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks and their design-space sizes.") Term.(const run $ const ())
 
+(* User-facing errors (unknown benchmark, bad name=value parameters,
+   unreadable files, mismatched checkpoints) surface as `failwith` or
+   `Sys_error` from the command bodies; render them as a one-line message
+   and exit 1 instead of dumping an OCaml backtrace. *)
 let () =
   let doc = "DHDL: automatic generation of efficient accelerators for reconfigurable hardware" in
   let info = Cmd.info "dhdl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ estimate_cmd; compare_cmd; synth_cmd; dse_cmd; lint_cmd; metrics_cmd; codegen_cmd; dot_cmd; print_cmd; experiments_cmd; interpret_cmd; list_cmd ]))
+  let group = Cmd.group info [ estimate_cmd; compare_cmd; synth_cmd; dse_cmd; lint_cmd; metrics_cmd; codegen_cmd; dot_cmd; print_cmd; experiments_cmd; interpret_cmd; list_cmd ] in
+  try exit (Cmd.eval ~catch:false group) with
+  | Failure msg | Sys_error msg ->
+    Printf.eprintf "dhdl: error: %s\n%!" msg;
+    exit 1

@@ -1,0 +1,38 @@
+(** Crash-safe JSONL checkpoints for DSE sweeps.
+
+    A checkpoint is a single JSONL file: a header line carrying the sweep
+    identity (space name, seed, max_points, sampled total, parameter names
+    in point order), then one line per processed point in sampling order —
+    [eval] (the full evaluation, floats as bit-exact C99 hex literals),
+    [pruned] (dropped by an error-level lint diagnostic) or [failed]
+    (classified {!Outcome.failure_stage} plus message).
+
+    {!save} writes atomically (temp file + rename), so the file on disk is
+    always a complete snapshot: a sweep killed mid-write resumes from the
+    previous checkpoint rather than a torn one. Hex-float round-tripping
+    makes a resumed sweep's evaluations structurally equal to an
+    uninterrupted run's. *)
+
+type t = {
+  space_name : string;
+  seed : int;
+  max_points : int;
+  total : int;  (** Points sampled by the sweep being checkpointed. *)
+  params : string list;  (** Parameter names, in point order. *)
+  entries : (int * Outcome.entry) list;  (** Ascending by point index. *)
+}
+
+val version : int
+(** Format version written in the header; {!load} rejects others. *)
+
+val render : t -> string
+(** The JSONL text. Deterministic: two identical sweeps render
+    byte-identical checkpoints (used by the golden-file tests). *)
+
+val save : path:string -> t -> unit
+(** Atomically replace [path] with [render t] (writes [path ^ ".tmp"],
+    then renames). *)
+
+val load : path:string -> (t, string) result
+(** Parse a checkpoint; [Error] describes a missing, unreadable, corrupt,
+    or wrong-version file. *)

@@ -1,9 +1,10 @@
 module Estimator = Dhdl_model.Estimator
 module Lint = Dhdl_lint.Lint
 module Pareto = Dhdl_util.Pareto
+module Faults = Dhdl_util.Faults
 module Obs = Dhdl_obs.Obs
 
-type evaluation = {
+type evaluation = Outcome.evaluation = {
   point : Space.point;
   estimate : Estimator.estimate;
   valid : bool;
@@ -12,14 +13,31 @@ type evaluation = {
   bram_pct : float;
 }
 
+type failure_stage = Outcome.failure_stage =
+  | Generator_error
+  | Lint_error
+  | Estimator_error
+  | Non_finite_estimate
+
+type failure = Outcome.failure = {
+  f_index : int;
+  f_point : Space.point;
+  f_stage : failure_stage;
+  f_message : string;
+}
+
 type result = {
   space_name : string;
   param_names : string list;
   evaluations : evaluation list;
   pareto : evaluation list;
+  failures : failure list;
   raw_space : int;
   sampled : int;
+  processed : int;
   lint_pruned : int;
+  resumed : int;
+  truncated : bool;
   elapsed_seconds : float;
 }
 
@@ -39,68 +57,200 @@ let pareto_of evals =
   let valid = List.filter (fun e -> e.valid) evals in
   Pareto.frontier (fun e -> (e.estimate.Estimator.cycles, e.alm_pct)) valid
 
+let stage_counter stage = "dse.failed." ^ Outcome.stage_name stage
+
+(* Render the exception behind a barrier without letting one bad message
+   take the sweep down too. *)
+let describe exn = try Printexc.to_string exn with _ -> "<unprintable exception>"
+
+let finite_evaluation (e : evaluation) =
+  let ok f = Float.is_finite f && f >= 0.0 in
+  ok e.estimate.Estimator.cycles && ok e.estimate.Estimator.seconds && ok e.alm_pct
+  && ok e.dsp_pct && ok e.bram_pct
+
+let non_finite_detail (e : evaluation) =
+  Printf.sprintf "cycles=%h seconds=%h alm_pct=%h dsp_pct=%h bram_pct=%h"
+    e.estimate.Estimator.cycles e.estimate.Estimator.seconds e.alm_pct e.dsp_pct e.bram_pct
+
+(* The exception barrier around one point's generate -> lint -> estimate
+   pipeline: every failure mode becomes a classified entry instead of
+   killing the sweep. [Faults.inject] sites (keyed by point index so a
+   resumed sweep replays the same faults) let tests exercise each arm. *)
+let process ~est ~dev ~lint i point ~generate =
+  match
+    try Faults.inject ~key:i "dse.generator"; Ok (generate point)
+    with exn -> Error (Generator_error, describe exn)
+  with
+  | Error (stage, msg) -> Outcome.Failed (stage, msg)
+  | Ok design -> (
+    match
+      try
+        Faults.inject ~key:i "dse.lint";
+        Ok (lint && Lint.has_errors (Lint.check ~dev design))
+      with exn -> Error (Lint_error, describe exn)
+    with
+    | Error (stage, msg) -> Outcome.Failed (stage, msg)
+    | Ok true -> Outcome.Pruned
+    | Ok false -> (
+      try
+        Faults.inject ~key:i "dse.estimator";
+        let e = evaluate est point design in
+        let e =
+          if Faults.fires ~key:i "dse.non_finite" then
+            { e with estimate = { e.estimate with Estimator.cycles = Float.nan } }
+          else e
+        in
+        if finite_evaluation e then Outcome.Evaluated e
+        else Outcome.Failed (Non_finite_estimate, "estimate not finite: " ^ non_finite_detail e)
+      with exn -> Outcome.Failed (Estimator_error, describe exn)))
+
+let load_resume ~path ~space ~seed ~max_points ~total ~param_names =
+  if not (Sys.file_exists path) then Hashtbl.create 1
+  else
+    match Checkpoint.load ~path with
+    | Error msg -> failwith ("cannot resume: " ^ msg)
+    | Ok c ->
+      if
+        c.Checkpoint.space_name <> Space.name space
+        || c.Checkpoint.seed <> seed
+        || c.Checkpoint.max_points <> max_points
+        || c.Checkpoint.total <> total
+        || c.Checkpoint.params <> param_names
+      then
+        failwith
+          (Printf.sprintf
+             "cannot resume: checkpoint %s was taken for sweep (space=%s seed=%d max_points=%d \
+              total=%d), not (space=%s seed=%d max_points=%d total=%d)"
+             path c.Checkpoint.space_name c.Checkpoint.seed c.Checkpoint.max_points
+             c.Checkpoint.total (Space.name space) seed max_points total)
+      else begin
+        let tbl = Hashtbl.create (2 * List.length c.Checkpoint.entries) in
+        List.iter (fun (i, e) -> Hashtbl.replace tbl i e) c.Checkpoint.entries;
+        tbl
+      end
+
 let run ?(seed = 2016) ?(max_points = 75_000) ?(lint = true) ?(span_every = 100)
-    ?(tick_every = 1000) est ~space ~generate () =
+    ?(tick_every = 1000) ?checkpoint ?(checkpoint_every = 500) ?(resume = false)
+    ?deadline_seconds est ~space ~generate () =
   Obs.span "dse.run" ~attrs:[ ("space", Space.name space) ] @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let points = Obs.span "dse.sample" (fun () -> Space.sample space ~seed ~max_points) in
   let total = List.length points in
+  let param_names = List.map fst (Space.dims space) in
   if Obs.enabled () then begin
-    (* Register the pruning counters up front so reports show them at zero
-       for sweeps where nothing gets pruned. *)
+    (* Register every counter up front so reports show the full set at
+       zero even for clean or empty sweeps. *)
     Obs.count ~by:total "dse.points_sampled";
     Obs.count ~by:0 "dse.lint_pruned";
-    Obs.count ~by:0 "dse.estimated"
+    Obs.count ~by:0 "dse.estimated";
+    Obs.count ~by:0 "dse.unfit";
+    List.iter
+      (fun stage -> Obs.count ~by:0 (stage_counter stage))
+      [ Generator_error; Lint_error; Estimator_error; Non_finite_estimate ]
   end;
+  let prior =
+    match checkpoint with
+    | Some path when resume ->
+      load_resume ~path ~space ~seed ~max_points ~total ~param_names
+    | _ -> Hashtbl.create 1
+  in
   let dev = Estimator.device est in
+  let entries = ref [] (* (index, entry), newest first *) in
   let lint_pruned = ref 0 in
-  let idx = ref 0 in
-  let evaluations =
-    List.filter_map
-      (fun p ->
-        let i = !idx in
-        incr idx;
+  let resumed = ref 0 in
+  let failures = ref [] in
+  let processed = ref 0 in
+  let truncated = ref false in
+  let write_checkpoint () =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+      Obs.span "dse.checkpoint" @@ fun () ->
+      Checkpoint.save ~path
+        {
+          Checkpoint.space_name = Space.name space;
+          seed;
+          max_points;
+          total;
+          params = param_names;
+          entries = List.rev !entries;
+        }
+  in
+  let past_deadline () =
+    match deadline_seconds with
+    | None -> false
+    | Some d -> Unix.gettimeofday () -. t0 >= d
+  in
+  List.iteri
+    (fun i p ->
+      if not !truncated then begin
         Obs.tick ~every:tick_every ~label:("dse " ^ Space.name space) ~total i;
-        Obs.span_sampled ~every:span_every ~i "dse.point" @@ fun () ->
-        let design = generate p in
-        (* Error-level diagnostics (races, hazards, provable capacity
-           overflow) mean the point can never produce working hardware, so
-           skip the estimator entirely — the paper's pre-estimation pruning
-           (Section IV.C). *)
-        if lint && Lint.has_errors (Lint.check ~dev design) then begin
-          incr lint_pruned;
-          Obs.count "dse.lint_pruned";
-          None
-        end
-        else if Obs.enabled () then begin
-          Obs.count "dse.estimated";
-          let t0 = Unix.gettimeofday () in
-          let e = evaluate est p design in
-          Obs.observe "dse.ms_per_design" ((Unix.gettimeofday () -. t0) *. 1000.0);
-          Some e
-        end
-        else Some (evaluate est p design))
-      points
+        let entry =
+          match Hashtbl.find_opt prior i with
+          | Some e ->
+            incr resumed;
+            if Obs.enabled () then Obs.count "dse.resumed";
+            e
+          | None ->
+            Obs.span_sampled ~every:span_every ~i "dse.point" @@ fun () ->
+            if Obs.enabled () then begin
+              let t0 = Unix.gettimeofday () in
+              let e = process ~est ~dev ~lint i p ~generate in
+              (match e with
+              | Outcome.Evaluated _ ->
+                Obs.count "dse.estimated";
+                Obs.observe "dse.ms_per_design" ((Unix.gettimeofday () -. t0) *. 1000.0)
+              | Outcome.Pruned -> Obs.count "dse.lint_pruned"
+              | Outcome.Failed (stage, _) -> Obs.count (stage_counter stage));
+              e
+            end
+            else process ~est ~dev ~lint i p ~generate
+        in
+        (match entry with
+        | Outcome.Pruned -> incr lint_pruned
+        | Outcome.Failed (f_stage, f_message) ->
+          failures := { f_index = i; f_point = p; f_stage; f_message } :: !failures
+        | Outcome.Evaluated _ -> ());
+        entries := (i, entry) :: !entries;
+        incr processed;
+        if checkpoint_every > 0 && !processed mod checkpoint_every = 0 then write_checkpoint ();
+        if past_deadline () then truncated := true
+      end)
+    points;
+  if checkpoint <> None then write_checkpoint ();
+  let evaluations =
+    List.rev_map (function _, Outcome.Evaluated e -> Some e | _ -> None) !entries
+    |> List.filter_map Fun.id
   in
   let pareto = Obs.span "dse.pareto" (fun () -> pareto_of evaluations) in
   let elapsed = Unix.gettimeofday () -. t0 in
   if Obs.enabled () then begin
     Obs.count ~by:(List.length (List.filter (fun e -> not e.valid) evaluations)) "dse.unfit";
     Obs.gauge "dse.points_per_sec"
-      (if elapsed > 0.0 then float_of_int total /. elapsed else 0.0)
+      (if elapsed > 0.0 then float_of_int !processed /. elapsed else 0.0)
   end;
   {
     space_name = Space.name space;
-    param_names = List.map fst (Space.dims space);
+    param_names;
     evaluations;
     pareto;
+    failures = List.rev !failures;
     raw_space = Space.raw_size space;
     sampled = total;
+    processed = !processed;
     lint_pruned = !lint_pruned;
+    resumed = !resumed;
+    truncated = !truncated;
     elapsed_seconds = elapsed;
   }
 
 let unfit_count r = List.length (List.filter (fun e -> not e.valid) r.evaluations)
+let failed_count r = List.length r.failures
+
+let failure_counts r =
+  List.map
+    (fun stage -> (stage, List.length (List.filter (fun f -> f.f_stage = stage) r.failures)))
+    [ Generator_error; Lint_error; Estimator_error; Non_finite_estimate ]
 
 let best r =
   match r.pareto with
@@ -111,10 +261,11 @@ let best r =
          (fun acc e -> if e.estimate.Estimator.cycles < acc.estimate.Estimator.cycles then e else acc)
          first rest)
 
-(* Lint-pruned points never reach the estimator, so the paper's ms/design
-   metric (Table IV) divides by the points actually estimated. *)
+(* Lint-pruned and failed points never produce an estimate, so the paper's
+   ms/design metric (Table IV) divides by the evaluations that actually
+   came back from the estimator. *)
 let seconds_per_design r =
-  let estimated = r.sampled - r.lint_pruned in
+  let estimated = List.length r.evaluations in
   if estimated <= 0 then 0.0 else r.elapsed_seconds /. float_of_int estimated
 
 let to_csv r =

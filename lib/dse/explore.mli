@@ -3,11 +3,17 @@
     Walks a parameter space, instantiates the design generator at each legal
     point, runs the estimator, classifies validity against the device, and
     extracts the Pareto frontier in the (cycles, ALM-utilization) plane used
-    throughout Figure 5. *)
+    throughout Figure 5.
+
+    The sweep is fault-tolerant: each point's generate → lint → estimate
+    pipeline runs inside an exception barrier, so one bad point becomes a
+    classified {!failure} in the result instead of killing a 75,000-point
+    run. Sweeps can checkpoint to disk and resume after a crash, and a
+    deadline turns a too-long run into a flagged partial result. *)
 
 module Estimator = Dhdl_model.Estimator
 
-type evaluation = {
+type evaluation = Outcome.evaluation = {
   point : Space.point;
   estimate : Estimator.estimate;
   valid : bool;  (** Fits on the target device. *)
@@ -16,14 +22,32 @@ type evaluation = {
   bram_pct : float;
 }
 
+(** Which pipeline stage a failed point died in (see {!Outcome}). *)
+type failure_stage = Outcome.failure_stage =
+  | Generator_error
+  | Lint_error
+  | Estimator_error
+  | Non_finite_estimate
+
+type failure = Outcome.failure = {
+  f_index : int;  (** Index of the point in sampling order. *)
+  f_point : Space.point;
+  f_stage : failure_stage;
+  f_message : string;
+}
+
 type result = {
   space_name : string;
   param_names : string list;  (** Parameter names in point order. *)
-  evaluations : evaluation list;  (** Every sampled point that passed lint. *)
+  evaluations : evaluation list;  (** Every point that estimated successfully. *)
   pareto : evaluation list;  (** Pareto-optimal valid designs. *)
+  failures : failure list;  (** Classified per-point failures, in index order. *)
   raw_space : int;  (** Cardinality before pruning/sampling. *)
-  sampled : int;  (** Sampled points, including lint-pruned ones. *)
+  sampled : int;  (** Sampled points, including pruned and failed ones. *)
+  processed : int;  (** Points actually consumed; < [sampled] iff [truncated]. *)
   lint_pruned : int;  (** Points dropped before estimation by lint errors. *)
+  resumed : int;  (** Points reused from a checkpoint instead of recomputed. *)
+  truncated : bool;  (** The deadline stopped the sweep early. *)
   elapsed_seconds : float;
 }
 
@@ -33,6 +57,10 @@ val run :
   ?lint:bool ->
   ?span_every:int ->
   ?tick_every:int ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  ?deadline_seconds:float ->
   Estimator.t ->
   space:Space.t ->
   generate:(Space.point -> Dhdl_ir.Ir.design) ->
@@ -44,17 +72,49 @@ val run :
     error-level diagnostics are pruned before estimation; [lint_pruned]
     counts them.
 
+    {b Fault isolation.} Each point runs inside an exception barrier: an
+    exception from the generator, the lint pass, or the estimator — or an
+    estimate containing non-finite or negative values — is recorded as a
+    {!failure} (classified by {!failure_stage}) and the sweep continues.
+    The {!Dhdl_util.Faults} sites [dse.generator] / [dse.lint] /
+    [dse.estimator] / [dse.non_finite], keyed by point index, inject
+    deterministic faults into each barrier for testing.
+
+    {b Checkpoint / resume.} With [~checkpoint:path] the sweep atomically
+    rewrites [path] (JSONL, see {!Checkpoint}) every [checkpoint_every]
+    processed points (default 500; [0] disables periodic writes) and once
+    at the end. With [~resume:true] it first loads [path] (if present),
+    validates that the checkpoint belongs to this exact sweep (space,
+    seed, max_points, sample count, parameter names — raising [Failure]
+    otherwise), and reuses its entries instead of recomputing them
+    ([resumed] counts reuses). Because sampling is seeded and fault sites
+    are keyed by index, a resumed sweep produces evaluations structurally
+    identical to an uninterrupted one.
+
+    {b Deadline.} With [~deadline_seconds:d] the sweep stops consuming
+    points once [d] seconds have elapsed, flags the result [truncated],
+    and still writes a final checkpoint — so a later [~resume:true] run
+    finishes the job.
+
     When the {!Dhdl_obs.Obs} sink is enabled the sweep records counters
     ([dse.points_sampled] / [dse.lint_pruned] / [dse.estimated] /
-    [dse.unfit]), a [dse.ms_per_design] histogram over estimator calls, a
-    per-point [dse.point] span for every [span_every]-th point (default
-    100; 0 disables), and a progress tick on stderr every [tick_every]
-    points (default 1000). With the sink disabled (the default) none of
-    this costs anything. *)
+    [dse.unfit] / [dse.failed.generator] / [dse.failed.lint] /
+    [dse.failed.estimator] / [dse.failed.non_finite] — all pre-registered
+    at zero — plus [dse.resumed] on resume), a [dse.ms_per_design]
+    histogram over estimator calls, a per-point [dse.point] span for every
+    [span_every]-th point (default 100; 0 disables), and a progress tick
+    on stderr every [tick_every] points (default 1000). With the sink
+    disabled (the default) none of this costs anything. *)
 
 val unfit_count : result -> int
 (** Evaluated points that do not fit the device ([valid = false]) —
     distinct from [lint_pruned], which never reached the estimator. *)
+
+val failed_count : result -> int
+(** [List.length r.failures]. *)
+
+val failure_counts : result -> (failure_stage * int) list
+(** Failures bucketed by stage, every stage present (possibly at 0). *)
 
 val best : result -> evaluation option
 (** Fastest valid design (first Pareto point by cycles). *)
@@ -63,12 +123,12 @@ val pareto_of : evaluation list -> evaluation list
 (** Frontier minimizing (cycles, ALM%) over valid evaluations. *)
 
 val seconds_per_design : result -> float
-(** Average estimation time per design point actually estimated, i.e.
-    [sampled - lint_pruned] — lint-pruned points skip the estimator and
-    would deflate the metric (Table IV's metric). *)
+(** Average estimation time per design point that actually produced an
+    estimate — lint-pruned and failed points skip or abort the estimator
+    and would deflate the metric (Table IV's metric). *)
 
 val to_csv : result -> string
-(** The full evaluation set as CSV (one row per sampled point: parameters,
-    estimated cycles, ALM/DSP/BRAM utilization, validity, Pareto
-    membership) — the raw data behind a Figure 5 panel, ready for external
-    plotting. *)
+(** The successful evaluations as CSV (one row per estimated point:
+    parameters, estimated cycles, ALM/DSP/BRAM utilization, validity,
+    Pareto membership) — the raw data behind a Figure 5 panel, ready for
+    external plotting. *)

@@ -1,0 +1,34 @@
+module Estimator = Dhdl_model.Estimator
+
+type failure_stage = Generator_error | Lint_error | Estimator_error | Non_finite_estimate
+
+type failure = {
+  f_index : int;
+  f_point : Space.point;
+  f_stage : failure_stage;
+  f_message : string;
+}
+
+type evaluation = {
+  point : Space.point;
+  estimate : Estimator.estimate;
+  valid : bool;
+  alm_pct : float;
+  dsp_pct : float;
+  bram_pct : float;
+}
+
+type entry = Evaluated of evaluation | Pruned | Failed of failure_stage * string
+
+let stage_name = function
+  | Generator_error -> "generator"
+  | Lint_error -> "lint"
+  | Estimator_error -> "estimator"
+  | Non_finite_estimate -> "non_finite"
+
+let stage_of_name = function
+  | "generator" -> Some Generator_error
+  | "lint" -> Some Lint_error
+  | "estimator" -> Some Estimator_error
+  | "non_finite" -> Some Non_finite_estimate
+  | _ -> None

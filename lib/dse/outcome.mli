@@ -1,0 +1,45 @@
+(** Per-point sweep outcomes shared by {!Explore} and {!Checkpoint}.
+
+    One sampled design point ends the pipeline in exactly one of three
+    states: successfully evaluated, pruned by an error-level lint
+    diagnostic, or failed in a classified stage. Keeping these types in
+    their own module lets the checkpoint serializer and the explorer agree
+    on them without a dependency cycle; {!Explore} re-exports them so
+    existing [Explore.evaluation] users are unaffected. *)
+
+module Estimator = Dhdl_model.Estimator
+
+(** Which stage of the generate → lint → estimate pipeline failed. *)
+type failure_stage =
+  | Generator_error  (** The design generator raised. *)
+  | Lint_error  (** The lint pass itself raised (not a diagnostic). *)
+  | Estimator_error  (** The estimator raised. *)
+  | Non_finite_estimate
+      (** The estimator returned, but with NaN/infinite or negative
+          cycles, seconds, or utilization — a poisoned value that must not
+          enter the Pareto computation. *)
+
+type failure = {
+  f_index : int;  (** Index of the point in sampling order. *)
+  f_point : Space.point;
+  f_stage : failure_stage;
+  f_message : string;  (** Rendered exception or validation detail. *)
+}
+
+type evaluation = {
+  point : Space.point;
+  estimate : Estimator.estimate;
+  valid : bool;  (** Fits on the target device. *)
+  alm_pct : float;
+  dsp_pct : float;
+  bram_pct : float;
+}
+
+(** Terminal state of one processed point. *)
+type entry = Evaluated of evaluation | Pruned | Failed of failure_stage * string
+
+val stage_name : failure_stage -> string
+(** Stable lowercase tag used in checkpoints, counters and CLI output:
+    [generator | lint | estimator | non_finite]. *)
+
+val stage_of_name : string -> failure_stage option

@@ -1,6 +1,7 @@
 module Target = Dhdl_device.Target
 module R = Dhdl_device.Resources
 module Obs = Dhdl_obs.Obs
+module Faults = Dhdl_util.Faults
 
 let log_src = Logs.Src.create "dhdl.estimator" ~doc:"DHDL estimator setup and queries"
 
@@ -81,6 +82,48 @@ let assemble dev raw (c : Nn_correction.corrections) =
     duplicated_brams = c.Nn_correction.duplicated_brams;
   }
 
+(* Graceful degradation: a correction network whose prediction comes back
+   negative (or a poisoned assembly) must not leak a nonsense area into a
+   75,000-point sweep. When the NN-corrected numbers fail validation the
+   point falls back to the raw analytical model (zero corrections) and the
+   [estimator.nn_fallback] counter records the downgrade. The
+   [estimator.nn_correction] fault site lets tests force the poisoned
+   path deterministically. *)
+let no_corrections =
+  {
+    Nn_correction.routing_luts = 0;
+    duplicated_regs = 0;
+    unavailable_luts = 0;
+    duplicated_brams = 0;
+  }
+
+let corrections_sane (c : Nn_correction.corrections) =
+  c.Nn_correction.routing_luts >= 0
+  && c.Nn_correction.duplicated_regs >= 0
+  && c.Nn_correction.unavailable_luts >= 0
+  && c.Nn_correction.duplicated_brams >= 0
+
+let area_sane a =
+  a.alms >= 0 && a.luts >= 0 && a.regs >= 0 && a.dsps >= 0 && a.brams >= 0
+
+let corrected_area t raw =
+  let corrections =
+    if Faults.fires "estimator.nn_correction" then
+      { no_corrections with Nn_correction.routing_luts = min_int }
+    else Nn_correction.correct t.nn raw
+  in
+  if corrections_sane corrections then
+    let area = assemble t.dev raw corrections in
+    if area_sane area then area
+    else begin
+      Obs.count "estimator.nn_fallback";
+      assemble t.dev raw no_corrections
+    end
+  else begin
+    Obs.count "estimator.nn_fallback";
+    assemble t.dev raw no_corrections
+  end
+
 (* The untraced path stays free of telemetry closures so a disabled sink
    adds nothing to the paper's headline ms-per-design metric; the traced
    path breaks the estimate into its three per-phase spans (area model, NN
@@ -88,15 +131,13 @@ let assemble dev raw (c : Nn_correction.corrections) =
 let estimate t design =
   if not (Obs.enabled ()) then
     let raw = Area_model.raw_estimate t.char t.dev design in
-    let corrections = Nn_correction.correct t.nn raw in
-    let area = assemble t.dev raw corrections in
+    let area = corrected_area t raw in
     let cycles = Cycle_model.estimate ~board:t.brd design in
     { area; cycles; seconds = cycles /. (t.brd.Target.fabric_mhz *. 1e6); raw }
   else
     Obs.span "estimate" ~attrs:[ ("design", design.Dhdl_ir.Ir.d_name) ] @@ fun () ->
     let raw = Obs.span "estimate.area_model" (fun () -> Area_model.raw_estimate t.char t.dev design) in
-    let corrections = Obs.span "estimate.nn_correction" (fun () -> Nn_correction.correct t.nn raw) in
-    let area = assemble t.dev raw corrections in
+    let area = Obs.span "estimate.nn_correction" (fun () -> corrected_area t raw) in
     let cycles = Obs.span "estimate.cycle_model" (fun () -> Cycle_model.estimate ~board:t.brd design) in
     Obs.count "estimator.estimates";
     { area; cycles; seconds = cycles /. (t.brd.Target.fabric_mhz *. 1e6); raw }
@@ -106,15 +147,7 @@ let estimate_cycles t design = Cycle_model.estimate ~board:t.brd design
 
 let estimate_area_uncorrected t design =
   let raw = Area_model.raw_estimate t.char t.dev design in
-  let none =
-    {
-      Nn_correction.routing_luts = 0;
-      duplicated_regs = 0;
-      unavailable_luts = 0;
-      duplicated_brams = 0;
-    }
-  in
-  assemble t.dev raw none
+  assemble t.dev raw no_corrections
 
 let fits t a = a.alms <= t.dev.Target.alms && a.dsps <= t.dev.Target.dsps && a.brams <= t.dev.Target.brams
 

@@ -40,6 +40,13 @@ val create :
 val of_parts : ?dev:Target.t -> ?board:Target.board -> Characterization.t -> Nn_correction.t -> t
 
 val estimate : t -> Dhdl_ir.Ir.design -> estimate
+(** Estimate one design point. Degrades gracefully: when the NN correction
+    yields an insane area (negative corrections or a negative assembled
+    count), the point falls back to the raw analytical model (zero
+    corrections) instead of poisoning the caller, and the
+    [estimator.nn_fallback] {!Dhdl_obs.Obs} counter is bumped. The
+    {!Dhdl_util.Faults} site [estimator.nn_correction] forces the poisoned
+    path for testing. *)
 
 val estimate_area : t -> Dhdl_ir.Ir.design -> area
 val estimate_cycles : t -> Dhdl_ir.Ir.design -> float

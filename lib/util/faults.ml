@@ -1,0 +1,71 @@
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected site -> Some ("injected fault at " ^ site)
+    | _ -> None)
+
+type state = {
+  seed : int;
+  default_p : float;
+  site_p : (string, float) Hashtbl.t;
+  calls : (string, int) Hashtbl.t;
+  mutable fired : int;
+}
+
+let state : state option ref = ref None
+
+let clamp01 p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p
+
+let configure ?(seed = 42) ~p () =
+  state :=
+    Some
+      {
+        seed;
+        default_p = clamp01 p;
+        site_p = Hashtbl.create 8;
+        calls = Hashtbl.create 8;
+        fired = 0;
+      }
+
+let set_site site p =
+  (match !state with None -> configure ~p:0.0 () | Some _ -> ());
+  match !state with
+  | None -> assert false
+  | Some s -> Hashtbl.replace s.site_p site (clamp01 p)
+
+let reset () = state := None
+let active () = !state <> None
+let injected_total () = match !state with None -> 0 | Some s -> s.fired
+
+(* splitmix64 finalizer over a structural hash of (seed, site, key): cheap,
+   stateless, and well-distributed enough for probability thresholds. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let uniform ~seed ~site ~key =
+  let h = Int64.of_int (Hashtbl.hash (seed, site, key)) in
+  let m = mix64 (Int64.add h 0x9e3779b97f4a7c15L) in
+  Int64.to_float (Int64.shift_right_logical m 11) /. 9007199254740992.0 (* / 2^53 *)
+
+let fires ?key site =
+  match !state with
+  | None -> false
+  | Some s ->
+    let p = match Hashtbl.find_opt s.site_p site with Some p -> p | None -> s.default_p in
+    let key =
+      match key with
+      | Some k -> k
+      | None ->
+        let n = match Hashtbl.find_opt s.calls site with Some n -> n | None -> 0 in
+        Hashtbl.replace s.calls site (n + 1);
+        n
+    in
+    let hit = p > 0.0 && uniform ~seed:s.seed ~site ~key < p in
+    if hit then s.fired <- s.fired + 1;
+    hit
+
+let inject ?key site = if fires ?key site then raise (Injected site)

@@ -1,0 +1,46 @@
+(** Deterministic fault injection for robustness testing.
+
+    A process-global registry of named fault sites. Injection is off by
+    default and costs one flag check per probe; tests and the
+    [dhdl dse --inject-faults P] dev flag turn it on with a seed and a
+    default per-site firing probability, optionally overridden per site.
+
+    Decisions are a pure function of [(seed, site, key)], where [key] is
+    either supplied by the caller (e.g. the DSE point index, so a resumed
+    sweep sees the same faults as an uninterrupted one) or a per-site call
+    counter. Two runs with the same configuration and the same keys observe
+    the same faults — which is what makes checkpoint/resume and golden-file
+    tests of the failure paths possible. *)
+
+exception Injected of string
+(** Raised by {!inject} when the site fires; the payload is the site name.
+    A [Printexc] printer is registered, so [Printexc.to_string] renders it
+    as ["injected fault at <site>"]. *)
+
+val configure : ?seed:int -> p:float -> unit -> unit
+(** Enable injection: every site fires with probability [p] (clamped to
+    [\[0, 1\]]) unless overridden by {!set_site}. [seed] defaults to 42.
+    Replaces any previous configuration and clears call counters. *)
+
+val set_site : string -> float -> unit
+(** Override the firing probability of one site. Implicitly configures
+    with [p = 0] (and the default seed) when injection was off, so
+    [set_site "dse.generator" 1.0] alone targets exactly one site. *)
+
+val reset : unit -> unit
+(** Disable injection and drop all per-site state. *)
+
+val active : unit -> bool
+
+val fires : ?key:int -> string -> bool
+(** Decide (deterministically) whether the site fires this time. Without
+    [key], an internal per-site call counter is used, so successive calls
+    walk a fixed pseudo-random sequence. Always [false] when inactive. *)
+
+val inject : ?key:int -> string -> unit
+(** [inject site] raises {!Injected} when [fires site] — the one-liner to
+    drop at the top of a guarded stage. No-op when inactive. *)
+
+val injected_total : unit -> int
+(** Faults fired (via {!fires} or {!inject}) since the last
+    {!configure}/{!reset}. *)

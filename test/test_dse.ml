@@ -82,11 +82,43 @@ let result = lazy (run_explore ())
 
 let test_explore_counts () =
   let r = Lazy.force result in
-  check_int "one evaluation per surviving point" r.Explore.sampled
-    (List.length r.Explore.evaluations + r.Explore.lint_pruned);
+  check_int "one outcome per sampled point" r.Explore.sampled
+    (List.length r.Explore.evaluations + r.Explore.lint_pruned + Explore.failed_count r);
+  check_int "clean sweep has no failures" 0 (Explore.failed_count r);
+  check_int "processed everything" r.Explore.sampled r.Explore.processed;
+  check_bool "not truncated" false r.Explore.truncated;
+  check_int "nothing resumed" 0 r.Explore.resumed;
   check_bool "sampled something" true (r.Explore.sampled > 20);
   check_bool "timing recorded" true (r.Explore.elapsed_seconds > 0.0);
   check_bool "per-design seconds" true (Explore.seconds_per_design r > 0.0)
+
+(* Satellite: failed points must not count as "estimated" — neither in the
+   Table IV ms/design denominator nor in the unfit count. *)
+let test_metrics_exclude_failed_points () =
+  Fun.protect ~finally:Dhdl_util.Faults.reset @@ fun () ->
+  Dhdl_util.Faults.configure ~seed:9 ~p:0.0 ();
+  Dhdl_util.Faults.set_site "dse.generator" 0.3;
+  let r = run_explore () in
+  check_bool "some failures" true (Explore.failed_count r > 0);
+  check_bool "some evaluations" true (r.Explore.evaluations <> []);
+  let estimated = List.length r.Explore.evaluations in
+  check_bool "denominator is successful estimates only" true
+    (abs_float
+       (Explore.seconds_per_design r -. (r.Explore.elapsed_seconds /. float_of_int estimated))
+    < 1e-12);
+  check_bool "unfit counts only evaluated points" true (Explore.unfit_count r <= estimated);
+  check_int "accounting"
+    r.Explore.sampled
+    (estimated + r.Explore.lint_pruned + Explore.failed_count r)
+
+let test_metrics_all_points_failed () =
+  Fun.protect ~finally:Dhdl_util.Faults.reset @@ fun () ->
+  Dhdl_util.Faults.set_site "dse.generator" 1.0;
+  let r = run_explore () in
+  check_int "no evaluations" 0 (List.length r.Explore.evaluations);
+  check_int "no unfit points without estimates" 0 (Explore.unfit_count r);
+  Alcotest.(check (float 0.0)) "ms/design undefined, reported as 0" 0.0
+    (Explore.seconds_per_design r)
 
 let test_explore_pareto_valid () =
   let r = Lazy.force result in
@@ -161,6 +193,9 @@ let () =
       ( "explore",
         [
           Alcotest.test_case "counts" `Quick test_explore_counts;
+          Alcotest.test_case "failed points excluded from metrics" `Quick
+            test_metrics_exclude_failed_points;
+          Alcotest.test_case "all points failed" `Quick test_metrics_all_points_failed;
           Alcotest.test_case "pareto valid" `Quick test_explore_pareto_valid;
           Alcotest.test_case "pareto nondominated" `Quick test_explore_pareto_nondominated;
           Alcotest.test_case "best is fastest" `Quick test_explore_best;

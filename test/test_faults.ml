@@ -1,0 +1,328 @@
+(* Fault-injection suite: the deterministic Faults registry itself, the
+   per-stage exception barriers in Explore.run, estimator NN-correction
+   degradation, checkpoint golden files, and crash/resume equivalence.
+   Runs under both `dune runtest` and the focused `dune build @faults`
+   pre-merge alias. *)
+
+module Faults = Dhdl_util.Faults
+module Space = Dhdl_dse.Space
+module Explore = Dhdl_dse.Explore
+module Outcome = Dhdl_dse.Outcome
+module Checkpoint = Dhdl_dse.Checkpoint
+module Estimator = Dhdl_model.Estimator
+module Obs = Dhdl_obs.Obs
+module App = Dhdl_apps.App
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let estimator = lazy (Estimator.create ~seed:7 ~train_samples:60 ~epochs:100 ())
+
+(* Every test that configures faults runs under this wrapper so a failing
+   assertion cannot leak an active fault registry into later tests. *)
+let with_faults f = Fun.protect ~finally:Faults.reset f
+
+let run_sweep ?checkpoint ?checkpoint_every ?resume ?deadline_seconds ?(seed = 11)
+    ?(max_points = 80) est =
+  let app = Dhdl_apps.Registry.find "dotproduct" in
+  let sizes = [ ("n", 65_536) ] in
+  Explore.run ~seed ~max_points ?checkpoint ?checkpoint_every ?resume ?deadline_seconds est
+    ~space:(app.App.space sizes)
+    ~generate:(fun p -> app.App.generate ~sizes ~params:p)
+    ()
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("dhdl_test_" ^ name)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ----------------------- the Faults registry ------------------------- *)
+
+let test_off_by_default () =
+  Faults.reset ();
+  check_bool "inactive" false (Faults.active ());
+  check_bool "never fires" false
+    (List.exists (fun k -> Faults.fires ~key:k "anything") (List.init 100 Fun.id))
+
+let test_deterministic () =
+  with_faults @@ fun () ->
+  let decisions () = List.map (fun k -> Faults.fires ~key:k "site") (List.init 200 Fun.id) in
+  Faults.configure ~seed:1 ~p:0.5 ();
+  let a = decisions () in
+  Faults.configure ~seed:1 ~p:0.5 ();
+  check_bool "same seed, same decisions" true (a = decisions ());
+  Faults.configure ~seed:2 ~p:0.5 ();
+  check_bool "different seed differs" true (a <> decisions ());
+  check_bool "roughly half fire" true
+    (let hits = List.length (List.filter Fun.id a) in
+     hits > 50 && hits < 150)
+
+let test_keyless_counter_sequence () =
+  with_faults @@ fun () ->
+  Faults.configure ~seed:3 ~p:0.5 ();
+  let a = List.init 100 (fun _ -> Faults.fires "walk") in
+  Faults.configure ~seed:3 ~p:0.5 ();
+  let b = List.init 100 (fun _ -> Faults.fires "walk") in
+  check_bool "counter-keyed walk is reproducible" true (a = b)
+
+let test_per_site_override () =
+  with_faults @@ fun () ->
+  Faults.set_site "always" 1.0;
+  check_bool "implicit configure" true (Faults.active ());
+  check_bool "p=1 always fires" true
+    (List.for_all (fun k -> Faults.fires ~key:k "always") (List.init 50 Fun.id));
+  check_bool "other sites stay at default p=0" false
+    (List.exists (fun k -> Faults.fires ~key:k "other") (List.init 50 Fun.id));
+  check_bool "fired total counted" true (Faults.injected_total () >= 50)
+
+let test_inject_raises () =
+  with_faults @@ fun () ->
+  Faults.set_site "boom" 1.0;
+  (match Faults.inject ~key:0 "boom" with
+  | () -> Alcotest.fail "expected Injected"
+  | exception Faults.Injected site -> Alcotest.(check string) "site payload" "boom" site);
+  check_bool "printer registered" true
+    (contains (Printexc.to_string (Faults.Injected "x")) "injected fault at x")
+
+(* ----------------------- per-stage barriers -------------------------- *)
+
+let all_failures_in_stage r stage =
+  r.Explore.failures <> []
+  && List.for_all (fun f -> f.Explore.f_stage = stage) r.Explore.failures
+
+let barrier_test site stage () =
+  let est = Lazy.force estimator in
+  with_faults @@ fun () ->
+  Faults.set_site site 1.0;
+  let r = run_sweep est in
+  check_bool "sweep completed" true (r.Explore.processed = r.Explore.sampled);
+  check_int "every point failed" r.Explore.sampled (Explore.failed_count r);
+  check_bool "classified" true (all_failures_in_stage r stage);
+  check_int "no evaluations survive" 0 (List.length r.Explore.evaluations);
+  check_bool "pareto empty" true (r.Explore.pareto = [])
+
+let test_generator_barrier = barrier_test "dse.generator" Explore.Generator_error
+let test_lint_barrier = barrier_test "dse.lint" Explore.Lint_error
+let test_estimator_barrier = barrier_test "dse.estimator" Explore.Estimator_error
+
+let test_non_finite_barrier () =
+  let est = Lazy.force estimator in
+  with_faults @@ fun () ->
+  Faults.set_site "dse.non_finite" 1.0;
+  let r = run_sweep est in
+  check_bool "classified non-finite" true (all_failures_in_stage r Explore.Non_finite_estimate);
+  List.iter
+    (fun f -> check_bool "detail in message" true (contains f.Explore.f_message "not finite"))
+    r.Explore.failures
+
+let test_failed_counters_registered () =
+  let est = Lazy.force estimator in
+  with_faults @@ fun () ->
+  Faults.set_site "dse.generator" 1.0;
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  let r = run_sweep est in
+  check_int "generator failures counted" r.Explore.sampled
+    (Obs.counter_value "dse.failed.generator");
+  (* The other stages never fired but are pre-registered at zero, as is
+     dse.unfit — the satellite fix for clean sweeps. *)
+  let snap = Obs.snapshot () in
+  List.iter
+    (fun name ->
+      check_bool (name ^ " registered") true
+        (List.mem_assoc name snap.Obs.snap_counters))
+    [ "dse.failed.lint"; "dse.failed.estimator"; "dse.failed.non_finite"; "dse.unfit";
+      "dse.points_sampled"; "dse.lint_pruned"; "dse.estimated" ]
+
+(* --------------------- acceptance: 5% mixed faults ------------------- *)
+
+let mixed_faults () =
+  Faults.configure ~seed:5 ~p:0.0 ();
+  List.iter (fun s -> Faults.set_site s 0.05) [ "dse.generator"; "dse.lint"; "dse.estimator" ]
+
+let test_mixed_faults_sweep_completes () =
+  let est = Lazy.force estimator in
+  with_faults @@ fun () ->
+  mixed_faults ();
+  let r = run_sweep est in
+  check_bool "sweep completed" true ((not r.Explore.truncated) && r.Explore.processed = r.Explore.sampled);
+  check_bool "some faults fired" true (Explore.failed_count r > 0);
+  check_bool "some points survived" true (r.Explore.evaluations <> []);
+  check_int "every point accounted for" r.Explore.sampled
+    (List.length r.Explore.evaluations + r.Explore.lint_pruned + Explore.failed_count r);
+  (* Every failure is classified and the buckets sum to the total. *)
+  check_int "buckets sum" (Explore.failed_count r)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 (Explore.failure_counts r))
+
+(* ------------------- checkpoint golden + resume ---------------------- *)
+
+let test_checkpoint_roundtrip_and_golden () =
+  let est = Lazy.force estimator in
+  let path = tmp "roundtrip.jsonl" in
+  with_faults @@ fun () ->
+  mixed_faults ();
+  let r = run_sweep ~checkpoint:path est in
+  let golden = read_file path in
+  (match Checkpoint.load ~path with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+    check_int "entry per processed point" r.Explore.processed (List.length c.Checkpoint.entries);
+    check_int "total recorded" r.Explore.sampled c.Checkpoint.total;
+    Alcotest.(check (list string)) "params recorded" r.Explore.param_names c.Checkpoint.params;
+    Alcotest.(check string) "render is the golden file" golden (Checkpoint.render c));
+  (* A second identical sweep checkpoints byte-identically. *)
+  mixed_faults ();
+  let path2 = tmp "roundtrip2.jsonl" in
+  ignore (run_sweep ~checkpoint:path2 est);
+  Alcotest.(check string) "re-run matches golden bytes" golden (read_file path2);
+  Sys.remove path;
+  Sys.remove path2
+
+let test_resume_bit_identical_after_kill () =
+  let est = Lazy.force estimator in
+  let full_path = tmp "full.jsonl" in
+  let kill_path = tmp "killed.jsonl" in
+  with_faults @@ fun () ->
+  (* Uninterrupted reference sweep, faults active at 5% in all stages. *)
+  mixed_faults ();
+  let reference = run_sweep ~checkpoint:full_path est in
+  (* Simulate a mid-sweep kill: keep only the first 30 checkpoint entries,
+     exactly what an interrupted run's last atomic write would hold. *)
+  (match Checkpoint.load ~path:full_path with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+    Checkpoint.save ~path:kill_path
+      { c with Checkpoint.entries = List.filteri (fun i _ -> i < 30) c.Checkpoint.entries });
+  (* Resume with an identically configured fault registry. *)
+  mixed_faults ();
+  let resumed = run_sweep ~checkpoint:kill_path ~resume:true est in
+  check_int "30 points reused" 30 resumed.Explore.resumed;
+  check_bool "evaluations bit-identical" true
+    (resumed.Explore.evaluations = reference.Explore.evaluations);
+  check_bool "failures identical" true (resumed.Explore.failures = reference.Explore.failures);
+  check_int "lint_pruned identical" reference.Explore.lint_pruned resumed.Explore.lint_pruned;
+  check_bool "pareto identical" true (resumed.Explore.pareto = reference.Explore.pareto);
+  (* The resumed run's final checkpoint matches the uninterrupted golden. *)
+  Alcotest.(check string) "checkpoint converges to golden" (read_file full_path)
+    (read_file kill_path);
+  Sys.remove full_path;
+  Sys.remove kill_path
+
+let test_resume_rejects_mismatched_checkpoint () =
+  let est = Lazy.force estimator in
+  let path = tmp "mismatch.jsonl" in
+  let r = run_sweep ~checkpoint:path est in
+  check_bool "wrote checkpoint" true (r.Explore.processed > 0);
+  (match run_sweep ~seed:12 ~checkpoint:path ~resume:true est with
+  | _ -> Alcotest.fail "expected resume to reject a different sweep's checkpoint"
+  | exception Failure msg -> check_bool "mentions mismatch" true (contains msg "cannot resume"));
+  Sys.remove path
+
+let test_resume_rejects_corrupt_checkpoint () =
+  let path = tmp "corrupt.jsonl" in
+  let oc = open_out path in
+  output_string oc "this is not a checkpoint\n";
+  close_out oc;
+  (match Checkpoint.load ~path with
+  | Ok _ -> Alcotest.fail "expected load to fail"
+  | Error msg -> check_bool "mentions corruption" true (contains msg "corrupt"));
+  let est = Lazy.force estimator in
+  (match run_sweep ~checkpoint:path ~resume:true est with
+  | _ -> Alcotest.fail "expected resume to fail on a corrupt checkpoint"
+  | exception Failure _ -> ());
+  Sys.remove path
+
+let test_deadline_truncates_then_resume_completes () =
+  let est = Lazy.force estimator in
+  let path = tmp "deadline.jsonl" in
+  let reference = run_sweep est in
+  let partial = run_sweep ~checkpoint:path ~deadline_seconds:0.0 est in
+  check_bool "flagged truncated" true partial.Explore.truncated;
+  check_bool "stopped early" true (partial.Explore.processed < partial.Explore.sampled);
+  check_bool "partial result still consistent" true
+    (List.length partial.Explore.evaluations + partial.Explore.lint_pruned
+     + Explore.failed_count partial
+    = partial.Explore.processed);
+  let finished = run_sweep ~checkpoint:path ~resume:true est in
+  check_bool "finished after resume" true
+    ((not finished.Explore.truncated) && finished.Explore.processed = finished.Explore.sampled);
+  check_int "reused the truncated prefix" partial.Explore.processed finished.Explore.resumed;
+  check_bool "same evaluations as uninterrupted" true
+    (finished.Explore.evaluations = reference.Explore.evaluations);
+  Sys.remove path
+
+(* -------------------- estimator degradation -------------------------- *)
+
+let test_nn_fallback () =
+  let est = Lazy.force estimator in
+  let app = Dhdl_apps.Registry.find "dotproduct" in
+  let sizes = [ ("n", 65_536) ] in
+  let design = app.App.generate ~sizes ~params:(app.App.default_params sizes) in
+  let clean = Estimator.estimate est design in
+  let uncorrected = Estimator.estimate_area_uncorrected est design in
+  with_faults @@ fun () ->
+  Faults.set_site "estimator.nn_correction" 1.0;
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  let degraded = Estimator.estimate est design in
+  check_bool "falls back to the raw analytical model" true
+    (degraded.Estimator.area = uncorrected);
+  check_bool "cycles unaffected by the fallback" true
+    (degraded.Estimator.cycles = clean.Estimator.cycles);
+  check_bool "fallback counted" true (Obs.counter_value "estimator.nn_fallback" >= 1);
+  (* The degraded estimate is still finite and usable by the sweep. *)
+  check_bool "finite" true
+    (Float.is_finite degraded.Estimator.cycles && degraded.Estimator.area.Estimator.alms >= 0)
+
+let test_nn_fallback_in_sweep () =
+  let est = Lazy.force estimator in
+  with_faults @@ fun () ->
+  Faults.set_site "estimator.nn_correction" 1.0;
+  let r = run_sweep est in
+  (* Degradation, not failure: every point still evaluates. *)
+  check_int "no failures" 0 (Explore.failed_count r);
+  check_int "all points evaluated" (r.Explore.sampled - r.Explore.lint_pruned)
+    (List.length r.Explore.evaluations)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "off by default" `Quick test_off_by_default;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "keyless counter walk" `Quick test_keyless_counter_sequence;
+          Alcotest.test_case "per-site override" `Quick test_per_site_override;
+          Alcotest.test_case "inject raises" `Quick test_inject_raises;
+        ] );
+      ( "barriers",
+        [
+          Alcotest.test_case "generator" `Quick test_generator_barrier;
+          Alcotest.test_case "lint" `Quick test_lint_barrier;
+          Alcotest.test_case "estimator" `Quick test_estimator_barrier;
+          Alcotest.test_case "non-finite estimate" `Quick test_non_finite_barrier;
+          Alcotest.test_case "failed counters" `Quick test_failed_counters_registered;
+          Alcotest.test_case "5% mixed faults" `Quick test_mixed_faults_sweep_completes;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip + golden" `Quick test_checkpoint_roundtrip_and_golden;
+          Alcotest.test_case "resume bit-identical" `Quick test_resume_bit_identical_after_kill;
+          Alcotest.test_case "mismatch rejected" `Quick test_resume_rejects_mismatched_checkpoint;
+          Alcotest.test_case "corrupt rejected" `Quick test_resume_rejects_corrupt_checkpoint;
+          Alcotest.test_case "deadline + resume" `Quick test_deadline_truncates_then_resume_completes;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "nn fallback" `Quick test_nn_fallback;
+          Alcotest.test_case "nn fallback in sweep" `Quick test_nn_fallback_in_sweep;
+        ] );
+    ]
