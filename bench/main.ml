@@ -102,44 +102,73 @@ let run_ablations ~quick () =
 (* DSE throughput: the start of the perf trajectory                    *)
 (* ------------------------------------------------------------------ *)
 
-(* Runs a telemetry-instrumented GDA sweep and writes BENCH_dse.json with
-   points/sec and the ms-per-design p50/p95 straight from the
-   [dse.ms_per_design] histogram, so successive PRs can track estimator
-   and DSE throughput from CI artifacts. *)
+(* Runs telemetry-instrumented GDA sweeps at jobs = 1, 2, 4 and writes
+   BENCH_dse.json: top-level fields are the sequential run's (keeping the
+   file comparable with historical entries), plus a per-jobs array with
+   wall-clock points/sec and the jobs-invariant CPU ms/design, so
+   successive PRs can track estimator throughput and parallel scaling
+   from CI artifacts. *)
 let run_dseperf ~quick () =
-  banner "DSE throughput (telemetry-derived): points/sec and ms/design percentiles";
+  banner "DSE throughput (telemetry-derived): points/sec per jobs level, ms/design percentiles";
   let est = the_estimator ~quick () in
   let app = Dhdl_apps.Registry.find "gda" in
   let sizes = app.App.paper_sizes in
   let points = if quick then 200 else 1_000 in
-  Obs.enable ();
-  let r =
-    Explore.run ~seed ~max_points:points est ~space:(app.App.space sizes)
-      ~generate:(fun p -> app.App.generate ~sizes ~params:p)
-      ()
+  let sweep jobs =
+    Obs.enable ();
+    let cfg =
+      Explore.Config.(
+        default |> with_seed seed |> with_max_points points |> with_jobs jobs)
+    in
+    let r =
+      Explore.run cfg est ~space:(app.App.space sizes)
+        ~generate:(fun p -> app.App.generate ~sizes ~params:p)
+    in
+    let snap = Obs.snapshot () in
+    Obs.disable ();
+    (r, snap)
   in
-  let snap = Obs.snapshot () in
-  Obs.disable ();
-  let ms = try List.assoc "dse.ms_per_design" snap.Obs.snap_hists with Not_found -> [||] in
-  let estimated = r.Explore.sampled - r.Explore.lint_pruned in
-  let points_per_sec =
+  let runs = List.map (fun jobs -> sweep jobs) [ 1; 2; 4 ] in
+  let r1, snap1 = List.hd runs in
+  let ms = try List.assoc "dse.ms_per_design" snap1.Obs.snap_hists with Not_found -> [||] in
+  let estimated = r1.Explore.sampled - r1.Explore.lint_pruned in
+  let pps (r : Explore.result) =
     if r.Explore.elapsed_seconds > 0.0 then
       float_of_int r.Explore.sampled /. r.Explore.elapsed_seconds
     else 0.0
   in
   let p50 = Obs.percentile ms 50.0 and p95 = Obs.percentile ms 95.0 in
+  let per_jobs =
+    String.concat ","
+      (List.map
+         (fun ((r : Explore.result), _) ->
+           Printf.sprintf
+             "{\"jobs\":%d,\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"wall_ms_per_design\":%.4f,\"cpu_ms_per_design\":%.4f}"
+             r.Explore.jobs r.Explore.elapsed_seconds (pps r)
+             (Explore.seconds_per_design r *. 1000.0)
+             (Explore.cpu_seconds_per_design r *. 1000.0))
+         runs)
+  in
   let json =
     Printf.sprintf
-      "{\"app\":\"gda\",\"points\":%d,\"estimated\":%d,\"lint_pruned\":%d,\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"ms_per_design_p50\":%.4f,\"ms_per_design_p95\":%.4f}\n"
-      r.Explore.sampled estimated r.Explore.lint_pruned r.Explore.elapsed_seconds points_per_sec
-      p50 p95
+      "{\"app\":\"gda\",\"points\":%d,\"estimated\":%d,\"lint_pruned\":%d,\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"ms_per_design_p50\":%.4f,\"ms_per_design_p95\":%.4f,\"jobs_sweep\":[%s]}\n"
+      r1.Explore.sampled estimated r1.Explore.lint_pruned r1.Explore.elapsed_seconds (pps r1)
+      p50 p95 per_jobs
   in
   let oc = open_out "BENCH_dse.json" in
   output_string oc json;
   close_out oc;
-  Printf.printf "%d points (%d estimated, %d lint-pruned) in %.2f s: %.0f points/sec\n"
-    r.Explore.sampled estimated r.Explore.lint_pruned r.Explore.elapsed_seconds points_per_sec;
-  Printf.printf "ms per design: p50 %.4f, p95 %.4f\n" p50 p95;
+  Printf.printf "%d points (%d estimated, %d lint-pruned) in %.2f s sequential: %.0f points/sec\n"
+    r1.Explore.sampled estimated r1.Explore.lint_pruned r1.Explore.elapsed_seconds (pps r1);
+  List.iter
+    (fun ((r : Explore.result), _) ->
+      Printf.printf
+        "  jobs=%d: %.2f s wall, %.0f points/sec, %.4f ms/design wall, %.4f ms/design CPU\n"
+        r.Explore.jobs r.Explore.elapsed_seconds (pps r)
+        (Explore.seconds_per_design r *. 1000.0)
+        (Explore.cpu_seconds_per_design r *. 1000.0))
+    runs;
+  Printf.printf "ms per design (sequential): p50 %.4f, p95 %.4f\n" p50 p95;
   Printf.printf "written to BENCH_dse.json\n"
 
 (* ------------------------------------------------------------------ *)

@@ -215,6 +215,16 @@ let deadline_arg =
           "Stop the sweep gracefully after SECONDS, reporting the partial result as truncated \
            (resumable via $(b,--checkpoint)).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run the sweep on N worker domains (default 1 = sequential). Results, Pareto \
+           frontier, and checkpoint files are bit-identical at every jobs level, so \
+           $(b,--resume) works across jobs settings and $(b,--deadline) still yields a \
+           resumable truncated result; only wall-clock time changes.")
+
 let inject_faults_arg =
   Arg.(
     value
@@ -228,10 +238,13 @@ let faults_seed_arg =
   Arg.(value & opt int 42 & info [ "faults-seed" ] ~doc:"(dev) Seed for $(b,--inject-faults).")
 
 let dse_cmd =
-  let run app seed train points cache trace jsonl metrics checkpoint resume deadline inject
+  let run app seed train points cache trace jsonl metrics jobs checkpoint resume deadline inject
       faults_seed =
     with_obs ~trace ~jsonl ~metrics @@ fun () ->
-    if resume && checkpoint = None then failwith "--resume requires --checkpoint FILE";
+    let cfg =
+      Explore.Config.make ~seed ~max_points:points ~jobs ?checkpoint ~resume
+        ?deadline_seconds:deadline ()
+    in
     Option.iter
       (fun p ->
         Dhdl_util.Faults.configure ~seed:faults_seed ~p ();
@@ -240,16 +253,23 @@ let dse_cmd =
     let est = make_estimator ?cache ~seed ~train_samples:train () in
     let a = lookup_app app in
     let result =
-      Explore.run ~seed ~max_points:points ?checkpoint ~resume ?deadline_seconds:deadline est
+      Explore.run cfg est
         ~space:(a.App.space a.App.paper_sizes)
         ~generate:(fun p -> a.App.generate ~sizes:a.App.paper_sizes ~params:p)
-        ()
     in
     print_string
       (Experiments.render_fig5 [ { Experiments.app_name = a.App.name; result } ]);
-    Printf.printf "\n%.2f ms per design point (%d points in %.2f s)\n"
-      (Explore.seconds_per_design result *. 1000.0)
-      result.Explore.sampled result.Explore.elapsed_seconds;
+    if result.Explore.jobs > 1 then
+      Printf.printf
+        "\n%.2f ms per design point wall-clock on %d domains (%.2f ms CPU; %d points in %.2f s)\n"
+        (Explore.seconds_per_design result *. 1000.0)
+        result.Explore.jobs
+        (Explore.cpu_seconds_per_design result *. 1000.0)
+        result.Explore.sampled result.Explore.elapsed_seconds
+    else
+      Printf.printf "\n%.2f ms per design point (%d points in %.2f s)\n"
+        (Explore.seconds_per_design result *. 1000.0)
+        result.Explore.sampled result.Explore.elapsed_seconds;
     Printf.printf "pruned by lint errors: %d point(s); estimated but over device capacity: %d point(s)\n"
       result.Explore.lint_pruned (Explore.unfit_count result);
     if result.Explore.resumed > 0 then
@@ -277,7 +297,7 @@ let dse_cmd =
     (Cmd.info "dse" ~doc:"Explore a benchmark's design space and print the Pareto frontier.")
     Term.(
       const run $ app_arg $ seed_arg $ train_arg $ points_arg $ cache_arg $ trace_arg $ jsonl_arg
-      $ metrics_arg $ checkpoint_arg $ resume_arg $ deadline_arg $ inject_faults_arg
+      $ metrics_arg $ jobs_arg $ checkpoint_arg $ resume_arg $ deadline_arg $ inject_faults_arg
       $ faults_seed_arg)
 
 let codegen_cmd =
@@ -494,10 +514,11 @@ let metrics_cmd =
     let e = Estimator.estimate est design in
     ignore (Dhdl_sim.Perf_sim.simulate design);
     let result =
-      Explore.run ~seed ~max_points:points est
+      Explore.run
+        Explore.Config.(default |> with_seed seed |> with_max_points points)
+        est
         ~space:(a.App.space a.App.paper_sizes)
         ~generate:(fun p -> a.App.generate ~sizes:a.App.paper_sizes ~params:p)
-        ()
     in
     Printf.printf "instrumented run of %s: %s cycles at default point, %d DSE point(s) explored\n"
       a.App.name

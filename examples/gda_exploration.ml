@@ -22,9 +22,10 @@ let () =
   let est = Estimator.create ~train_samples:160 ~epochs:300 () in
 
   let result =
-    Explore.run ~seed:2016 ~max_points:1500 est ~space
+    Explore.run
+      Explore.Config.(default |> with_seed 2016 |> with_max_points 1500)
+      est ~space
       ~generate:(fun p -> app.App.generate ~sizes ~params:p)
-      ()
   in
   Printf.printf "explored %d legal points in %.2f s (%.2f ms per design)\n\n"
     result.Explore.sampled result.Explore.elapsed_seconds

@@ -12,12 +12,17 @@ module Asciiplot = Dhdl_util.Asciiplot
 module Rng = Dhdl_util.Rng
 module Obs = Dhdl_obs.Obs
 
-let explore_app ?(seed = 2016) ~max_points est (app : App.t) =
+let explore_app ?(seed = 2016) ?(jobs = 1) ~max_points est (app : App.t) =
   Obs.span "experiment.explore" ~attrs:[ ("app", app.App.name) ] @@ fun () ->
   let sizes = app.App.paper_sizes in
-  Explore.run ~seed ~max_points est ~space:(app.App.space sizes)
+  let cfg =
+    Explore.Config.default
+    |> Explore.Config.with_seed seed
+    |> Explore.Config.with_max_points max_points
+    |> Explore.Config.with_jobs jobs
+  in
+  Explore.run cfg est ~space:(app.App.space sizes)
     ~generate:(fun point -> app.App.generate ~sizes ~params:point)
-    ()
 
 (* Pick up to [k] evaluations spread evenly along a Pareto frontier. *)
 let spread k items =

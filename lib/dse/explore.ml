@@ -38,8 +38,92 @@ type result = {
   lint_pruned : int;
   resumed : int;
   truncated : bool;
+  jobs : int;
   elapsed_seconds : float;
+  cpu_seconds : float;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Sweep configuration.  One record replaces the labelled-optional
+   argument soup the old [run] signature had accreted: every knob has a
+   validated default, call sites spell out only what they change, and new
+   knobs (like [jobs]) stop rippling through every caller's signature. *)
+
+module Config = struct
+  type t = {
+    seed : int;
+    max_points : int;
+    lint : bool;
+    jobs : int;
+    span_every : int;
+    tick_every : int;
+    checkpoint : string option;
+    checkpoint_every : int;
+    resume : bool;
+    deadline_seconds : float option;
+  }
+
+  (* OCaml's runtime caps live domains well above this, but a sweep gains
+     nothing past the core count; reject absurd values early with the same
+     [Failure]-based message style the CLI's error handler renders. *)
+  let max_jobs = 64
+
+  let validate t =
+    if t.jobs < 1 then failwith (Printf.sprintf "jobs must be >= 1 (got %d)" t.jobs);
+    if t.jobs > max_jobs then
+      failwith (Printf.sprintf "jobs must be <= %d (got %d)" max_jobs t.jobs);
+    if t.max_points < 0 then
+      failwith (Printf.sprintf "max_points must be >= 0 (got %d)" t.max_points);
+    if t.checkpoint_every < 0 then
+      failwith (Printf.sprintf "checkpoint_every must be >= 0 (got %d)" t.checkpoint_every);
+    (match t.deadline_seconds with
+    | Some d when not (Float.is_finite d && d >= 0.0) ->
+      failwith (Printf.sprintf "deadline must be a finite number of seconds >= 0 (got %g)" d)
+    | _ -> ());
+    t
+
+  (* Cross-field check, applied when the config is consumed (not in every
+     [with_*] builder, so builder order never matters). *)
+  let validate_run t =
+    if t.resume && t.checkpoint = None then failwith "--resume requires --checkpoint FILE";
+    validate t
+
+  let default =
+    {
+      seed = 2016;
+      max_points = 75_000;
+      lint = true;
+      jobs = 1;
+      span_every = 100;
+      tick_every = 1000;
+      checkpoint = None;
+      checkpoint_every = 500;
+      resume = false;
+      deadline_seconds = None;
+    }
+
+  let make ?(seed = default.seed) ?(max_points = default.max_points) ?(lint = default.lint)
+      ?(jobs = default.jobs) ?(span_every = default.span_every)
+      ?(tick_every = default.tick_every) ?checkpoint
+      ?(checkpoint_every = default.checkpoint_every) ?(resume = default.resume)
+      ?deadline_seconds () =
+    validate_run
+      { seed; max_points; lint; jobs; span_every; tick_every; checkpoint; checkpoint_every;
+        resume; deadline_seconds }
+
+  let with_seed seed t = validate { t with seed }
+  let with_max_points max_points t = validate { t with max_points }
+  let with_lint lint t = validate { t with lint }
+  let with_jobs jobs t = validate { t with jobs }
+  let with_span_every span_every t = validate { t with span_every }
+  let with_tick_every tick_every t = validate { t with tick_every }
+
+  let with_checkpoint ?(every = default.checkpoint_every) path t =
+    validate { t with checkpoint = Some path; checkpoint_every = every }
+
+  let with_resume resume t = validate { t with resume }
+  let with_deadline deadline t = validate { t with deadline_seconds = Some deadline }
+end
 
 let evaluate est point design =
   let e = Estimator.estimate est design in
@@ -129,10 +213,44 @@ let load_resume ~path ~space ~seed ~max_points ~total ~param_names =
         tbl
       end
 
-let run ?(seed = 2016) ?(max_points = 75_000) ?(lint = true) ?(span_every = 100)
-    ?(tick_every = 1000) ?checkpoint ?(checkpoint_every = 500) ?(resume = false)
-    ?deadline_seconds est ~space ~generate () =
-  Obs.span "dse.run" ~attrs:[ ("space", Space.name space) ] @@ fun () ->
+(* One worker-to-collector message: the point's outcome, whether it was
+   reused from the resume table, and the CPU seconds its pipeline took. *)
+type msg = Entry of int * (Outcome.entry * bool * float) | Worker_done
+
+(* Minimal mutex/condition channel between worker domains and the
+   collector. Unbounded: the collector's per-message work (a cons and an
+   occasional checkpoint) is far cheaper than a point's pipeline, so the
+   queue stays shallow. *)
+module Chan = struct
+  type 'a t = { m : Mutex.t; nonempty : Condition.t; q : 'a Queue.t }
+
+  let create () = { m = Mutex.create (); nonempty = Condition.create (); q = Queue.create () }
+
+  let push t x =
+    Mutex.lock t.m;
+    Queue.push x t.q;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.m
+
+  let pop t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q do
+      Condition.wait t.nonempty t.m
+    done;
+    let x = Queue.pop t.q in
+    Mutex.unlock t.m;
+    x
+end
+
+let run (cfg : Config.t) est ~space ~generate =
+  let cfg = Config.validate_run cfg in
+  let { Config.seed; max_points; lint; jobs; span_every; tick_every; checkpoint;
+        checkpoint_every; resume; deadline_seconds } =
+    cfg
+  in
+  Obs.span "dse.run"
+    ~attrs:[ ("space", Space.name space); ("jobs", string_of_int jobs) ]
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let points = Obs.span "dse.sample" (fun () -> Space.sample space ~seed ~max_points) in
   let total = List.length points in
@@ -155,12 +273,50 @@ let run ?(seed = 2016) ?(max_points = 75_000) ?(lint = true) ?(span_every = 100)
     | _ -> Hashtbl.create 1
   in
   let dev = Estimator.device est in
+  let past_deadline () =
+    match deadline_seconds with
+    | None -> false
+    | Some d -> Unix.gettimeofday () -. t0 >= d
+  in
+  (* One point's work: reuse the resume entry or run the barriered
+     pipeline. Pure in the point index (sampling is seeded, fault sites
+     are keyed by [with_key i], the estimator holds no per-sweep mutable
+     state), which is what lets the parallel path promise results
+     bit-identical to the sequential one. *)
+  let compute i p =
+    match Hashtbl.find_opt prior i with
+    | Some e ->
+      if Obs.enabled () then Obs.count "dse.resumed";
+      (e, true, 0.0)
+    | None ->
+      let start = Unix.gettimeofday () in
+      let e =
+        Faults.with_key i @@ fun () ->
+        Obs.span_sampled ~every:span_every ~i "dse.point" @@ fun () ->
+        if Obs.enabled () then begin
+          let e = process ~est ~dev ~lint i p ~generate in
+          (match e with
+          | Outcome.Evaluated _ ->
+            Obs.count "dse.estimated";
+            Obs.observe "dse.ms_per_design" ((Unix.gettimeofday () -. start) *. 1000.0)
+          | Outcome.Pruned -> Obs.count "dse.lint_pruned"
+          | Outcome.Failed (stage, _) -> Obs.count (stage_counter stage));
+          e
+        end
+        else process ~est ~dev ~lint i p ~generate
+      in
+      (e, false, Unix.gettimeofday () -. start)
+  in
+  (* Collector state. Only the domain running the collector touches any of
+     this — in particular the checkpoint file has a single writer, so the
+     atomic temp-file + rename protocol (and PR 3's resume guarantees) are
+     untouched by parallelism. *)
   let entries = ref [] (* (index, entry), newest first *) in
   let lint_pruned = ref 0 in
   let resumed = ref 0 in
   let failures = ref [] in
   let processed = ref 0 in
-  let truncated = ref false in
+  let cpu_seconds = ref 0.0 in
   let write_checkpoint () =
     match checkpoint with
     | None -> ()
@@ -176,47 +332,99 @@ let run ?(seed = 2016) ?(max_points = 75_000) ?(lint = true) ?(span_every = 100)
           entries = List.rev !entries;
         }
   in
-  let past_deadline () =
-    match deadline_seconds with
-    | None -> false
-    | Some d -> Unix.gettimeofday () -. t0 >= d
+  (* Merge one point's outcome, in sampling-index order. *)
+  let record i p (entry, was_resumed, dt) =
+    Obs.tick ~every:tick_every ~label:("dse " ^ Space.name space) ~total i;
+    if was_resumed then incr resumed;
+    (match entry with
+    | Outcome.Pruned -> incr lint_pruned
+    | Outcome.Failed (f_stage, f_message) ->
+      failures := { f_index = i; f_point = p; f_stage; f_message } :: !failures
+    | Outcome.Evaluated _ -> ());
+    entries := (i, entry) :: !entries;
+    incr processed;
+    cpu_seconds := !cpu_seconds +. dt;
+    if checkpoint_every > 0 && !processed mod checkpoint_every = 0 then write_checkpoint ()
   in
-  List.iteri
-    (fun i p ->
-      if not !truncated then begin
-        Obs.tick ~every:tick_every ~label:("dse " ^ Space.name space) ~total i;
-        let entry =
-          match Hashtbl.find_opt prior i with
-          | Some e ->
-            incr resumed;
-            if Obs.enabled () then Obs.count "dse.resumed";
-            e
-          | None ->
-            Obs.span_sampled ~every:span_every ~i "dse.point" @@ fun () ->
-            if Obs.enabled () then begin
-              let t0 = Unix.gettimeofday () in
-              let e = process ~est ~dev ~lint i p ~generate in
-              (match e with
-              | Outcome.Evaluated _ ->
-                Obs.count "dse.estimated";
-                Obs.observe "dse.ms_per_design" ((Unix.gettimeofday () -. t0) *. 1000.0)
-              | Outcome.Pruned -> Obs.count "dse.lint_pruned"
-              | Outcome.Failed (stage, _) -> Obs.count (stage_counter stage));
-              e
+  let truncated =
+    if jobs <= 1 then begin
+      (* Sequential path: exactly the pre-parallel sweep loop. *)
+      let truncated = ref false in
+      List.iteri
+        (fun i p ->
+          if not !truncated then begin
+            record i p (compute i p);
+            if past_deadline () then truncated := true
+          end)
+        points;
+      !truncated
+    end
+    else begin
+      (* Parallel path: [jobs] worker domains pull point indices from a
+         shared atomic cursor, run the pipeline with per-domain telemetry
+         buffers and index-keyed fault state, and stream outcomes to this
+         (collector) domain, which releases them in sampling-index order
+         through a reorder buffer. *)
+      let points_arr = Array.of_list points in
+      let cursor = Atomic.make 0 in
+      let stop = Atomic.make false in
+      let chan : msg Chan.t = Chan.create () in
+      let worker () =
+        Obs.with_domain_buffer @@ fun () ->
+        let rec loop () =
+          if not (Atomic.get stop) then begin
+            let i = Atomic.fetch_and_add cursor 1 in
+            if i < total then begin
+              let r = compute i points_arr.(i) in
+              Chan.push chan (Entry (i, r));
+              (* Mirror the sequential loop: the deadline is checked after
+                 each consumed point, and tripping it stops every worker
+                 from pulling further indices. *)
+              if past_deadline () then Atomic.set stop true;
+              loop ()
             end
-            else process ~est ~dev ~lint i p ~generate
+          end
         in
-        (match entry with
-        | Outcome.Pruned -> incr lint_pruned
-        | Outcome.Failed (f_stage, f_message) ->
-          failures := { f_index = i; f_point = p; f_stage; f_message } :: !failures
-        | Outcome.Evaluated _ -> ());
-        entries := (i, entry) :: !entries;
-        incr processed;
-        if checkpoint_every > 0 && !processed mod checkpoint_every = 0 then write_checkpoint ();
-        if past_deadline () then truncated := true
-      end)
-    points;
+        loop ()
+      in
+      let domains =
+        List.init jobs (fun _ ->
+            Domain.spawn (fun () ->
+                Fun.protect ~finally:(fun () -> Chan.push chan Worker_done) worker))
+      in
+      (* Reorder buffer: outcomes arrive in completion order; release them
+         in index order so entries, failures, counters and every periodic
+         checkpoint match the sequential run's byte for byte. *)
+      let pending = Hashtbl.create 64 in
+      let next_emit = ref 0 in
+      let live_workers = ref jobs in
+      while !live_workers > 0 do
+        match Chan.pop chan with
+        | Worker_done -> decr live_workers
+        | Entry (i, r) ->
+          Hashtbl.replace pending i r;
+          let rec release () =
+            match Hashtbl.find_opt pending !next_emit with
+            | None -> ()
+            | Some r ->
+              Hashtbl.remove pending !next_emit;
+              record !next_emit points_arr.(!next_emit) r;
+              incr next_emit;
+              release ()
+          in
+          release ()
+      done;
+      List.iter Domain.join domains;
+      (* A tripped deadline can leave completed points beyond a gap (a slow
+         point truncated while later indices finished). Release them too,
+         still in index order: the checkpoint format addresses entries by
+         index, so a resumed sweep reuses every one of them. *)
+      Hashtbl.fold (fun i r acc -> (i, r) :: acc) pending []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.iter (fun (i, r) -> record i points_arr.(i) r);
+      Atomic.get stop
+    end
+  in
   if checkpoint <> None then write_checkpoint ();
   let evaluations =
     List.rev_map (function _, Outcome.Evaluated e -> Some e | _ -> None) !entries
@@ -240,8 +448,10 @@ let run ?(seed = 2016) ?(max_points = 75_000) ?(lint = true) ?(span_every = 100)
     processed = !processed;
     lint_pruned = !lint_pruned;
     resumed = !resumed;
-    truncated = !truncated;
+    truncated;
+    jobs;
     elapsed_seconds = elapsed;
+    cpu_seconds = !cpu_seconds;
   }
 
 let unfit_count r = List.length (List.filter (fun e -> not e.valid) r.evaluations)
@@ -263,10 +473,17 @@ let best r =
 
 (* Lint-pruned and failed points never produce an estimate, so the paper's
    ms/design metric (Table IV) divides by the evaluations that actually
-   came back from the estimator. *)
+   came back from the estimator. Wall-clock and aggregate-CPU variants are
+   separate on purpose: with [jobs] > 1 wall-clock seconds/design shrinks
+   with the core count while CPU seconds/design stays comparable with
+   sequential (and older BENCH) numbers. *)
 let seconds_per_design r =
   let estimated = List.length r.evaluations in
   if estimated <= 0 then 0.0 else r.elapsed_seconds /. float_of_int estimated
+
+let cpu_seconds_per_design r =
+  let estimated = List.length r.evaluations in
+  if estimated <= 0 then 0.0 else r.cpu_seconds /. float_of_int estimated
 
 let to_csv r =
   let buf = Buffer.create 4096 in

@@ -9,7 +9,13 @@
     pipeline runs inside an exception barrier, so one bad point becomes a
     classified {!failure} in the result instead of killing a 75,000-point
     run. Sweeps can checkpoint to disk and resume after a crash, and a
-    deadline turns a too-long run into a flagged partial result. *)
+    deadline turns a too-long run into a flagged partial result.
+
+    Sweeps are configured through a {!Config.t} record (defaults +
+    [with_*] builders) and, with [Config.jobs] > 1, run on a pool of
+    worker domains whose outcomes a collector merges back in
+    sampling-index order — results and checkpoint files are bit-identical
+    across every jobs level. *)
 
 module Estimator = Dhdl_model.Estimator
 
@@ -48,29 +54,103 @@ type result = {
   lint_pruned : int;  (** Points dropped before estimation by lint errors. *)
   resumed : int;  (** Points reused from a checkpoint instead of recomputed. *)
   truncated : bool;  (** The deadline stopped the sweep early. *)
-  elapsed_seconds : float;
+  jobs : int;  (** Worker domains the sweep ran with (1 = sequential). *)
+  elapsed_seconds : float;  (** Wall-clock duration of the whole sweep. *)
+  cpu_seconds : float;
+      (** Aggregate CPU seconds spent inside point pipelines, summed over
+          all workers — equals roughly [elapsed_seconds] when [jobs = 1]
+          and up to [jobs ×] it when parallel. *)
 }
 
+(** Sweep configuration: one validated record instead of the
+    labelled-optional-argument signature [run] used to have. Start from
+    {!Config.default} (the paper's settings: seed 2016, up to 75,000
+    sampled points, lint pruning on, sequential) and refine with the
+    [with_*] builders, or construct in one call with {!Config.make}. *)
+module Config : sig
+  type t = {
+    seed : int;  (** Sampling seed (the paper uses 2016). *)
+    max_points : int;  (** Sampling budget (the paper's cap is 75,000). *)
+    lint : bool;  (** Prune error-level lint diagnostics pre-estimation. *)
+    jobs : int;  (** Worker domains; 1 (default) = sequential. *)
+    span_every : int;  (** Record a [dse.point] span every N points; 0 off. *)
+    tick_every : int;  (** Progress tick on stderr every N points; 0 off. *)
+    checkpoint : string option;  (** JSONL checkpoint path. *)
+    checkpoint_every : int;  (** Periodic write cadence; 0 = only at end. *)
+    resume : bool;  (** Reuse entries from [checkpoint] before computing. *)
+    deadline_seconds : float option;  (** Stop consuming points after this. *)
+  }
+
+  val max_jobs : int
+  (** Upper bound accepted for [jobs] (64). *)
+
+  val default : t
+
+  val make :
+    ?seed:int ->
+    ?max_points:int ->
+    ?lint:bool ->
+    ?jobs:int ->
+    ?span_every:int ->
+    ?tick_every:int ->
+    ?checkpoint:string ->
+    ?checkpoint_every:int ->
+    ?resume:bool ->
+    ?deadline_seconds:float ->
+    unit ->
+    t
+  (** Smart constructor: every field defaults to {!default}'s value and the
+      result is validated (raises [Failure] with a CLI-renderable message
+      on [jobs] outside [1, max_jobs], negative budgets or cadences, a
+      non-finite/negative deadline, or [resume] without [checkpoint]). *)
+
+  val with_seed : int -> t -> t
+  val with_max_points : int -> t -> t
+  val with_lint : bool -> t -> t
+
+  val with_jobs : int -> t -> t
+  (** Raises [Failure] unless [1 <= jobs <= max_jobs]. *)
+
+  val with_span_every : int -> t -> t
+  val with_tick_every : int -> t -> t
+
+  val with_checkpoint : ?every:int -> string -> t -> t
+  (** Set the checkpoint path and (optionally) the periodic write cadence. *)
+
+  val with_resume : bool -> t -> t
+  (** The [resume]/[checkpoint] pairing is checked when the config is
+      consumed by {!run} (or built by {!make}), so builder order between
+      [with_resume] and [with_checkpoint] does not matter. *)
+
+  val with_deadline : float -> t -> t
+end
+
 val run :
-  ?seed:int ->
-  ?max_points:int ->
-  ?lint:bool ->
-  ?span_every:int ->
-  ?tick_every:int ->
-  ?checkpoint:string ->
-  ?checkpoint_every:int ->
-  ?resume:bool ->
-  ?deadline_seconds:float ->
+  Config.t ->
   Estimator.t ->
   space:Space.t ->
   generate:(Space.point -> Dhdl_ir.Ir.design) ->
-  unit ->
   result
-(** Defaults: seed 2016, up to 75,000 sampled points (the paper's cap).
-    When [lint] is [true] (the default), each generated design runs through
-    {!Dhdl_lint.Lint.check} against the estimator's device and points with
-    error-level diagnostics are pruned before estimation; [lint_pruned]
-    counts them.
+(** [run config est ~space ~generate] — the single sweep entry point.
+    When [config.lint] is [true] (the default), each generated design runs
+    through {!Dhdl_lint.Lint.check} against the estimator's device and
+    points with error-level diagnostics are pruned before estimation;
+    [lint_pruned] counts them.
+
+    {b Parallel sweeps.} With [config.jobs = n > 1], [n] worker domains
+    pull point indices from a shared cursor and run the per-point pipeline
+    concurrently; a collector (the calling domain) merges their outcomes
+    back in sampling-index order through a reorder buffer. Because
+    sampling is seeded, fault sites are keyed per point index
+    ({!Dhdl_util.Faults.with_key}) and the pipeline shares no mutable
+    per-sweep state, the parallel result — evaluations, failures, Pareto
+    set, counters — and its checkpoint file are {e bit-identical} to the
+    sequential run's; only [elapsed_seconds]/[cpu_seconds] differ. The
+    estimator and generator must not hide process-global mutable state for
+    this to hold (every in-tree app and the estimator satisfy this).
+    Worker telemetry lands in per-domain scratch buffers
+    ({!Dhdl_obs.Obs.with_domain_buffer}), and only the collector writes
+    the checkpoint file.
 
     {b Fault isolation.} Each point runs inside an exception barrier: an
     exception from the generator, the lint pass, or the estimator — or an
@@ -80,21 +160,26 @@ val run :
     [dse.estimator] / [dse.non_finite], keyed by point index, inject
     deterministic faults into each barrier for testing.
 
-    {b Checkpoint / resume.} With [~checkpoint:path] the sweep atomically
-    rewrites [path] (JSONL, see {!Checkpoint}) every [checkpoint_every]
-    processed points (default 500; [0] disables periodic writes) and once
-    at the end. With [~resume:true] it first loads [path] (if present),
-    validates that the checkpoint belongs to this exact sweep (space,
-    seed, max_points, sample count, parameter names — raising [Failure]
-    otherwise), and reuses its entries instead of recomputing them
-    ([resumed] counts reuses). Because sampling is seeded and fault sites
-    are keyed by index, a resumed sweep produces evaluations structurally
-    identical to an uninterrupted one.
+    {b Checkpoint / resume.} With [config.checkpoint = Some path] the
+    sweep atomically rewrites [path] (JSONL, see {!Checkpoint}) every
+    [checkpoint_every] processed points (default 500; [0] disables
+    periodic writes) and once at the end. With [config.resume = true] it
+    first loads [path] (if present), validates that the checkpoint belongs
+    to this exact sweep (space, seed, max_points, sample count, parameter
+    names — raising [Failure] otherwise), and reuses its entries instead
+    of recomputing them ([resumed] counts reuses). Because sampling is
+    seeded and fault sites are keyed by index, a resumed sweep produces
+    evaluations structurally identical to an uninterrupted one — at any
+    jobs level, including resuming a sequential checkpoint in parallel or
+    vice versa.
 
-    {b Deadline.} With [~deadline_seconds:d] the sweep stops consuming
-    points once [d] seconds have elapsed, flags the result [truncated],
-    and still writes a final checkpoint — so a later [~resume:true] run
-    finishes the job.
+    {b Deadline.} With [config.deadline_seconds = Some d] the sweep stops
+    consuming points once [d] seconds have elapsed, flags the result
+    [truncated], and still writes a final checkpoint — so a later resume
+    finishes the job. Under [jobs > 1] the deadline stops every worker
+    from pulling further indices; already-completed points beyond a
+    truncation gap are kept (the checkpoint addresses entries by index,
+    so a resume reuses them all).
 
     When the {!Dhdl_obs.Obs} sink is enabled the sweep records counters
     ([dse.points_sampled] / [dse.lint_pruned] / [dse.estimated] /
@@ -123,9 +208,17 @@ val pareto_of : evaluation list -> evaluation list
 (** Frontier minimizing (cycles, ALM%) over valid evaluations. *)
 
 val seconds_per_design : result -> float
-(** Average estimation time per design point that actually produced an
+(** Average {e wall-clock} time per design point that actually produced an
     estimate — lint-pruned and failed points skip or abort the estimator
-    and would deflate the metric (Table IV's metric). *)
+    and would deflate the metric (Table IV's metric). With [jobs > 1] this
+    shrinks with the worker count; use {!cpu_seconds_per_design} for a
+    number comparable across jobs levels. *)
+
+val cpu_seconds_per_design : result -> float
+(** Average {e aggregate-CPU} time per estimated design point
+    ([cpu_seconds] over successful evaluations) — invariant to [jobs], so
+    throughput stays comparable with sequential and historical BENCH
+    entries. *)
 
 val to_csv : result -> string
 (** The successful evaluations as CSV (one row per estimated point:

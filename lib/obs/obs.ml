@@ -38,6 +38,23 @@ type sink = {
 let current : sink option ref = ref None
 let live = ref false
 
+(* Per-domain scratch buffer. A worker domain that records telemetry
+   through the global sink would serialize every counter bump and span on
+   the sink mutex — on the DSE hot path that contention is paid per point.
+   [with_domain_buffer] installs a domain-local buffer instead: recording
+   entry points write to it lock-free, and the buffer is merged into the
+   global sink under a single lock acquisition when the scope exits. *)
+type local = {
+  l_counters : (string, int ref) Hashtbl.t;
+  l_hists : (string, hist) Hashtbl.t;
+  mutable l_spans : span list;  (* reverse completion order, local seq *)
+  mutable l_depth : int;
+  mutable l_seq : int;
+}
+
+let local_key : local option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+let local_buffer () = !(Domain.DLS.get local_key)
+
 let enable ?(clock = Unix.gettimeofday) () =
   current :=
     Some
@@ -69,37 +86,59 @@ let locked s f =
 let span ?(attrs = []) name f =
   match !current with
   | None -> f ()
-  | Some s ->
-    let start = now_us s in
-    let depth, seq =
-      locked s (fun () ->
-          let d = s.depth and q = s.seq in
-          s.depth <- d + 1;
-          s.seq <- q + 1;
-          (d, q))
-    in
-    Fun.protect
-      ~finally:(fun () ->
-        let dur = now_us s -. start in
+  | Some s -> (
+    match local_buffer () with
+    | Some l ->
+      (* Lock-free: depth/seq are domain-local; global sequence numbers are
+         assigned when the buffer flushes. *)
+      let start = now_us s in
+      let depth = l.l_depth and seq = l.l_seq in
+      l.l_depth <- depth + 1;
+      l.l_seq <- seq + 1;
+      Fun.protect
+        ~finally:(fun () ->
+          let dur = now_us s -. start in
+          l.l_depth <- l.l_depth - 1;
+          l.l_spans <-
+            { sp_name = name; sp_start_us = start; sp_dur_us = dur; sp_depth = depth;
+              sp_seq = seq; sp_attrs = attrs }
+            :: l.l_spans)
+        f
+    | None ->
+      let start = now_us s in
+      let depth, seq =
         locked s (fun () ->
-            s.depth <- s.depth - 1;
-            s.spans <-
-              { sp_name = name; sp_start_us = start; sp_dur_us = dur; sp_depth = depth;
-                sp_seq = seq; sp_attrs = attrs }
-              :: s.spans))
-      f
+            let d = s.depth and q = s.seq in
+            s.depth <- d + 1;
+            s.seq <- q + 1;
+            (d, q))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          let dur = now_us s -. start in
+          locked s (fun () ->
+              s.depth <- s.depth - 1;
+              s.spans <-
+                { sp_name = name; sp_start_us = start; sp_dur_us = dur; sp_depth = depth;
+                  sp_seq = seq; sp_attrs = attrs }
+                :: s.spans))
+        f)
 
 let span_sampled ~every ~i ?attrs name f =
   if !live && every > 0 && i mod every = 0 then span ?attrs name f else f ()
 
+let bump counters name by =
+  match Hashtbl.find_opt counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace counters name (ref by)
+
 let count ?(by = 1) name =
   match !current with
   | None -> ()
-  | Some s ->
-    locked s (fun () ->
-        match Hashtbl.find_opt s.counters name with
-        | Some r -> r := !r + by
-        | None -> Hashtbl.replace s.counters name (ref by))
+  | Some s -> (
+    match local_buffer () with
+    | Some l -> bump l.l_counters name by
+    | None -> locked s (fun () -> bump s.counters name by))
 
 let counter_value name =
   match !current with
@@ -111,26 +150,65 @@ let gauge name v =
   | None -> ()
   | Some s -> locked s (fun () -> Hashtbl.replace s.gauges name v)
 
+let hist_append hists name v =
+  let h =
+    match Hashtbl.find_opt hists name with
+    | Some h -> h
+    | None ->
+      let h = { hdata = Array.make 64 0.0; hlen = 0 } in
+      Hashtbl.replace hists name h;
+      h
+  in
+  if h.hlen = Array.length h.hdata then begin
+    let bigger = Array.make (2 * h.hlen) 0.0 in
+    Array.blit h.hdata 0 bigger 0 h.hlen;
+    h.hdata <- bigger
+  end;
+  h.hdata.(h.hlen) <- v;
+  h.hlen <- h.hlen + 1
+
 let observe name v =
   match !current with
   | None -> ()
+  | Some s -> (
+    match local_buffer () with
+    | Some l -> hist_append l.l_hists name v
+    | None -> locked s (fun () -> hist_append s.hists name v))
+
+let with_domain_buffer f =
+  match !current with
+  | None -> f ()
   | Some s ->
-    locked s (fun () ->
-        let h =
-          match Hashtbl.find_opt s.hists name with
-          | Some h -> h
-          | None ->
-            let h = { hdata = Array.make 64 0.0; hlen = 0 } in
-            Hashtbl.replace s.hists name h;
-            h
-        in
-        if h.hlen = Array.length h.hdata then begin
-          let bigger = Array.make (2 * h.hlen) 0.0 in
-          Array.blit h.hdata 0 bigger 0 h.hlen;
-          h.hdata <- bigger
-        end;
-        h.hdata.(h.hlen) <- v;
-        h.hlen <- h.hlen + 1)
+    let slot = Domain.DLS.get local_key in
+    let saved = !slot in
+    let l =
+      {
+        l_counters = Hashtbl.create 16;
+        l_hists = Hashtbl.create 8;
+        l_spans = [];
+        l_depth = 0;
+        l_seq = 0;
+      }
+    in
+    slot := Some l;
+    let flush () =
+      slot := saved;
+      (* One lock acquisition merges everything the domain recorded. Spans
+         get fresh global sequence numbers in their local completion order,
+         so the snapshot's seq sort keeps each domain's spans coherent. *)
+      locked s (fun () ->
+          Hashtbl.iter (fun name r -> bump s.counters name !r) l.l_counters;
+          Hashtbl.iter
+            (fun name h -> Array.iter (hist_append s.hists name) (Array.sub h.hdata 0 h.hlen))
+            l.l_hists;
+          List.iter
+            (fun sp ->
+              let seq = s.seq in
+              s.seq <- seq + 1;
+              s.spans <- { sp with sp_seq = seq } :: s.spans)
+            (List.rev l.l_spans))
+    in
+    Fun.protect ~finally:flush f
 
 let tick ?(every = 1000) ~label ~total i =
   if !live && every > 0 && i > 0 && i mod every = 0 then

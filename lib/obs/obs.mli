@@ -70,6 +70,20 @@ val tick : ?every:int -> label:string -> total:int -> int -> unit
 (** [tick ~label ~total i] prints a progress line to stderr every [every]
     (default 1000) increments while enabled; no-op when disabled. *)
 
+val with_domain_buffer : (unit -> 'a) -> 'a
+(** [with_domain_buffer f] runs [f] with a domain-local scratch buffer
+    installed: {!span}, {!count} and {!observe} from the calling domain
+    record into the buffer without touching the sink mutex, and the buffer
+    is merged into the global sink under a single lock acquisition when
+    [f] returns (also on exception). Parallel DSE worker domains wrap
+    their whole work loop in this so per-point telemetry never contends
+    on the hot path. Counter totals and histogram samples merge exactly;
+    buffered spans receive fresh global sequence numbers at flush time, so
+    they sort after spans already in the sink. {!counter_value} and
+    {!snapshot} only see the buffer's contents after the flush. Scopes
+    nest (inner flushes restore the outer buffer); with the sink disabled
+    this is exactly [f ()]. *)
+
 (** {1 Export} *)
 
 val snapshot : unit -> snapshot

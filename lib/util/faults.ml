@@ -10,10 +10,24 @@ type state = {
   default_p : float;
   site_p : (string, float) Hashtbl.t;
   calls : (string, int) Hashtbl.t;
-  mutable fired : int;
+  fired : int Atomic.t;
 }
 
 let state : state option ref = ref None
+
+(* Ambient per-domain key, installed by [with_key] around a unit of work
+   (e.g. one DSE point). Sites probed without an explicit key inside that
+   scope use it instead of the per-site call counter, which keeps their
+   decisions a pure function of the point index — the property that makes
+   parallel sweeps order-independent and resumed sweeps replayable. The
+   key is domain-local, so concurrent worker domains each see their own. *)
+let ambient : int option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let with_key key f =
+  let slot = Domain.DLS.get ambient in
+  let saved = !slot in
+  slot := Some key;
+  Fun.protect ~finally:(fun () -> slot := saved) f
 
 let clamp01 p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p
 
@@ -25,7 +39,7 @@ let configure ?(seed = 42) ~p () =
         default_p = clamp01 p;
         site_p = Hashtbl.create 8;
         calls = Hashtbl.create 8;
-        fired = 0;
+        fired = Atomic.make 0;
       }
 
 let set_site site p =
@@ -36,7 +50,7 @@ let set_site site p =
 
 let reset () = state := None
 let active () = !state <> None
-let injected_total () = match !state with None -> 0 | Some s -> s.fired
+let injected_total () = match !state with None -> 0 | Some s -> Atomic.get s.fired
 
 (* splitmix64 finalizer over a structural hash of (seed, site, key): cheap,
    stateless, and well-distributed enough for probability thresholds. *)
@@ -59,13 +73,18 @@ let fires ?key site =
     let key =
       match key with
       | Some k -> k
-      | None ->
-        let n = match Hashtbl.find_opt s.calls site with Some n -> n | None -> 0 in
-        Hashtbl.replace s.calls site (n + 1);
-        n
+      | None -> (
+        match !(Domain.DLS.get ambient) with
+        | Some k -> k
+        | None ->
+          (* Call-counter fallback: only reachable outside a [with_key]
+             scope, i.e. on a single domain — the Hashtbl is safe here. *)
+          let n = match Hashtbl.find_opt s.calls site with Some n -> n | None -> 0 in
+          Hashtbl.replace s.calls site (n + 1);
+          n)
     in
     let hit = p > 0.0 && uniform ~seed:s.seed ~site ~key < p in
-    if hit then s.fired <- s.fired + 1;
+    if hit then Atomic.incr s.fired;
     hit
 
 let inject ?key site = if fires ?key site then raise (Injected site)

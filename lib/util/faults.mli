@@ -32,10 +32,22 @@ val reset : unit -> unit
 
 val active : unit -> bool
 
+val with_key : int -> (unit -> 'a) -> 'a
+(** [with_key k f] runs [f] with [k] as the ambient key for the calling
+    domain: sites probed without an explicit [?key] inside [f] use [k]
+    instead of their call counter, making their decisions a pure function
+    of [(seed, site, k)]. Scopes nest (the previous ambient key is
+    restored on exit) and are domain-local, so concurrent worker domains
+    keyed by different point indices never interfere — the DSE sweep wraps
+    each point's pipeline in [with_key index] so even fault sites buried
+    inside the estimator replay identically under resume and under any
+    [--jobs] level. *)
+
 val fires : ?key:int -> string -> bool
 (** Decide (deterministically) whether the site fires this time. Without
-    [key], an internal per-site call counter is used, so successive calls
-    walk a fixed pseudo-random sequence. Always [false] when inactive. *)
+    [key], the ambient {!with_key} key is used when one is installed;
+    otherwise an internal per-site call counter, so successive calls walk
+    a fixed pseudo-random sequence. Always [false] when inactive. *)
 
 val inject : ?key:int -> string -> unit
 (** [inject site] raises {!Injected} when [fires site] — the one-liner to

@@ -73,10 +73,11 @@ let estimator = lazy (Estimator.create ~seed:7 ~train_samples:80 ~epochs:150 ())
 let run_explore () =
   let app = Dhdl_apps.Registry.find "dotproduct" in
   let sizes = [ ("n", 65_536) ] in
-  Explore.run ~seed:11 ~max_points:120 (Lazy.force estimator)
+  Explore.run
+    Explore.Config.(default |> with_seed 11 |> with_max_points 120)
+    (Lazy.force estimator)
     ~space:(app.App.space sizes)
     ~generate:(fun p -> app.App.generate ~sizes ~params:p)
-    ()
 
 let result = lazy (run_explore ())
 

@@ -22,14 +22,17 @@ let estimator = lazy (Estimator.create ~seed:7 ~train_samples:60 ~epochs:100 ())
    assertion cannot leak an active fault registry into later tests. *)
 let with_faults f = Fun.protect ~finally:Faults.reset f
 
-let run_sweep ?checkpoint ?checkpoint_every ?resume ?deadline_seconds ?(seed = 11)
+let run_sweep ?checkpoint ?checkpoint_every ?resume ?deadline_seconds ?jobs ?(seed = 11)
     ?(max_points = 80) est =
   let app = Dhdl_apps.Registry.find "dotproduct" in
   let sizes = [ ("n", 65_536) ] in
-  Explore.run ~seed ~max_points ?checkpoint ?checkpoint_every ?resume ?deadline_seconds est
+  let cfg =
+    Explore.Config.make ~seed ~max_points ?checkpoint ?checkpoint_every ?resume ?deadline_seconds
+      ?jobs ()
+  in
+  Explore.run cfg est
     ~space:(app.App.space sizes)
     ~generate:(fun p -> app.App.generate ~sizes ~params:p)
-    ()
 
 let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("dhdl_test_" ^ name)
 
