@@ -10,6 +10,7 @@ module Estimator = Dhdl_model.Estimator
 module Explore = Dhdl_dse.Explore
 module Experiments = Dhdl_core.Experiments
 module Lint = Dhdl_lint.Lint
+module Absint = Dhdl_absint.Absint
 module Diag = Dhdl_ir.Diag
 module Obs = Dhdl_obs.Obs
 
@@ -237,13 +238,21 @@ let inject_faults_arg =
 let faults_seed_arg =
   Arg.(value & opt int 42 & info [ "faults-seed" ] ~doc:"(dev) Seed for $(b,--inject-faults).")
 
+let no_absint_arg =
+  Arg.(
+    value & flag
+    & info [ "no-absint" ]
+        ~doc:
+          "Disable abstract-interpretation pruning: points refuted by the proof passes (L009 \
+           out-of-bounds, L010 bank conflict) are estimated instead of dropped.")
+
 let dse_cmd =
   let run app seed train points cache trace jsonl metrics jobs checkpoint resume deadline inject
-      faults_seed =
+      faults_seed no_absint =
     with_obs ~trace ~jsonl ~metrics @@ fun () ->
     let cfg =
-      Explore.Config.make ~seed ~max_points:points ~jobs ?checkpoint ~resume
-        ?deadline_seconds:deadline ()
+      Explore.Config.make ~seed ~max_points:points ~absint:(not no_absint) ~jobs ?checkpoint
+        ~resume ?deadline_seconds:deadline ()
     in
     Option.iter
       (fun p ->
@@ -270,8 +279,10 @@ let dse_cmd =
       Printf.printf "\n%.2f ms per design point (%d points in %.2f s)\n"
         (Explore.seconds_per_design result *. 1000.0)
         result.Explore.sampled result.Explore.elapsed_seconds;
-    Printf.printf "pruned by lint errors: %d point(s); estimated but over device capacity: %d point(s)\n"
-      result.Explore.lint_pruned (Explore.unfit_count result);
+    Printf.printf
+      "pruned by lint errors: %d point(s); refuted by abstract interpretation: %d point(s); \
+       estimated but over device capacity: %d point(s)\n"
+      result.Explore.lint_pruned result.Explore.absint_pruned (Explore.unfit_count result);
     if result.Explore.resumed > 0 then
       Printf.printf "resumed from checkpoint: %d point(s) reused, %d recomputed\n"
         result.Explore.resumed
@@ -298,7 +309,7 @@ let dse_cmd =
     Term.(
       const run $ app_arg $ seed_arg $ train_arg $ points_arg $ cache_arg $ trace_arg $ jsonl_arg
       $ metrics_arg $ jobs_arg $ checkpoint_arg $ resume_arg $ deadline_arg $ inject_faults_arg
-      $ faults_seed_arg)
+      $ faults_seed_arg $ no_absint_arg)
 
 let codegen_cmd =
   let manager =
@@ -506,6 +517,24 @@ let lint_cmd =
        ~doc:"Run the static-analysis passes (races, hazards, capacity, dead code) on a design.")
     Term.(const run $ app_opt $ params_arg $ json $ all $ fail_on)
 
+let analyze_cmd =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report.") in
+  let run app params json =
+    let _, design = design_of ~app ~params in
+    let report = Absint.analyze design in
+    if json then print_endline (Absint.render_json report) else print_string (Absint.render_text report);
+    (* Mirror lint's convention: exit 2 when a proven violation (out-of-
+       bounds access or bank conflict) is present. *)
+    if not (Absint.clean report) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Abstract-interpret a design point: prove every on-chip access in bounds, every \
+          vectorized access conflict-free under a banking scheme, and every double buffer \
+          justified by a stage crossing (or print concrete counterexamples).")
+    Term.(const run $ app_arg $ params_arg $ json)
+
 let metrics_cmd =
   let run app params seed train points cache trace jsonl =
     Obs.enable ();
@@ -561,7 +590,7 @@ let list_cmd =
 let () =
   let doc = "DHDL: automatic generation of efficient accelerators for reconfigurable hardware" in
   let info = Cmd.info "dhdl" ~version:"1.0.0" ~doc in
-  let group = Cmd.group info [ estimate_cmd; compare_cmd; synth_cmd; dse_cmd; lint_cmd; metrics_cmd; codegen_cmd; dot_cmd; print_cmd; experiments_cmd; interpret_cmd; list_cmd ] in
+  let group = Cmd.group info [ estimate_cmd; compare_cmd; synth_cmd; dse_cmd; lint_cmd; analyze_cmd; metrics_cmd; codegen_cmd; dot_cmd; print_cmd; experiments_cmd; interpret_cmd; list_cmd ] in
   try exit (Cmd.eval ~catch:false group) with
   | Failure msg | Sys_error msg ->
     Printf.eprintf "dhdl: error: %s\n%!" msg;

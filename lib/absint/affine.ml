@@ -1,0 +1,173 @@
+(* Affine forms over loop iterators. An element abstracts a value as
+
+     c0 + sum_i ci * iter_i + U
+
+   where U is an opaque (non-affine) residue that may vary only with the
+   iterators in [opaque]. The exact affine case is [opaque = Names []];
+   [opaque = All] makes the element top (and c0/terms are normalized away).
+   The dependence set is what the banking checker consumes: a value whose
+   dependence set is disjoint from a pipe's vectorized counters is
+   lane-invariant even when it is not affine (e.g. kmeans' data-dependent
+   cluster index), so only the affine part decides which bank each lane
+   hits. *)
+
+module Ir = Dhdl_ir.Ir
+module Op = Dhdl_ir.Op
+
+type deps = Names of string list | All
+(* [Names l]: sorted, deduplicated iterator names. *)
+
+type t = Bot | Aff of { c0 : int; terms : (string * int) list; opaque : deps }
+(* Invariant: [terms] sorted by name with non-zero coefficients; when
+   [opaque = All] the element is exactly [top]. *)
+
+let name = "affine"
+let top = Aff { c0 = 0; terms = []; opaque = All }
+let bottom = Bot
+let is_bottom v = v = Bot
+
+let union_deps a b =
+  match (a, b) with
+  | All, _ | _, All -> All
+  | Names xs, Names ys -> Names (List.sort_uniq compare (xs @ ys))
+
+let mk c0 terms opaque =
+  match opaque with
+  | All -> top
+  | Names _ ->
+    let terms =
+      List.sort (fun (a, _) (b, _) -> compare a b) (List.filter (fun (_, c) -> c <> 0) terms)
+    in
+    Aff { c0; terms; opaque }
+
+let equal (a : t) b = a = b
+
+(* Iterators the value may vary with: affine term names plus the opaque
+   residue's dependences. *)
+let deps = function
+  | Bot -> Names []
+  | Aff { terms; opaque; _ } -> union_deps (Names (List.map fst terms)) opaque
+
+(* Collapse to a pure residue varying with everything the value varies with
+   (used when an operation destroys the affine shape). *)
+let blur v = match v with Bot -> Bot | Aff _ -> mk 0 [] (deps v)
+
+let blur2 a b =
+  match (a, b) with Bot, _ | _, Bot -> Bot | _ -> mk 0 [] (union_deps (deps a) (deps b))
+
+let join a b =
+  match (a, b) with
+  | Bot, v | v, Bot -> v
+  | _ when equal a b -> a
+  | _ -> blur2 a b
+
+(* The ascending chain Bot -> exact -> residue-with-growing-deps -> All is
+   bounded by the (finite) iterator-name population of the design, so join
+   itself is a terminating widening. *)
+let widen old incoming = join old incoming
+
+let of_const f =
+  if Float.is_integer f && Float.abs f <= 1e15 then
+    Aff { c0 = int_of_float f; terms = []; opaque = Names [] }
+  else mk 0 [] (Names [])
+
+let of_counter (c : Ir.counter) =
+  if Ir.counter_trip c <= 0 then Bot
+  else Aff { c0 = 0; terms = [ (c.Ir.ctr_name, 1) ]; opaque = Names [] }
+
+let merge_terms f xs ys =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], rest -> List.map (fun (n, c) -> (n, f 0 c)) rest
+    | rest, [] -> List.map (fun (n, c) -> (n, f c 0)) rest
+    | (nx, cx) :: xs', (ny, cy) :: ys' ->
+      if nx = ny then (nx, f cx cy) :: go xs' ys'
+      else if nx < ny then (nx, f cx 0) :: go xs' ys'
+      else (ny, f 0 cy) :: go xs ys'
+  in
+  go xs ys
+
+let add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Aff x, Aff y ->
+    mk (x.c0 + y.c0) (merge_terms ( + ) x.terms y.terms) (union_deps x.opaque y.opaque)
+
+let neg = function
+  | Bot -> Bot
+  | Aff x -> mk (-x.c0) (List.map (fun (n, c) -> (n, -c)) x.terms) x.opaque
+
+let sub a b = add a (neg b)
+
+let as_int_const = function
+  | Aff { c0; terms = []; opaque = Names [] } -> Some c0
+  | _ -> None
+
+let scale k = function
+  | Bot -> Bot
+  | Aff x ->
+    if k = 0 then Aff { c0 = 0; terms = []; opaque = Names [] }
+    else mk (k * x.c0) (List.map (fun (n, c) -> (n, k * c)) x.terms) x.opaque
+
+let mul a b =
+  match (as_int_const a, as_int_const b) with
+  | Some k, _ -> scale k b
+  | _, Some k -> scale k a
+  | None, None -> blur2 a b
+
+let transfer op args =
+  match (op, args) with
+  | _, _ when List.exists is_bottom args -> Bot
+  | Op.Add, [ a; b ] -> add a b
+  | Op.Sub, [ a; b ] -> sub a b
+  | Op.Neg, [ a ] -> neg a
+  | Op.Mul, [ a; b ] -> mul a b
+  | Op.Floor, [ a ] -> a (* affine over integer iterators is integral *)
+  | (Op.Min | Op.Max), [ a; b ] when equal a b -> a
+  | Op.Mux, [ c; a; b ] ->
+    if equal a b then a else mk 0 [] (union_deps (deps c) (union_deps (deps a) (deps b)))
+  | _, _ ->
+    (match args with
+    | [] -> top
+    | _ -> List.fold_left (fun acc v -> blur2 acc v) (blur (List.hd args)) (List.tl args))
+
+(* The value loaded from a memory is a fixed function of the address at the
+   time of the read (memory contents don't change mid-access), so it varies
+   with exactly what the address varies with; the stored contents' shape is
+   irrelevant for dependence tracking. *)
+let load ~addr ~content:_ =
+  match addr with
+  | [] -> mk 0 [] (Names [])
+  | _ ->
+    if List.exists is_bottom addr then Bot
+    else mk 0 [] (List.fold_left (fun acc v -> union_deps acc (deps v)) (Names []) addr)
+
+(* Queue pops are order-dependent: no usable shape. *)
+let pop = top
+
+let to_string = function
+  | Bot -> "_|_"
+  | Aff { opaque = All; _ } -> "T"
+  | Aff { c0; terms; opaque } ->
+    let term (n, c) =
+      if c = 1 then n else if c = -1 then "-" ^ n else Printf.sprintf "%d*%s" c n
+    in
+    let parts =
+      (if c0 <> 0 || terms = [] then [ string_of_int c0 ] else []) @ List.map term terms
+    in
+    let u = match opaque with Names [] -> [] | Names _ -> [ "U" ] | All -> [] in
+    String.concat "+" (parts @ u)
+
+(* Queries used by the access checkers. *)
+
+(* Exact affine form: Some (c0, [(iter, coeff); ...]) with no residue. *)
+let exact = function
+  | Aff { c0; terms; opaque = Names [] } -> Some (c0, terms)
+  | _ -> None
+
+let dep_names = function All -> None | Names l -> Some l
+
+let depends_on_any names v =
+  match deps v with
+  | All -> true
+  | Names ds -> List.exists (fun n -> List.mem n names) ds

@@ -1,0 +1,207 @@
+(* Generic forward fixpoint engine over the hierarchical DHDL graph.
+
+   The engine is flow-sensitive inside a Pipe body (SSA-like value table
+   per interpretation of the body) and flow-insensitive across the control
+   hierarchy: every memory (Reg/Bram/Queue/Offchip) gets one abstract cell
+   holding the join of its initial value and everything ever stored, and
+   the whole design is re-interpreted until the cells stop moving, with
+   widening applied from round [widen_round] on. Registers start at their
+   hardware reset value (0); all other memories start at top (unknown
+   contents).
+
+   Along the way the engine records one access fact per static memory
+   access: explicit Sload/Sstore word accesses with their abstract
+   per-dimension addresses, the implicit element-wise streams of Loop
+   mem-reduces and tile-transfer BRAM endpoints, and the off-chip side of
+   tile transfers with the abstract values of its offsets. The checkers in
+   {!Absint} consume these facts. *)
+
+module Ir = Dhdl_ir.Ir
+
+module Make (D : Domain.S) = struct
+  type addr_form =
+    | Word of D.t list  (* explicit per-dimension address *)
+    | Stream  (* element-wise sweep of the whole memory, flat stride 1 *)
+    | Tile of { offsets : D.t list; tile : int list }
+        (* off-chip tile transfer: abstract offsets and the tile shape *)
+
+  type access = {
+    acc_path : string list;  (* controller labels from the root *)
+    acc_mem : Ir.mem;
+    acc_write : bool;
+    acc_par : int;  (* vector lanes issuing this access each cycle *)
+    acc_addr : addr_form;
+    acc_counters : Ir.counter list;  (* vectorized (owning-pipe) counters, outer->inner *)
+    acc_scope : Ir.counter list;  (* every counter in scope, outer->inner *)
+  }
+
+  type result = {
+    accesses : access list;  (* in traversal order *)
+    cells : (int, D.t) Hashtbl.t;  (* mem_id -> final abstract content *)
+    rounds : int;  (* interpretation rounds to reach the fixpoint *)
+  }
+
+  let cell_of result (m : Ir.mem) =
+    match Hashtbl.find_opt result.cells m.Ir.mem_id with Some v -> v | None -> D.top
+
+  let widen_round = 3
+  let max_rounds = 50
+
+  let analyze (d : Ir.design) =
+    let cells = Hashtbl.create 16 in
+    let init m =
+      match m.Ir.mem_kind with Ir.Reg -> D.of_const 0.0 | Ir.Offchip | Ir.Bram | Ir.Queue -> D.top
+    in
+    List.iter (fun m -> Hashtbl.replace cells m.Ir.mem_id (init m)) d.Ir.d_mems;
+    let cell (m : Ir.mem) =
+      match Hashtbl.find_opt cells m.Ir.mem_id with
+      | Some v -> v
+      | None -> D.top (* undeclared memory: V003's problem, stay sound *)
+    in
+    let changed = ref false in
+    let store_cell ~widen m v =
+      let old = cell m in
+      let v' = if widen then D.widen old v else D.join old v in
+      if not (D.equal old v') then begin
+        Hashtbl.replace cells m.Ir.mem_id v';
+        changed := true
+      end
+    in
+    let recorded = ref [] in
+    let pass ~widen ~collect =
+      let record a = if collect then recorded := a :: !recorded in
+      (* [scope] accumulates counters root->here; iterator bindings are
+         resolved innermost-last so shadowing matches lexical scope. *)
+      let bind_env scope =
+        let env = Hashtbl.create 16 in
+        List.iter (fun c -> Hashtbl.replace env c.Ir.ctr_name (D.of_counter c)) scope;
+        env
+      in
+      let rec go path scope ctrl =
+        let path = path @ [ Ir.ctrl_label ctrl ] in
+        match ctrl with
+        | Ir.Pipe { loop; body; reduce } ->
+          let scope = scope @ loop.Ir.lp_counters in
+          let env = bind_env scope in
+          let vals = Hashtbl.create 16 in
+          let operand = function
+            | Ir.Const f -> D.of_const f
+            | Ir.Iter n -> (match Hashtbl.find_opt env n with Some v -> v | None -> D.top)
+            | Ir.Value v -> (match Hashtbl.find_opt vals v with Some x -> x | None -> D.top)
+          in
+          List.iter
+            (fun stmt ->
+              match stmt with
+              | Ir.Sop { dst; op; args; _ } ->
+                Hashtbl.replace vals dst (D.transfer op (List.map operand args))
+              | Ir.Sload { dst; mem; addr; _ } ->
+                let a = List.map operand addr in
+                record
+                  {
+                    acc_path = path;
+                    acc_mem = mem;
+                    acc_write = false;
+                    acc_par = max 1 loop.Ir.lp_par;
+                    acc_addr = Word a;
+                    acc_counters = loop.Ir.lp_counters;
+                    acc_scope = scope;
+                  };
+                Hashtbl.replace vals dst (D.load ~addr:a ~content:(cell mem))
+              | Ir.Sstore { mem; addr; data } ->
+                let a = List.map operand addr in
+                record
+                  {
+                    acc_path = path;
+                    acc_mem = mem;
+                    acc_write = true;
+                    acc_par = max 1 loop.Ir.lp_par;
+                    acc_addr = Word a;
+                    acc_counters = loop.Ir.lp_counters;
+                    acc_scope = scope;
+                  };
+                store_cell ~widen mem (operand data)
+              | Ir.Sread_reg { dst; reg } -> Hashtbl.replace vals dst (cell reg)
+              | Ir.Swrite_reg { reg; data } -> store_cell ~widen reg (operand data)
+              | Ir.Spush { queue; data } -> store_cell ~widen queue (operand data)
+              | Ir.Spop { dst; _ } -> Hashtbl.replace vals dst D.pop)
+            body;
+          (match reduce with
+          | None -> ()
+          | Some r ->
+            (* out = op(out, value), folded over every iteration. *)
+            store_cell ~widen r.Ir.sr_out
+              (D.transfer r.Ir.sr_op [ cell r.Ir.sr_out; operand r.Ir.sr_value ]))
+        | Ir.Loop { loop; stages; reduce; _ } ->
+          let scope = scope @ loop.Ir.lp_counters in
+          List.iter (go path scope) stages;
+          (match reduce with
+          | None -> ()
+          | Some r ->
+            (* The implicit combine stage streams src into dst
+               element-wise at the loop's parallelization. *)
+            let par = max 1 loop.Ir.lp_par in
+            let fact mem write =
+              {
+                acc_path = path;
+                acc_mem = mem;
+                acc_write = write;
+                acc_par = par;
+                acc_addr = Stream;
+                acc_counters = [];
+                acc_scope = scope;
+              }
+            in
+            record (fact r.Ir.mr_src false);
+            record (fact r.Ir.mr_dst true);
+            store_cell ~widen r.Ir.mr_dst
+              (D.transfer r.Ir.mr_op [ cell r.Ir.mr_dst; cell r.Ir.mr_src ]))
+        | Ir.Parallel { stages; _ } -> List.iter (go path scope) stages
+        | Ir.Tile_load { src; dst; offsets; tile; par; _ }
+        | Ir.Tile_store { dst = src; src = dst; offsets; tile; par; _ } ->
+          (* [src] is the off-chip side, [dst] the BRAM side, for both
+             directions (the pattern above swaps Tile_store's fields). *)
+          let write_onchip = match ctrl with Ir.Tile_load _ -> true | _ -> false in
+          let env = bind_env scope in
+          let operand = function
+            | Ir.Const f -> D.of_const f
+            | Ir.Iter n -> (match Hashtbl.find_opt env n with Some v -> v | None -> D.top)
+            | Ir.Value _ -> D.top (* offsets cannot reference pipe values *)
+          in
+          let offs = List.map operand offsets in
+          record
+            {
+              acc_path = path;
+              acc_mem = src;
+              acc_write = not write_onchip;
+              acc_par = max 1 par;
+              acc_addr = Tile { offsets = offs; tile };
+              acc_counters = [];
+              acc_scope = scope;
+            };
+          record
+            {
+              acc_path = path;
+              acc_mem = dst;
+              acc_write = write_onchip;
+              acc_par = max 1 par;
+              acc_addr = Stream;
+              acc_counters = [];
+              acc_scope = scope;
+            };
+          (* Transferred data has unknown shape either way. *)
+          store_cell ~widen (if write_onchip then dst else src) D.top
+      in
+      go [] [] d.Ir.d_top
+    in
+    let rounds = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !rounds < max_rounds do
+      incr rounds;
+      changed := false;
+      pass ~widen:(!rounds >= widen_round) ~collect:false;
+      continue_ := !changed
+    done;
+    (* Cells are stable; one more pass records the access facts. *)
+    pass ~widen:true ~collect:true;
+    { accesses = List.rev !recorded; cells; rounds = !rounds }
+end

@@ -1,0 +1,144 @@
+(* Integer intervals with +/- infinity sentinels. Addresses and iterator
+   values in DHDL designs are integral; non-integral constants are rounded
+   outward, which keeps the domain sound for bounds checking. Arithmetic
+   saturates well below [max_int] so products at paper sizes (hundreds of
+   millions of words) can never wrap. *)
+
+module Ir = Dhdl_ir.Ir
+module Op = Dhdl_ir.Op
+
+type t = Bot | Itv of int * int
+(* Invariant: in [Itv (lo, hi)], lo <= hi; lo = min_int means -inf and
+   hi = max_int means +inf. Finite bounds satisfy |b| <= big. *)
+
+let name = "interval"
+let top = Itv (min_int, max_int)
+let bottom = Bot
+let is_bottom v = v = Bot
+let equal (a : t) b = a = b
+
+(* Any finite bound beyond [big] is treated as infinite; since
+   big * big-safe products are checked explicitly, no computation on
+   in-invariant values can overflow. *)
+let big = max_int / 16
+let norm x = if x > big then max_int else if x < -big then min_int else x
+let is_pinf x = x = max_int
+let is_ninf x = x = min_int
+
+(* Bound addition: same-signed infinities only (lo+lo / hi+hi in adds of
+   well-formed intervals), but defend against mixed forms anyway. *)
+let addb a b =
+  if is_ninf a || is_ninf b then min_int
+  else if is_pinf a || is_pinf b then max_int
+  else norm (a + b)
+
+let negb a = if is_ninf a then max_int else if is_pinf a then min_int else -a
+
+let mulb a b =
+  if a = 0 || b = 0 then 0
+  else begin
+    let pos = a > 0 = (b > 0) in
+    if is_pinf a || is_ninf a || is_pinf b || is_ninf b then
+      if pos then max_int else min_int
+    else if abs a > big / abs b then if pos then max_int else min_int
+    else norm (a * b)
+  end
+
+let make lo hi = if lo > hi then Bot else Itv (lo, hi)
+let of_bounds lo hi = make (norm lo) (norm hi)
+
+let join a b =
+  match (a, b) with
+  | Bot, v | v, Bot -> v
+  | Itv (al, ah), Itv (bl, bh) -> Itv (min al bl, max ah bh)
+
+let widen old incoming =
+  match (old, join old incoming) with
+  | Bot, v -> v
+  | v, Bot -> v
+  | Itv (ol, oh), Itv (jl, jh) ->
+    Itv ((if jl < ol then min_int else ol), if jh > oh then max_int else oh)
+
+let of_const f =
+  if Float.is_nan f then top
+  else begin
+    let clampf x = Float.min (Float.of_int big) (Float.max (Float.of_int (-big)) x) in
+    let lo = int_of_float (clampf (Float.floor f)) in
+    let hi = int_of_float (clampf (Float.ceil f)) in
+    of_bounds lo hi
+  end
+
+let of_counter (c : Ir.counter) =
+  let trip = Ir.counter_trip c in
+  if trip <= 0 then Bot
+  else Itv (norm c.Ir.ctr_start, norm (c.Ir.ctr_start + ((trip - 1) * c.Ir.ctr_step)))
+
+let add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (al, ah), Itv (bl, bh) -> Itv (addb al bl, addb ah bh)
+
+let neg = function Bot -> Bot | Itv (lo, hi) -> Itv (negb hi, negb lo)
+let sub a b = add a (neg b)
+
+let mul a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (al, ah), Itv (bl, bh) ->
+    let cs = [ mulb al bl; mulb al bh; mulb ah bl; mulb ah bh ] in
+    Itv (List.fold_left min max_int cs, List.fold_left max min_int cs)
+
+let meet_min a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (al, ah), Itv (bl, bh) -> Itv (min al bl, min ah bh)
+
+let meet_max a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (al, ah), Itv (bl, bh) -> Itv (max al bl, max ah bh)
+
+let abs_ = function
+  | Bot -> Bot
+  | Itv (lo, hi) when lo >= 0 -> Itv (lo, hi)
+  | Itv (lo, hi) when hi <= 0 -> neg (Itv (lo, hi))
+  | Itv (lo, hi) -> Itv (0, max (negb lo) hi)
+
+let bool_itv = Itv (0, 1)
+
+let transfer op args =
+  match (op, args) with
+  | _, _ when List.exists is_bottom args -> Bot
+  | Op.Add, [ a; b ] -> add a b
+  | Op.Sub, [ a; b ] -> sub a b
+  | Op.Mul, [ a; b ] -> mul a b
+  | Op.Neg, [ a ] -> neg a
+  | Op.Abs, [ a ] -> abs_ a
+  | Op.Min, [ a; b ] -> meet_min a b
+  | Op.Max, [ a; b ] -> meet_max a b
+  | Op.Floor, [ a ] -> a (* bounds are already integral *)
+  | Op.Mux, [ _; a; b ] -> join a b
+  | (Op.Lt | Op.Le | Op.Gt | Op.Ge | Op.Eq | Op.Neq | Op.And | Op.Or | Op.Not), _ -> bool_itv
+  | Op.Sqrt, [ Itv (lo, _) ] when lo >= 0 -> Itv (0, max_int)
+  | (Op.Div | Op.Sqrt | Op.Exp | Op.Log), _ -> top
+  | _ -> top
+
+let load ~addr:_ ~content = content
+let pop = top
+
+let bound_str b =
+  if is_ninf b then "-inf" else if is_pinf b then "+inf" else string_of_int b
+
+let to_string = function
+  | Bot -> "_|_"
+  | Itv (lo, hi) when lo = min_int && hi = max_int -> "T"
+  | Itv (lo, hi) -> Printf.sprintf "[%s,%s]" (bound_str lo) (bound_str hi)
+
+(* Queries used by the bounds checker. *)
+
+let bounds = function Bot -> None | Itv (lo, hi) -> Some (lo, hi)
+
+(* Is every concrete value within [lo, hi]? Bot is vacuously within. *)
+let within ~lo ~hi = function
+  | Bot -> true
+  | Itv (l, h) -> l >= lo && h <= hi

@@ -1,0 +1,106 @@
+(* Stage liveness across pipelined (MetaPipe) loops.
+
+   In a MetaPipe, consecutive outer iterations occupy adjacent stages
+   simultaneously, so a value written in one stage and read in another
+   (including an earlier stage — a loop-carried read) lives across a stage
+   boundary and its memory must be double-buffered. The def/use facts per
+   stage come from {!Dhdl_ir.Analysis.written_mems}/[read_mems]; this module
+   turns them into explicit crossing witnesses (which loop, which writer
+   stage, which reader stage) so the lint passes can cite them, and derives
+   the exact set of memories that *require* [mem_double]. The source buffer
+   of a mem-reduce feeds the loop's implicit combine stage and always
+   crosses. *)
+
+module Ir = Dhdl_ir.Ir
+module Analysis = Dhdl_ir.Analysis
+
+type reader = Stage of int * string | Combine
+
+type crossing = {
+  cr_loop : string list;  (* path to the pipelined loop *)
+  cr_mem : Ir.mem;
+  cr_writer : int * string;  (* stage index and label of a writer *)
+  cr_reader : reader;
+  cr_carried : bool;  (* reader stage precedes the writer (loop-carried) *)
+}
+
+let reader_label = function Stage (_, l) -> l | Combine -> "<combine>"
+
+let crossings (d : Ir.design) =
+  let out = ref [] in
+  let rec go path ctrl =
+    let path = path @ [ Ir.ctrl_label ctrl ] in
+    (match ctrl with
+    | Ir.Loop { pipelined = true; stages; reduce; _ } ->
+      let tagged =
+        List.mapi
+          (fun i st -> (i, Ir.ctrl_label st, Analysis.written_mems st, Analysis.read_mems st))
+          stages
+      in
+      let emit m writer reader carried =
+        if m.Ir.mem_kind <> Ir.Offchip then
+          out :=
+            { cr_loop = path; cr_mem = m; cr_writer = writer; cr_reader = reader;
+              cr_carried = carried }
+            :: !out
+      in
+      List.iter
+        (fun (i, li, writes, _) ->
+          List.iter
+            (fun m ->
+              List.iter
+                (fun (j, lj, _, reads) ->
+                  if j <> i && List.exists (Ir.mem_equal m) reads then
+                    emit m (i, li) (Stage (j, lj)) (j < i))
+                tagged;
+              match reduce with
+              | Some r when Ir.mem_equal m r.Ir.mr_src -> emit m (i, li) Combine false
+              | _ -> ())
+            writes)
+        tagged;
+      (* A reduce source crosses into the combine stage even when no
+         explicit stage of this loop writes it (defensive: generators
+         always write it in some stage). *)
+      (match reduce with
+      | Some r
+        when not
+               (List.exists
+                  (fun (_, _, writes, _) -> List.exists (Ir.mem_equal r.Ir.mr_src) writes)
+                  tagged) ->
+        emit r.Ir.mr_src (-1, "<body>") Combine false
+      | _ -> ())
+    | Ir.Loop _ | Ir.Pipe _ | Ir.Parallel _ | Ir.Tile_load _ | Ir.Tile_store _ -> ());
+    List.iter (go path) (Dhdl_ir.Traverse.children ctrl)
+  in
+  go [] d.Ir.d_top;
+  List.rev !out
+
+(* mem_id -> one witness crossing (the first found) for every memory that
+   must be double-buffered. *)
+let required (d : Ir.design) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun c -> if not (Hashtbl.mem tbl c.cr_mem.Ir.mem_id) then Hashtbl.add tbl c.cr_mem.Ir.mem_id c)
+    (crossings d);
+  tbl
+
+(* Memories with [mem_double] set that no crossing requires: recoverable
+   area. Queues are exempt (they are the sanctioned cross-stage channel and
+   their buffering is their capacity, not a double buffer). *)
+let spurious (d : Ir.design) =
+  let req = required d in
+  List.filter
+    (fun m ->
+      m.Ir.mem_double
+      && (not (Hashtbl.mem req m.Ir.mem_id))
+      && (match m.Ir.mem_kind with Ir.Bram | Ir.Reg -> true | Ir.Offchip | Ir.Queue -> false))
+    d.Ir.d_mems
+
+(* Memories a crossing requires but whose [mem_double] is unset: a hazard. *)
+let missing (d : Ir.design) =
+  let req = required d in
+  Hashtbl.fold
+    (fun _ c acc ->
+      if (not c.cr_mem.Ir.mem_double) && c.cr_mem.Ir.mem_kind <> Ir.Queue then c :: acc else acc)
+    req []
+  |> List.sort (fun a b -> compare a.cr_mem.Ir.mem_id b.cr_mem.Ir.mem_id)

@@ -1,5 +1,6 @@
 module Estimator = Dhdl_model.Estimator
 module Lint = Dhdl_lint.Lint
+module Diag = Dhdl_ir.Diag
 module Pareto = Dhdl_util.Pareto
 module Faults = Dhdl_util.Faults
 module Obs = Dhdl_obs.Obs
@@ -36,6 +37,7 @@ type result = {
   sampled : int;
   processed : int;
   lint_pruned : int;
+  absint_pruned : int;
   resumed : int;
   truncated : bool;
   jobs : int;
@@ -54,6 +56,7 @@ module Config = struct
     seed : int;
     max_points : int;
     lint : bool;
+    absint : bool;
     jobs : int;
     span_every : int;
     tick_every : int;
@@ -93,6 +96,7 @@ module Config = struct
       seed = 2016;
       max_points = 75_000;
       lint = true;
+      absint = true;
       jobs = 1;
       span_every = 100;
       tick_every = 1000;
@@ -103,17 +107,18 @@ module Config = struct
     }
 
   let make ?(seed = default.seed) ?(max_points = default.max_points) ?(lint = default.lint)
-      ?(jobs = default.jobs) ?(span_every = default.span_every)
+      ?(absint = default.absint) ?(jobs = default.jobs) ?(span_every = default.span_every)
       ?(tick_every = default.tick_every) ?checkpoint
       ?(checkpoint_every = default.checkpoint_every) ?(resume = default.resume)
       ?deadline_seconds () =
     validate_run
-      { seed; max_points; lint; jobs; span_every; tick_every; checkpoint; checkpoint_every;
-        resume; deadline_seconds }
+      { seed; max_points; lint; absint; jobs; span_every; tick_every; checkpoint;
+        checkpoint_every; resume; deadline_seconds }
 
   let with_seed seed t = validate { t with seed }
   let with_max_points max_points t = validate { t with max_points }
   let with_lint lint t = validate { t with lint }
+  let with_absint absint t = validate { t with absint }
   let with_jobs jobs t = validate { t with jobs }
   let with_span_every span_every t = validate { t with span_every }
   let with_tick_every tick_every t = validate { t with tick_every }
@@ -156,11 +161,24 @@ let non_finite_detail (e : evaluation) =
   Printf.sprintf "cycles=%h seconds=%h alm_pct=%h dsp_pct=%h bram_pct=%h"
     e.estimate.Estimator.cycles e.estimate.Estimator.seconds e.alm_pct e.dsp_pct e.bram_pct
 
+(* Pass codes of the heuristic (non-proof) lint passes, for lint-only runs
+   with absint pruning disabled. *)
+let heuristic_codes =
+  List.filter_map
+    (fun (p : Lint.pass) -> if List.mem p.Lint.code Lint.proof_codes then None else Some p.Lint.code)
+    (Lint.passes ())
+
 (* The exception barrier around one point's generate -> lint -> estimate
    pipeline: every failure mode becomes a classified entry instead of
    killing the sweep. [Faults.inject] sites (keyed by point index so a
-   resumed sweep replays the same faults) let tests exercise each arm. *)
-let process ~est ~dev ~lint i point ~generate =
+   resumed sweep replays the same faults) let tests exercise each arm.
+
+   Error-level diagnostics split in two: heuristic lint errors prune the
+   point ([Pruned], counted as lint), while points whose only errors are
+   abstract-interpretation proofs (L009/L010, each carrying a concrete
+   witness) are classified [Absint_pruned] — they describe hardware that
+   provably corrupts data, so estimating them would pollute the frontier. *)
+let process ~est ~dev ~lint ~absint i point ~generate =
   match
     try Faults.inject ~key:i "dse.generator"; Ok (generate point)
     with exn -> Error (Generator_error, describe exn)
@@ -170,12 +188,24 @@ let process ~est ~dev ~lint i point ~generate =
     match
       try
         Faults.inject ~key:i "dse.lint";
-        Ok (lint && Lint.has_errors (Lint.check ~dev design))
+        let diags =
+          if lint && absint then Lint.check ~dev design
+          else if lint then Lint.check ~dev ~only:heuristic_codes design
+          else if absint then Lint.check ~dev ~validate:false ~only:Lint.proof_codes design
+          else []
+        in
+        let proof, heuristic =
+          List.partition
+            (fun g -> List.mem g.Diag.code Lint.proof_codes)
+            (Lint.errors diags)
+        in
+        Ok (heuristic <> [], proof <> [])
       with exn -> Error (Lint_error, describe exn)
     with
     | Error (stage, msg) -> Outcome.Failed (stage, msg)
-    | Ok true -> Outcome.Pruned
-    | Ok false -> (
+    | Ok (true, _) -> Outcome.Pruned
+    | Ok (false, true) -> Outcome.Absint_pruned
+    | Ok (false, false) -> (
       try
         Faults.inject ~key:i "dse.estimator";
         let e = evaluate est point design in
@@ -244,7 +274,7 @@ end
 
 let run (cfg : Config.t) est ~space ~generate =
   let cfg = Config.validate_run cfg in
-  let { Config.seed; max_points; lint; jobs; span_every; tick_every; checkpoint;
+  let { Config.seed; max_points; lint; absint; jobs; span_every; tick_every; checkpoint;
         checkpoint_every; resume; deadline_seconds } =
     cfg
   in
@@ -260,6 +290,7 @@ let run (cfg : Config.t) est ~space ~generate =
        zero even for clean or empty sweeps. *)
     Obs.count ~by:total "dse.points_sampled";
     Obs.count ~by:0 "dse.lint_pruned";
+    Obs.count ~by:0 "dse.absint_pruned";
     Obs.count ~by:0 "dse.estimated";
     Obs.count ~by:0 "dse.unfit";
     List.iter
@@ -294,16 +325,17 @@ let run (cfg : Config.t) est ~space ~generate =
         Faults.with_key i @@ fun () ->
         Obs.span_sampled ~every:span_every ~i "dse.point" @@ fun () ->
         if Obs.enabled () then begin
-          let e = process ~est ~dev ~lint i p ~generate in
+          let e = process ~est ~dev ~lint ~absint i p ~generate in
           (match e with
           | Outcome.Evaluated _ ->
             Obs.count "dse.estimated";
             Obs.observe "dse.ms_per_design" ((Unix.gettimeofday () -. start) *. 1000.0)
           | Outcome.Pruned -> Obs.count "dse.lint_pruned"
+          | Outcome.Absint_pruned -> Obs.count "dse.absint_pruned"
           | Outcome.Failed (stage, _) -> Obs.count (stage_counter stage));
           e
         end
-        else process ~est ~dev ~lint i p ~generate
+        else process ~est ~dev ~lint ~absint i p ~generate
       in
       (e, false, Unix.gettimeofday () -. start)
   in
@@ -313,6 +345,7 @@ let run (cfg : Config.t) est ~space ~generate =
      untouched by parallelism. *)
   let entries = ref [] (* (index, entry), newest first *) in
   let lint_pruned = ref 0 in
+  let absint_pruned = ref 0 in
   let resumed = ref 0 in
   let failures = ref [] in
   let processed = ref 0 in
@@ -338,6 +371,7 @@ let run (cfg : Config.t) est ~space ~generate =
     if was_resumed then incr resumed;
     (match entry with
     | Outcome.Pruned -> incr lint_pruned
+    | Outcome.Absint_pruned -> incr absint_pruned
     | Outcome.Failed (f_stage, f_message) ->
       failures := { f_index = i; f_point = p; f_stage; f_message } :: !failures
     | Outcome.Evaluated _ -> ());
@@ -447,6 +481,7 @@ let run (cfg : Config.t) est ~space ~generate =
     sampled = total;
     processed = !processed;
     lint_pruned = !lint_pruned;
+    absint_pruned = !absint_pruned;
     resumed = !resumed;
     truncated;
     jobs;

@@ -52,6 +52,11 @@ type result = {
   sampled : int;  (** Sampled points, including pruned and failed ones. *)
   processed : int;  (** Points actually consumed; < [sampled] iff [truncated]. *)
   lint_pruned : int;  (** Points dropped before estimation by lint errors. *)
+  absint_pruned : int;
+      (** Points whose only error-level diagnostics were abstract-
+          interpretation proofs (L009 out-of-bounds / L010 bank conflict,
+          each with a concrete witness) — provably broken hardware dropped
+          before estimation. *)
   resumed : int;  (** Points reused from a checkpoint instead of recomputed. *)
   truncated : bool;  (** The deadline stopped the sweep early. *)
   jobs : int;  (** Worker domains the sweep ran with (1 = sequential). *)
@@ -71,7 +76,11 @@ module Config : sig
   type t = {
     seed : int;  (** Sampling seed (the paper uses 2016). *)
     max_points : int;  (** Sampling budget (the paper's cap is 75,000). *)
-    lint : bool;  (** Prune error-level lint diagnostics pre-estimation. *)
+    lint : bool;  (** Prune error-level heuristic lint diagnostics. *)
+    absint : bool;
+        (** Prune points the abstract-interpretation passes refute
+            (L009/L010 errors); counted separately as [absint_pruned].
+            Runs the proof passes alone when [lint] is off. *)
     jobs : int;  (** Worker domains; 1 (default) = sequential. *)
     span_every : int;  (** Record a [dse.point] span every N points; 0 off. *)
     tick_every : int;  (** Progress tick on stderr every N points; 0 off. *)
@@ -90,6 +99,7 @@ module Config : sig
     ?seed:int ->
     ?max_points:int ->
     ?lint:bool ->
+    ?absint:bool ->
     ?jobs:int ->
     ?span_every:int ->
     ?tick_every:int ->
@@ -107,6 +117,7 @@ module Config : sig
   val with_seed : int -> t -> t
   val with_max_points : int -> t -> t
   val with_lint : bool -> t -> t
+  val with_absint : bool -> t -> t
 
   val with_jobs : int -> t -> t
   (** Raises [Failure] unless [1 <= jobs <= max_jobs]. *)
@@ -134,8 +145,13 @@ val run :
 (** [run config est ~space ~generate] — the single sweep entry point.
     When [config.lint] is [true] (the default), each generated design runs
     through {!Dhdl_lint.Lint.check} against the estimator's device and
-    points with error-level diagnostics are pruned before estimation;
-    [lint_pruned] counts them.
+    points with error-level diagnostics are pruned before estimation.
+    Errors split by origin: points with heuristic lint errors count in
+    [lint_pruned], while points whose only errors are the proof-backed
+    passes ({!Dhdl_lint.Lint.proof_codes}: L009 out-of-bounds, L010 bank
+    conflict) count in [absint_pruned]. With [config.absint] off the
+    proof passes are skipped; with [config.lint] off but [config.absint]
+    on, only the proof passes run (no validator, no heuristics).
 
     {b Parallel sweeps.} With [config.jobs = n > 1], [n] worker domains
     pull point indices from a shared cursor and run the per-point pipeline
@@ -182,7 +198,8 @@ val run :
     so a resume reuses them all).
 
     When the {!Dhdl_obs.Obs} sink is enabled the sweep records counters
-    ([dse.points_sampled] / [dse.lint_pruned] / [dse.estimated] /
+    ([dse.points_sampled] / [dse.lint_pruned] / [dse.absint_pruned] /
+    [dse.estimated] /
     [dse.unfit] / [dse.failed.generator] / [dse.failed.lint] /
     [dse.failed.estimator] / [dse.failed.non_finite] — all pre-registered
     at zero — plus [dse.resumed] on resume), a [dse.ms_per_design]

@@ -35,8 +35,11 @@ type evaluation = {
   bram_pct : float;
 }
 
-(** Terminal state of one processed point. *)
-type entry = Evaluated of evaluation | Pruned | Failed of failure_stage * string
+(** Terminal state of one processed point. [Pruned] means an error-level
+    heuristic lint diagnostic stopped it before estimation; [Absint_pruned]
+    means the only errors were abstract-interpretation proofs (L009/L010 —
+    an out-of-bounds access or bank conflict with a concrete witness). *)
+type entry = Evaluated of evaluation | Pruned | Absint_pruned | Failed of failure_stage * string
 
 val stage_name : failure_stage -> string
 (** Stable lowercase tag used in checkpoints, counters and CLI output:

@@ -29,9 +29,13 @@ type stmt =
 
 type counter = { ctr_name : string; ctr_start : int; ctr_stop : int; ctr_step : int }
 
+(* Degenerate counters (non-positive step, or stop at/before start) describe
+   a loop that never runs: clamp the trip to 0 instead of asserting or
+   returning a negative count, so downstream cycle/area math stays sane.
+   [Analysis.validate_diags] still reports them as V004 errors. *)
 let counter_trip c =
-  assert (c.ctr_step > 0);
-  Intmath.ceil_div (c.ctr_stop - c.ctr_start) c.ctr_step
+  if c.ctr_step <= 0 || c.ctr_stop <= c.ctr_start then 0
+  else Intmath.ceil_div (c.ctr_stop - c.ctr_start) c.ctr_step
 
 type pattern = Map_pattern | Reduce_pattern
 

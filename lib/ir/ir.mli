@@ -68,7 +68,10 @@ type counter = {
 }
 
 val counter_trip : counter -> int
-(** Number of iterations: ceil((stop - start) / step). *)
+(** Number of iterations: ceil((stop - start) / step), clamped to 0 for
+    degenerate counters (non-positive step, or stop at/before start) — those
+    are reported by {!Analysis.validate_diags} as V004 but must not leak
+    negative trip counts into cycle or area math. *)
 
 type pattern = Map_pattern | Reduce_pattern
 (** The parallel pattern a controller was generated from; maps replicate in

@@ -60,11 +60,35 @@ let passes ?(dev = Target.stratix_v) () =
       doc = "zero-trip loop, par > trip, or non-divisor par";
       run = Passes.loop_pass;
     };
+    {
+      code = "L009";
+      title = "out-of-bounds";
+      doc = "proven out-of-bounds access with a witness iteration vector";
+      run = Passes.oob_pass;
+    };
+    {
+      code = "L010";
+      title = "bank-conflict";
+      doc = "proven same-cycle bank conflict with a concrete lane pair";
+      run = Passes.bank_conflict_pass;
+    };
+    {
+      code = "L011";
+      title = "spurious-double-buffer";
+      doc = "double buffer no pipelined stage crossing requires";
+      run = Passes.spurious_double_pass;
+    };
   ]
 
-let check ?dev ?(validate = true) d =
+let proof_codes = [ "L009"; "L010"; "L011" ]
+
+let check ?dev ?(validate = true) ?only d =
+  let ps = passes ?dev () in
+  let ps =
+    match only with None -> ps | Some codes -> List.filter (fun p -> List.mem p.code codes) ps
+  in
   let base = if validate then Analysis.validate_diags d else [] in
-  let lint = List.concat_map (fun p -> p.run d) (passes ?dev ()) in
+  let lint = List.concat_map (fun p -> p.run d) ps in
   List.sort_uniq Diagnostic.compare (base @ lint)
 
 let errors diags = List.filter (fun g -> g.Diagnostic.severity = Diagnostic.Error) diags

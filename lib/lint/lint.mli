@@ -19,12 +19,20 @@ type pass = {
 }
 
 val passes : ?dev:Target.t -> unit -> pass list
-(** The registry, in code order (L001–L008). [dev] parameterizes the
-    device-fit pass; defaults to {!Target.stratix_v}. *)
+(** The registry, in code order (L001–L011). [dev] parameterizes the
+    device-fit pass; defaults to {!Target.stratix_v}. L009–L011 are backed
+    by the abstract-interpretation framework in {!Dhdl_absint}. *)
 
-val check : ?dev:Target.t -> ?validate:bool -> Ir.design -> Diagnostic.t list
+val proof_codes : string list
+(** The codes of the proof-backed passes (L009–L011): every error they emit
+    cites a concrete counterexample, so error-level pruning on them alone
+    is sound even when the heuristic passes are disabled. *)
+
+val check : ?dev:Target.t -> ?validate:bool -> ?only:string list -> Ir.design -> Diagnostic.t list
 (** Run the validator ([validate] defaults to [true]) and every registered
-    pass; the result is sorted by severity then code and deduplicated. *)
+    pass; the result is sorted by severity then code and deduplicated.
+    [only] restricts the registry to the passes with the given codes (the
+    validator is still controlled by [validate]). *)
 
 val errors : Diagnostic.t list -> Diagnostic.t list
 val has_errors : Diagnostic.t list -> bool

@@ -7,7 +7,8 @@ module Analysis = Dhdl_ir.Analysis
 module Traverse = Dhdl_ir.Traverse
 module Target = Dhdl_device.Target
 module Area_model = Dhdl_model.Area_model
-module Intmath = Dhdl_util.Intmath
+module Absint = Dhdl_absint.Absint
+module Liveness = Dhdl_absint.Liveness
 
 let fold_with_path f init (d : Ir.design) =
   let rec go path acc ctrl =
@@ -74,75 +75,51 @@ let race_pass (d : Ir.design) =
 
 (* L002: in a MetaPipe, consecutive outer iterations occupy adjacent stages
    simultaneously, so a buffer flowing between stages must be double
-   buffered or stage N+1 reads data stage N is overwriting. *)
+   buffered or stage N+1 reads data stage N is overwriting. The crossing
+   facts come from the liveness analysis, which cites the exact writer and
+   reader stages. *)
 let metapipe_pass (d : Ir.design) =
-  fold_with_path
-    (fun path ctrl diags ->
-      match ctrl with
-      | Ir.Loop { pipelined = true; stages; reduce; _ } ->
-        let tagged =
-          List.mapi (fun i st -> (i, Analysis.written_mems st, Analysis.read_mems st)) stages
-        in
-        let found = ref [] in
-        let flag m fmt =
-          Printf.ksprintf
-            (fun message ->
-              if
-                m.Ir.mem_kind <> Ir.Offchip
-                && m.Ir.mem_kind <> Ir.Queue
-                && (not m.Ir.mem_double)
-                && not (List.exists (fun g -> g.Diag.mem = Some m.Ir.mem_name) !found)
-              then
-                found :=
-                  Diag.make ~path ~mem:m.Ir.mem_name ~code:"L002" ~severity:Diag.Error message
-                  :: !found)
-            fmt
-        in
-        List.iter
-          (fun (i, writes, _) ->
-            List.iter
-              (fun m ->
-                if
-                  List.exists
-                    (fun (j, _, reads) -> j <> i && List.exists (Ir.mem_equal m) reads)
-                    tagged
-                then
-                  flag m "buffer %s crosses pipelined stages without double buffering"
-                    m.Ir.mem_name)
-              writes)
-          tagged;
-        (match reduce with
-        | Some r ->
-          flag r.Ir.mr_src
-            "reduce source %s feeds the combine stage of a pipelined loop without double buffering"
-            r.Ir.mr_src.Ir.mem_name
-        | None -> ());
-        !found @ diags
-      | Ir.Loop _ | Ir.Pipe _ | Ir.Parallel _ | Ir.Tile_load _ | Ir.Tile_store _ -> diags)
-    [] d
+  List.map
+    (fun (c : Liveness.crossing) ->
+      let m = c.Liveness.cr_mem in
+      match c.Liveness.cr_reader with
+      | Liveness.Combine ->
+        Diag.makef ~path:c.Liveness.cr_loop ~mem:m.Ir.mem_name ~code:"L002" ~severity:Diag.Error
+          "reduce source %s feeds the combine stage of a pipelined loop without double buffering"
+          m.Ir.mem_name
+      | Liveness.Stage _ ->
+        Diag.makef ~path:c.Liveness.cr_loop ~mem:m.Ir.mem_name ~code:"L002" ~severity:Diag.Error
+          "buffer %s crosses pipelined stages without double buffering" m.Ir.mem_name)
+    (Liveness.missing d)
 
 (* L003: an access vector wider than the memory's banking cannot be served
    in one cycle; the paper couples banking to the widest access precisely
-   to rule this out. *)
+   to rule this out. The access facts come from the abstract-interpretation
+   report (one per static access, deduplicated per controller). *)
 let banking_pass (d : Ir.design) =
+  let r = Absint.report_cached d in
   let seen = Hashtbl.create 16 in
-  List.filter_map
-    (fun a ->
-      let m = a.Analysis.acc_mem in
+  List.concat_map
+    (fun (mi : Absint.mem_info) ->
+      let m = mi.Absint.mi_mem in
       let banks = max 1 m.Ir.mem_banks in
-      if
-        m.Ir.mem_kind = Ir.Bram
-        && a.Analysis.acc_par > banks
-        && not (Hashtbl.mem seen (m.Ir.mem_id, a.Analysis.acc_ctrl))
-      then begin
-        Hashtbl.add seen (m.Ir.mem_id, a.Analysis.acc_ctrl) ();
-        Some
-          (Diag.makef ~path:[ a.Analysis.acc_ctrl ] ~mem:m.Ir.mem_name ~code:"L003"
-             ~severity:Diag.Error "access vector width %d exceeds the %d bank(s) of %s"
-             a.Analysis.acc_par banks m.Ir.mem_name)
-      end
-      else None)
-    (Analysis.accesses d)
+      List.filter_map
+        (fun (a : Absint.access_info) ->
+          let label = match List.rev a.Absint.ai_path with l :: _ -> l | [] -> "" in
+          if
+            m.Ir.mem_kind = Ir.Bram
+            && a.Absint.ai_par > banks
+            && not (Hashtbl.mem seen (m.Ir.mem_id, label))
+          then begin
+            Hashtbl.add seen (m.Ir.mem_id, label) ();
+            Some
+              (Diag.makef ~path:[ label ] ~mem:m.Ir.mem_name ~code:"L003" ~severity:Diag.Error
+                 "access vector width %d exceeds the %d bank(s) of %s" a.Absint.ai_par banks
+                 m.Ir.mem_name)
+          end
+          else None)
+        mi.Absint.mi_accesses)
+    r.Absint.r_mems
 
 (* L004: dead memories waste BRAM and usually indicate a generator bug.
    Off-chip memories are the design's I/O surface and exempt; registers may
@@ -292,15 +269,9 @@ let queue_pass (d : Ir.design) =
       end)
     d.Ir.d_mems
 
-let safe_trip counters =
-  List.fold_left
-    (fun acc c ->
-      let t =
-        if c.Ir.ctr_step <= 0 then 0
-        else max 0 (Intmath.ceil_div (c.Ir.ctr_stop - c.Ir.ctr_start) c.Ir.ctr_step)
-      in
-      acc * t)
-    1 counters
+(* [Ir.counter_trip] clamps degenerate counters (non-positive step, empty
+   range) to zero, so the product is already safe. *)
+let safe_trip counters = List.fold_left (fun acc c -> acc * Ir.counter_trip c) 1 counters
 
 (* L008: degenerate loops. Zero-trip loops synthesize dead control logic;
    par > trip leaves lanes permanently idle; a non-divisor par wastes lanes
@@ -339,3 +310,15 @@ let loop_pass (d : Ir.design) =
         end
       | Ir.Parallel _ | Ir.Tile_load _ | Ir.Tile_store _ -> diags)
     [] d
+
+(* L009: proven out-of-bounds accesses, with a concrete witness iteration
+   vector from the abstract-interpretation bounds checker. *)
+let oob_pass (d : Ir.design) = Absint.oob_diags (Absint.report_cached d)
+
+(* L010: proven same-cycle bank conflicts: a concrete pair of vector lanes
+   that hit the same bank under every candidate banking scheme. *)
+let bank_conflict_pass (d : Ir.design) = Absint.conflict_diags (Absint.report_cached d)
+
+(* L011: double buffers no stage crossing requires; single buffering them
+   recovers half their BRAM. *)
+let spurious_double_pass (d : Ir.design) = Absint.buffer_diags (Absint.report_cached d)

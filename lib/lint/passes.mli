@@ -33,9 +33,21 @@ val queue_pass : Ir.design -> Diag.t list
 val loop_pass : Ir.design -> Diag.t list
 (** L008: zero-trip loops, par > trip, non-divisor par remainder waste. *)
 
+val oob_pass : Ir.design -> Diag.t list
+(** L009: proven out-of-bounds accesses (witness iteration vector in the
+    message), from {!Dhdl_absint.Absint}. *)
+
+val bank_conflict_pass : Ir.design -> Diag.t list
+(** L010: proven same-cycle bank conflicts (concrete lane pair in the
+    message), from {!Dhdl_absint.Absint}. *)
+
+val spurious_double_pass : Ir.design -> Diag.t list
+(** L011: double buffers no pipelined stage crossing requires. *)
+
 val mem_limit_words : int
 (** Single-memory word-count threshold for the L006 tiling warning. *)
 
 val safe_trip : Ir.counter list -> int
 (** Trip count that tolerates degenerate counters (returns 0 instead of
-    asserting like {!Ir.counter_trip}). *)
+    asserting like {!Ir.counter_trip}); delegates to {!Ir.counter_trip},
+    which clamps degenerate counters to zero. *)

@@ -99,7 +99,12 @@ let ctr name start stop step = { Ir.ctr_name = name; ctr_start = start; ctr_stop
 let test_counter_trip () =
   check_int "unit step" 10 (Ir.counter_trip (ctr "i" 0 10 1));
   check_int "strided" 4 (Ir.counter_trip (ctr "i" 0 10 3));
-  check_int "offset" 5 (Ir.counter_trip (ctr "i" 5 10 1))
+  check_int "offset" 5 (Ir.counter_trip (ctr "i" 5 10 1));
+  (* Degenerate counters clamp to zero instead of going negative. *)
+  check_int "zero step" 0 (Ir.counter_trip (ctr "i" 0 10 0));
+  check_int "negative step" 0 (Ir.counter_trip (ctr "i" 0 10 (-2)));
+  check_int "empty range" 0 (Ir.counter_trip (ctr "i" 10 10 1));
+  check_int "inverted range" 0 (Ir.counter_trip (ctr "i" 10 0 1))
 
 let test_loop_trip () =
   let loop =

@@ -180,11 +180,16 @@ let test_l008_degenerate_loops () =
 
 let test_registry () =
   let ps = Lint.passes () in
-  check_int "eight passes" 8 (List.length ps);
+  check_int "eleven passes" 11 (List.length ps);
   Alcotest.(check (list string))
     "codes in order"
-    [ "L001"; "L002"; "L003"; "L004"; "L005"; "L006"; "L007"; "L008" ]
-    (List.map (fun p -> p.Lint.code) ps)
+    [ "L001"; "L002"; "L003"; "L004"; "L005"; "L006"; "L007"; "L008"; "L009"; "L010"; "L011" ]
+    (List.map (fun p -> p.Lint.code) ps);
+  Alcotest.(check (list string)) "proof codes" [ "L009"; "L010"; "L011" ] Lint.proof_codes;
+  (* [only] restricts the registry without touching the validator. *)
+  let d = race_design () in
+  check_bool "only=L001 keeps the race" true (has_code "L001" (Lint.check ~only:[ "L001" ] d));
+  check_bool "only=L004 drops it" false (has_code "L001" (Lint.check ~only:[ "L004" ] d))
 
 let test_sorted_and_deduped () =
   let diags = Lint.check (race_design ()) in
@@ -202,6 +207,10 @@ let test_exit_codes () =
   check_int "warnings fail under --fail-on warning" 1
     (Lint.exit_code ~fail_on:Diag.Warning [ warn; info ]);
   check_int "info fails only under --fail-on info" 1 (Lint.exit_code ~fail_on:Diag.Info [ info ]);
+  check_int "info passes under --fail-on warning" 0
+    (Lint.exit_code ~fail_on:Diag.Warning [ info ]);
+  check_int "warning fails under --fail-on info" 1 (Lint.exit_code ~fail_on:Diag.Info [ warn ]);
+  check_int "empty is clean under --fail-on info" 0 (Lint.exit_code ~fail_on:Diag.Info []);
   check_int "errors always 2" 2 (Lint.exit_code ~fail_on:Diag.Info [ err; warn ])
 
 let test_render_text () =
@@ -220,6 +229,24 @@ let test_render_json () =
   (* Escaping: quotes and newlines must not leak into the JSON raw. *)
   Alcotest.(check string)
     "escape" "a\\\"b\\\\c\\nd" (Diag.json_escape "a\"b\\c\nd")
+
+(* A design whose name carries quotes, newlines and a raw control char must
+   still render to JSON with every byte escaped. *)
+let test_render_json_escaping () =
+  let b = B.create "quo\"te\n\001name" in
+  let xt = B.bram b "xT" Dtype.float32 [ 8 ] in
+  let out = B.reg b "out" Dtype.float32 in
+  let top =
+    B.reduce_pipe ~label:"p" ~counters:[ ("i", 0, 8, 1) ] ~op:Op.Add ~out (fun pb ->
+        B.load pb xt [ B.iter "i" ])
+  in
+  let d = B.finish b ~top in
+  let json = Lint.render_json ~design:d (Lint.check d) in
+  check_bool "quote escaped" true (contains ~needle:"quo\\\"te" json);
+  check_bool "newline escaped" true (contains ~needle:"\\n" json);
+  check_bool "control char escaped" true (contains ~needle:"\\u0001" json);
+  check_bool "no raw control bytes" true
+    (not (String.exists (fun c -> Char.code c < 32) json))
 
 (* ------------------------- benchmarks are clean -------------------- *)
 
@@ -286,6 +313,7 @@ let () =
           Alcotest.test_case "exit codes" `Quick test_exit_codes;
           Alcotest.test_case "render text" `Quick test_render_text;
           Alcotest.test_case "render json" `Quick test_render_json;
+          Alcotest.test_case "render json escaping" `Quick test_render_json_escaping;
         ] );
       ( "benchmarks",
         [ Alcotest.test_case "all error-clean at paper sizes" `Quick test_benchmarks_error_clean ] );
