@@ -243,8 +243,8 @@ let no_absint_arg =
     value & flag
     & info [ "no-absint" ]
         ~doc:
-          "Disable abstract-interpretation pruning: points refuted by the proof passes (L009 \
-           out-of-bounds, L010 bank conflict) are estimated instead of dropped.")
+          "Disable proof-backed pruning: points refuted by the proof passes (L009 out-of-bounds, \
+           L010 bank conflict, L013 unsafe pipelining) are estimated instead of dropped.")
 
 let dse_cmd =
   let run app seed train points cache trace jsonl metrics jobs checkpoint resume deadline inject
@@ -281,8 +281,10 @@ let dse_cmd =
         result.Explore.sampled result.Explore.elapsed_seconds;
     Printf.printf
       "pruned by lint errors: %d point(s); refuted by abstract interpretation: %d point(s); \
-       estimated but over device capacity: %d point(s)\n"
-      result.Explore.lint_pruned result.Explore.absint_pruned (Explore.unfit_count result);
+       refuted by dependence analysis: %d point(s); estimated but over device capacity: %d \
+       point(s)\n"
+      result.Explore.lint_pruned result.Explore.absint_pruned result.Explore.dep_pruned
+      (Explore.unfit_count result);
     if result.Explore.resumed > 0 then
       Printf.printf "resumed from checkpoint: %d point(s) reused, %d recomputed\n"
         result.Explore.resumed
@@ -522,17 +524,27 @@ let analyze_cmd =
   let run app params json =
     let _, design = design_of ~app ~params in
     let report = Absint.analyze design in
-    if json then print_endline (Absint.render_json report) else print_string (Absint.render_text report);
+    let deps = Dhdl_absint.Dependence.analyze design in
+    if json then
+      print_endline
+        (Printf.sprintf "{\"absint\":%s,\"dependence\":%s}" (Absint.render_json report)
+           (Dhdl_absint.Dependence.render_json deps))
+    else begin
+      print_string (Absint.render_text report);
+      print_string (Dhdl_absint.Dependence.render_text deps)
+    end;
     (* Mirror lint's convention: exit 2 when a proven violation (out-of-
-       bounds access or bank conflict) is present. *)
-    if not (Absint.clean report) then exit 2
+       bounds access, bank conflict, illegal vectorization, or cross-stage
+       overlap) is present. *)
+    if not (Absint.clean report && Dhdl_absint.Dependence.clean deps) then exit 2
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Abstract-interpret a design point: prove every on-chip access in bounds, every \
-          vectorized access conflict-free under a banking scheme, and every double buffer \
-          justified by a stage crossing (or print concrete counterexamples).")
+          vectorized access conflict-free under a banking scheme, every double buffer justified \
+          by a stage crossing, and every loop-carried dependence consistent with the chosen \
+          initiation interval and parallelization (or print concrete counterexamples).")
     Term.(const run $ app_arg $ params_arg $ json)
 
 let metrics_cmd =

@@ -38,6 +38,7 @@ type result = {
   processed : int;
   lint_pruned : int;
   absint_pruned : int;
+  dep_pruned : int;
   resumed : int;
   truncated : bool;
   jobs : int;
@@ -173,11 +174,14 @@ let heuristic_codes =
    killing the sweep. [Faults.inject] sites (keyed by point index so a
    resumed sweep replays the same faults) let tests exercise each arm.
 
-   Error-level diagnostics split in two: heuristic lint errors prune the
-   point ([Pruned], counted as lint), while points whose only errors are
-   abstract-interpretation proofs (L009/L010, each carrying a concrete
+   Error-level diagnostics split three ways: heuristic lint errors prune
+   the point ([Pruned], counted as lint); points whose errors include an
+   abstract-interpretation proof (L009/L010, each carrying a concrete
    witness) are classified [Absint_pruned] — they describe hardware that
-   provably corrupts data, so estimating them would pollute the frontier. *)
+   provably corrupts data, so estimating them would pollute the frontier;
+   and points whose only errors are dependence refutations of the chosen
+   parallelization (L013) are [Dep_pruned] — the design is sound at par=1
+   but the sampled par is proven illegal. *)
 let process ~est ~dev ~lint ~absint i point ~generate =
   match
     try Faults.inject ~key:i "dse.generator"; Ok (generate point)
@@ -199,13 +203,18 @@ let process ~est ~dev ~lint ~absint i point ~generate =
             (fun g -> List.mem g.Diag.code Lint.proof_codes)
             (Lint.errors diags)
         in
-        Ok (heuristic <> [], proof <> [])
+        Ok
+          (if heuristic <> [] then `Heuristic_errors
+           else if proof = [] then `Clean
+           else if List.for_all (fun g -> g.Diag.code = "L013") proof then `Dep_refuted
+           else `Absint_refuted)
       with exn -> Error (Lint_error, describe exn)
     with
     | Error (stage, msg) -> Outcome.Failed (stage, msg)
-    | Ok (true, _) -> Outcome.Pruned
-    | Ok (false, true) -> Outcome.Absint_pruned
-    | Ok (false, false) -> (
+    | Ok `Heuristic_errors -> Outcome.Pruned
+    | Ok `Absint_refuted -> Outcome.Absint_pruned
+    | Ok `Dep_refuted -> Outcome.Dep_pruned
+    | Ok `Clean -> (
       try
         Faults.inject ~key:i "dse.estimator";
         let e = evaluate est point design in
@@ -291,6 +300,7 @@ let run (cfg : Config.t) est ~space ~generate =
     Obs.count ~by:total "dse.points_sampled";
     Obs.count ~by:0 "dse.lint_pruned";
     Obs.count ~by:0 "dse.absint_pruned";
+    Obs.count ~by:0 "dse.dep_pruned";
     Obs.count ~by:0 "dse.estimated";
     Obs.count ~by:0 "dse.unfit";
     List.iter
@@ -332,6 +342,7 @@ let run (cfg : Config.t) est ~space ~generate =
             Obs.observe "dse.ms_per_design" ((Unix.gettimeofday () -. start) *. 1000.0)
           | Outcome.Pruned -> Obs.count "dse.lint_pruned"
           | Outcome.Absint_pruned -> Obs.count "dse.absint_pruned"
+          | Outcome.Dep_pruned -> Obs.count "dse.dep_pruned"
           | Outcome.Failed (stage, _) -> Obs.count (stage_counter stage));
           e
         end
@@ -346,6 +357,7 @@ let run (cfg : Config.t) est ~space ~generate =
   let entries = ref [] (* (index, entry), newest first *) in
   let lint_pruned = ref 0 in
   let absint_pruned = ref 0 in
+  let dep_pruned = ref 0 in
   let resumed = ref 0 in
   let failures = ref [] in
   let processed = ref 0 in
@@ -372,6 +384,7 @@ let run (cfg : Config.t) est ~space ~generate =
     (match entry with
     | Outcome.Pruned -> incr lint_pruned
     | Outcome.Absint_pruned -> incr absint_pruned
+    | Outcome.Dep_pruned -> incr dep_pruned
     | Outcome.Failed (f_stage, f_message) ->
       failures := { f_index = i; f_point = p; f_stage; f_message } :: !failures
     | Outcome.Evaluated _ -> ());
@@ -482,6 +495,7 @@ let run (cfg : Config.t) est ~space ~generate =
     processed = !processed;
     lint_pruned = !lint_pruned;
     absint_pruned = !absint_pruned;
+    dep_pruned = !dep_pruned;
     resumed = !resumed;
     truncated;
     jobs;

@@ -53,10 +53,15 @@ type result = {
   processed : int;  (** Points actually consumed; < [sampled] iff [truncated]. *)
   lint_pruned : int;  (** Points dropped before estimation by lint errors. *)
   absint_pruned : int;
-      (** Points whose only error-level diagnostics were abstract-
-          interpretation proofs (L009 out-of-bounds / L010 bank conflict,
+      (** Points whose error-level diagnostics included an abstract-
+          interpretation proof (L009 out-of-bounds / L010 bank conflict,
           each with a concrete witness) — provably broken hardware dropped
           before estimation. *)
+  dep_pruned : int;
+      (** Points whose only error-level diagnostics were dependence
+          refutations of the chosen parallelization (L013: a proven
+          same-cycle lane conflict with a concrete witness) — the design
+          is sound sequentially but the sampled [par] is illegal. *)
   resumed : int;  (** Points reused from a checkpoint instead of recomputed. *)
   truncated : bool;  (** The deadline stopped the sweep early. *)
   jobs : int;  (** Worker domains the sweep ran with (1 = sequential). *)
@@ -78,9 +83,10 @@ module Config : sig
     max_points : int;  (** Sampling budget (the paper's cap is 75,000). *)
     lint : bool;  (** Prune error-level heuristic lint diagnostics. *)
     absint : bool;
-        (** Prune points the abstract-interpretation passes refute
-            (L009/L010 errors); counted separately as [absint_pruned].
-            Runs the proof passes alone when [lint] is off. *)
+        (** Prune points the proof-backed passes refute: L009/L010
+            abstract-interpretation errors count as [absint_pruned],
+            L013 dependence refutations as [dep_pruned]. Runs the proof
+            passes alone when [lint] is off. *)
     jobs : int;  (** Worker domains; 1 (default) = sequential. *)
     span_every : int;  (** Record a [dse.point] span every N points; 0 off. *)
     tick_every : int;  (** Progress tick on stderr every N points; 0 off. *)
@@ -147,11 +153,13 @@ val run :
     through {!Dhdl_lint.Lint.check} against the estimator's device and
     points with error-level diagnostics are pruned before estimation.
     Errors split by origin: points with heuristic lint errors count in
-    [lint_pruned], while points whose only errors are the proof-backed
-    passes ({!Dhdl_lint.Lint.proof_codes}: L009 out-of-bounds, L010 bank
-    conflict) count in [absint_pruned]. With [config.absint] off the
-    proof passes are skipped; with [config.lint] off but [config.absint]
-    on, only the proof passes run (no validator, no heuristics).
+    [lint_pruned]; points whose errors include an abstract-interpretation
+    proof ({!Dhdl_lint.Lint.proof_codes}: L009 out-of-bounds, L010 bank
+    conflict) count in [absint_pruned]; points whose only errors are
+    dependence refutations of the chosen parallelization (L013) count in
+    [dep_pruned]. With [config.absint] off the proof passes are skipped;
+    with [config.lint] off but [config.absint] on, only the proof passes
+    run (no validator, no heuristics).
 
     {b Parallel sweeps.} With [config.jobs = n > 1], [n] worker domains
     pull point indices from a shared cursor and run the per-point pipeline
@@ -199,7 +207,7 @@ val run :
 
     When the {!Dhdl_obs.Obs} sink is enabled the sweep records counters
     ([dse.points_sampled] / [dse.lint_pruned] / [dse.absint_pruned] /
-    [dse.estimated] /
+    [dse.dep_pruned] / [dse.estimated] /
     [dse.unfit] / [dse.failed.generator] / [dse.failed.lint] /
     [dse.failed.estimator] / [dse.failed.non_finite] — all pre-registered
     at zero — plus [dse.resumed] on resume), a [dse.ms_per_design]

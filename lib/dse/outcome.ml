@@ -18,7 +18,12 @@ type evaluation = {
   bram_pct : float;
 }
 
-type entry = Evaluated of evaluation | Pruned | Absint_pruned | Failed of failure_stage * string
+type entry =
+  | Evaluated of evaluation
+  | Pruned
+  | Absint_pruned
+  | Dep_pruned
+  | Failed of failure_stage * string
 
 let stage_name = function
   | Generator_error -> "generator"

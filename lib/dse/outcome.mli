@@ -1,8 +1,9 @@
 (** Per-point sweep outcomes shared by {!Explore} and {!Checkpoint}.
 
-    One sampled design point ends the pipeline in exactly one of three
-    states: successfully evaluated, pruned by an error-level lint
-    diagnostic, or failed in a classified stage. Keeping these types in
+    One sampled design point ends the pipeline in exactly one terminal
+    state: successfully evaluated, pruned by an error-level lint
+    diagnostic (heuristic, proof-backed, or dependence-refuted), or failed
+    in a classified stage. Keeping these types in
     their own module lets the checkpoint serializer and the explorer agree
     on them without a dependency cycle; {!Explore} re-exports them so
     existing [Explore.evaluation] users are unaffected. *)
@@ -38,8 +39,16 @@ type evaluation = {
 (** Terminal state of one processed point. [Pruned] means an error-level
     heuristic lint diagnostic stopped it before estimation; [Absint_pruned]
     means the only errors were abstract-interpretation proofs (L009/L010 —
-    an out-of-bounds access or bank conflict with a concrete witness). *)
-type entry = Evaluated of evaluation | Pruned | Absint_pruned | Failed of failure_stage * string
+    an out-of-bounds access or bank conflict with a concrete witness);
+    [Dep_pruned] means the only errors were dependence-analysis refutations
+    of the chosen parallelization (L013 — a proven same-cycle lane
+    conflict). *)
+type entry =
+  | Evaluated of evaluation
+  | Pruned
+  | Absint_pruned
+  | Dep_pruned
+  | Failed of failure_stage * string
 
 val stage_name : failure_stage -> string
 (** Stable lowercase tag used in checkpoints, counters and CLI output:

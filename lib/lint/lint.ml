@@ -78,9 +78,21 @@ let passes ?(dev = Target.stratix_v) () =
       doc = "double buffer no pipelined stage crossing requires";
       run = Passes.spurious_double_pass;
     };
+    {
+      code = "L012";
+      title = "pessimistic-ii";
+      doc = "syntactic heuristic charges a higher II than dependence analysis proves";
+      run = Passes.pessimistic_ii_pass;
+    };
+    {
+      code = "L013";
+      title = "unsafe-pipelining";
+      doc = "proven-illegal vectorization with a concrete same-cycle lane conflict";
+      run = Passes.unsafe_pipelining_pass;
+    };
   ]
 
-let proof_codes = [ "L009"; "L010"; "L011" ]
+let proof_codes = [ "L009"; "L010"; "L011"; "L012"; "L013" ]
 
 let check ?dev ?(validate = true) ?only d =
   let ps = passes ?dev () in

@@ -19,12 +19,15 @@ type pass = {
 }
 
 val passes : ?dev:Target.t -> unit -> pass list
-(** The registry, in code order (L001–L011). [dev] parameterizes the
+(** The registry, in code order (L001–L013). [dev] parameterizes the
     device-fit pass; defaults to {!Target.stratix_v}. L009–L011 are backed
-    by the abstract-interpretation framework in {!Dhdl_absint}. *)
+    by the abstract-interpretation framework in {!Dhdl_absint}; L012 and
+    L013 by its loop-carried dependence analysis
+    ({!Dhdl_absint.Dependence}), which also settles L001's race
+    candidates. *)
 
 val proof_codes : string list
-(** The codes of the proof-backed passes (L009–L011): every error they emit
+(** The codes of the proof-backed passes (L009–L013): every error they emit
     cites a concrete counterexample, so error-level pruning on them alone
     is sound even when the heuristic passes are disabled. *)
 

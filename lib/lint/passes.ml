@@ -9,6 +9,7 @@ module Target = Dhdl_device.Target
 module Area_model = Dhdl_model.Area_model
 module Absint = Dhdl_absint.Absint
 module Liveness = Dhdl_absint.Liveness
+module Dependence = Dhdl_absint.Dependence
 
 let fold_with_path f init (d : Ir.design) =
   let rec go path acc ctrl =
@@ -19,59 +20,12 @@ let fold_with_path f init (d : Ir.design) =
   go [] init d.Ir.d_top
 
 (* L001: concurrent stages of a Parallel run with no ordering between them,
-   so any shared memory with at least one writer is a race. Queues are the
-   sanctioned cross-stage channel and are exempt. *)
-let race_pass (d : Ir.design) =
-  fold_with_path
-    (fun path ctrl diags ->
-      match ctrl with
-      | Ir.Parallel { stages; _ } ->
-        let tagged =
-          List.mapi
-            (fun i st ->
-              (i, Ir.ctrl_label st, Analysis.written_mems st, Analysis.read_mems st))
-            stages
-        in
-        let found = ref [] in
-        let overlap a b = List.filter (fun m -> List.exists (Ir.mem_equal m) b) a in
-        let dedup mems =
-          let seen = Hashtbl.create 4 in
-          List.filter
-            (fun m ->
-              if Hashtbl.mem seen m.Ir.mem_id then false
-              else begin
-                Hashtbl.add seen m.Ir.mem_id ();
-                true
-              end)
-            mems
-        in
-        List.iter
-          (fun (i, li, wi, ri) ->
-            List.iter
-              (fun (j, lj, wj, rj) ->
-                if j > i then begin
-                  let ww = overlap wi wj in
-                  let rw =
-                    List.filter
-                      (fun m -> not (List.exists (Ir.mem_equal m) ww))
-                      (overlap wi rj @ overlap ri wj)
-                  in
-                  let emit kind m =
-                    if m.Ir.mem_kind <> Ir.Queue then
-                      found :=
-                        Diag.makef ~path ~mem:m.Ir.mem_name ~code:"L001" ~severity:Diag.Error
-                          "%s race on %s between concurrent stages %s and %s" kind m.Ir.mem_name
-                          li lj
-                        :: !found
-                  in
-                  List.iter (emit "write-write") ww;
-                  List.iter (emit "read-write") (dedup rw)
-                end)
-              tagged)
-          tagged;
-        !found @ diags
-      | Ir.Pipe _ | Ir.Loop _ | Ir.Tile_load _ | Ir.Tile_store _ -> diags)
-    [] d
+   so any shared memory with at least one writer is a race candidate.
+   Queues are the sanctioned cross-stage channel and are exempt. The
+   dependence analysis settles each candidate: proved-disjoint accesses
+   are dropped, proved overlaps carry a concrete witness index, and
+   anything it cannot decide keeps the conservative error. *)
+let race_pass (d : Ir.design) = Dependence.race_diags (Dependence.report_cached d)
 
 (* L002: in a MetaPipe, consecutive outer iterations occupy adjacent stages
    simultaneously, so a buffer flowing between stages must be double
@@ -322,3 +276,15 @@ let bank_conflict_pass (d : Ir.design) = Absint.conflict_diags (Absint.report_ca
 (* L011: double buffers no stage crossing requires; single buffering them
    recovers half their BRAM. *)
 let spurious_double_pass (d : Ir.design) = Absint.buffer_diags (Absint.report_cached d)
+
+(* L012: the old syntactic recurrence heuristic would have charged a higher
+   II than the dependence analysis proves — cycles previously left on the
+   table. *)
+let pessimistic_ii_pass (d : Ir.design) =
+  Dependence.pessimistic_diags (Dependence.report_cached d)
+
+(* L013: proven-illegal vectorization: two lanes of the same vector touch
+   the same word with a write between them, with the concrete lane pair
+   and iteration vectors as witness. *)
+let unsafe_pipelining_pass (d : Ir.design) =
+  Dependence.unsafe_diags (Dependence.report_cached d)

@@ -8,7 +8,9 @@ module Target = Dhdl_device.Target
 
 val race_pass : Ir.design -> Diag.t list
 (** L001: write-write / read-write races across concurrent [Parallel]
-    stages (queues exempt). *)
+    stages (queues exempt). Candidates come from read/write-set overlap;
+    the loop-carried dependence analysis drops pairs it proves disjoint
+    and attaches a concrete overlap witness when it proves a collision. *)
 
 val metapipe_pass : Ir.design -> Diag.t list
 (** L002: buffers crossing pipelined [Loop] stages without [mem_double]. *)
@@ -43,6 +45,15 @@ val bank_conflict_pass : Ir.design -> Diag.t list
 
 val spurious_double_pass : Ir.design -> Diag.t list
 (** L011: double buffers no pipelined stage crossing requires. *)
+
+val pessimistic_ii_pass : Ir.design -> Diag.t list
+(** L012: pipes where the old syntactic recurrence heuristic charges a
+    higher II than {!Dhdl_absint.Dependence} proves (warning). *)
+
+val unsafe_pipelining_pass : Ir.design -> Diag.t list
+(** L013: pipes whose vectorization is proven illegal — two lanes of one
+    vector touch the same word with a write between them; the message
+    carries the concrete lane pair, iteration vectors and index. *)
 
 val mem_limit_words : int
 (** Single-memory word-count threshold for the L006 tiling warning. *)

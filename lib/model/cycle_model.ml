@@ -7,51 +7,31 @@ module Intmath = Dhdl_util.Intmath
 
 let word_bytes ty = max 1 (Dtype.bits ty / 8)
 
-(* Same read-modify-write initiation-interval analysis the hardware
-   generator applies; the estimator sees the same IR so it can predict it.
-   Rotating-address updates (innermost iterator in both addresses) keep
-   II = 1. *)
-let pipe_ii (loop : Ir.loop_info) body =
-  let innermost =
-    match List.rev loop.Ir.lp_counters with c :: _ -> Some c.Ir.ctr_name | [] -> None
-  in
-  let rotating addr =
-    match innermost with
-    | None -> false
-    | Some name -> List.exists (function Ir.Iter n -> n = name | _ -> false) addr
-  in
-  let stores =
-    List.filter_map
-      (function Ir.Sstore { mem; addr; _ } -> Some (mem.Ir.mem_id, rotating addr) | _ -> None)
-      body
-  in
-  let unsafe_rmw =
-    List.exists
-      (function
-        | Ir.Sload { mem; addr; _ } ->
-          List.exists (fun (id, st_rot) -> id = mem.Ir.mem_id && not (st_rot && rotating addr)) stores
-        | _ -> false)
-      body
-  in
-  if unsafe_rmw then
-    2
-    + List.fold_left
-        (fun acc s -> match s with Ir.Sop { op; ty; _ } -> max acc (Primitives.latency op ty) | _ -> acc)
-        1 body
-  else 1
+(* The proved initiation interval from the loop-carried dependence
+   analysis. The performance simulator calls the same function, so the
+   estimator and the simulator agree bit-for-bit by construction. *)
+let pipe_ii = Dhdl_absint.Dependence.ii
 
 (* Contention: the model assumes concurrently active off-chip streams split
    the channel evenly, approximating concurrency by the stream count of the
    innermost parallel/pipelined region (a static, structure-only view). *)
+
+(* A tile dimension coalesces with the next-inner one into a single
+   contiguous run only when that inner dimension covers the full off-chip
+   extent; the first mismatch (a ragged, partial-extent dimension) stops
+   the run. *)
+let rec coalesced_row tile dims =
+  match (tile, dims) with
+  | [], _ | _, [] -> 1
+  | t :: ts, d :: ds -> if t = d then t * coalesced_row ts ds else t
+
 let transfer_estimate board ~contention ~(offchip : Ir.mem) ~ty ~tile =
   let words = Intmath.prod tile in
   let wb = word_bytes ty in
   let row_words =
-    match (List.rev tile, List.rev offchip.Ir.mem_dims) with
-    | [], _ | _, [] -> words
-    | t_last :: _, d_last :: _ -> if t_last = d_last then min words (t_last * max 1 (words / t_last)) else t_last
+    match tile with [] -> words | _ -> coalesced_row (List.rev tile) (List.rev offchip.Ir.mem_dims)
   in
-  let row_words = max 1 row_words in
+  let row_words = max 1 (min words row_words) in
   let ncmds = Intmath.ceil_div words row_words in
   let bytes = float_of_int (words * wb) in
   let bw = Target.bytes_per_cycle board /. float_of_int (max 1 contention) in
@@ -83,7 +63,7 @@ let rec estimate_ctrl board ~contention ctrl =
         let lat = Primitives.latency r.Ir.sr_op r.Ir.sr_out.Ir.mem_ty in
         depth + (Intmath.ilog2_ceil (max 2 loop.Ir.lp_par) * lat) + lat
     in
-    float_of_int (depth + ((trip_vec - 1) * pipe_ii loop body) + 4)
+    float_of_int (depth + ((trip_vec - 1) * pipe_ii ctrl) + 4)
   | Ir.Loop { loop; stages; pipelined; reduce } ->
     let trip_vec = Ir.loop_trip_vectorized loop in
     let inner_contention = contention * max 1 loop.Ir.lp_par in

@@ -13,6 +13,24 @@
 
 module Target = Dhdl_device.Target
 
+val pipe_ii : Dhdl_ir.Ir.ctrl -> int
+(** The initiation interval charged per vectorized Pipe iteration; 0 for
+    non-Pipe controllers. An alias for {!Dhdl_absint.Dependence.ii} — the
+    performance simulator routes through the same function, keeping the
+    estimator and the simulator consistent by construction. *)
+
+val transfer_estimate :
+  Target.board ->
+  contention:int ->
+  offchip:Dhdl_ir.Ir.mem ->
+  ty:Dhdl_ir.Dtype.t ->
+  tile:int list ->
+  float
+(** Cycles for one tile transfer against [offchip]. Commands fetch
+    contiguous rows: innermost tile dimensions coalesce into one run only
+    while they cover the full off-chip extent; the first ragged (partial)
+    dimension stops the run. *)
+
 val estimate : ?dev:Target.t -> ?board:Target.board -> Dhdl_ir.Ir.design -> float
 (** Estimated fabric cycles for one execution of the design. *)
 

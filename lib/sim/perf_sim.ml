@@ -19,46 +19,10 @@ type ctx = {
 
 let word_bytes ty = max 1 (Dtype.bits ty / 8)
 
-(* A Pipe updating a memory it also reads carries a loop dependence through
-   the read-modify-write chain. When both the load and the store address
-   contain the pipe's innermost iterator, consecutive iterations touch
-   different words, so the update still pipelines at II = 1 (a rotating
-   accumulator); otherwise the initiation interval is the chain latency. *)
-let initiation_interval = function
-  | Ir.Pipe { loop; body; _ } ->
-    let innermost =
-      match List.rev loop.Ir.lp_counters with c :: _ -> Some c.Ir.ctr_name | [] -> None
-    in
-    let rotating addr =
-      match innermost with
-      | None -> false
-      | Some name -> List.exists (function Ir.Iter n -> n = name | _ -> false) addr
-    in
-    let stores =
-      List.filter_map
-        (function Ir.Sstore { mem; addr; _ } -> Some (mem.Ir.mem_id, rotating addr) | _ -> None)
-        body
-    in
-    let unsafe_rmw =
-      List.exists
-        (function
-          | Ir.Sload { mem; addr; _ } ->
-            List.exists
-              (fun (id, st_rot) -> id = mem.Ir.mem_id && not (st_rot && rotating addr))
-              stores
-          | _ -> false)
-        body
-    in
-    if unsafe_rmw then
-      let max_lat =
-        List.fold_left
-          (fun acc s ->
-            match s with Ir.Sop { op; ty; _ } -> max acc (Primitives.latency op ty) | _ -> acc)
-          1 body
-      in
-      2 + max_lat
-    else 1
-  | Ir.Loop _ | Ir.Parallel _ | Ir.Tile_load _ | Ir.Tile_store _ -> 0
+(* The proved initiation interval of a Pipe (0 for other controllers),
+   from the loop-carried dependence analysis. The cycle estimator calls
+   the same function, so estimator and simulator agree by construction. *)
+let initiation_interval = Dhdl_absint.Dependence.ii
 
 let contains_transfer ctrl =
   Dhdl_ir.Traverse.fold_ctrl

@@ -36,6 +36,9 @@ val breakdown :
     identifies each benchmark's bottleneck. *)
 
 val initiation_interval : Dhdl_ir.Ir.ctrl -> int
-(** The II the simulator charges a [Pipe]: 1 for pure feed-forward bodies,
-    the read-modify-write chain latency when the body updates a memory it
-    also reads (e.g. histogram-style accumulations). 0 for non-Pipes. *)
+(** The II the simulator charges a [Pipe] — an alias for
+    {!Dhdl_absint.Dependence.ii}, the proved minimal recurrence II: 1 for
+    proved-independent bodies, [ceil(latency / distance)] for a carried
+    read-modify-write at that dependence distance, the full chain latency
+    when the addresses are not analyzable. 0 for non-Pipes. The cycle
+    estimator routes through the same function. *)

@@ -180,12 +180,16 @@ let test_l008_degenerate_loops () =
 
 let test_registry () =
   let ps = Lint.passes () in
-  check_int "eleven passes" 11 (List.length ps);
+  check_int "thirteen passes" 13 (List.length ps);
   Alcotest.(check (list string))
     "codes in order"
-    [ "L001"; "L002"; "L003"; "L004"; "L005"; "L006"; "L007"; "L008"; "L009"; "L010"; "L011" ]
+    [ "L001"; "L002"; "L003"; "L004"; "L005"; "L006"; "L007"; "L008"; "L009"; "L010"; "L011";
+      "L012"; "L013" ]
     (List.map (fun p -> p.Lint.code) ps);
-  Alcotest.(check (list string)) "proof codes" [ "L009"; "L010"; "L011" ] Lint.proof_codes;
+  Alcotest.(check (list string))
+    "proof codes"
+    [ "L009"; "L010"; "L011"; "L012"; "L013" ]
+    Lint.proof_codes;
   (* [only] restricts the registry without touching the validator. *)
   let d = race_design () in
   check_bool "only=L001 keeps the race" true (has_code "L001" (Lint.check ~only:[ "L001" ] d));
