@@ -103,11 +103,14 @@ let run_ablations ~quick () =
 (* ------------------------------------------------------------------ *)
 
 (* Runs telemetry-instrumented GDA sweeps at jobs = 1, 2, 4 and writes
-   BENCH_dse.json: top-level fields are the sequential run's (keeping the
-   file comparable with historical entries), plus a per-jobs array with
-   wall-clock points/sec and the jobs-invariant CPU ms/design, so
-   successive PRs can track estimator throughput and parallel scaling
-   from CI artifacts. *)
+   BENCH_dse.json (schema 2): top-level fields are the sequential run's
+   (keeping the file comparable with historical entries), plus a per-jobs
+   array with wall-clock points/sec, the jobs-invariant CPU ms/design,
+   and a contention attribution from a second, profiled sweep at the same
+   level — the timing sweep itself stays unprofiled so points_per_sec
+   remains comparable with pre-profiler entries. *)
+let run_label = ref "dev"
+
 let run_dseperf ~quick () =
   banner "DSE throughput (telemetry-derived): points/sec per jobs level, ms/design percentiles";
   let est = the_estimator ~quick () in
@@ -128,7 +131,26 @@ let run_dseperf ~quick () =
     Obs.disable ();
     (r, snap)
   in
-  let runs = List.map (fun jobs -> sweep jobs) [ 1; 2; 4 ] in
+  (* A second sweep per level with [profile] on, for the attribution
+     breakdown. Separate from the timing sweep on purpose: the timing
+     numbers stay free of even the profiler's per-stage clock reads. *)
+  let profiled jobs =
+    let cfg =
+      Explore.Config.(
+        default |> with_seed seed |> with_max_points points |> with_jobs jobs
+        |> with_profile true)
+    in
+    let r =
+      Explore.run cfg est ~space:(app.App.space sizes)
+        ~generate:(fun p -> app.App.generate ~sizes ~params:p)
+    in
+    match r.Explore.attribution with
+    | Some attr -> attr
+    | None -> failwith "profiled sweep returned no attribution"
+  in
+  let jobs_levels = [ 1; 2; 4 ] in
+  let runs = List.map (fun jobs -> sweep jobs) jobs_levels in
+  let attrs = List.map profiled jobs_levels in
   let r1, snap1 = List.hd runs in
   let ms = try List.assoc "dse.ms_per_design" snap1.Obs.snap_hists with Not_found -> [||] in
   let estimated = r1.Explore.sampled - r1.Explore.lint_pruned in
@@ -140,34 +162,44 @@ let run_dseperf ~quick () =
   let p50 = Obs.percentile ms 50.0 and p95 = Obs.percentile ms 95.0 in
   let per_jobs =
     String.concat ","
-      (List.map
-         (fun ((r : Explore.result), _) ->
+      (List.map2
+         (fun ((r : Explore.result), _) attr ->
            Printf.sprintf
-             "{\"jobs\":%d,\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"wall_ms_per_design\":%.4f,\"cpu_ms_per_design\":%.4f}"
+             "{\"jobs\":%d,\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"wall_ms_per_design\":%.4f,\"cpu_ms_per_design\":%.4f,\"attribution\":%s}"
              r.Explore.jobs r.Explore.elapsed_seconds (pps r)
              (Explore.seconds_per_design r *. 1000.0)
-             (Explore.cpu_seconds_per_design r *. 1000.0))
-         runs)
+             (Explore.cpu_seconds_per_design r *. 1000.0)
+             (Dhdl_dse.Profile.to_json attr))
+         runs attrs)
   in
   let json =
     Printf.sprintf
-      "{\"app\":\"gda\",\"points\":%d,\"estimated\":%d,\"lint_pruned\":%d,\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"ms_per_design_p50\":%.4f,\"ms_per_design_p95\":%.4f,\"jobs_sweep\":[%s]}\n"
-      r1.Explore.sampled estimated r1.Explore.lint_pruned r1.Explore.elapsed_seconds (pps r1)
-      p50 p95 per_jobs
+      "{\"schema\":2,\"label\":%S,\"app\":\"gda\",\"points\":%d,\"estimated\":%d,\"lint_pruned\":%d,\"recommended_domain_count\":%d,\"host_note\":\"points_per_sec and scaling depend on the host; a recommended_domain_count of 1 (e.g. a single-core container) makes every jobs>1 level pure coordination overhead\",\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"ms_per_design_p50\":%.4f,\"ms_per_design_p95\":%.4f,\"jobs_sweep\":[%s]}\n"
+      !run_label r1.Explore.sampled estimated r1.Explore.lint_pruned
+      (Domain.recommended_domain_count ())
+      r1.Explore.elapsed_seconds (pps r1) p50 p95 per_jobs
   in
   let oc = open_out "BENCH_dse.json" in
   output_string oc json;
   close_out oc;
   Printf.printf "%d points (%d estimated, %d lint-pruned) in %.2f s sequential: %.0f points/sec\n"
     r1.Explore.sampled estimated r1.Explore.lint_pruned r1.Explore.elapsed_seconds (pps r1);
-  List.iter
-    (fun ((r : Explore.result), _) ->
+  List.iter2
+    (fun ((r : Explore.result), _) attr ->
+      let module P = Dhdl_dse.Profile in
+      let top_name, top_s = P.top_contender attr in
       Printf.printf
         "  jobs=%d: %.2f s wall, %.0f points/sec, %.4f ms/design wall, %.4f ms/design CPU\n"
         r.Explore.jobs r.Explore.elapsed_seconds (pps r)
         (Explore.seconds_per_design r *. 1000.0)
-        (Explore.cpu_seconds_per_design r *. 1000.0))
-    runs;
+        (Explore.cpu_seconds_per_design r *. 1000.0);
+      Printf.printf
+        "           attribution: work %.1f%%, contention %.1f%%, stall %.1f%% (top: %s %.4f s)\n"
+        (100.0 *. P.work_fraction attr)
+        (100.0 *. P.contention_fraction attr)
+        (100.0 *. P.stall_fraction attr)
+        top_name top_s)
+    runs attrs;
   Printf.printf "ms per design (sequential): p50 %.4f, p95 %.4f\n" p50 p95;
   Printf.printf "written to BENCH_dse.json\n"
 
@@ -245,8 +277,19 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   paper_scale := List.mem "--paper-scale" args;
+  List.iter
+    (fun a ->
+      match String.index_opt a '=' with
+      | Some i when String.length a > 8 && String.sub a 0 8 = "--label=" ->
+        run_label := String.sub a (i + 1) (String.length a - i - 1)
+      | _ -> ())
+    args;
   let wanted =
-    List.filter (fun a -> a <> "--quick" && a <> "--paper-scale" && a <> "--") args
+    List.filter
+      (fun a ->
+        a <> "--quick" && a <> "--paper-scale" && a <> "--"
+        && not (String.length a > 8 && String.sub a 0 8 = "--label="))
+      args
   in
   let sections =
     match wanted with

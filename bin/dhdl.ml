@@ -8,6 +8,7 @@ module App = Dhdl_apps.App
 module Registry = Dhdl_apps.Registry
 module Estimator = Dhdl_model.Estimator
 module Explore = Dhdl_dse.Explore
+module Profile = Dhdl_dse.Profile
 module Experiments = Dhdl_core.Experiments
 module Lint = Dhdl_lint.Lint
 module Absint = Dhdl_absint.Absint
@@ -32,21 +33,26 @@ let lookup_app name =
       (Printf.sprintf "unknown benchmark %S (available: %s)" name
          (String.concat ", " Registry.names))
 
-let make_estimator ?cache ~seed ~train_samples () =
+(* [quiet] routes the setup chatter to stderr so machine-readable stdout
+   (e.g. [dhdl profile --json]) stays one clean JSON document. *)
+let make_estimator ?cache ?(quiet = false) ~seed ~train_samples () =
+  let say fmt =
+    if quiet then Printf.eprintf (fmt ^^ "%!") else Printf.printf (fmt ^^ "%!")
+  in
   match Option.bind cache Estimator.load with
   | Some est ->
-    Printf.printf "[setup] loaded trained estimator from %s\n%!" (Option.get cache);
+    say "[setup] loaded trained estimator from %s\n" (Option.get cache);
     est
   | None ->
-    Printf.printf "[setup] characterizing templates and training correction networks...\n%!";
+    say "[setup] characterizing templates and training correction networks...\n";
     let t0 = Unix.gettimeofday () in
     let est = Estimator.create ~seed ~train_samples () in
-    Printf.printf "[setup] ready in %.1f s (one-time cost per device/toolchain)\n%!"
+    say "[setup] ready in %.1f s (one-time cost per device/toolchain)\n"
       (Unix.gettimeofday () -. t0);
     Option.iter
       (fun path ->
         Estimator.save est path;
-        Printf.printf "[setup] cached to %s\n%!" path)
+        say "[setup] cached to %s\n" path)
       cache;
     est
 
@@ -104,6 +110,12 @@ let metrics_arg =
 let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 (* Enable the sink when any telemetry output was requested, run the command
    body, then export. The sink stays disabled (and the instrumented paths
@@ -238,6 +250,17 @@ let inject_faults_arg =
 let faults_seed_arg =
   Arg.(value & opt int 42 & info [ "faults-seed" ] ~doc:"(dev) Seed for $(b,--inject-faults).")
 
+let profile_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Attribute every worker-second of the sweep to \
+           {generate, lint/absint, estimate, send-block, idle} and every collector-second to \
+           {recv-block, reorder-stall, write, merge}, and print the attribution report after the \
+           sweep. Results and checkpoints stay bit-identical; see $(b,dhdl profile) for the \
+           multi-level scaling report.")
+
 let no_absint_arg =
   Arg.(
     value & flag
@@ -248,11 +271,11 @@ let no_absint_arg =
 
 let dse_cmd =
   let run app seed train points cache trace jsonl metrics jobs checkpoint resume deadline inject
-      faults_seed no_absint =
+      faults_seed no_absint profile =
     with_obs ~trace ~jsonl ~metrics @@ fun () ->
     let cfg =
       Explore.Config.make ~seed ~max_points:points ~absint:(not no_absint) ~jobs ?checkpoint
-        ~resume ?deadline_seconds:deadline ()
+        ~resume ?deadline_seconds:deadline ~profile ()
     in
     Option.iter
       (fun p ->
@@ -304,14 +327,19 @@ let dse_cmd =
         result.Explore.sampled
         (match checkpoint with
         | Some f -> Printf.sprintf "; resume with --checkpoint %s --resume" f
-        | None -> " (no checkpoint; use --checkpoint FILE to make this resumable)")
+        | None -> " (no checkpoint; use --checkpoint FILE to make this resumable)");
+    Option.iter
+      (fun attr ->
+        print_newline ();
+        print_string (Profile.render attr))
+      result.Explore.attribution
   in
   Cmd.v
     (Cmd.info "dse" ~doc:"Explore a benchmark's design space and print the Pareto frontier.")
     Term.(
       const run $ app_arg $ seed_arg $ train_arg $ points_arg $ cache_arg $ trace_arg $ jsonl_arg
       $ metrics_arg $ jobs_arg $ checkpoint_arg $ resume_arg $ deadline_arg $ inject_faults_arg
-      $ faults_seed_arg $ no_absint_arg)
+      $ faults_seed_arg $ no_absint_arg $ profile_flag_arg)
 
 let codegen_cmd =
   let manager =
@@ -547,8 +575,156 @@ let analyze_cmd =
           initiation interval and parallelization (or print concrete counterexamples).")
     Term.(const run $ app_arg $ params_arg $ json)
 
+(* Amdahl's-law serial fraction inferred from a measured speedup at j
+   workers: solving speedup = 1 / (s + (1 - s)/j) for s gives
+   s = (j/speedup - 1)/(j - 1). On a machine where adding domains slows
+   the sweep down (speedup < 1 — e.g. a single-core container), s exceeds
+   1: coordination costs more than the parallelized work saves. *)
+let amdahl_serial ~jobs ~speedup =
+  if jobs <= 1 || speedup <= 0.0 then None
+  else Some ((float_of_int jobs /. speedup -. 1.0) /. float_of_int (jobs - 1))
+
+let profile_cmd =
+  let app_opt_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "app" ] ~docv:"BENCHMARK" ~doc:"Benchmark whose sweep to profile.")
+  in
+  let jobs_list_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4 ]
+      & info [ "jobs"; "j" ] ~docv:"N,N,..."
+          ~doc:
+            "Comma-separated worker-domain counts to sweep at, in order. The first level is the \
+             speedup baseline (use 1 for textbook Amdahl numbers).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the whole scaling report as one JSON object (per-level throughput, speedup, \
+             efficiency, Amdahl serial fraction, and the full time attribution).")
+  in
+  let run app jobs_list seed train points cache json trace jsonl metrics =
+    with_obs ~trace ~jsonl ~metrics @@ fun () ->
+    if jobs_list = [] then failwith "expected at least one --jobs level";
+    let est = make_estimator ?cache ~quiet:json ~seed ~train_samples:train () in
+    let a = lookup_app app in
+    let space = a.App.space a.App.paper_sizes in
+    let generate p = a.App.generate ~sizes:a.App.paper_sizes ~params:p in
+    let levels =
+      List.map
+        (fun jobs ->
+          let cfg = Explore.Config.make ~seed ~max_points:points ~jobs ~profile:true () in
+          let r = Explore.run cfg est ~space ~generate in
+          let attr =
+            match r.Explore.attribution with
+            | Some attr -> attr
+            | None -> failwith "profiled sweep returned no attribution"
+          in
+          (jobs, r, attr))
+        jobs_list
+    in
+    let pts_per_sec (r : Explore.result) =
+      if r.Explore.elapsed_seconds > 0.0 then
+        float_of_int r.Explore.processed /. r.Explore.elapsed_seconds
+      else 0.0
+    in
+    let base_pps = match levels with (_, r, _) :: _ -> pts_per_sec r | [] -> 0.0 in
+    let speedup r = if base_pps > 0.0 then pts_per_sec r /. base_pps else 0.0 in
+    if json then begin
+      let level_json (jobs, r, attr) =
+        let su = speedup r in
+        Printf.sprintf
+          "{\"jobs\":%d,\"wall_s\":%.6f,\"points_per_sec\":%.3f,\"speedup\":%.4f,\"efficiency\":%.4f,\"amdahl_serial_frac\":%s,\"attribution\":%s}"
+          jobs r.Explore.elapsed_seconds (pts_per_sec r) su
+          (su /. float_of_int jobs)
+          (match amdahl_serial ~jobs ~speedup:su with
+          | Some s -> Printf.sprintf "%.4f" s
+          | None -> "null")
+          (Profile.to_json attr)
+      in
+      print_endline
+        (Printf.sprintf
+           "{\"app\":\"%s\",\"points\":%d,\"seed\":%d,\"recommended_domain_count\":%d,\"levels\":[%s]}"
+           a.App.name points seed
+           (Domain.recommended_domain_count ())
+           (String.concat "," (List.map level_json levels)))
+    end
+    else begin
+      Printf.printf "scaling report for %s (%d points per level, seed %d)\n" a.App.name points seed;
+      Printf.printf "host recommends %d domain(s)\n\n" (Domain.recommended_domain_count ());
+      print_string
+        (Dhdl_util.Texttable.render
+           ~header:
+             [ "jobs"; "wall s"; "points/s"; "speedup"; "ideal"; "efficiency"; "serial frac" ]
+           (List.map
+              (fun (jobs, r, _) ->
+                let su = speedup r in
+                [ string_of_int jobs;
+                  Printf.sprintf "%.3f" r.Explore.elapsed_seconds;
+                  Printf.sprintf "%.1f" (pts_per_sec r);
+                  Printf.sprintf "%.2fx" su;
+                  Printf.sprintf "%dx" jobs;
+                  Printf.sprintf "%.1f%%" (100.0 *. su /. float_of_int jobs);
+                  (match amdahl_serial ~jobs ~speedup:su with
+                  | Some s -> Printf.sprintf "%.2f" s
+                  | None -> "-") ])
+              levels));
+      print_newline ();
+      List.iter
+        (fun (_, _, attr) ->
+          print_string (Profile.render attr);
+          print_newline ())
+        levels;
+      match levels with
+      | (_, _, first) :: (_ :: _ as rest) ->
+        let last = match List.rev rest with (_, _, l) :: _ -> l | [] -> first in
+        let name, secs = Profile.top_contender last in
+        if secs > 0.0 then
+          Printf.printf "at %d jobs the dominant contended resource is the %s (%.4f s)\n"
+            last.Profile.jobs name secs
+      | _ -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Sweep a benchmark's design space at several worker-domain counts and print an \
+          Amdahl-style scaling report: throughput, speedup, efficiency, inferred serial \
+          fraction, and a full attribution of worker and collector time (work vs contention vs \
+          stall).")
+    Term.(
+      const run $ app_opt_arg $ jobs_list_arg $ seed_arg $ train_arg $ points_arg $ cache_arg
+      $ json_arg $ trace_arg $ jsonl_arg $ metrics_arg)
+
 let metrics_cmd =
-  let run app params seed train points cache trace jsonl =
+  let from_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"FILE"
+          ~doc:
+            "Instead of running a workload, re-render the telemetry summary from a JSONL event \
+             log previously recorded with $(b,--jsonl) (here or on another machine).")
+  in
+  let run app params seed train points cache trace jsonl from =
+    match from with
+    | Some path -> (
+      match Obs.summary_of_jsonl (read_file path) with
+      | Ok summary ->
+        Printf.printf "telemetry from %s\n\n%!" path;
+        print_string summary
+      | Error msg -> failwith (Printf.sprintf "%s: %s" path msg))
+    | None ->
+    let app =
+      match app with
+      | Some app -> app
+      | None -> failwith "expected a BENCHMARK name (or --from FILE)"
+    in
     Obs.enable ();
     let est = make_estimator ?cache ~seed ~train_samples:train () in
     let a, design = design_of ~app ~params in
@@ -574,14 +750,21 @@ let metrics_cmd =
     Option.iter (Printf.printf "JSONL event log written to %s\n") jsonl;
     Obs.disable ()
   in
+  let app_opt =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name (omit with $(b,--from)).")
+  in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
          "Run an instrumented workload (setup, one estimate, one simulation, a DSE sweep) and \
-          dump the telemetry sink: counters, histograms, span rollups, optional trace exports.")
+          dump the telemetry sink: counters, histograms, span rollups, optional trace exports — \
+          or, with $(b,--from), summarize a previously recorded JSONL event log post hoc.")
     Term.(
-      const run $ app_arg $ params_arg $ seed_arg $ train_arg $ points_arg $ cache_arg $ trace_arg
-      $ jsonl_arg)
+      const run $ app_opt $ params_arg $ seed_arg $ train_arg $ points_arg $ cache_arg $ trace_arg
+      $ jsonl_arg $ from_arg)
 
 let list_cmd =
   let run () =
@@ -602,7 +785,7 @@ let list_cmd =
 let () =
   let doc = "DHDL: automatic generation of efficient accelerators for reconfigurable hardware" in
   let info = Cmd.info "dhdl" ~version:"1.0.0" ~doc in
-  let group = Cmd.group info [ estimate_cmd; compare_cmd; synth_cmd; dse_cmd; lint_cmd; analyze_cmd; metrics_cmd; codegen_cmd; dot_cmd; print_cmd; experiments_cmd; interpret_cmd; list_cmd ] in
+  let group = Cmd.group info [ estimate_cmd; compare_cmd; synth_cmd; dse_cmd; profile_cmd; lint_cmd; analyze_cmd; metrics_cmd; codegen_cmd; dot_cmd; print_cmd; experiments_cmd; interpret_cmd; list_cmd ] in
   try exit (Cmd.eval ~catch:false group) with
   | Failure msg | Sys_error msg ->
     Printf.eprintf "dhdl: error: %s\n%!" msg;

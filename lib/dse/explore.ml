@@ -44,6 +44,7 @@ type result = {
   jobs : int;
   elapsed_seconds : float;
   cpu_seconds : float;
+  attribution : Profile.t option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -65,6 +66,7 @@ module Config = struct
     checkpoint_every : int;
     resume : bool;
     deadline_seconds : float option;
+    profile : bool;
   }
 
   (* OCaml's runtime caps live domains well above this, but a sweep gains
@@ -105,16 +107,17 @@ module Config = struct
       checkpoint_every = 500;
       resume = false;
       deadline_seconds = None;
+      profile = false;
     }
 
   let make ?(seed = default.seed) ?(max_points = default.max_points) ?(lint = default.lint)
       ?(absint = default.absint) ?(jobs = default.jobs) ?(span_every = default.span_every)
       ?(tick_every = default.tick_every) ?checkpoint
       ?(checkpoint_every = default.checkpoint_every) ?(resume = default.resume)
-      ?deadline_seconds () =
+      ?deadline_seconds ?(profile = default.profile) () =
     validate_run
       { seed; max_points; lint; absint; jobs; span_every; tick_every; checkpoint;
-        checkpoint_every; resume; deadline_seconds }
+        checkpoint_every; resume; deadline_seconds; profile }
 
   let with_seed seed t = validate { t with seed }
   let with_max_points max_points t = validate { t with max_points }
@@ -129,6 +132,7 @@ module Config = struct
 
   let with_resume resume t = validate { t with resume }
   let with_deadline deadline t = validate { t with deadline_seconds = Some deadline }
+  let with_profile profile t = validate { t with profile }
 end
 
 let evaluate est point design =
@@ -182,9 +186,35 @@ let heuristic_codes =
    and points whose only errors are dependence refutations of the chosen
    parallelization (L013) are [Dep_pruned] — the design is sound at par=1
    but the sampled par is proven illegal. *)
-let process ~est ~dev ~lint ~absint i point ~generate =
+(* Per-worker accumulator for the profiled pipeline-stage split. Written
+   only by the owning domain; read by the collector after the join. *)
+type stage_acc = {
+  mutable sa_generate : float;
+  mutable sa_analyze : float;
+  mutable sa_estimate : float;
+}
+
+let fresh_stages () = { sa_generate = 0.0; sa_analyze = 0.0; sa_estimate = 0.0 }
+
+(* Time one stage into [acc] via [add] when profiling; exactly [f ()]
+   otherwise, so the unprofiled pipeline pays one option match per stage
+   and no clock reads. *)
+let timed_stage stages add f =
+  match stages with
+  | None -> f ()
+  | Some acc ->
+    let t0 = Unix.gettimeofday () in
+    Fun.protect ~finally:(fun () -> add acc (Unix.gettimeofday () -. t0)) f
+
+let add_generate a d = a.sa_generate <- a.sa_generate +. d
+let add_analyze a d = a.sa_analyze <- a.sa_analyze +. d
+let add_estimate a d = a.sa_estimate <- a.sa_estimate +. d
+
+let process ~est ~dev ~lint ~absint ?stages i point ~generate =
   match
-    try Faults.inject ~key:i "dse.generator"; Ok (generate point)
+    try
+      Faults.inject ~key:i "dse.generator";
+      Ok (timed_stage stages add_generate (fun () -> generate point))
     with exn -> Error (Generator_error, describe exn)
   with
   | Error (stage, msg) -> Outcome.Failed (stage, msg)
@@ -193,6 +223,7 @@ let process ~est ~dev ~lint ~absint i point ~generate =
       try
         Faults.inject ~key:i "dse.lint";
         let diags =
+          timed_stage stages add_analyze @@ fun () ->
           if lint && absint then Lint.check ~dev design
           else if lint then Lint.check ~dev ~only:heuristic_codes design
           else if absint then Lint.check ~dev ~validate:false ~only:Lint.proof_codes design
@@ -217,7 +248,7 @@ let process ~est ~dev ~lint ~absint i point ~generate =
     | Ok `Clean -> (
       try
         Faults.inject ~key:i "dse.estimator";
-        let e = evaluate est point design in
+        let e = timed_stage stages add_estimate (fun () -> evaluate est point design) in
         let e =
           if Faults.fires ~key:i "dse.non_finite" then
             { e with estimate = { e.estimate with Estimator.cycles = Float.nan } }
@@ -259,23 +290,44 @@ type msg = Entry of int * (Outcome.entry * bool * float) | Worker_done
 (* Minimal mutex/condition channel between worker domains and the
    collector. Unbounded: the collector's per-message work (a cons and an
    occasional checkpoint) is far cheaper than a point's pipeline, so the
-   queue stays shallow. *)
+   queue stays shallow. [max_depth] tracks the high-water mark under the
+   lock (one compare per push); when profiling, [?wait] accumulates the
+   seconds a caller spent blocked — lock acquisition on the send side,
+   lock + condition wait on the receive side — into a caller-owned ref,
+   so the measurement itself shares no state between domains. *)
 module Chan = struct
-  type 'a t = { m : Mutex.t; nonempty : Condition.t; q : 'a Queue.t }
+  type 'a t = {
+    m : Mutex.t;
+    nonempty : Condition.t;
+    q : 'a Queue.t;
+    mutable max_depth : int;
+  }
 
-  let create () = { m = Mutex.create (); nonempty = Condition.create (); q = Queue.create () }
+  let create () =
+    { m = Mutex.create (); nonempty = Condition.create (); q = Queue.create (); max_depth = 0 }
 
-  let push t x =
-    Mutex.lock t.m;
+  let push ?wait t x =
+    (match wait with
+    | None -> Mutex.lock t.m
+    | Some acc ->
+      let t0 = Unix.gettimeofday () in
+      Mutex.lock t.m;
+      acc := !acc +. (Unix.gettimeofday () -. t0));
     Queue.push x t.q;
+    let d = Queue.length t.q in
+    if d > t.max_depth then t.max_depth <- d;
     Condition.signal t.nonempty;
     Mutex.unlock t.m
 
-  let pop t =
+  let pop ?wait t =
+    let t0 = match wait with None -> 0.0 | Some _ -> Unix.gettimeofday () in
     Mutex.lock t.m;
     while Queue.is_empty t.q do
       Condition.wait t.nonempty t.m
     done;
+    (match wait with
+    | None -> ()
+    | Some acc -> acc := !acc +. (Unix.gettimeofday () -. t0));
     let x = Queue.pop t.q in
     Mutex.unlock t.m;
     x
@@ -284,7 +336,7 @@ end
 let run (cfg : Config.t) est ~space ~generate =
   let cfg = Config.validate_run cfg in
   let { Config.seed; max_points; lint; absint; jobs; span_every; tick_every; checkpoint;
-        checkpoint_every; resume; deadline_seconds } =
+        checkpoint_every; resume; deadline_seconds; profile } =
     cfg
   in
   Obs.span "dse.run"
@@ -324,7 +376,7 @@ let run (cfg : Config.t) est ~space ~generate =
      are keyed by [with_key i], the estimator holds no per-sweep mutable
      state), which is what lets the parallel path promise results
      bit-identical to the sequential one. *)
-  let compute i p =
+  let compute ?stages i p =
     match Hashtbl.find_opt prior i with
     | Some e ->
       if Obs.enabled () then Obs.count "dse.resumed";
@@ -335,7 +387,7 @@ let run (cfg : Config.t) est ~space ~generate =
         Faults.with_key i @@ fun () ->
         Obs.span_sampled ~every:span_every ~i "dse.point" @@ fun () ->
         if Obs.enabled () then begin
-          let e = process ~est ~dev ~lint ~absint i p ~generate in
+          let e = process ~est ~dev ~lint ~absint ?stages i p ~generate in
           (match e with
           | Outcome.Evaluated _ ->
             Obs.count "dse.estimated";
@@ -346,7 +398,7 @@ let run (cfg : Config.t) est ~space ~generate =
           | Outcome.Failed (stage, _) -> Obs.count (stage_counter stage));
           e
         end
-        else process ~est ~dev ~lint ~absint i p ~generate
+        else process ~est ~dev ~lint ~absint ?stages i p ~generate
       in
       (e, false, Unix.gettimeofday () -. start)
   in
@@ -362,11 +414,15 @@ let run (cfg : Config.t) est ~space ~generate =
   let failures = ref [] in
   let processed = ref 0 in
   let cpu_seconds = ref 0.0 in
+  (* Profiled checkpoint writes accumulate into the collector's [write]
+     category; only the collector (or the sequential loop) calls this. *)
+  let write_seconds = ref 0.0 in
   let write_checkpoint () =
     match checkpoint with
     | None -> ()
     | Some path ->
       Obs.span "dse.checkpoint" @@ fun () ->
+      let t0 = if profile then Unix.gettimeofday () else 0.0 in
       Checkpoint.save ~path
         {
           Checkpoint.space_name = Space.name space;
@@ -375,7 +431,8 @@ let run (cfg : Config.t) est ~space ~generate =
           total;
           params = param_names;
           entries = List.rev !entries;
-        }
+        };
+      if profile then write_seconds := !write_seconds +. (Unix.gettimeofday () -. t0)
   in
   (* Merge one point's outcome, in sampling-index order. *)
   let record i p (entry, was_resumed, dt) =
@@ -393,37 +450,95 @@ let run (cfg : Config.t) est ~space ~generate =
     cpu_seconds := !cpu_seconds +. dt;
     if checkpoint_every > 0 && !processed mod checkpoint_every = 0 then write_checkpoint ()
   in
-  let truncated =
+  let truncated, attribution =
     if jobs <= 1 then begin
-      (* Sequential path: exactly the pre-parallel sweep loop. *)
+      (* Sequential path: exactly the pre-parallel sweep loop. When
+         profiling, the loop is accounted as one worker (stage split,
+         no send-block) and checkpoint writes as the collector. *)
+      let stages = if profile then Some (fresh_stages ()) else None in
+      let t_loop0 = if profile then Unix.gettimeofday () else 0.0 in
       let truncated = ref false in
       List.iteri
         (fun i p ->
           if not !truncated then begin
-            record i p (compute i p);
+            record i p (compute ?stages i p);
             if past_deadline () then truncated := true
           end)
         points;
-      !truncated
+      let attribution =
+        match stages with
+        | None -> None
+        | Some a ->
+          let loop_wall = Unix.gettimeofday () -. t_loop0 in
+          let w_wall_s = Float.max 0.0 (loop_wall -. !write_seconds) in
+          let accounted = a.sa_generate +. a.sa_analyze +. a.sa_estimate in
+          Some
+            {
+              Profile.jobs = 1;
+              wall_s = loop_wall;
+              workers =
+                [
+                  {
+                    Profile.w_domain = 0;
+                    w_points = !processed - !resumed;
+                    w_wall_s;
+                    w_generate_s = a.sa_generate;
+                    w_analyze_s = a.sa_analyze;
+                    w_estimate_s = a.sa_estimate;
+                    w_send_block_s = 0.0;
+                    w_idle_s = Float.max 0.0 (w_wall_s -. accounted);
+                  };
+                ];
+              collector =
+                {
+                  Profile.c_wall_s = !write_seconds;
+                  c_recv_block_s = 0.0;
+                  c_reorder_stall_s = 0.0;
+                  c_write_s = !write_seconds;
+                  c_merge_s = 0.0;
+                };
+              max_queue_depth = 0;
+              max_reorder_occupancy = 0;
+            }
+      in
+      (!truncated, attribution)
     end
     else begin
       (* Parallel path: [jobs] worker domains pull point indices from a
          shared atomic cursor, run the pipeline with per-domain telemetry
          buffers and index-keyed fault state, and stream outcomes to this
          (collector) domain, which releases them in sampling-index order
-         through a reorder buffer. *)
+         through a reorder buffer. When profiling, every accumulator below
+         is either owned by exactly one domain (stage/claims/send-block
+         slots by worker index, collector refs by the collector) or
+         updated under a lock that already exists, so the profiler adds no
+         contention of its own. *)
       let points_arr = Array.of_list points in
       let cursor = Atomic.make 0 in
       let stop = Atomic.make false in
       let chan : msg Chan.t = Chan.create () in
-      let worker () =
-        Obs.with_domain_buffer @@ fun () ->
+      let obs_prof = profile && Obs.enabled () in
+      let stage_slots = Array.init jobs (fun _ -> fresh_stages ()) in
+      let claim_slots = Array.make jobs 0 in
+      let send_slots = Array.make jobs 0.0 in
+      let wall_slots = Array.make jobs 0.0 in
+      let worker k () =
+        Obs.with_domain_buffer ~track:(k + 1) @@ fun () ->
+        let stages = if profile then Some stage_slots.(k) else None in
+        let wait = if profile then Some (ref 0.0) else None in
+        let t_w0 = if profile then Unix.gettimeofday () else 0.0 in
         let rec loop () =
           if not (Atomic.get stop) then begin
             let i = Atomic.fetch_and_add cursor 1 in
             if i < total then begin
-              let r = compute i points_arr.(i) in
-              Chan.push chan (Entry (i, r));
+              if profile then claim_slots.(k) <- claim_slots.(k) + 1;
+              let r = compute ?stages i points_arr.(i) in
+              (match wait with
+              | None -> Chan.push chan (Entry (i, r))
+              | Some acc ->
+                let before = !acc in
+                Chan.push ~wait:acc chan (Entry (i, r));
+                if obs_prof then Obs.observe "dse.chan.send_wait_us" ((!acc -. before) *. 1e6));
               (* Mirror the sequential loop: the deadline is checked after
                  each consumed point, and tripping it stops every worker
                  from pulling further indices. *)
@@ -432,44 +547,114 @@ let run (cfg : Config.t) est ~space ~generate =
             end
           end
         in
-        loop ()
+        loop ();
+        if profile then begin
+          wall_slots.(k) <- Unix.gettimeofday () -. t_w0;
+          (match wait with Some acc -> send_slots.(k) <- !acc | None -> ());
+          if obs_prof then Obs.count ~by:claim_slots.(k) (Printf.sprintf "dse.claims.w%d" (k + 1))
+        end
       in
+      let recv_block = ref 0.0 in
+      let reorder_stall = ref 0.0 in
+      let max_pending = ref 0 in
+      let t_col0 = if profile then Unix.gettimeofday () else 0.0 in
       let domains =
-        List.init jobs (fun _ ->
+        List.init jobs (fun k ->
             Domain.spawn (fun () ->
-                Fun.protect ~finally:(fun () -> Chan.push chan Worker_done) worker))
+                Fun.protect ~finally:(fun () -> Chan.push chan Worker_done) (worker k)))
       in
       (* Reorder buffer: outcomes arrive in completion order; release them
          in index order so entries, failures, counters and every periodic
-         checkpoint match the sequential run's byte for byte. *)
+         checkpoint match the sequential run's byte for byte. Arrival
+         stamps (profiling only) measure how long out-of-order entries sit
+         parked before their predecessor index completes. *)
       let pending = Hashtbl.create 64 in
       let next_emit = ref 0 in
       let live_workers = ref jobs in
-      while !live_workers > 0 do
-        match Chan.pop chan with
-        | Worker_done -> decr live_workers
-        | Entry (i, r) ->
-          Hashtbl.replace pending i r;
-          let rec release () =
-            match Hashtbl.find_opt pending !next_emit with
-            | None -> ()
-            | Some r ->
-              Hashtbl.remove pending !next_emit;
-              record !next_emit points_arr.(!next_emit) r;
-              incr next_emit;
+      let release () =
+        let rec go () =
+          match Hashtbl.find_opt pending !next_emit with
+          | None -> ()
+          | Some (r, arrived) ->
+            Hashtbl.remove pending !next_emit;
+            if profile && arrived > 0.0 then
+              reorder_stall :=
+                !reorder_stall +. Float.max 0.0 (Unix.gettimeofday () -. arrived);
+            record !next_emit points_arr.(!next_emit) r;
+            incr next_emit;
+            go ()
+        in
+        go ()
+      in
+      (* The collector's own telemetry (recv-wait samples, checkpoint
+         spans, progress ticks) goes through a track-0 domain buffer too,
+         so it never contends with worker flushes mid-sweep. *)
+      Obs.with_domain_buffer ~track:0 (fun () ->
+          let wait = if profile then Some recv_block else None in
+          while !live_workers > 0 do
+            let before = !recv_block in
+            let m = Chan.pop ?wait chan in
+            if obs_prof then Obs.observe "dse.chan.recv_wait_us" ((!recv_block -. before) *. 1e6);
+            match m with
+            | Worker_done -> decr live_workers
+            | Entry (i, r) ->
+              Hashtbl.replace pending i
+                (r, if profile then Unix.gettimeofday () else 0.0);
+              if profile then max_pending := max !max_pending (Hashtbl.length pending);
               release ()
-          in
-          release ()
-      done;
-      List.iter Domain.join domains;
-      (* A tripped deadline can leave completed points beyond a gap (a slow
-         point truncated while later indices finished). Release them too,
-         still in index order: the checkpoint format addresses entries by
-         index, so a resumed sweep reuses every one of them. *)
-      Hashtbl.fold (fun i r acc -> (i, r) :: acc) pending []
-      |> List.sort (fun (a, _) (b, _) -> compare a b)
-      |> List.iter (fun (i, r) -> record i points_arr.(i) r);
-      Atomic.get stop
+          done;
+          List.iter Domain.join domains;
+          (* A tripped deadline can leave completed points beyond a gap (a
+             slow point truncated while later indices finished). Release
+             them too, still in index order: the checkpoint format
+             addresses entries by index, so a resumed sweep reuses every
+             one of them. *)
+          Hashtbl.fold (fun i (r, _) acc -> (i, r) :: acc) pending []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+          |> List.iter (fun (i, r) -> record i points_arr.(i) r));
+      let attribution =
+        if not profile then None
+        else begin
+          let c_wall = Unix.gettimeofday () -. t_col0 in
+          if obs_prof then begin
+            Obs.gauge "dse.chan.max_queue_depth" (float_of_int chan.Chan.max_depth);
+            Obs.gauge "dse.reorder.max_occupancy" (float_of_int !max_pending)
+          end;
+          Some
+            {
+              Profile.jobs;
+              wall_s = c_wall;
+              workers =
+                List.init jobs (fun k ->
+                    let a = stage_slots.(k) in
+                    let accounted =
+                      a.sa_generate +. a.sa_analyze +. a.sa_estimate +. send_slots.(k)
+                    in
+                    {
+                      Profile.w_domain = k;
+                      w_points = claim_slots.(k);
+                      w_wall_s = wall_slots.(k);
+                      w_generate_s = a.sa_generate;
+                      w_analyze_s = a.sa_analyze;
+                      w_estimate_s = a.sa_estimate;
+                      w_send_block_s = send_slots.(k);
+                      w_idle_s = Float.max 0.0 (wall_slots.(k) -. accounted);
+                    });
+              collector =
+                {
+                  Profile.c_wall_s = c_wall;
+                  c_recv_block_s = !recv_block;
+                  c_reorder_stall_s = !reorder_stall;
+                  c_write_s = !write_seconds;
+                  c_merge_s =
+                    Float.max 0.0 (c_wall -. !recv_block -. !write_seconds);
+                };
+              max_queue_depth = chan.Chan.max_depth;
+              max_reorder_occupancy = !max_pending;
+            }
+        end
+      in
+      (Atomic.get stop, attribution)
     end
   in
   if checkpoint <> None then write_checkpoint ();
@@ -501,6 +686,7 @@ let run (cfg : Config.t) est ~space ~generate =
     jobs;
     elapsed_seconds = elapsed;
     cpu_seconds = !cpu_seconds;
+    attribution;
   }
 
 let unfit_count r = List.length (List.filter (fun e -> not e.valid) r.evaluations)

@@ -70,6 +70,13 @@ type result = {
       (** Aggregate CPU seconds spent inside point pipelines, summed over
           all workers — equals roughly [elapsed_seconds] when [jobs = 1]
           and up to [jobs ×] it when parallel. *)
+  attribution : Profile.t option;
+      (** Where every worker- and collector-second went ([Some] iff
+          [Config.profile] was set): per-worker
+          {generate, analyze, estimate, send-block, idle} and collector
+          {recv-block, reorder-stall, write, merge} accounting, plus peak
+          channel queue depth and reorder-buffer occupancy. See
+          {!Profile}. *)
 }
 
 (** Sweep configuration: one validated record instead of the
@@ -94,6 +101,13 @@ module Config : sig
     checkpoint_every : int;  (** Periodic write cadence; 0 = only at end. *)
     resume : bool;  (** Reuse entries from [checkpoint] before computing. *)
     deadline_seconds : float option;  (** Stop consuming points after this. *)
+    profile : bool;
+        (** Attribute worker/collector time (see {!Profile}); fills
+            [result.attribution]. Independent of the Obs sink — when both
+            are on, wait histograms and per-domain claim counters are also
+            recorded. Off (the default) the sweep pays only a per-stage
+            branch, keeping jobs=1 throughput within noise of unprofiled
+            builds. *)
   }
 
   val max_jobs : int
@@ -113,6 +127,7 @@ module Config : sig
     ?checkpoint_every:int ->
     ?resume:bool ->
     ?deadline_seconds:float ->
+    ?profile:bool ->
     unit ->
     t
   (** Smart constructor: every field defaults to {!default}'s value and the
@@ -140,6 +155,9 @@ module Config : sig
       [with_resume] and [with_checkpoint] does not matter. *)
 
   val with_deadline : float -> t -> t
+
+  val with_profile : bool -> t -> t
+  (** Toggle time attribution; see {!Profile} and [result.attribution]. *)
 end
 
 val run :
@@ -214,7 +232,21 @@ val run :
     histogram over estimator calls, a per-point [dse.point] span for every
     [span_every]-th point (default 100; 0 disables), and a progress tick
     on stderr every [tick_every] points (default 1000). With the sink
-    disabled (the default) none of this costs anything. *)
+    disabled (the default) none of this costs anything.
+
+    {b Profiling.} With [config.profile = true] the sweep additionally
+    attributes every worker-second to
+    {generate, analyze, estimate, send-block, idle} and every
+    collector-second to {recv-block, reorder-stall, write, merge},
+    returning the breakdown in [result.attribution] (see {!Profile}).
+    Attribution accumulators are owned by exactly one domain each, so
+    profiling adds no cross-domain contention and — because it never
+    touches the point pipeline's inputs — leaves results and checkpoints
+    bit-identical to unprofiled runs at every jobs level. When the Obs
+    sink is {e also} enabled, the sweep records [dse.chan.send_wait_us] /
+    [dse.chan.recv_wait_us] wait histograms, [dse.chan.max_queue_depth] /
+    [dse.reorder.max_occupancy] gauges, and per-domain [dse.claims.w<k>]
+    cursor-claim counters. *)
 
 val unfit_count : result -> int
 (** Evaluated points that do not fit the device ([valid = false]) —

@@ -1,0 +1,125 @@
+module Texttable = Dhdl_util.Texttable
+
+type worker = {
+  w_domain : int;
+  w_points : int;
+  w_wall_s : float;
+  w_generate_s : float;
+  w_analyze_s : float;
+  w_estimate_s : float;
+  w_send_block_s : float;
+  w_idle_s : float;
+}
+
+type collector = {
+  c_wall_s : float;
+  c_recv_block_s : float;
+  c_reorder_stall_s : float;
+  c_write_s : float;
+  c_merge_s : float;
+}
+
+type t = {
+  jobs : int;
+  wall_s : float;
+  workers : worker list;
+  collector : collector;
+  max_queue_depth : int;
+  max_reorder_occupancy : int;
+}
+
+let worker_seconds t = List.fold_left (fun acc w -> acc +. w.w_wall_s) 0.0 t.workers
+
+(* Fractions are taken over the sum of the five accounted categories (not
+   raw wall) so that work + contention + stall = 1 exactly even when clock
+   granularity makes the categories sum to slightly more or less than the
+   measured wall time. *)
+let accounted t =
+  List.fold_left
+    (fun acc w ->
+      acc +. w.w_generate_s +. w.w_analyze_s +. w.w_estimate_s +. w.w_send_block_s +. w.w_idle_s)
+    0.0 t.workers
+
+let frac t part = if accounted t > 0.0 then part /. accounted t else 0.0
+
+let work_fraction t =
+  frac t
+    (List.fold_left
+       (fun acc w -> acc +. w.w_generate_s +. w.w_analyze_s +. w.w_estimate_s)
+       0.0 t.workers)
+
+let contention_fraction t =
+  frac t (List.fold_left (fun acc w -> acc +. w.w_send_block_s) 0.0 t.workers)
+
+let stall_fraction t = frac t (List.fold_left (fun acc w -> acc +. w.w_idle_s) 0.0 t.workers)
+
+(* The resources a sweep can contend on, with the seconds lost to each:
+   the worker side of the collector channel (send block), the collector
+   side (recv block counts only against scaling when the collector is the
+   bottleneck, but it is the number to watch), and the checkpoint write. *)
+let contenders t =
+  [
+    ("collector-channel send", List.fold_left (fun a w -> a +. w.w_send_block_s) 0.0 t.workers);
+    ("collector-channel recv", t.collector.c_recv_block_s);
+    ("reorder buffer", t.collector.c_reorder_stall_s);
+    ("checkpoint write", t.collector.c_write_s);
+  ]
+
+let top_contender t =
+  List.fold_left (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+    ("none", 0.0) (contenders t)
+
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "profile: jobs=%d, wall %.3f s, worker-seconds %.3f\n" t.jobs t.wall_s
+       (worker_seconds t));
+  Buffer.add_string buf
+    (Printf.sprintf "  attribution: work %s  contention %s  stall %s\n" (pct (work_fraction t))
+       (pct (contention_fraction t))
+       (pct (stall_fraction t)));
+  let name, secs = top_contender t in
+  Buffer.add_string buf (Printf.sprintf "  top contended resource: %s (%.4f s)\n" name secs);
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf
+    (Texttable.render
+       ~header:
+         [ "worker"; "points"; "wall s"; "generate s"; "lint/absint s"; "estimate s";
+           "send-block s"; "idle s" ]
+       (List.map
+          (fun w ->
+            [ Printf.sprintf "w%d" w.w_domain; string_of_int w.w_points;
+              Printf.sprintf "%.4f" w.w_wall_s; Printf.sprintf "%.4f" w.w_generate_s;
+              Printf.sprintf "%.4f" w.w_analyze_s; Printf.sprintf "%.4f" w.w_estimate_s;
+              Printf.sprintf "%.4f" w.w_send_block_s; Printf.sprintf "%.4f" w.w_idle_s ])
+          t.workers));
+  let c = t.collector in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  collector: wall %.4f s — recv-block %.4f s, checkpoint write %.4f s, merge %.4f s\n"
+       c.c_wall_s c.c_recv_block_s c.c_write_s c.c_merge_s);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  reorder buffer: %.4f s total parked latency (overlaps recv-block), max occupancy %d; \
+        channel max depth %d\n"
+       c.c_reorder_stall_s t.max_reorder_occupancy t.max_queue_depth);
+  Buffer.contents buf
+
+let worker_json w =
+  Printf.sprintf
+    "{\"domain\":%d,\"points\":%d,\"wall_s\":%.6f,\"generate_s\":%.6f,\"analyze_s\":%.6f,\"estimate_s\":%.6f,\"send_block_s\":%.6f,\"idle_s\":%.6f}"
+    w.w_domain w.w_points w.w_wall_s w.w_generate_s w.w_analyze_s w.w_estimate_s w.w_send_block_s
+    w.w_idle_s
+
+let to_json t =
+  let c = t.collector in
+  let top_name, top_s = top_contender t in
+  Printf.sprintf
+    "{\"jobs\":%d,\"wall_s\":%.6f,\"worker_seconds\":%.6f,\"work_frac\":%.6f,\"contention_frac\":%.6f,\"stall_frac\":%.6f,\"top_contender\":\"%s\",\"top_contender_s\":%.6f,\"workers\":[%s],\"collector\":{\"wall_s\":%.6f,\"recv_block_s\":%.6f,\"reorder_stall_s\":%.6f,\"write_s\":%.6f,\"merge_s\":%.6f},\"max_queue_depth\":%d,\"max_reorder_occupancy\":%d}"
+    t.jobs t.wall_s (worker_seconds t) (work_fraction t) (contention_fraction t)
+    (stall_fraction t) top_name top_s
+    (String.concat "," (List.map worker_json t.workers))
+    c.c_wall_s c.c_recv_block_s c.c_reorder_stall_s c.c_write_s c.c_merge_s t.max_queue_depth
+    t.max_reorder_occupancy

@@ -1,4 +1,5 @@
 module Texttable = Dhdl_util.Texttable
+module Rng = Dhdl_util.Rng
 
 type attrs = (string * string) list
 
@@ -8,6 +9,7 @@ type span = {
   sp_dur_us : float;
   sp_depth : int;
   sp_seq : int;
+  sp_track : int;
   sp_attrs : attrs;
 }
 
@@ -16,15 +18,26 @@ type snapshot = {
   snap_counters : (string * int) list;
   snap_gauges : (string * float) list;
   snap_hists : (string * float array) list;
+  snap_hist_totals : (string * int) list;
 }
 
-(* Growable sample buffer for histograms. *)
-type hist = { mutable hdata : float array; mutable hlen : int }
+(* Capped reservoir for histogram samples: up to [hcap] kept samples drawn
+   uniformly (algorithm R) from the full stream, with the true stream
+   length in [htotal]. The per-histogram RNG is seeded from the histogram
+   name, so a fixed recording sequence always keeps the same samples. *)
+type hist = {
+  mutable hdata : float array;
+  mutable hlen : int;
+  mutable htotal : int;
+  hcap : int;
+  hrng : Rng.t;
+}
 
 type sink = {
   mutex : Mutex.t;
   clock : unit -> float;
   epoch : float;
+  hist_cap : int;
   mutable spans : span list;  (* reverse completion order *)
   mutable depth : int;
   mutable seq : int;
@@ -38,15 +51,20 @@ type sink = {
 let current : sink option ref = ref None
 let live = ref false
 
+let default_hist_cap = 8192
+
 (* Per-domain scratch buffer. A worker domain that records telemetry
    through the global sink would serialize every counter bump and span on
    the sink mutex — on the DSE hot path that contention is paid per point.
    [with_domain_buffer] installs a domain-local buffer instead: recording
    entry points write to it lock-free, and the buffer is merged into the
-   global sink under a single lock acquisition when the scope exits. *)
+   global sink under a single lock acquisition when the scope exits. The
+   buffer carries a [track] identity so the Chrome exporter can render one
+   lane per worker domain. *)
 type local = {
   l_counters : (string, int ref) Hashtbl.t;
   l_hists : (string, hist) Hashtbl.t;
+  l_track : int;
   mutable l_spans : span list;  (* reverse completion order, local seq *)
   mutable l_depth : int;
   mutable l_seq : int;
@@ -55,13 +73,14 @@ type local = {
 let local_key : local option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 let local_buffer () = !(Domain.DLS.get local_key)
 
-let enable ?(clock = Unix.gettimeofday) () =
+let enable ?(clock = Unix.gettimeofday) ?(hist_cap = default_hist_cap) () =
   current :=
     Some
       {
         mutex = Mutex.create ();
         clock;
         epoch = clock ();
+        hist_cap = max 1 hist_cap;
         spans = [];
         depth = 0;
         seq = 0;
@@ -101,7 +120,7 @@ let span ?(attrs = []) name f =
           l.l_depth <- l.l_depth - 1;
           l.l_spans <-
             { sp_name = name; sp_start_us = start; sp_dur_us = dur; sp_depth = depth;
-              sp_seq = seq; sp_attrs = attrs }
+              sp_seq = seq; sp_track = l.l_track; sp_attrs = attrs }
             :: l.l_spans)
         f
     | None ->
@@ -120,7 +139,7 @@ let span ?(attrs = []) name f =
               s.depth <- s.depth - 1;
               s.spans <-
                 { sp_name = name; sp_start_us = start; sp_dur_us = dur; sp_depth = depth;
-                  sp_seq = seq; sp_attrs = attrs }
+                  sp_seq = seq; sp_track = 0; sp_attrs = attrs }
                 :: s.spans))
         f)
 
@@ -150,32 +169,53 @@ let gauge name v =
   | None -> ()
   | Some s -> locked s (fun () -> Hashtbl.replace s.gauges name v)
 
-let hist_append hists name v =
-  let h =
-    match Hashtbl.find_opt hists name with
-    | Some h -> h
-    | None ->
-      let h = { hdata = Array.make 64 0.0; hlen = 0 } in
-      Hashtbl.replace hists name h;
-      h
-  in
-  if h.hlen = Array.length h.hdata then begin
-    let bigger = Array.make (2 * h.hlen) 0.0 in
-    Array.blit h.hdata 0 bigger 0 h.hlen;
-    h.hdata <- bigger
-  end;
-  h.hdata.(h.hlen) <- v;
-  h.hlen <- h.hlen + 1
+let find_hist ~cap hists name =
+  match Hashtbl.find_opt hists name with
+  | Some h -> h
+  | None ->
+    let h =
+      { hdata = Array.make (min 64 cap) 0.0; hlen = 0; htotal = 0; hcap = cap;
+        hrng = Rng.create (Hashtbl.hash name) }
+    in
+    Hashtbl.replace hists name h;
+    h
+
+(* One reservoir step: the sample is the [htotal]-th of the stream; keep it
+   outright while under the cap, otherwise replace a uniformly chosen kept
+   sample with probability cap/htotal (algorithm R). *)
+let hist_step h v =
+  h.htotal <- h.htotal + 1;
+  if h.hlen < h.hcap then begin
+    if h.hlen = Array.length h.hdata then begin
+      let bigger = Array.make (min h.hcap (2 * h.hlen)) 0.0 in
+      Array.blit h.hdata 0 bigger 0 h.hlen;
+      h.hdata <- bigger
+    end;
+    h.hdata.(h.hlen) <- v;
+    h.hlen <- h.hlen + 1
+  end
+  else begin
+    let j = Rng.int h.hrng h.htotal in
+    if j < h.hcap then h.hdata.(j) <- v
+  end
+
+let hist_observe ~cap hists name v = hist_step (find_hist ~cap hists name) v
 
 let observe name v =
   match !current with
   | None -> ()
   | Some s -> (
     match local_buffer () with
-    | Some l -> hist_append l.l_hists name v
-    | None -> locked s (fun () -> hist_append s.hists name v))
+    | Some l -> hist_observe ~cap:s.hist_cap l.l_hists name v
+    | None -> locked s (fun () -> hist_observe ~cap:s.hist_cap s.hists name v))
 
-let with_domain_buffer f =
+(* Histogram name for the sink-mutex acquisition wait measured at each
+   domain-buffer flush — the only point where profiled domains contend on
+   the sink itself, kept visible so "the profiler adds no contention" is a
+   measured claim rather than an assumption. *)
+let flush_wait_hist = "obs.flush_wait_us"
+
+let with_domain_buffer ?(track = 0) f =
   match !current with
   | None -> f ()
   | Some s ->
@@ -185,6 +225,7 @@ let with_domain_buffer f =
       {
         l_counters = Hashtbl.create 16;
         l_hists = Hashtbl.create 8;
+        l_track = track;
         l_spans = [];
         l_depth = 0;
         l_seq = 0;
@@ -195,18 +236,30 @@ let with_domain_buffer f =
       slot := saved;
       (* One lock acquisition merges everything the domain recorded. Spans
          get fresh global sequence numbers in their local completion order,
-         so the snapshot's seq sort keeps each domain's spans coherent. *)
-      locked s (fun () ->
-          Hashtbl.iter (fun name r -> bump s.counters name !r) l.l_counters;
-          Hashtbl.iter
-            (fun name h -> Array.iter (hist_append s.hists name) (Array.sub h.hdata 0 h.hlen))
-            l.l_hists;
-          List.iter
-            (fun sp ->
-              let seq = s.seq in
-              s.seq <- seq + 1;
-              s.spans <- { sp with sp_seq = seq } :: s.spans)
-            (List.rev l.l_spans))
+         so the snapshot's seq sort keeps each domain's spans coherent. The
+         time spent waiting for the merge lock is itself recorded. *)
+      let t0 = now_us s in
+      Mutex.lock s.mutex;
+      let waited = now_us s -. t0 in
+      Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) @@ fun () ->
+      Hashtbl.iter (fun name r -> bump s.counters name !r) l.l_counters;
+      Hashtbl.iter
+        (fun name h ->
+          let g = find_hist ~cap:s.hist_cap s.hists name in
+          for idx = 0 to h.hlen - 1 do
+            hist_step g h.hdata.(idx)
+          done;
+          (* Samples the local reservoir dropped still count toward the
+             true stream length. *)
+          g.htotal <- g.htotal + (h.htotal - h.hlen))
+        l.l_hists;
+      List.iter
+        (fun sp ->
+          let seq = s.seq in
+          s.seq <- seq + 1;
+          s.spans <- { sp with sp_seq = seq } :: s.spans)
+        (List.rev l.l_spans);
+      hist_observe ~cap:s.hist_cap s.hists flush_wait_hist waited
     in
     Fun.protect ~finally:flush f
 
@@ -222,7 +275,9 @@ let sorted_bindings tbl value =
 
 let snapshot () =
   match !current with
-  | None -> { snap_spans = []; snap_counters = []; snap_gauges = []; snap_hists = [] }
+  | None ->
+    { snap_spans = []; snap_counters = []; snap_gauges = []; snap_hists = [];
+      snap_hist_totals = [] }
   | Some s ->
     locked s (fun () ->
         {
@@ -230,7 +285,16 @@ let snapshot () =
           snap_counters = sorted_bindings s.counters (fun r -> !r);
           snap_gauges = sorted_bindings s.gauges Fun.id;
           snap_hists = sorted_bindings s.hists (fun h -> Array.sub h.hdata 0 h.hlen);
+          snap_hist_totals = sorted_bindings s.hists (fun h -> h.htotal);
         })
+
+let hist_total snap name =
+  match List.assoc_opt name snap.snap_hist_totals with
+  | Some n -> n
+  | None -> (
+    match List.assoc_opt name snap.snap_hists with
+    | Some vs -> Array.length vs
+    | None -> 0)
 
 let percentile values q =
   let n = Array.length values in
@@ -252,52 +316,61 @@ let maximum values = Array.fold_left Float.max 0.0 values
 
 let fmt_us = Printf.sprintf "%.3f"
 
-let render_summary snap =
+(* Shared summary renderer: the live snapshot path feeds it samples, the
+   JSONL re-import path feeds it pre-aggregated histogram rows. *)
+type hist_row = {
+  hr_name : string;
+  hr_count : int;
+  hr_sampled : int;
+  hr_mean : float;
+  hr_p50 : float;
+  hr_p95 : float;
+  hr_max : float;
+}
+
+let render_summary_parts ~counters ~gauges ~hist_rows ~span_durs =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "telemetry summary\n";
-  let empty =
-    snap.snap_spans = [] && snap.snap_counters = [] && snap.snap_gauges = []
-    && snap.snap_hists = []
-  in
+  let empty = counters = [] && gauges = [] && hist_rows = [] && span_durs = [] in
   if empty then Buffer.add_string buf "(no events recorded)\n"
   else begin
-    if snap.snap_counters <> [] then begin
+    if counters <> [] then begin
       Buffer.add_string buf "\ncounters\n";
       Buffer.add_string buf
         (Texttable.render ~header:[ "counter"; "value" ]
-           (List.map (fun (n, v) -> [ n; Texttable.fmt_int_commas v ]) snap.snap_counters))
+           (List.map (fun (n, v) -> [ n; Texttable.fmt_int_commas v ]) counters))
     end;
-    if snap.snap_gauges <> [] then begin
+    if gauges <> [] then begin
       Buffer.add_string buf "\ngauges\n";
       Buffer.add_string buf
         (Texttable.render ~header:[ "gauge"; "value" ]
-           (List.map (fun (n, v) -> [ n; Texttable.fmt_float ~decimals:3 v ]) snap.snap_gauges))
+           (List.map (fun (n, v) -> [ n; Texttable.fmt_float ~decimals:3 v ]) gauges))
     end;
-    if snap.snap_hists <> [] then begin
+    if hist_rows <> [] then begin
       Buffer.add_string buf "\nhistograms\n";
       Buffer.add_string buf
-        (Texttable.render ~header:[ "histogram"; "count"; "mean"; "p50"; "p95"; "max" ]
+        (Texttable.render ~header:[ "histogram"; "count"; "sampled"; "mean"; "p50"; "p95"; "max" ]
            (List.map
-              (fun (n, vs) ->
-                [ n; string_of_int (Array.length vs);
-                  Texttable.fmt_float ~decimals:3 (mean vs);
-                  Texttable.fmt_float ~decimals:3 (percentile vs 50.0);
-                  Texttable.fmt_float ~decimals:3 (percentile vs 95.0);
-                  Texttable.fmt_float ~decimals:3 (maximum vs) ])
-              snap.snap_hists))
+              (fun r ->
+                [ r.hr_name; string_of_int r.hr_count; string_of_int r.hr_sampled;
+                  Texttable.fmt_float ~decimals:3 r.hr_mean;
+                  Texttable.fmt_float ~decimals:3 r.hr_p50;
+                  Texttable.fmt_float ~decimals:3 r.hr_p95;
+                  Texttable.fmt_float ~decimals:3 r.hr_max ])
+              hist_rows))
     end;
-    if snap.snap_spans <> [] then begin
-      (* Roll spans up by name, preserving first-start order. *)
+    if span_durs <> [] then begin
+      (* Roll spans up by name, preserving first-appearance order. *)
       let order = ref [] in
       let tbl = Hashtbl.create 16 in
       List.iter
-        (fun sp ->
-          match Hashtbl.find_opt tbl sp.sp_name with
-          | Some samples -> samples := sp.sp_dur_us :: !samples
+        (fun (name, dur_us) ->
+          match Hashtbl.find_opt tbl name with
+          | Some samples -> samples := dur_us :: !samples
           | None ->
-            Hashtbl.replace tbl sp.sp_name (ref [ sp.sp_dur_us ]);
-            order := sp.sp_name :: !order)
-        snap.snap_spans;
+            Hashtbl.replace tbl name (ref [ dur_us ]);
+            order := name :: !order)
+        span_durs;
       Buffer.add_string buf "\nspans\n";
       Buffer.add_string buf
         (Texttable.render
@@ -316,6 +389,17 @@ let render_summary snap =
     end
   end;
   Buffer.contents buf
+
+let render_summary snap =
+  render_summary_parts ~counters:snap.snap_counters ~gauges:snap.snap_gauges
+    ~hist_rows:
+      (List.map
+         (fun (n, vs) ->
+           { hr_name = n; hr_count = hist_total snap n; hr_sampled = Array.length vs;
+             hr_mean = mean vs; hr_p50 = percentile vs 50.0; hr_p95 = percentile vs 95.0;
+             hr_max = maximum vs })
+         snap.snap_hists)
+    ~span_durs:(List.map (fun sp -> (sp.sp_name, sp.sp_dur_us)) snap.snap_spans)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -344,9 +428,9 @@ let to_jsonl snap =
     (fun sp ->
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"type\":\"span\",\"name\":\"%s\",\"start_us\":%s,\"dur_us\":%s,\"depth\":%d,\"attrs\":%s}\n"
+           "{\"type\":\"span\",\"name\":\"%s\",\"start_us\":%s,\"dur_us\":%s,\"depth\":%d,\"track\":%d,\"attrs\":%s}\n"
            (json_escape sp.sp_name) (fmt_us sp.sp_start_us) (fmt_us sp.sp_dur_us) sp.sp_depth
-           (json_attrs sp.sp_attrs)))
+           sp.sp_track (json_attrs sp.sp_attrs)))
     snap.snap_spans;
   List.iter
     (fun (n, v) ->
@@ -363,42 +447,230 @@ let to_jsonl snap =
     (fun (n, vs) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"mean\":%s,\"p50\":%s,\"p95\":%s,\"max\":%s}\n"
-           (json_escape n) (Array.length vs) (fmt_us (mean vs))
+           "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"sampled\":%d,\"mean\":%s,\"p50\":%s,\"p95\":%s,\"max\":%s}\n"
+           (json_escape n) (hist_total snap n) (Array.length vs) (fmt_us (mean vs))
            (fmt_us (percentile vs 50.0))
            (fmt_us (percentile vs 95.0))
            (fmt_us (maximum vs))))
     snap.snap_hists;
   Buffer.contents buf
 
+let track_name t = if t = 0 then "main" else Printf.sprintf "worker %d" t
+
 let to_chrome_trace snap =
   let end_ts =
     List.fold_left (fun acc sp -> Float.max acc (sp.sp_start_us +. sp.sp_dur_us)) 0.0
       snap.snap_spans
   in
+  let tracks =
+    List.sort_uniq compare (0 :: List.map (fun sp -> sp.sp_track) snap.snap_spans)
+  in
   let events = Buffer.create 4096 in
   Buffer.add_string events
-    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"dhdl\"}}";
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"dhdl\"}}";
+  List.iter
+    (fun t ->
+      Buffer.add_string events
+        (Printf.sprintf
+           ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           t (track_name t)))
+    tracks;
   List.iter
     (fun sp ->
       Buffer.add_string events
         (Printf.sprintf
-           ",\n{\"name\":\"%s\",\"cat\":\"dhdl\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%s,\"dur\":%s,\"args\":%s}"
-           (json_escape sp.sp_name) (fmt_us sp.sp_start_us) (fmt_us sp.sp_dur_us)
+           ",\n{\"name\":\"%s\",\"cat\":\"dhdl\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":%s}"
+           (json_escape sp.sp_name) sp.sp_track (fmt_us sp.sp_start_us) (fmt_us sp.sp_dur_us)
            (json_attrs sp.sp_attrs)))
     snap.snap_spans;
   List.iter
     (fun (n, v) ->
       Buffer.add_string events
         (Printf.sprintf
-           ",\n{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":%s,\"args\":{\"value\":%d}}"
+           ",\n{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":%s,\"args\":{\"value\":%d}}"
            (json_escape n) (fmt_us end_ts) v))
     snap.snap_counters;
   List.iter
     (fun (n, v) ->
       Buffer.add_string events
         (Printf.sprintf
-           ",\n{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":%s,\"args\":{\"value\":%s}}"
+           ",\n{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":%s,\"args\":{\"value\":%s}}"
            (json_escape n) (fmt_us end_ts) (fmt_us v)))
     snap.snap_gauges;
   Printf.sprintf "{\"traceEvents\":[\n%s\n],\"displayTimeUnit\":\"ms\"}\n" (Buffer.contents events)
+
+(* ---------------- JSONL re-import ------------------------------------- *)
+
+(* Minimal parser for the flat JSON objects [to_jsonl] emits: one object
+   per line, string / number / nested-object values (nested objects are
+   kept as raw text — only the exporter's own [attrs] use them). Not a
+   general JSON parser; it exists so traces recorded on another machine
+   can be summarized without re-running the workload. *)
+
+exception Parse of string
+
+let parse_object line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let fail msg = raise (Parse (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos else fail (Printf.sprintf "expected %C" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          if !pos + 1 >= n then fail "dangling escape";
+          (match line.[!pos + 1] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            if !pos + 5 >= n then fail "short \\u escape";
+            let hex = String.sub line (!pos + 2) 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some code when code < 256 -> Buffer.add_char buf (Char.chr code)
+            | Some _ -> Buffer.add_char buf '?'
+            | None -> fail "bad \\u escape");
+            pos := !pos + 4
+          | c -> fail (Printf.sprintf "unknown escape \\%c" c));
+          pos := !pos + 2;
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_raw_object () =
+    (* Capture a balanced {...} as raw text, respecting strings. *)
+    let start = !pos in
+    let depth = ref 0 in
+    let in_str = ref false in
+    let fin = ref (-1) in
+    while !fin < 0 && !pos < n do
+      (match line.[!pos] with
+      | '"' when not (!pos > start && line.[!pos - 1] = '\\') -> in_str := not !in_str
+      | '{' when not !in_str -> incr depth
+      | '}' when not !in_str ->
+        decr depth;
+        if !depth = 0 then fin := !pos
+      | _ -> ());
+      incr pos
+    done;
+    if !fin < 0 then fail "unterminated object";
+    String.sub line start (!fin - start + 1)
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> parse_string ()
+    | Some '{' -> parse_raw_object ()
+    | Some _ ->
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        match line.[!pos] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' | 'a' .. 'd' | 'f' .. 'z' -> true
+        | _ -> false
+      do
+        incr pos
+      done;
+      if !pos = start then fail "expected a value";
+      String.sub line start (!pos - start)
+    | None -> fail "expected a value"
+  in
+  expect '{';
+  skip_ws ();
+  if peek () = Some '}' then []
+  else begin
+    let fields = ref [] in
+    let rec go () =
+      let k = (skip_ws (); parse_string ()) in
+      expect ':';
+      let v = parse_value () in
+      fields := (k, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+        incr pos;
+        go ()
+      | Some '}' -> ()
+      | _ -> fail "expected ',' or '}'"
+    in
+    go ();
+    List.rev !fields
+  end
+
+let field fields k =
+  match List.assoc_opt k fields with
+  | Some v -> v
+  | None -> raise (Parse (Printf.sprintf "missing field %S" k))
+
+let float_field fields k =
+  match float_of_string_opt (field fields k) with
+  | Some f -> f
+  | None -> raise (Parse (Printf.sprintf "field %S is not a number" k))
+
+let int_field fields k =
+  match int_of_string_opt (field fields k) with
+  | Some i -> i
+  | None -> raise (Parse (Printf.sprintf "field %S is not an integer" k))
+
+let summary_of_jsonl text =
+  let counters = ref [] and gauges = ref [] and hist_rows = ref [] and span_durs = ref [] in
+  let line_no = ref 0 in
+  try
+    String.split_on_char '\n' text
+    |> List.iter (fun line ->
+           incr line_no;
+           if String.trim line <> "" then begin
+             let fields = parse_object line in
+             match field fields "type" with
+             | "span" -> span_durs := (field fields "name", float_field fields "dur_us") :: !span_durs
+             | "counter" -> counters := (field fields "name", int_field fields "value") :: !counters
+             | "gauge" -> gauges := (field fields "name", float_field fields "value") :: !gauges
+             | "histogram" ->
+               let sampled =
+                 match List.assoc_opt "sampled" fields with
+                 | Some s -> (
+                   match int_of_string_opt s with
+                   | Some i -> i
+                   | None -> raise (Parse "field \"sampled\" is not an integer"))
+                 | None -> int_field fields "count"
+               in
+               hist_rows :=
+                 {
+                   hr_name = field fields "name";
+                   hr_count = int_field fields "count";
+                   hr_sampled = sampled;
+                   hr_mean = float_field fields "mean";
+                   hr_p50 = float_field fields "p50";
+                   hr_p95 = float_field fields "p95";
+                   hr_max = float_field fields "max";
+                 }
+                 :: !hist_rows
+             | t -> raise (Parse (Printf.sprintf "unknown record type %S" t))
+           end);
+    Ok
+      (render_summary_parts
+         ~counters:(List.sort compare !counters)
+         ~gauges:(List.sort compare !gauges)
+         ~hist_rows:(List.sort (fun a b -> compare a.hr_name b.hr_name) !hist_rows)
+         ~span_durs:(List.rev !span_durs))
+  with Parse msg -> Error (Printf.sprintf "line %d: %s" !line_no msg)

@@ -9,7 +9,16 @@
     allocation and no lock when telemetry is off. When enabled, mutation of
     the sink is serialized by a mutex (safe under domains; span nesting
     depth is tracked globally, so spans from concurrent domains interleave
-    their depths but never corrupt the sink). *)
+    their depths but never corrupt the sink).
+
+    Spans carry a {e track} identity (an integer lane, 0 = the main
+    domain) assigned by {!with_domain_buffer}, so the Chrome exporter
+    renders one lane per worker domain instead of a single interleaved
+    track. Histogram sample buffers are bounded: each histogram keeps at
+    most [hist_cap] samples, drawn uniformly from the full stream by a
+    deterministic per-histogram seeded reservoir (algorithm R), while the
+    true stream length is tracked exactly and exported alongside the
+    sampled percentiles. *)
 
 type attrs = (string * string) list
 
@@ -19,6 +28,10 @@ type span = {
   sp_dur_us : float;  (** Duration in microseconds. *)
   sp_depth : int;  (** Nesting depth; 0 for root spans. *)
   sp_seq : int;  (** Start-order sequence number (stable sort key). *)
+  sp_track : int;
+      (** Lane identity: 0 for spans recorded on the calling domain's
+          global path, the [track] given to {!with_domain_buffer} for
+          buffered spans. Rendered as the Chrome trace [tid]. *)
   sp_attrs : attrs;
 }
 
@@ -27,15 +40,24 @@ type snapshot = {
   snap_counters : (string * int) list;  (** Sorted by name. *)
   snap_gauges : (string * float) list;  (** Sorted by name. *)
   snap_hists : (string * float array) list;
-      (** Sorted by name; samples in insertion order. *)
+      (** Sorted by name; the {e kept} (reservoir-sampled) samples in
+          insertion order. *)
+  snap_hist_totals : (string * int) list;
+      (** Sorted by name; the true number of [observe] calls per
+          histogram, [>=] the kept sample count. *)
 }
 
 (** {1 Lifecycle} *)
 
-val enable : ?clock:(unit -> float) -> unit -> unit
+val default_hist_cap : int
+(** Default bound on kept samples per histogram (8192). *)
+
+val enable : ?clock:(unit -> float) -> ?hist_cap:int -> unit -> unit
 (** Install a fresh live sink (discarding any previous one). [clock]
     defaults to [Unix.gettimeofday]; tests inject a deterministic clock.
-    Timestamps are recorded relative to the moment of [enable]. *)
+    [hist_cap] (default {!default_hist_cap}, clamped to [>= 1]) bounds the
+    kept samples per histogram. Timestamps are recorded relative to the
+    moment of [enable]. *)
 
 val disable : unit -> unit
 (** Drop the sink; instrumented paths return to the no-op fast path. *)
@@ -64,25 +86,33 @@ val gauge : string -> float -> unit
 (** Set a named gauge to its latest value. *)
 
 val observe : string -> float -> unit
-(** Append a sample to a named histogram (e.g. per-design estimation ms). *)
+(** Append a sample to a named histogram (e.g. per-design estimation ms).
+    Past [hist_cap] samples the histogram keeps a uniform reservoir and
+    the exact total count; percentiles become sampled estimates. *)
 
 val tick : ?every:int -> label:string -> total:int -> int -> unit
 (** [tick ~label ~total i] prints a progress line to stderr every [every]
     (default 1000) increments while enabled; no-op when disabled. *)
 
-val with_domain_buffer : (unit -> 'a) -> 'a
-(** [with_domain_buffer f] runs [f] with a domain-local scratch buffer
-    installed: {!span}, {!count} and {!observe} from the calling domain
-    record into the buffer without touching the sink mutex, and the buffer
-    is merged into the global sink under a single lock acquisition when
-    [f] returns (also on exception). Parallel DSE worker domains wrap
+val with_domain_buffer : ?track:int -> (unit -> 'a) -> 'a
+(** [with_domain_buffer ?track f] runs [f] with a domain-local scratch
+    buffer installed: {!span}, {!count} and {!observe} from the calling
+    domain record into the buffer without touching the sink mutex, and the
+    buffer is merged into the global sink under a single lock acquisition
+    when [f] returns (also on exception). Parallel DSE worker domains wrap
     their whole work loop in this so per-point telemetry never contends
-    on the hot path. Counter totals and histogram samples merge exactly;
+    on the hot path. [track] (default 0) tags the buffered spans' lane
+    identity: the parallel DSE engine passes worker index [+ 1], keeping
+    track 0 for the collector/main domain. Counter totals merge exactly;
+    histogram reservoirs merge by replaying the kept samples into the
+    global reservoir with the dropped remainder added to the true count;
     buffered spans receive fresh global sequence numbers at flush time, so
-    they sort after spans already in the sink. {!counter_value} and
-    {!snapshot} only see the buffer's contents after the flush. Scopes
-    nest (inner flushes restore the outer buffer); with the sink disabled
-    this is exactly [f ()]. *)
+    they sort after spans already in the sink. The time the flush spends
+    waiting for the sink mutex is recorded in the [obs.flush_wait_us]
+    histogram — the only self-contention the profiler can add, kept
+    measurable on purpose. {!counter_value} and {!snapshot} only see the
+    buffer's contents after the flush. Scopes nest (inner flushes restore
+    the outer buffer); with the sink disabled this is exactly [f ()]. *)
 
 (** {1 Export} *)
 
@@ -95,12 +125,23 @@ val percentile : float array -> float -> float
 
 val render_summary : snapshot -> string
 (** Human-readable tables: counters, gauges, histogram aggregates
-    (count / mean / p50 / p95 / max) and per-name span rollups. *)
+    (true count / kept samples / mean / p50 / p95 / max) and per-name
+    span rollups. *)
 
 val to_jsonl : snapshot -> string
-(** One JSON object per line: spans in start order, then counters, gauges,
-    and histogram aggregates. *)
+(** One JSON object per line: spans in start order (with their [track]),
+    then counters, gauges, and histogram aggregates ([count] is the true
+    total, [sampled] the kept reservoir size). *)
 
 val to_chrome_trace : snapshot -> string
 (** Chrome [trace_event] JSON ("X" complete events for spans, "C" counter
-    events), loadable in chrome://tracing and Perfetto. *)
+    events), loadable in chrome://tracing and Perfetto. Each span track
+    becomes its own [tid] lane with a [thread_name] metadata record
+    ("main" for track 0, "worker N" otherwise); counters and gauges render
+    on track 0. *)
+
+val summary_of_jsonl : string -> (string, string) result
+(** Re-render the {!render_summary} tables from a previously exported
+    {!to_jsonl} event log (e.g. recorded by [dhdl dse --jsonl] on a CI
+    box), without re-running the workload. Histogram rows reuse the
+    recorded aggregates. [Error msg] names the first malformed line. *)

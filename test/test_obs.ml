@@ -151,20 +151,21 @@ let golden_snapshot () =
 
 let test_jsonl_golden () =
   let expected =
-    "{\"type\":\"span\",\"name\":\"a\",\"start_us\":0.000,\"dur_us\":1000.000,\"depth\":0,\"attrs\":{\"k\":\"v\"}}\n"
+    "{\"type\":\"span\",\"name\":\"a\",\"start_us\":0.000,\"dur_us\":1000.000,\"depth\":0,\"track\":0,\"attrs\":{\"k\":\"v\"}}\n"
     ^ "{\"type\":\"counter\",\"name\":\"c\",\"value\":2}\n"
     ^ "{\"type\":\"gauge\",\"name\":\"g\",\"value\":1.500}\n"
-    ^ "{\"type\":\"histogram\",\"name\":\"h\",\"count\":2,\"mean\":2.000,\"p50\":1.000,\"p95\":3.000,\"max\":3.000}\n"
+    ^ "{\"type\":\"histogram\",\"name\":\"h\",\"count\":2,\"sampled\":2,\"mean\":2.000,\"p50\":1.000,\"p95\":3.000,\"max\":3.000}\n"
   in
   check_string "jsonl" expected (Obs.to_jsonl (golden_snapshot ()))
 
 let test_chrome_trace_golden () =
   let expected =
     "{\"traceEvents\":[\n"
-    ^ "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"dhdl\"}},\n"
-    ^ "{\"name\":\"a\",\"cat\":\"dhdl\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0.000,\"dur\":1000.000,\"args\":{\"k\":\"v\"}},\n"
-    ^ "{\"name\":\"c\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":1000.000,\"args\":{\"value\":2}},\n"
-    ^ "{\"name\":\"g\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":1000.000,\"args\":{\"value\":1.500}}\n"
+    ^ "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"dhdl\"}},\n"
+    ^ "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"main\"}},\n"
+    ^ "{\"name\":\"a\",\"cat\":\"dhdl\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0.000,\"dur\":1000.000,\"args\":{\"k\":\"v\"}},\n"
+    ^ "{\"name\":\"c\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":1000.000,\"args\":{\"value\":2}},\n"
+    ^ "{\"name\":\"g\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":1000.000,\"args\":{\"value\":1.500}}\n"
     ^ "],\"displayTimeUnit\":\"ms\"}\n"
   in
   check_string "chrome trace" expected (Obs.to_chrome_trace (golden_snapshot ()))
