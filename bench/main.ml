@@ -7,7 +7,9 @@
      dune exec bench/main.exe table3     # one section
      dune exec bench/main.exe -- --quick # scaled-down sizes
 
-   Sections: table2 table3 table4 fig5 fig6 ablations micro all *)
+   Sections: table2 table3 table4 fig5 fig6 ablations micro all
+   Named-only (excluded from `all`): serve-soak — long fault soak of the
+   DSE server over its Unix socket. *)
 
 module E = Dhdl_core.Experiments
 module Estimator = Dhdl_model.Estimator
@@ -258,6 +260,90 @@ let run_micro ~quick () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Long-running robustness soak of the DSE server (ISSUE 8). Sustained
+   mixed traffic over the Unix socket against an in-process server, with
+   the serve fault sites firing at 5%; every request must come back as
+   exactly one typed reply — lost replies abort the soak. Excluded from
+   the default `all` run (it is a robustness soak, not a paper figure):
+     dune exec bench/main.exe serve-soak [-- --quick]                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_serve_soak ~quick () =
+  let module Server = Dhdl_serve.Server in
+  let module Client = Dhdl_serve.Client in
+  let module Sup = Dhdl_serve.Supervisor in
+  let module P = Dhdl_serve.Protocol in
+  let module Faults = Dhdl_util.Faults in
+  banner "Serve soak: sustained mixed traffic under 5% injected faults";
+  let est = the_estimator ~quick () in
+  let tmpdir = Filename.get_temp_dir_name () in
+  let socket = Filename.concat tmpdir "dhdl_bench_soak.sock" in
+  let root = Filename.concat tmpdir "dhdl_bench_soak_sessions" in
+  (try Unix.mkdir root 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let cfg = Sup.default_config ~sessions_root:root ~estimator:(Lazy.from_val est) in
+  Faults.configure ~seed ~p:0.0 ();
+  List.iter
+    (fun s -> Faults.set_site s 0.05)
+    [ "serve.handler"; "serve.sock_read"; "serve.sock_write"; "serve.session_store" ];
+  let server =
+    Domain.spawn (fun () -> Server.run ~install_signals:false ~socket_path:socket cfg)
+  in
+  let client = Client.create ~timeout_s:30.0 ~socket_path:socket () in
+  if not (Client.wait_ready ~timeout_s:60.0 client) then failwith "soak server did not come up";
+  let n = if quick then 200 else 2_000 in
+  let ok = ref 0 and typed_errors = ref 0 and quarantined = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    let id = Printf.sprintf "soak-%d" i in
+    let req =
+      match i mod 4 with
+      | 0 -> P.request ~id P.Ping
+      | 1 -> P.request ~id ~app:"dotproduct" P.Estimate
+      | 2 -> P.request ~id ~app:"gda" P.Lint
+      | _ -> P.request ~id ~app:"nosuchapp" P.Estimate
+    in
+    match Client.call client req with
+    | Ok reply -> (
+      match reply.P.r_body with
+      | Ok _ -> incr ok
+      | Error { P.err_code = P.Quarantined; _ } ->
+        incr quarantined;
+        incr typed_errors
+      | Error _ -> incr typed_errors)
+    | Error msg -> failwith (Printf.sprintf "request %s got no reply: %s" id msg)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  (* A sweep session runs to completion through the same fault stream. *)
+  let sid = "bench-soak" in
+  (match
+     Client.call client
+       (P.request ~id:"soak-dse" ~app:"dotproduct" ~session:sid ~seed ~max_points:25 P.Dse_start)
+   with
+  | Ok _ -> ()
+  | Error msg -> failwith ("dse_start got no reply: " ^ msg));
+  let rec wait_done k =
+    if k > 3000 then failwith "soak sweep did not finish"
+    else
+      match Client.call client (P.request ~id:(Printf.sprintf "soak-st-%d" k) ~session:sid P.Dse_status) with
+      | Ok { P.r_body = Ok p; _ }
+        when Dhdl_serve.Json.member "state" p = Some (Dhdl_serve.Json.Str "done") ->
+        ()
+      | _ ->
+        Unix.sleepf 0.05;
+        wait_done (k + 1)
+  in
+  wait_done 0;
+  ignore (Client.call client (P.request ~id:"soak-bye" P.Shutdown));
+  Domain.join server;
+  Faults.reset ();
+  Printf.printf
+    "%d requests under 5%%-per-site faults: %d ok, %d typed errors (%d quarantined), 0 lost\n"
+    n !ok !typed_errors !quarantined;
+  Printf.printf "sustained %.0f req/s end-to-end over the socket (%.1f s)\n" (float_of_int n /. dt) dt;
+  Printf.printf "plus one 25-point sweep session driven to completion through the same faults\n";
+  assert (!ok + !typed_errors = n)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -272,6 +358,10 @@ let all_sections =
     ("dseperf", run_dseperf);
     ("micro", run_micro);
   ]
+
+(* Named-only sections: runnable by name, excluded from `all` — the serve
+   soak is a long robustness exercise, not part of the paper's evaluation. *)
+let extra_sections = [ ("serve-soak", run_serve_soak) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -297,11 +387,11 @@ let () =
     | names ->
       List.map
         (fun n ->
-          match List.assoc_opt n all_sections with
+          match List.assoc_opt n (all_sections @ extra_sections) with
           | Some f -> (n, f)
           | None ->
             Printf.eprintf "unknown section %S (have: %s)\n" n
-              (String.concat " " (List.map fst all_sections));
+              (String.concat " " (List.map fst (all_sections @ extra_sections)));
             exit 2)
         names
   in

@@ -766,6 +766,184 @@ let metrics_cmd =
       const run $ app_opt $ params_arg $ seed_arg $ train_arg $ points_arg $ cache_arg $ trace_arg
       $ jsonl_arg $ from_arg)
 
+(* --- DSE-as-a-service ------------------------------------------------ *)
+
+module Serve_protocol = Dhdl_serve.Protocol
+module Serve_client = Dhdl_serve.Client
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/dhdl.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket the server listens on.")
+
+let serve_cmd =
+  let sessions_arg =
+    Arg.(
+      value
+      & opt string "/tmp/dhdl-sessions"
+      & info [ "sessions" ] ~docv:"DIR"
+          ~doc:
+            "Directory holding crash-only DSE session state (one subdirectory per session; the \
+             checkpoint file is the state, so $(b,kill -9) loses at most the points since the \
+             last periodic write).")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission bound: requests beyond N pending are shed with a typed \
+             $(i,overloaded) reply carrying a retry_after_ms hint.")
+  in
+  let degrade_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "degrade-depth" ] ~docv:"N"
+          ~doc:
+            "Queue depth at which estimate requests degrade to the raw analytical model \
+             (flagged $(i,degraded:true) in replies).")
+  in
+  let quarantine_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "quarantine" ] ~docv:"N"
+          ~doc:
+            "Crashes before a poisoned request is parked with a $(i,quarantined) reply \
+             carrying its error chain.")
+  in
+  let run socket sessions queue_cap degrade quarantine seed train cache jobs inject faults_seed
+      trace jsonl metrics =
+    with_obs ~trace ~jsonl ~metrics @@ fun () ->
+    Option.iter
+      (fun p ->
+        Dhdl_util.Faults.configure ~seed:faults_seed ~p ();
+        Printf.eprintf "[dev] injecting faults at p=%g (seed %d)\n%!" p faults_seed)
+      inject;
+    let estimator = lazy (make_estimator ?cache ~quiet:true ~seed ~train_samples:train ()) in
+    let cfg =
+      {
+        (Dhdl_serve.Supervisor.default_config ~sessions_root:sessions ~estimator) with
+        Dhdl_serve.Supervisor.queue_capacity = queue_cap;
+        degrade_depth = degrade;
+        quarantine_threshold = quarantine;
+        dse_jobs = jobs;
+      }
+    in
+    Dhdl_serve.Server.run ~socket_path:socket cfg
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the DSE server: a supervised daemon multiplexing estimate/lint/analyze/dse \
+          requests over a Unix domain socket, with admission control, per-request deadlines, \
+          graceful degradation, quarantine, and crash-recoverable sweep sessions (SIGTERM \
+          drains; sessions survive $(b,kill -9) via their checkpoints).")
+    Term.(
+      const run $ socket_arg $ sessions_arg $ queue_cap_arg $ degrade_arg $ quarantine_arg
+      $ seed_arg $ train_arg $ cache_arg $ jobs_arg $ inject_faults_arg $ faults_seed_arg
+      $ trace_arg $ jsonl_arg $ metrics_arg)
+
+let client_cmd =
+  let verb_arg =
+    let verbs =
+      List.map
+        (fun v -> (Serve_protocol.verb_name v, v))
+        Serve_protocol.
+          [ Ping; Estimate; Lint; Analyze; Dse_start; Dse_status; Dse_cancel; Shutdown ]
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum verbs)) None
+      & info [] ~docv:"VERB" ~doc:"ping|estimate|lint|analyze|dse_start|dse_status|dse_cancel|shutdown")
+  in
+  let app_opt_arg =
+    Arg.(
+      value & pos 1 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name.")
+  in
+  let client_params_arg =
+    Arg.(value & pos_right 1 string [] & info [] ~docv:"PARAMS" ~doc:"Design parameters, name=value.")
+  in
+  let id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID"
+          ~doc:
+            "Request id. Replies are cached by id, so re-running with the same id after a lost \
+             reply returns the original result instead of re-executing. Default: a fresh \
+             pid-derived id.")
+  in
+  let deadline_ms_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Whole-request budget; expired work answers $(i,deadline_exceeded), and a \
+             dse_start's remaining budget bounds the sweep (truncated + resumable).")
+  in
+  let session_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "session" ] ~docv:"ID" ~doc:"Session id (dse_start/dse_status/dse_cancel).")
+  in
+  let points_opt_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "points"; "n" ] ~docv:"N" ~doc:"Sweep budget for dse_start (default 2000).")
+  in
+  let seed_opt_arg =
+    Arg.(
+      value & opt (some int) None & info [ "sweep-seed" ] ~docv:"N" ~doc:"Sweep seed for dse_start.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"S" ~doc:"Per-attempt reply timeout.")
+  in
+  let attempts_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:
+            "Retry budget (same id each time, jittered exponential backoff; overloaded replies \
+             honor the server's retry_after_ms hint).")
+  in
+  let wait_arg =
+    Arg.(value & flag & info [ "wait" ] ~doc:"Wait for the server to answer ping before sending.")
+  in
+  let run verb app params id deadline_ms session points sweep_seed socket timeout attempts wait =
+    let client =
+      Serve_client.create ~timeout_s:timeout ~max_attempts:attempts ~socket_path:socket ()
+    in
+    if wait && not (Serve_client.wait_ready client) then
+      failwith (Printf.sprintf "server at %s did not become ready" socket);
+    let id =
+      match id with
+      | Some id -> id
+      | None -> Printf.sprintf "cli-%d-%.0f" (Unix.getpid ()) (Unix.gettimeofday () *. 1e3)
+    in
+    let req =
+      Serve_protocol.request ?deadline_ms ?app ~params:(parse_params params) ?session
+        ?seed:sweep_seed ?max_points:points ~id verb
+    in
+    match Serve_client.call client req with
+    | Error msg -> failwith msg
+    | Ok reply ->
+      print_endline (Serve_protocol.render_reply reply);
+      (match reply.Serve_protocol.r_body with Ok _ -> () | Error _ -> exit 1)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running $(b,dhdl serve) daemon and print the JSON reply \
+          (exit 1 on a typed error reply).")
+    Term.(
+      const run $ verb_arg $ app_opt_arg $ client_params_arg $ id_arg $ deadline_ms_arg
+      $ session_arg $ points_opt_arg $ seed_opt_arg $ socket_arg $ timeout_arg $ attempts_arg
+      $ wait_arg)
+
 let list_cmd =
   let run () =
     print_string (Experiments.render_table2 ());
@@ -778,15 +956,42 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks and their design-space sizes.") Term.(const run $ const ())
 
-(* User-facing errors (unknown benchmark, bad name=value parameters,
-   unreadable files, mismatched checkpoints) surface as `failwith` or
-   `Sys_error` from the command bodies; render them as a one-line message
-   and exit 1 instead of dumping an OCaml backtrace. *)
+(* Every user-facing error leaves through one door: `dhdl: error: <msg>`
+   on stderr, a one-line usage hint, exit 1. Command bodies signal with
+   `failwith`/`Sys_error` (unknown benchmark, bad name=value parameters,
+   unreadable files, mismatched checkpoints); cmdliner's own parse errors
+   (unknown subcommands, unknown flags, bad option values) are captured
+   off its error formatter and re-rendered the same way instead of
+   surfacing cmdliner's multi-line report with exit 124. *)
 let () =
   let doc = "DHDL: automatic generation of efficient accelerators for reconfigurable hardware" in
   let info = Cmd.info "dhdl" ~version:"1.0.0" ~doc in
-  let group = Cmd.group info [ estimate_cmd; compare_cmd; synth_cmd; dse_cmd; profile_cmd; lint_cmd; analyze_cmd; metrics_cmd; codegen_cmd; dot_cmd; print_cmd; experiments_cmd; interpret_cmd; list_cmd ] in
-  try exit (Cmd.eval ~catch:false group) with
-  | Failure msg | Sys_error msg ->
-    Printf.eprintf "dhdl: error: %s\n%!" msg;
+  let group = Cmd.group info [ estimate_cmd; compare_cmd; synth_cmd; dse_cmd; profile_cmd; lint_cmd; analyze_cmd; metrics_cmd; codegen_cmd; dot_cmd; print_cmd; experiments_cmd; interpret_cmd; list_cmd; serve_cmd; client_cmd ] in
+  let fail msg =
+    Printf.eprintf "dhdl: error: %s\n(run 'dhdl --help' for usage)\n%!" msg;
     exit 1
+  in
+  let err_buf = Buffer.create 256 in
+  let err_fmt = Format.formatter_of_buffer err_buf in
+  match Cmd.eval ~catch:false ~err:err_fmt group with
+  | code when code = Cmd.Exit.cli_error ->
+    Format.pp_print_flush err_fmt ();
+    (* First line of cmdliner's report, minus its own "dhdl: " prefix. *)
+    let first_line =
+      match String.split_on_char '\n' (String.trim (Buffer.contents err_buf)) with
+      | line :: _ -> line
+      | [] -> "invalid command line"
+    in
+    let msg =
+      let prefix = "dhdl: " in
+      if String.length first_line > String.length prefix
+         && String.sub first_line 0 (String.length prefix) = prefix
+      then String.sub first_line (String.length prefix) (String.length first_line - String.length prefix)
+      else first_line
+    in
+    fail msg
+  | code ->
+    Format.pp_print_flush err_fmt ();
+    prerr_string (Buffer.contents err_buf);
+    exit code
+  | exception (Failure msg | Sys_error msg) -> fail msg

@@ -9,6 +9,7 @@ type t = {
   total : int;
   params : string list;
   entries : (int * Outcome.entry) list;
+  truncated_tail : bool;
 }
 
 let version = 1
@@ -287,7 +288,21 @@ let load ~path =
       let v = as_int (member "version" h) in
       if v <> version then raise (Bad (Printf.sprintf "unsupported checkpoint version %d" v));
       let params = List.map as_string (as_list (member "params" h)) in
-      let entries = List.map (fun line -> entry_of_json ~params (parse_json line)) rest in
+      (* A crash mid-append can tear the final line (the atomic temp-file +
+         rename protocol makes this impossible for [save], but other
+         writers — or a torn copy — may hand us such a file). A torn tail
+         carries no information the sweep cannot recompute, so drop it and
+         flag the load instead of rejecting the whole checkpoint; a parse
+         error on any non-final line is still real corruption. *)
+      let rec parse_entries acc = function
+        | [] -> (List.rev acc, false)
+        | [ last ] -> (
+          match entry_of_json ~params (parse_json last) with
+          | e -> (List.rev (e :: acc), false)
+          | exception Bad _ -> (List.rev acc, true))
+        | line :: rest -> parse_entries (entry_of_json ~params (parse_json line) :: acc) rest
+      in
+      let entries, truncated_tail = parse_entries [] rest in
       Ok
         {
           space_name = as_string (member "space" h);
@@ -296,6 +311,7 @@ let load ~path =
           total = as_int (member "total" h);
           params;
           entries = List.sort (fun (a, _) (b, _) -> compare a b) entries;
+          truncated_tail;
         }
   with
   | Bad msg -> Error (Printf.sprintf "%s: corrupt checkpoint (%s)" path msg)

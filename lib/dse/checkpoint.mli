@@ -11,7 +11,14 @@
     always a complete snapshot: a sweep killed mid-write resumes from the
     previous checkpoint rather than a torn one. Hex-float round-tripping
     makes a resumed sweep's evaluations structurally equal to an
-    uninterrupted run's. *)
+    uninterrupted run's.
+
+    {!load} additionally tolerates a {e torn tail}: when only the final
+    JSONL line fails to parse (a crash truncated an append from a
+    non-atomic writer, or a copy was cut short), the line is dropped, the
+    complete prefix loads normally, and [truncated_tail] flags the loss so
+    resume reports can surface it. Corruption anywhere before the final
+    line is still rejected. *)
 
 type t = {
   space_name : string;
@@ -20,6 +27,9 @@ type t = {
   total : int;  (** Points sampled by the sweep being checkpointed. *)
   params : string list;  (** Parameter names, in point order. *)
   entries : (int * Outcome.entry) list;  (** Ascending by point index. *)
+  truncated_tail : bool;
+      (** Set by {!load} when a torn final line was dropped; [false] for
+          checkpoints built in memory, and ignored by {!render}/{!save}. *)
 }
 
 val version : int

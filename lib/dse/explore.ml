@@ -67,6 +67,7 @@ module Config = struct
     resume : bool;
     deadline_seconds : float option;
     profile : bool;
+    stop_requested : (unit -> bool) option;
   }
 
   (* OCaml's runtime caps live domains well above this, but a sweep gains
@@ -108,16 +109,17 @@ module Config = struct
       resume = false;
       deadline_seconds = None;
       profile = false;
+      stop_requested = None;
     }
 
   let make ?(seed = default.seed) ?(max_points = default.max_points) ?(lint = default.lint)
       ?(absint = default.absint) ?(jobs = default.jobs) ?(span_every = default.span_every)
       ?(tick_every = default.tick_every) ?checkpoint
       ?(checkpoint_every = default.checkpoint_every) ?(resume = default.resume)
-      ?deadline_seconds ?(profile = default.profile) () =
+      ?deadline_seconds ?(profile = default.profile) ?stop_requested () =
     validate_run
       { seed; max_points; lint; absint; jobs; span_every; tick_every; checkpoint;
-        checkpoint_every; resume; deadline_seconds; profile }
+        checkpoint_every; resume; deadline_seconds; profile; stop_requested }
 
   let with_seed seed t = validate { t with seed }
   let with_max_points max_points t = validate { t with max_points }
@@ -133,6 +135,7 @@ module Config = struct
   let with_resume resume t = validate { t with resume }
   let with_deadline deadline t = validate { t with deadline_seconds = Some deadline }
   let with_profile profile t = validate { t with profile }
+  let with_stop_check stop t = validate { t with stop_requested = Some stop }
 end
 
 let evaluate est point design =
@@ -278,6 +281,14 @@ let load_resume ~path ~space ~seed ~max_points ~total ~param_names =
              path c.Checkpoint.space_name c.Checkpoint.seed c.Checkpoint.max_points
              c.Checkpoint.total (Space.name space) seed max_points total)
       else begin
+        if c.Checkpoint.truncated_tail then
+          Printf.eprintf
+            "warning: checkpoint %s had a torn final line (dropped); resuming from %d complete \
+             entr%s\n\
+             %!"
+            path
+            (List.length c.Checkpoint.entries)
+            (if List.length c.Checkpoint.entries = 1 then "y" else "ies");
         let tbl = Hashtbl.create (2 * List.length c.Checkpoint.entries) in
         List.iter (fun (i, e) -> Hashtbl.replace tbl i e) c.Checkpoint.entries;
         tbl
@@ -336,7 +347,7 @@ end
 let run (cfg : Config.t) est ~space ~generate =
   let cfg = Config.validate_run cfg in
   let { Config.seed; max_points; lint; absint; jobs; span_every; tick_every; checkpoint;
-        checkpoint_every; resume; deadline_seconds; profile } =
+        checkpoint_every; resume; deadline_seconds; profile; stop_requested } =
     cfg
   in
   Obs.span "dse.run"
@@ -370,6 +381,15 @@ let run (cfg : Config.t) est ~space ~generate =
     match deadline_seconds with
     | None -> false
     | Some d -> Unix.gettimeofday () -. t0 >= d
+  in
+  (* Cancellation rides the deadline-truncation machinery: a [true] from
+     the hook stops the sweep exactly like an expired deadline — the result
+     is flagged [truncated] and the final checkpoint still lands, so a
+     cancelled sweep is resumable. A hook that raises counts as a stop
+     request rather than killing the sweep. *)
+  let should_stop () =
+    past_deadline ()
+    || (match stop_requested with None -> false | Some f -> ( try f () with _ -> true))
   in
   (* One point's work: reuse the resume entry or run the barriered
      pipeline. Pure in the point index (sampling is seeded, fault sites
@@ -431,6 +451,7 @@ let run (cfg : Config.t) est ~space ~generate =
           total;
           params = param_names;
           entries = List.rev !entries;
+          truncated_tail = false;
         };
       if profile then write_seconds := !write_seconds +. (Unix.gettimeofday () -. t0)
   in
@@ -462,7 +483,7 @@ let run (cfg : Config.t) est ~space ~generate =
         (fun i p ->
           if not !truncated then begin
             record i p (compute ?stages i p);
-            if past_deadline () then truncated := true
+            if should_stop () then truncated := true
           end)
         points;
       let attribution =
@@ -539,10 +560,11 @@ let run (cfg : Config.t) est ~space ~generate =
                 let before = !acc in
                 Chan.push ~wait:acc chan (Entry (i, r));
                 if obs_prof then Obs.observe "dse.chan.send_wait_us" ((!acc -. before) *. 1e6));
-              (* Mirror the sequential loop: the deadline is checked after
-                 each consumed point, and tripping it stops every worker
-                 from pulling further indices. *)
-              if past_deadline () then Atomic.set stop true;
+              (* Mirror the sequential loop: the deadline (or a cancel
+                 request) is checked after each consumed point, and
+                 tripping it stops every worker from pulling further
+                 indices. *)
+              if should_stop () then Atomic.set stop true;
               loop ()
             end
           end

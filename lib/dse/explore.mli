@@ -108,6 +108,14 @@ module Config : sig
             recorded. Off (the default) the sweep pays only a per-stage
             branch, keeping jobs=1 throughput within noise of unprofiled
             builds. *)
+    stop_requested : (unit -> bool) option;
+        (** Cooperative cancellation hook, polled after every consumed
+            point (all jobs levels). Returning [true] stops the sweep
+            exactly like an expired deadline: the result is flagged
+            [truncated] and the final checkpoint is still written, so a
+            cancelled sweep resumes where it stopped. The DSE server's
+            [dse_cancel] and graceful shutdown both ride this hook. A hook
+            that raises is treated as a stop request. *)
   }
 
   val max_jobs : int
@@ -128,6 +136,7 @@ module Config : sig
     ?resume:bool ->
     ?deadline_seconds:float ->
     ?profile:bool ->
+    ?stop_requested:(unit -> bool) ->
     unit ->
     t
   (** Smart constructor: every field defaults to {!default}'s value and the
@@ -158,6 +167,9 @@ module Config : sig
 
   val with_profile : bool -> t -> t
   (** Toggle time attribution; see {!Profile} and [result.attribution]. *)
+
+  val with_stop_check : (unit -> bool) -> t -> t
+  (** Install a cooperative cancellation hook (see [stop_requested]). *)
 end
 
 val run :

@@ -73,7 +73,16 @@ type local = {
 let local_key : local option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 let local_buffer () = !(Domain.DLS.get local_key)
 
+(* Request lanes: tracks handed out by [fresh_track] start at 100, far
+   above any realistic worker-domain count, so the exporters can tell
+   "request 3" lanes apart from "worker 3" lanes by range alone. *)
+let request_track_base = 100
+let next_request_track = Atomic.make request_track_base
+
+let fresh_track () = Atomic.fetch_and_add next_request_track 1
+
 let enable ?(clock = Unix.gettimeofday) ?(hist_cap = default_hist_cap) () =
+  Atomic.set next_request_track request_track_base;
   current :=
     Some
       {
@@ -262,6 +271,13 @@ let with_domain_buffer ?(track = 0) f =
       hist_observe ~cap:s.hist_cap s.hists flush_wait_hist waited
     in
     Fun.protect ~finally:flush f
+
+let with_request_track ?attrs name f =
+  match !current with
+  | None -> f ()
+  | Some _ ->
+    let track = fresh_track () in
+    with_domain_buffer ~track (fun () -> span ?attrs name f)
 
 let tick ?(every = 1000) ~label ~total i =
   if !live && every > 0 && i > 0 && i mod every = 0 then
@@ -455,7 +471,10 @@ let to_jsonl snap =
     snap.snap_hists;
   Buffer.contents buf
 
-let track_name t = if t = 0 then "main" else Printf.sprintf "worker %d" t
+let track_name t =
+  if t = 0 then "main"
+  else if t >= request_track_base then Printf.sprintf "request %d" (t - request_track_base)
+  else Printf.sprintf "worker %d" t
 
 let to_chrome_trace snap =
   let end_ts =

@@ -114,6 +114,19 @@ val with_domain_buffer : ?track:int -> (unit -> 'a) -> 'a
     buffer's contents after the flush. Scopes nest (inner flushes restore
     the outer buffer); with the sink disabled this is exactly [f ()]. *)
 
+val fresh_track : unit -> int
+(** Allocate a fresh {e request} lane: a track id from a process-wide
+    counter starting at 100 (reset by {!enable}), a range the exporters
+    render as ["request N"] instead of ["worker N"]. Safe from any
+    domain. *)
+
+val with_request_track : ?attrs:attrs -> string -> (unit -> 'a) -> 'a
+(** [with_request_track name f] runs [f] under {!with_domain_buffer} on a
+    {!fresh_track} lane with one root {!span} [name] covering all of it —
+    the per-request wrapper the DSE server puts around each handler, so a
+    single Chrome trace shows every request on its own lane. Exactly
+    [f ()] when the sink is disabled. *)
+
 (** {1 Export} *)
 
 val snapshot : unit -> snapshot
@@ -137,8 +150,8 @@ val to_chrome_trace : snapshot -> string
 (** Chrome [trace_event] JSON ("X" complete events for spans, "C" counter
     events), loadable in chrome://tracing and Perfetto. Each span track
     becomes its own [tid] lane with a [thread_name] metadata record
-    ("main" for track 0, "worker N" otherwise); counters and gauges render
-    on track 0. *)
+    ("main" for track 0, "worker N" for low tracks, "request N" for
+    {!fresh_track} lanes); counters and gauges render on track 0. *)
 
 val summary_of_jsonl : string -> (string, string) result
 (** Re-render the {!render_summary} tables from a previously exported

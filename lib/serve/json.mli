@@ -1,0 +1,43 @@
+(** Minimal JSON values for the serve wire protocol.
+
+    The server speaks newline-delimited JSON, one value per line; this
+    module is the shared reader/writer for both ends. It covers the full
+    JSON grammar (minus float exponent edge cases beyond
+    [float_of_string]) and adds one non-standard constructor, {!Raw},
+    which splices an already-rendered JSON fragment verbatim — used to
+    embed reports the lint/absint passes render themselves. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string
+      (** Pre-rendered JSON, emitted verbatim by {!render}; never produced
+          by {!parse}. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; anything after
+    the value is an error). [Error] carries a message with an offset. *)
+
+val render : t -> string
+(** Compact single-line rendering (never contains ['\n'], so a rendered
+    value is always one wire line). *)
+
+(** {1 Accessors} — total lookups used by the protocol decoders. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val to_string : t -> string option
+val to_int : t -> int option
+(** [Int] directly; a [Float] with an integral value also converts. *)
+
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val obj_or_empty : t -> (string * t) list
+(** The fields of an object, [[]] for anything else. *)

@@ -1,0 +1,27 @@
+(** The socket front end: a select-based event loop speaking the
+    newline-delimited JSON {!Protocol} over a Unix domain socket.
+
+    The loop owns all reads; replies are written by whichever domain
+    produced them (the supervisor's worker), serialized per connection by
+    a mutex — so a slow client never blocks request intake, and the event
+    loop never blocks on the estimator.
+
+    Robustness at this layer:
+    - transient socket faults (the [serve.sock_read] / [serve.sock_write]
+      sites) are absorbed by bounded retry;
+    - a line that fails to parse answers a [bad_request] reply instead of
+      dropping the connection;
+    - a peer that disappears is reaped; replies to it are discarded
+      without disturbing the worker (SIGPIPE is ignored);
+    - SIGTERM / SIGINT (or a [shutdown] request) flip the drain flag: the
+      listener closes, queued work finishes, running sweeps cancel and
+      checkpoint ({!Supervisor.drain}), and [run] returns. A [kill -9]
+      instead loses nothing but the uncheckpointed tail — sessions are
+      crash-only ({!Session}). *)
+
+val run : ?install_signals:bool -> socket_path:string -> Supervisor.config -> unit
+(** Bind [socket_path] (an existing socket file is replaced — crash
+    leftovers are expected), serve until drained, clean up, return.
+    [install_signals] (default [true]) installs the SIGTERM/SIGINT drain
+    handlers; in-process test servers run with it [false] so they don't
+    steal the host's handlers. SIGPIPE is always ignored. *)

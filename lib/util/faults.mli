@@ -10,7 +10,17 @@
     sweep sees the same faults as an uninterrupted one) or a per-site call
     counter. Two runs with the same configuration and the same keys observe
     the same faults — which is what makes checkpoint/resume and golden-file
-    tests of the failure paths possible. *)
+    tests of the failure paths possible.
+
+    Site names are ad-hoc strings owned by the guarded code. In-tree sites:
+    [dse.generator] / [dse.lint] / [dse.estimator] / [dse.non_finite] (the
+    sweep's per-point barriers, keyed by point index),
+    [estimator.nn_correction] (forces the analytical-fallback path), and
+    the DSE server's [serve.sock_read] / [serve.sock_write] (transient
+    socket I/O, absorbed by bounded retry), [serve.session_store] (session
+    spec/summary writes, retried), and [serve.handler] (a handler crash,
+    keyed by (request id, attempt) so retries re-roll — drives the
+    quarantine path). *)
 
 exception Injected of string
 (** Raised by {!inject} when the site fires; the payload is the site name.

@@ -219,6 +219,54 @@ let test_resume_bit_identical_after_kill () =
   Sys.remove full_path;
   Sys.remove kill_path
 
+let test_torn_tail_every_cut () =
+  let est = Lazy.force estimator in
+  let golden_path = tmp "torn_golden.jsonl" in
+  let torn_path = tmp "torn.jsonl" in
+  ignore (run_sweep ~checkpoint:golden_path est);
+  let golden = read_file golden_path in
+  let n =
+    match Checkpoint.load ~path:golden_path with
+    | Ok c -> List.length c.Checkpoint.entries
+    | Error msg -> Alcotest.fail msg
+  in
+  (* Length of the final entry line, including its newline. *)
+  let last_len =
+    let body = String.sub golden 0 (String.length golden - 1) in
+    String.length golden - String.rindex body '\n' - 1
+  in
+  check_bool "final line long enough to tear" true (last_len > 2);
+  let write_cut cut =
+    let oc = open_out_bin torn_path in
+    output_string oc (String.sub golden 0 (String.length golden - cut));
+    close_out oc
+  in
+  (* A kill -9 (or a torn copy) can truncate the file at any byte. Every
+     cut of the final line must still load: the complete prefix survives,
+     and [truncated_tail] fires exactly when a partial line was dropped —
+     a 1-byte cut only loses the trailing newline (the line is still
+     whole), and a cut of the entire line is just a shorter clean file. *)
+  for cut = 1 to last_len do
+    write_cut cut;
+    match Checkpoint.load ~path:torn_path with
+    | Error msg -> Alcotest.failf "cut of %d bytes failed to load: %s" cut msg
+    | Ok c ->
+      let expect_entries = if cut = 1 then n else n - 1 in
+      let expect_torn = cut > 1 && cut < last_len in
+      check_int (Printf.sprintf "entries after %d-byte cut" cut) expect_entries
+        (List.length c.Checkpoint.entries);
+      check_bool (Printf.sprintf "torn flag after %d-byte cut" cut) expect_torn
+        c.Checkpoint.truncated_tail
+  done;
+  (* Resuming from a torn checkpoint reuses the surviving prefix and
+     converges to the golden bytes. *)
+  write_cut ((last_len / 2) + 1);
+  let resumed = run_sweep ~checkpoint:torn_path ~resume:true est in
+  check_int "surviving prefix reused" (n - 1) resumed.Explore.resumed;
+  Alcotest.(check string) "torn checkpoint converges to golden" golden (read_file torn_path);
+  Sys.remove golden_path;
+  Sys.remove torn_path
+
 let test_resume_rejects_mismatched_checkpoint () =
   let est = Lazy.force estimator in
   let path = tmp "mismatch.jsonl" in
@@ -319,6 +367,7 @@ let () =
         [
           Alcotest.test_case "roundtrip + golden" `Quick test_checkpoint_roundtrip_and_golden;
           Alcotest.test_case "resume bit-identical" `Quick test_resume_bit_identical_after_kill;
+          Alcotest.test_case "torn tail tolerated at every cut" `Quick test_torn_tail_every_cut;
           Alcotest.test_case "mismatch rejected" `Quick test_resume_rejects_mismatched_checkpoint;
           Alcotest.test_case "corrupt rejected" `Quick test_resume_rejects_corrupt_checkpoint;
           Alcotest.test_case "deadline + resume" `Quick test_deadline_truncates_then_resume_completes;

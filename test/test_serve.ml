@@ -1,0 +1,982 @@
+(* The DSE server: protocol codecs, supervisor robustness layers
+   (admission control, deadlines, degradation, idempotent retries,
+   quarantine), crash-only sessions, the socket front end, and the two
+   ISSUE acceptance proofs — SIGKILL + restart + resume is byte-identical
+   to an uninterrupted sweep, and under injected faults every request
+   gets exactly one typed reply. Runs under `dune runtest` and the
+   focused `dune build @serve` pre-merge alias.
+
+   Ordering matters: the suites that fork (the kill/recovery integration
+   test and the CLI exit-code checks) run first, before any test spawns
+   a domain in this process — forking a multi-domain OCaml runtime is
+   not safe. *)
+
+module Sjson = Dhdl_serve.Json
+module P = Dhdl_serve.Protocol
+module Session = Dhdl_serve.Session
+module Supervisor = Dhdl_serve.Supervisor
+module Server = Dhdl_serve.Server
+module Client = Dhdl_serve.Client
+module Faults = Dhdl_util.Faults
+module Obs = Dhdl_obs.Obs
+module Estimator = Dhdl_model.Estimator
+module Explore = Dhdl_dse.Explore
+module Checkpoint = Dhdl_dse.Checkpoint
+module App = Dhdl_apps.App
+module Registry = Dhdl_apps.Registry
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let estimator = lazy (Estimator.create ~seed:7 ~train_samples:60 ~epochs:100 ())
+
+let with_faults f = Fun.protect ~finally:Faults.reset f
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("dhdl_serve_" ^ name)
+
+let counter = ref 0
+
+let fresh_id prefix =
+  incr counter;
+  Printf.sprintf "%s-%d" prefix !counter
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let fresh_root name =
+  let dir = tmp (fresh_id name) in
+  rm_rf dir;
+  Unix.mkdir dir 0o700;
+  dir
+
+let poll_until ?(timeout_s = 60.0) f =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match f () with
+    | Some v -> v
+    | None ->
+      if Unix.gettimeofday () > deadline then Alcotest.fail "timed out waiting for condition"
+      else begin
+        Unix.sleepf 0.01;
+        go ()
+      end
+  in
+  go ()
+
+(* ---- reply plumbing ------------------------------------------------ *)
+
+let payload reply =
+  match reply.P.r_body with
+  | Ok j -> j
+  | Error e ->
+    Alcotest.failf "expected ok reply for %s, got %s: %s" reply.P.r_id
+      (P.error_code_name e.P.err_code) e.P.err_message
+
+let err_of reply =
+  match reply.P.r_body with
+  | Error e -> e
+  | Ok j -> Alcotest.failf "expected error reply for %s, got ok %s" reply.P.r_id (Sjson.render j)
+
+let field name j =
+  match Sjson.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S in %s" name (Sjson.render j)
+
+let sfield name j =
+  match Sjson.to_string (field name j) with
+  | Some s -> s
+  | None -> Alcotest.failf "field %S is not a string in %s" name (Sjson.render j)
+
+let ifield name j =
+  match Sjson.to_int (field name j) with
+  | Some n -> n
+  | None -> Alcotest.failf "field %S is not an int in %s" name (Sjson.render j)
+
+let bfield name j =
+  match Sjson.to_bool (field name j) with
+  | Some b -> b
+  | None -> Alcotest.failf "field %S is not a bool in %s" name (Sjson.render j)
+
+(* One-shot mailbox for a reply delivered from the worker domain. *)
+let inbox () =
+  let m = Mutex.create () and c = Condition.create () in
+  let slot = ref None in
+  let put reply =
+    Mutex.lock m;
+    slot := Some reply;
+    Condition.signal c;
+    Mutex.unlock m
+  in
+  let wait () =
+    Mutex.lock m;
+    while Option.is_none !slot do
+      Condition.wait c m
+    done;
+    let v = Option.get !slot in
+    slot := None;
+    Mutex.unlock m;
+    v
+  in
+  (put, wait)
+
+(* Submit one request and wait for its reply, round-tripped through the
+   wire codec so Raw payload fragments come back as parsed JSON and every
+   in-process test also exercises render/parse. *)
+let rpc sup req =
+  let put, wait = inbox () in
+  Supervisor.submit sup req ~reply_to:put;
+  let reply = wait () in
+  match P.parse_reply (P.render_reply reply) with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "reply for %s does not round-trip: %s" req.P.q_id msg
+
+let sup_config ?root ?(queue_capacity = 64) ?(degrade_depth = 16) ?(quarantine_threshold = 3)
+    ?(nn_fallback_limit = 25) ?(checkpoint_every = 8) () =
+  let root = match root with Some r -> r | None -> fresh_root "sup" in
+  {
+    Supervisor.sessions_root = root;
+    estimator = Lazy.from_val (Lazy.force estimator);
+    queue_capacity;
+    degrade_depth;
+    quarantine_threshold;
+    nn_fallback_limit;
+    dse_jobs = 1;
+    dse_checkpoint_every = checkpoint_every;
+  }
+
+let with_sup ?(start = true) cfg f =
+  let sup = Supervisor.create cfg in
+  if start then Supervisor.start sup;
+  Fun.protect ~finally:(fun () -> Supervisor.drain sup) (fun () -> f sup)
+
+let must_call client req =
+  match Client.call client req with
+  | Ok reply -> reply
+  | Error msg -> Alcotest.failf "request %s got no reply: %s" req.P.q_id msg
+
+(* In-process socket server on its own domain. The finally block always
+   sends a shutdown (a no-op if the test already did) so a failed
+   assertion cannot leave the server domain spinning forever. *)
+let with_server ~socket cfg f =
+  let server = Domain.spawn (fun () -> Server.run ~install_signals:false ~socket_path:socket cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      let stopper = Client.create ~timeout_s:2.0 ~max_attempts:1 ~socket_path:socket () in
+      ignore (Client.call stopper (P.request ~id:(fresh_id "stop") P.Shutdown));
+      Domain.join server)
+    (fun () ->
+      let client = Client.create ~timeout_s:10.0 ~socket_path:socket () in
+      if not (Client.wait_ready ~timeout_s:60.0 client) then
+        Alcotest.fail "server did not come up";
+      f client)
+
+(* ==================================================================== *)
+(* 1. Crash recovery over the real server: fork, SIGKILL, restart,      *)
+(*    resume — final checkpoint byte-identical to an uninterrupted run. *)
+(* ==================================================================== *)
+
+let spawn_server ~socket ~root ~cache () =
+  match Unix.fork () with
+  | 0 ->
+    let code =
+      try
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+        Unix.dup2 devnull Unix.stdin;
+        Unix.dup2 devnull Unix.stdout;
+        Unix.dup2 devnull Unix.stderr;
+        Unix.close devnull;
+        let estimator =
+          lazy
+            (match Estimator.load cache with
+            | Some est -> est
+            | None -> Estimator.create ~seed:7 ~train_samples:60 ~epochs:100 ())
+        in
+        let cfg =
+          {
+            (Supervisor.default_config ~sessions_root:root ~estimator) with
+            Supervisor.dse_checkpoint_every = 4;
+          }
+        in
+        Server.run ~socket_path:socket cfg;
+        0
+      with _ -> 2
+    in
+    Unix._exit code
+  | pid -> pid
+
+let test_kill_resume_byte_identical () =
+  let socket = tmp "kill.sock" in
+  let root = fresh_root "kill_sessions" in
+  let cache = tmp "kill_est.cache" in
+  (* Train once and share the weights through the marshal cache, so both
+     server processes and the golden run estimate bit-identically. *)
+  let est = Lazy.force estimator in
+  Estimator.save est cache;
+  let seed = 11 and max_points = 200 in
+  let sid = "kill-test" in
+  let cp = Session.checkpoint_path ~root sid in
+  let entries_on_disk () =
+    match Checkpoint.load ~path:cp with
+    | Ok c -> List.length c.Checkpoint.entries
+    | Error _ -> 0
+  in
+  let start_req id = P.request ~id ~app:"dotproduct" ~session:sid ~seed ~max_points P.Dse_start in
+  let client = Client.create ~timeout_s:10.0 ~socket_path:socket () in
+  (* Server #1: start the sweep, wait for two checkpoint writes, then
+     kill -9 — no drain, no final checkpoint, crash-only residue only. *)
+  let pid1 = spawn_server ~socket ~root ~cache () in
+  check_bool "server 1 came up" true (Client.wait_ready ~timeout_s:60.0 client);
+  let p = payload (must_call client (start_req "kr-start")) in
+  check_bool "sweep started" true (bfield "started" p);
+  poll_until ~timeout_s:120.0 (fun () -> if entries_on_disk () >= 8 then Some () else None);
+  Unix.kill pid1 Sys.sigkill;
+  let _, st1 = Unix.waitpid [] pid1 in
+  check_bool "died by signal, not exit" true (st1 = Unix.WSIGNALED Sys.sigkill);
+  let survivors = entries_on_disk () in
+  check_bool "checkpoint survived the kill" true (survivors >= 8);
+  check_bool "killed mid-sweep" true (survivors < max_points);
+  (match Session.status ~root sid with
+  | Session.Interrupted _ -> ()
+  | st ->
+    Alcotest.failf "expected an interrupted session after kill -9, got %s"
+      (match st with
+      | Session.Unknown -> "unknown"
+      | Session.Fresh _ -> "fresh"
+      | Session.Interrupted _ -> "interrupted"
+      | Session.Failed _ -> "failed"
+      | Session.Done _ -> "done"));
+  (* Server #2: same socket, same root. Re-issuing the same dse_start
+     resumes from the surviving checkpoint and runs to completion. *)
+  let pid2 = spawn_server ~socket ~root ~cache () in
+  check_bool "server 2 came up" true (Client.wait_ready ~timeout_s:60.0 client);
+  let p2 = payload (must_call client (start_req "kr-resume")) in
+  check_bool "resume started" true (bfield "started" p2);
+  check_bool "resumed from the surviving prefix" true (ifield "resumed_entries" p2 >= 8);
+  let summary =
+    poll_until ~timeout_s:300.0 (fun () ->
+        match
+          (must_call client (P.request ~id:(fresh_id "kr-st") ~session:sid P.Dse_status)).P.r_body
+        with
+        | Ok p when sfield "state" p = "done" -> Some (field "summary" p)
+        | _ -> None)
+  in
+  check_int "every point processed" max_points (ifield "processed" summary);
+  check_bool "summary counts the reused prefix" true (ifield "resumed" summary >= 8);
+  ignore (must_call client (P.request ~id:"kr-bye" P.Shutdown));
+  let _, st2 = Unix.waitpid [] pid2 in
+  check_bool "server 2 drained and exited cleanly" true (st2 = Unix.WEXITED 0);
+  (* The acceptance proof: the recovered checkpoint is byte-identical to
+     one written by an uninterrupted run with the same configuration. *)
+  let golden = tmp "kill_golden.jsonl" in
+  (try Sys.remove golden with Sys_error _ -> ());
+  let app = Registry.find "dotproduct" in
+  let sizes = app.App.paper_sizes in
+  let cfg =
+    Explore.Config.make ~seed ~max_points ~jobs:1 ~checkpoint:golden ~checkpoint_every:4
+      ~tick_every:0 ()
+  in
+  ignore
+    (Explore.run cfg est
+       ~space:(app.App.space sizes)
+       ~generate:(fun pt -> app.App.generate ~sizes ~params:pt));
+  check_str "kill + restart + resume converges to the uninterrupted golden bytes"
+    (read_file golden) (read_file cp);
+  Sys.remove golden;
+  Sys.remove cache;
+  rm_rf root
+
+(* ==================================================================== *)
+(* 2. CLI consistency: errors and exit codes                            *)
+(* ==================================================================== *)
+
+let dhdl_exe = Filename.concat (Filename.concat ".." "bin") "dhdl.exe"
+
+let run_cli args =
+  let base = tmp (fresh_id "cli") in
+  let out_path = base ^ ".out" and err_path = base ^ ".err" in
+  let openw p = Unix.openfile p [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let out_fd = openw out_path and err_fd = openw err_path in
+  let pid = Unix.create_process dhdl_exe (Array.of_list (dhdl_exe :: args)) devnull out_fd err_fd in
+  Unix.close devnull;
+  Unix.close out_fd;
+  Unix.close err_fd;
+  let _, status = Unix.waitpid [] pid in
+  let code =
+    match status with
+    | Unix.WEXITED n -> n
+    | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+  in
+  let out = read_file out_path and err = read_file err_path in
+  Sys.remove out_path;
+  Sys.remove err_path;
+  (code, out, err)
+
+let expect_cli_error args fragment =
+  let code, _, err = run_cli args in
+  check_int (String.concat " " args ^ " exits 1") 1 code;
+  check_bool "stderr is prefixed dhdl: error:" true (contains err "dhdl: error:");
+  check_bool "stderr hints at --help" true (contains err "dhdl --help");
+  check_bool (Printf.sprintf "stderr mentions %S" fragment) true (contains err fragment)
+
+let test_cli_unknown_subcommand () = expect_cli_error [ "frobnicate" ] "frobnicate"
+(* cmdliner reports a bare unknown top-level flag as a missing COMMAND;
+   the consistent part is the prefix, the hint, and the exit code. *)
+let test_cli_unknown_flag () = expect_cli_error [ "--frobnicate" ] "COMMAND"
+let test_cli_unknown_sub_flag () = expect_cli_error [ "list"; "--frobnicate" ] "frobnicate"
+let test_cli_unknown_benchmark () = expect_cli_error [ "lint"; "nosuchapp" ] "unknown benchmark"
+
+let test_cli_client_unreachable () =
+  expect_cli_error
+    [ "client"; "--attempts"; "1"; "--socket"; tmp "nosock.sock"; "ping" ]
+    "dhdl: error:"
+
+let test_cli_success_still_zero () =
+  let code, out, _ = run_cli [ "list" ] in
+  check_int "dhdl list exits 0" 0 code;
+  check_bool "lists the paper benchmarks" true (contains out "dotproduct")
+
+(* ==================================================================== *)
+(* 3. JSON codec                                                        *)
+(* ==================================================================== *)
+
+let test_json_roundtrip () =
+  let values =
+    [
+      Sjson.Null;
+      Sjson.Bool true;
+      Sjson.Bool false;
+      Sjson.Int 0;
+      Sjson.Int (-12);
+      Sjson.Float 3.5;
+      Sjson.Float 2.0;
+      Sjson.Str "";
+      Sjson.Str "with \"quotes\", \\slashes\\ and\nnewlines\tplus\rreturns";
+      Sjson.List [];
+      Sjson.List [ Sjson.Int 1; Sjson.Str "two"; Sjson.Null ];
+      Sjson.Obj [];
+      Sjson.Obj
+        [
+          ("a", Sjson.Int 1);
+          ("b", Sjson.List [ Sjson.Bool true; Sjson.Obj [ ("c", Sjson.Str "d") ] ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let rendered = Sjson.render v in
+      check_bool "single line" false (contains rendered "\n");
+      match Sjson.parse rendered with
+      | Error msg -> Alcotest.failf "%s does not parse back: %s" rendered msg
+      | Ok v' -> check_bool (rendered ^ " round-trips") true (v = v'))
+    values
+
+let test_json_raw_splice () =
+  check_str "raw fragments splice verbatim" "{\"r\":{\"x\":1},\"n\":2}"
+    (Sjson.render (Sjson.Obj [ ("r", Sjson.Raw "{\"x\":1}"); ("n", Sjson.Int 2) ]))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Sjson.parse s with
+      | Ok v -> Alcotest.failf "%S should not parse, got %s" s (Sjson.render v)
+      | Error msg -> check_bool "error has an offset" true (contains msg "offset"))
+    [ ""; "{"; "[1,"; "nul"; "{\"a\"}"; "1 2"; "{\"a\":1} trailing"; "\"unterminated" ]
+
+let test_json_accessors () =
+  let j = Sjson.Obj [ ("i", Sjson.Int 3); ("f", Sjson.Float 4.0); ("s", Sjson.Str "x") ] in
+  check_bool "member present" true (Sjson.member "i" j = Some (Sjson.Int 3));
+  check_bool "member missing" true (Sjson.member "nope" j = None);
+  check_bool "member on non-object" true (Sjson.member "i" (Sjson.Int 1) = None);
+  check_bool "to_int on int" true (Sjson.to_int (Sjson.Int 3) = Some 3);
+  check_bool "to_int on integral float" true (Sjson.to_int (Sjson.Float 4.0) = Some 4);
+  check_bool "to_int on fractional float" true (Sjson.to_int (Sjson.Float 4.5) = None);
+  check_bool "obj_or_empty on list" true (Sjson.obj_or_empty (Sjson.List []) = [])
+
+(* ==================================================================== *)
+(* 4. Wire protocol                                                     *)
+(* ==================================================================== *)
+
+let all_verbs =
+  [ P.Ping; P.Estimate; P.Lint; P.Analyze; P.Dse_start; P.Dse_status; P.Dse_cancel; P.Shutdown ]
+
+let all_codes =
+  [
+    P.Overloaded; P.Draining; P.Deadline_exceeded; P.Quarantined; P.Bad_request;
+    P.Unknown_session; P.Internal;
+  ]
+
+let test_verb_and_code_names () =
+  List.iter
+    (fun v -> check_bool (P.verb_name v ^ " round-trips") true (P.verb_of_name (P.verb_name v) = Some v))
+    all_verbs;
+  List.iter
+    (fun c ->
+      check_bool
+        (P.error_code_name c ^ " round-trips")
+        true
+        (P.error_code_of_name (P.error_code_name c) = Some c))
+    all_codes;
+  check_bool "unknown verb" true (P.verb_of_name "explode" = None);
+  check_bool "unknown code" true (P.error_code_of_name "explode" = None)
+
+let test_request_roundtrip () =
+  let reqs =
+    [
+      P.request ~id:"a" P.Ping;
+      P.request ~id:"b" ~deadline_ms:250 ~app:"dotproduct" ~params:[ ("par", 4); ("tile", 8) ]
+        P.Estimate;
+      P.request ~id:"c" ~session:"s1" ~seed:3 ~max_points:9 P.Dse_start;
+      P.request ~id:"d" ~deadline_ms:0 ~session:"s1" P.Dse_status;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match P.parse_request (P.render_request r) with
+      | Error msg -> Alcotest.failf "%s does not parse back: %s" (P.render_request r) msg
+      | Ok r' -> check_bool (P.render_request r ^ " round-trips") true (r = r'))
+    reqs
+
+let test_request_parse_errors () =
+  let expect_error line fragment =
+    match P.parse_request line with
+    | Ok _ -> Alcotest.failf "%S should be rejected" line
+    | Error msg ->
+      check_bool (Printf.sprintf "%S error mentions %S" line fragment) true (contains msg fragment)
+  in
+  expect_error "not json" "malformed JSON";
+  expect_error "{\"verb\":\"ping\"}" "\"id\"";
+  expect_error "{\"id\":\"x\"}" "\"verb\"";
+  expect_error "{\"id\":\"x\",\"verb\":\"explode\"}" "unknown verb";
+  (* The unknown-verb error enumerates what the server does speak. *)
+  expect_error "{\"id\":\"x\",\"verb\":\"explode\"}" "dse_start";
+  expect_error "{\"id\":\"x\",\"verb\":\"ping\",\"params\":{\"a\":\"b\"}}" "not an integer";
+  expect_error "{\"id\":\"x\",\"verb\":\"ping\",\"deadline_ms\":-5}" ">= 0"
+
+let test_reply_roundtrip () =
+  let replies =
+    [
+      P.ok ~id:"r1" (Sjson.Obj [ ("pong", Sjson.Bool true) ]);
+      P.error ~id:"r2" ~retry_after_ms:75 P.Overloaded "queue full";
+      P.error ~id:"r3" ~chain:[ "crash one"; "crash two" ] P.Quarantined "parked";
+      P.error ~id:"r4" P.Draining "bye";
+    ]
+  in
+  List.iter
+    (fun r ->
+      match P.parse_reply (P.render_reply r) with
+      | Error msg -> Alcotest.failf "%s does not parse back: %s" (P.render_reply r) msg
+      | Ok r' -> check_bool (P.render_reply r ^ " round-trips") true (r = r'))
+    replies;
+  check_bool "overloaded is retryable" true
+    (P.is_retryable (P.error ~id:"x" P.Overloaded ""));
+  check_bool "draining is retryable" true (P.is_retryable (P.error ~id:"x" P.Draining ""));
+  check_bool "quarantined is final" false (P.is_retryable (P.error ~id:"x" P.Quarantined ""));
+  check_bool "ok is final" false (P.is_retryable (P.ok ~id:"x" Sjson.Null));
+  (match P.parse_reply "{\"id\":\"x\",\"ok\":{},\"error\":{\"code\":\"internal\"}}" with
+  | Ok _ -> Alcotest.fail "a reply with both ok and error must be rejected"
+  | Error msg -> check_bool "mentions exclusivity" true (contains msg "exactly one"));
+  match P.parse_reply "{\"id\":\"x\",\"error\":{\"message\":\"m\"}}" with
+  | Ok _ -> Alcotest.fail "an error reply without a code must be rejected"
+  | Error msg -> check_bool "mentions code" true (contains msg "code")
+
+(* ==================================================================== *)
+(* 5. Session store                                                     *)
+(* ==================================================================== *)
+
+let spec = { Session.s_app = "dotproduct"; s_seed = 1; s_max_points = 10; s_jobs = 1 }
+
+let test_session_ids () =
+  List.iter
+    (fun id -> check_bool (Printf.sprintf "%S accepted" id) true (Session.id_ok id))
+    [ "s1"; "a.b-c_d"; "ABC123"; String.make 64 'x' ];
+  List.iter
+    (fun id -> check_bool (Printf.sprintf "%S rejected" id) false (Session.id_ok id))
+    [ ""; "."; ".."; "a/b"; "../x"; "a b"; "a\nb"; String.make 65 'x' ]
+
+let test_session_states_from_disk () =
+  let root = fresh_root "states" in
+  check_bool "missing directory is unknown" true (Session.status ~root "none" = Session.Unknown);
+  Session.write_spec ~root "a" spec;
+  check_bool "spec alone is fresh" true (Session.status ~root "a" = Session.Fresh spec);
+  check_bool "spec round-trips" true (Session.load_spec ~root "a" = Some spec);
+  Session.mark_failed ~root "a" "boom";
+  check_bool "error.json means failed" true (Session.status ~root "a" = Session.Failed (spec, "boom"));
+  Session.mark_done ~root "a" (Sjson.Obj [ ("x", Sjson.Int 1) ]);
+  check_bool "done.json wins over error.json" true
+    (Session.status ~root "a" = Session.Done (spec, Sjson.Obj [ ("x", Sjson.Int 1) ]));
+  Session.write_spec ~root "b" spec;
+  check_bool "sessions listed sorted" true (Session.list ~root = [ "a"; "b" ]);
+  rm_rf root
+
+let test_store_retry_absorbs_faults () =
+  with_faults @@ fun () ->
+  (* Even a certain transient-store fault cannot lose session state: the
+     bounded retry's final attempt always performs the real write. *)
+  Faults.set_site "serve.session_store" 1.0;
+  let root = fresh_root "store" in
+  Session.write_spec ~root "r1" spec;
+  check_bool "spec written through the faults" true (Session.load_spec ~root "r1" = Some spec);
+  Session.mark_done ~root "r1" Sjson.Null;
+  check_bool "done.json written through the faults" true
+    (match Session.status ~root "r1" with Session.Done _ -> true | _ -> false);
+  rm_rf root
+
+(* ==================================================================== *)
+(* 6. Supervisor robustness layers                                      *)
+(* ==================================================================== *)
+
+let test_basic_verbs () =
+  with_sup (sup_config ()) @@ fun sup ->
+  let p = payload (rpc sup (P.request ~id:"b-ping" P.Ping)) in
+  check_bool "pong" true (bfield "pong" p);
+  let p = payload (rpc sup (P.request ~id:"b-est" ~app:"dotproduct" P.Estimate)) in
+  check_str "app echoed" "dotproduct" (sfield "app" p);
+  check_bool "full fidelity when idle" false (bfield "degraded" p);
+  check_bool "defaulted params echoed" true (Sjson.obj_or_empty (field "params" p) <> []);
+  check_bool "area present" true (ifield "alms" (field "area" p) >= 0);
+  ignore (bfield "fits" p);
+  let p = payload (rpc sup (P.request ~id:"b-lint" ~app:"dotproduct" P.Lint)) in
+  ignore (bfield "clean" p);
+  check_bool "lint report embedded" true (Sjson.member "report" p <> None);
+  let p = payload (rpc sup (P.request ~id:"b-an" ~app:"dotproduct" P.Analyze)) in
+  ignore (bfield "clean" p);
+  check_bool "absint report embedded" true (Sjson.member "absint" p <> None);
+  check_bool "dependence report embedded" true (Sjson.member "dependence" p <> None)
+
+let test_bad_requests_are_typed () =
+  with_sup (sup_config ()) @@ fun sup ->
+  let e = err_of (rpc sup (P.request ~id:"bad-1" P.Estimate)) in
+  check_bool "missing app" true (e.P.err_code = P.Bad_request && contains e.P.err_message "app");
+  let e = err_of (rpc sup (P.request ~id:"bad-2" ~app:"nosuchapp" P.Estimate)) in
+  check_bool "unknown benchmark" true
+    (e.P.err_code = P.Bad_request && contains e.P.err_message "unknown benchmark");
+  let e = err_of (rpc sup (P.request ~id:"bad-3" ~session:"../evil" P.Dse_status)) in
+  check_bool "bad session id" true
+    (e.P.err_code = P.Bad_request && contains e.P.err_message "session id");
+  let e = err_of (rpc sup (P.request ~id:"bad-4" ~session:"ghost" P.Dse_status)) in
+  check_bool "unknown session is typed" true (e.P.err_code = P.Unknown_session)
+
+let test_idempotent_reply_cache () =
+  with_sup (sup_config ()) @@ fun sup ->
+  let req = P.request ~id:"dup-1" ~app:"dotproduct" P.Estimate in
+  let r1 = rpc sup req in
+  let r2 = rpc sup req in
+  check_str "a retried id returns the cached bytes" (P.render_reply r1) (P.render_reply r2)
+
+let test_admission_control () =
+  with_sup ~start:false (sup_config ~queue_capacity:2 ()) @@ fun sup ->
+  let put1, wait1 = inbox () and put2, wait2 = inbox () and put3, wait3 = inbox () in
+  Supervisor.submit sup (P.request ~id:"adm-1" P.Ping) ~reply_to:put1;
+  Supervisor.submit sup (P.request ~id:"adm-2" P.Ping) ~reply_to:put2;
+  check_int "queue holds the capacity" 2 (Supervisor.queue_depth sup);
+  Supervisor.submit sup (P.request ~id:"adm-3" P.Ping) ~reply_to:put3;
+  let e = err_of (wait3 ()) in
+  check_bool "third is shed, typed" true (e.P.err_code = P.Overloaded);
+  check_bool "shed reply carries a backoff hint" true (e.P.err_retry_after_ms = Some 75);
+  check_bool "message says full" true (contains e.P.err_message "full");
+  Supervisor.start sup;
+  check_bool "first queued request completes" true (bfield "pong" (payload (wait1 ())));
+  check_bool "second queued request completes" true (bfield "pong" (payload (wait2 ())));
+  (* A shed is never cached against the id: once the queue drains, the
+     same id is admitted and executed. *)
+  let put3b, wait3b = inbox () in
+  Supervisor.submit sup (P.request ~id:"adm-3" P.Ping) ~reply_to:put3b;
+  check_bool "shed id succeeds on retry" true (bfield "pong" (payload (wait3b ())))
+
+let test_deadline_exceeded () =
+  with_sup ~start:false (sup_config ()) @@ fun sup ->
+  let put, wait = inbox () in
+  let req = P.request ~id:"dl-1" ~deadline_ms:5 ~app:"dotproduct" P.Estimate in
+  Supervisor.submit sup req ~reply_to:put;
+  Unix.sleepf 0.05;
+  Supervisor.start sup;
+  let e = err_of (wait ()) in
+  check_bool "expired work answers deadline_exceeded" true (e.P.err_code = P.Deadline_exceeded);
+  check_bool "names the budget" true (contains e.P.err_message "5 ms");
+  (* Expiry is a final reply: the retried id gets the cached verdict. *)
+  let put2, wait2 = inbox () in
+  Supervisor.submit sup req ~reply_to:put2;
+  check_bool "expiry is cached" true ((err_of (wait2 ())).P.err_code = P.Deadline_exceeded);
+  (* A generous deadline is not in the way. *)
+  let put3, wait3 = inbox () in
+  Supervisor.submit sup (P.request ~id:"dl-2" ~deadline_ms:60_000 P.Ping) ~reply_to:put3;
+  check_bool "live deadline passes" true (bfield "pong" (payload (wait3 ())))
+
+let test_degraded_under_queue_depth () =
+  with_sup ~start:false (sup_config ~degrade_depth:1 ()) @@ fun sup ->
+  let put1, wait1 = inbox () and put2, wait2 = inbox () in
+  Supervisor.submit sup (P.request ~id:"dg-1" ~app:"dotproduct" P.Estimate) ~reply_to:put1;
+  Supervisor.submit sup (P.request ~id:"dg-2" ~app:"dotproduct" P.Estimate) ~reply_to:put2;
+  Supervisor.start sup;
+  let p1 = payload (wait1 ()) and p2 = payload (wait2 ()) in
+  (* dg-1 dispatched with dg-2 still queued: depth 1 >= degrade_depth. *)
+  check_bool "deep queue degrades to the analytical model" true (bfield "degraded" p1);
+  check_bool "drained queue restores full fidelity" false (bfield "degraded" p2);
+  check_bool "degraded estimate is still usable" true (ifield "alms" (field "area" p1) >= 0)
+
+let test_degraded_on_nn_fallback () =
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  with_faults @@ fun () ->
+  Faults.set_site "estimator.nn_correction" 1.0;
+  with_sup (sup_config ~nn_fallback_limit:1 ()) @@ fun sup ->
+  let p1 = payload (rpc sup (P.request ~id:"nn-1" ~app:"dotproduct" P.Estimate)) in
+  check_bool "first estimate precedes the trip" false (bfield "degraded" p1);
+  let p2 = payload (rpc sup (P.request ~id:"nn-2" ~app:"dotproduct" P.Estimate)) in
+  check_bool "fallback trip degrades later estimates" true (bfield "degraded" p2);
+  (* Both answered from the raw analytical model (the first through the
+     estimator's own fallback), so the areas agree. *)
+  check_str "areas agree across the degradation paths"
+    (Sjson.render (field "area" p1))
+    (Sjson.render (field "area" p2))
+
+let test_quarantine_after_repeated_crashes () =
+  with_faults @@ fun () ->
+  with_sup (sup_config ~quarantine_threshold:3 ()) @@ fun sup ->
+  Faults.set_site "serve.handler" 1.0;
+  let r = rpc sup (P.request ~id:"poison" P.Ping) in
+  let e = err_of r in
+  check_bool "parked as quarantined" true (e.P.err_code = P.Quarantined);
+  check_int "one chain entry per crash" 3 (List.length e.P.err_chain);
+  List.iter
+    (fun m -> check_bool "chain names the crash site" true (contains m "serve.handler"))
+    e.P.err_chain;
+  check_bool "message says parked" true (contains e.P.err_message "parked");
+  Faults.reset ();
+  (* The verdict is final: retrying the id returns the cached park, it
+     does not re-execute even now that the handler would succeed. *)
+  let r2 = rpc sup (P.request ~id:"poison" P.Ping) in
+  check_str "quarantine is cached" (P.render_reply r) (P.render_reply r2);
+  (* Other ids were never poisoned. *)
+  check_bool "healthy traffic unaffected" true
+    (bfield "pong" (payload (rpc sup (P.request ~id:"healthy" P.Ping))))
+
+let test_draining_refuses_new_work () =
+  let root = fresh_root "drainsess" in
+  let sup = Supervisor.create (sup_config ~root ~checkpoint_every:3 ()) in
+  Supervisor.start sup;
+  ignore
+    (payload
+       (rpc sup
+          (P.request ~id:"dr-1" ~app:"dotproduct" ~session:"d1" ~seed:11 ~max_points:150
+             P.Dse_start)));
+  let p = payload (rpc sup (P.request ~id:"dr-2" P.Shutdown)) in
+  check_bool "shutdown acknowledges" true (bfield "draining" p);
+  check_bool "flag visible" true (Supervisor.draining sup);
+  let put, wait = inbox () in
+  Supervisor.submit sup (P.request ~id:"dr-3" P.Ping) ~reply_to:put;
+  check_bool "new work refused while draining" true ((err_of (wait ())).P.err_code = P.Draining);
+  Supervisor.drain sup;
+  (* Graceful shutdown cancelled the sweep; its state is on disk and the
+     session is resumable, not lost and not marked done. *)
+  (match Session.status ~root "d1" with
+  | Session.Interrupted (_, n, torn) ->
+    check_bool "entries non-negative" true (n >= 0);
+    check_bool "checkpoint not torn" false torn
+  | Session.Fresh _ -> ()
+  | st ->
+    Alcotest.failf "expected a resumable session after drain, got %s"
+      (match st with
+      | Session.Done _ -> "done"
+      | Session.Failed _ -> "failed"
+      | Session.Unknown -> "unknown"
+      | _ -> "?"));
+  rm_rf root
+
+(* ==================================================================== *)
+(* 7. Sessions end to end through the supervisor                        *)
+(* ==================================================================== *)
+
+let wait_done sup sid =
+  poll_until ~timeout_s:120.0 (fun () ->
+      match (rpc sup (P.request ~id:(fresh_id "st") ~session:sid P.Dse_status)).P.r_body with
+      | Ok p when sfield "state" p = "done" -> Some (field "summary" p)
+      | _ -> None)
+
+let test_session_lifecycle_and_golden () =
+  let root = fresh_root "sess" in
+  with_sup (sup_config ~root ~checkpoint_every:5 ()) @@ fun sup ->
+  let seed = 11 and max_points = 40 in
+  let sid = "s1" in
+  let start id = P.request ~id ~app:"dotproduct" ~session:sid ~seed ~max_points P.Dse_start in
+  let p = payload (rpc sup (start "sl-1")) in
+  check_str "starts running" "running" (sfield "state" p);
+  check_bool "started" true (bfield "started" p);
+  check_int "nothing to resume" 0 (ifield "resumed_entries" p);
+  let summary = wait_done sup sid in
+  check_int "sampled the budget" max_points (ifield "sampled" summary);
+  check_int "processed everything" max_points (ifield "processed" summary);
+  check_bool "summary has a best point" true (Sjson.member "best_cycles" summary <> None);
+  (* Starting a finished session replies from disk without re-running. *)
+  let p = payload (rpc sup (start "sl-2")) in
+  check_str "already done" "done" (sfield "state" p);
+  check_bool "not restarted" false (bfield "started" p);
+  (* A conflicting spec for the same session id is refused. *)
+  let e =
+    err_of (rpc sup (P.request ~id:"sl-3" ~app:"dotproduct" ~session:sid ~seed:99 ~max_points P.Dse_start))
+  in
+  check_bool "spec mismatch refused" true
+    (e.P.err_code = P.Bad_request && contains e.P.err_message "already exists");
+  (* Cancel on a finished sweep is a reported no-op. *)
+  let p = payload (rpc sup (P.request ~id:"sl-4" ~session:sid P.Dse_cancel)) in
+  check_bool "nothing to cancel" false (bfield "cancelled" p);
+  check_str "still done" "done" (sfield "state" p);
+  (* The sweep the server ran left exactly the bytes a direct run of the
+     engine leaves: serving adds no nondeterminism. *)
+  let golden = tmp "sess_golden.jsonl" in
+  (try Sys.remove golden with Sys_error _ -> ());
+  let app = Registry.find "dotproduct" in
+  let sizes = app.App.paper_sizes in
+  let cfg =
+    Explore.Config.make ~seed ~max_points ~jobs:1 ~checkpoint:golden ~checkpoint_every:5
+      ~tick_every:0 ()
+  in
+  ignore
+    (Explore.run cfg (Lazy.force estimator)
+       ~space:(app.App.space sizes)
+       ~generate:(fun pt -> app.App.generate ~sizes ~params:pt));
+  check_str "server checkpoint matches the direct-run golden bytes" (read_file golden)
+    (read_file (Session.checkpoint_path ~root sid));
+  Sys.remove golden;
+  rm_rf root
+
+let test_cancel_then_resume () =
+  let root = fresh_root "cancel" in
+  with_sup (sup_config ~root ~checkpoint_every:3 ()) @@ fun sup ->
+  let seed = 11 and max_points = 150 in
+  let sid = "c1" in
+  let start id = P.request ~id ~app:"dotproduct" ~session:sid ~seed ~max_points P.Dse_start in
+  ignore (payload (rpc sup (start "cr-1")));
+  let p = payload (rpc sup (P.request ~id:"cr-2" ~session:sid P.Dse_cancel)) in
+  check_bool "cancelled the running sweep" true (bfield "cancelled" p);
+  let state = sfield "state" p in
+  check_bool "parked, not done" true (state = "interrupted" || state = "fresh");
+  let p = payload (rpc sup (start "cr-3")) in
+  check_bool "resume restarts" true (bfield "started" p);
+  let resumed_entries = ifield "resumed_entries" p in
+  let summary = wait_done sup sid in
+  check_int "processed the full budget after resume" max_points (ifield "processed" summary);
+  check_int "reused exactly the cancelled prefix" resumed_entries (ifield "resumed" summary);
+  rm_rf root
+
+(* ==================================================================== *)
+(* 8. The socket front end                                              *)
+(* ==================================================================== *)
+
+let raw_roundtrip socket line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let data = Bytes.of_string (line ^ "\n") in
+      let sent = ref 0 in
+      while !sent < Bytes.length data do
+        sent := !sent + Unix.write fd data !sent (Bytes.length data - !sent)
+      done;
+      let buf = Buffer.create 256 in
+      let chunk = Bytes.create 4096 in
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      let rec read_line () =
+        match String.index_opt (Buffer.contents buf) '\n' with
+        | Some i -> String.sub (Buffer.contents buf) 0 i
+        | None ->
+          if Unix.gettimeofday () > deadline then Alcotest.fail "no reply line within 30 s"
+          else (
+            match Unix.select [ fd ] [] [] 1.0 with
+            | [], _, _ -> read_line ()
+            | _ ->
+              (match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> Alcotest.fail "connection closed before reply"
+              | n -> Buffer.add_subbytes buf chunk 0 n);
+              read_line ())
+      in
+      read_line ())
+
+let test_socket_end_to_end () =
+  let socket = tmp "e2e.sock" in
+  let root = fresh_root "e2e" in
+  with_server ~socket (sup_config ~root ()) @@ fun client ->
+  let p = payload (must_call client (P.request ~id:"e2e-ping" P.Ping)) in
+  check_bool "pong over the wire" true (bfield "pong" p);
+  let r = must_call client (P.request ~id:"e2e-est" ~app:"dotproduct" P.Estimate) in
+  let p = payload r in
+  check_str "estimate over the wire" "dotproduct" (sfield "app" p);
+  ignore (bfield "fits" p);
+  (* A malformed line cannot be attributed to an id, but still gets a
+     typed reply instead of silence or a dropped connection. *)
+  (match P.parse_reply (raw_roundtrip socket "this is not json") with
+  | Ok { P.r_id = "?"; r_body = Error e } ->
+    check_bool "malformed line answers bad_request" true (e.P.err_code = P.Bad_request)
+  | Ok r -> Alcotest.failf "unexpected reply to garbage: %s" (P.render_reply r)
+  | Error msg -> Alcotest.failf "reply to garbage does not parse: %s" msg);
+  (* Idempotency holds across connections: a retried id returns the
+     original bytes without re-executing. *)
+  let r2 = must_call client (P.request ~id:"e2e-est" ~app:"dotproduct" P.Estimate) in
+  check_str "retry across connections is cached" (P.render_reply r) (P.render_reply r2);
+  let p = payload (must_call client (P.request ~id:"e2e-bye" P.Shutdown)) in
+  check_bool "shutdown acknowledged" true (bfield "draining" p);
+  rm_rf root
+
+let test_socket_stale_file_replaced () =
+  let socket = tmp "stale.sock" in
+  let root = fresh_root "stale" in
+  (* Crash residue: a dead socket file where the server wants to bind. *)
+  (try Sys.remove socket with Sys_error _ -> ());
+  let oc = open_out socket in
+  close_out oc;
+  with_server ~socket (sup_config ~root ()) @@ fun client ->
+  check_bool "server replaced the stale socket file" true
+    (bfield "pong" (payload (must_call client (P.request ~id:"stale-1" P.Ping))));
+  ignore (must_call client (P.request ~id:"stale-bye" P.Shutdown));
+  rm_rf root
+
+(* ==================================================================== *)
+(* 9. Acceptance soak: 5% mixed faults, exactly one typed reply each    *)
+(* ==================================================================== *)
+
+let test_fault_soak_exactly_one_reply () =
+  with_faults @@ fun () ->
+  let socket = tmp "soak.sock" in
+  let root = fresh_root "soak" in
+  Faults.configure ~seed:9 ~p:0.0 ();
+  List.iter
+    (fun s -> Faults.set_site s 0.05)
+    [ "serve.handler"; "serve.sock_read"; "serve.sock_write"; "serve.session_store" ];
+  with_server ~socket (sup_config ~root ~checkpoint_every:3 ()) @@ fun client ->
+  let n = 50 in
+  let replies = Hashtbl.create n in
+  for i = 0 to n - 1 do
+    let id = Printf.sprintf "soak-%d" i in
+    let req, expected =
+      match i mod 5 with
+      | 0 -> (P.request ~id P.Ping, `Ok)
+      | 1 -> (P.request ~id ~app:"dotproduct" P.Estimate, `Ok)
+      | 2 -> (P.request ~id ~app:"dotproduct" P.Lint, `Ok)
+      | 3 -> (P.request ~id ~app:"nosuchapp" P.Estimate, `Err P.Bad_request)
+      | _ -> (P.request ~id ~session:(Printf.sprintf "missing-%d" i) P.Dse_status, `Err P.Unknown_session)
+    in
+    let reply = must_call client req in
+    Hashtbl.replace replies id (Option.value (Hashtbl.find_opt replies id) ~default:0 + 1);
+    check_str (id ^ " echoes its id") id reply.P.r_id;
+    match (expected, reply.P.r_body) with
+    | `Ok, Ok _ -> ()
+    | `Err code, Error e when e.P.err_code = code -> ()
+    (* A request whose handler the fault stream crashed three times in a
+       row is parked — still exactly one typed reply, never silence. *)
+    | _, Error e when e.P.err_code = P.Quarantined -> ()
+    | `Ok, Error e ->
+      Alcotest.failf "%s: expected ok, got %s: %s" id (P.error_code_name e.P.err_code)
+        e.P.err_message
+    | `Err want, Error e ->
+      Alcotest.failf "%s: expected %s, got %s" id (P.error_code_name want)
+        (P.error_code_name e.P.err_code)
+    | `Err want, Ok _ -> Alcotest.failf "%s: expected %s, got ok" id (P.error_code_name want)
+  done;
+  check_int "every request got exactly one reply" n (Hashtbl.length replies);
+  Hashtbl.iter
+    (fun id c -> if c <> 1 then Alcotest.failf "id %s got %d replies" id c)
+    replies;
+  (* A session runs to completion through the same fault stream — the
+     store faults cost retries, never state. *)
+  let sid = "soak-session" in
+  ignore
+    (must_call client
+       (P.request ~id:"soak-dse" ~app:"dotproduct" ~session:sid ~seed:11 ~max_points:15
+          P.Dse_start));
+  poll_until ~timeout_s:120.0 (fun () ->
+      match
+        (must_call client (P.request ~id:(fresh_id "soak-st") ~session:sid P.Dse_status)).P.r_body
+      with
+      | Ok p when sfield "state" p = "done" -> Some ()
+      | _ -> None);
+  let p = payload (must_call client (P.request ~id:"soak-bye" P.Shutdown)) in
+  check_bool "drained under faults" true (bfield "draining" p);
+  rm_rf root
+
+(* ==================================================================== *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      (* Forking suites first: see the header comment. *)
+      ( "recovery",
+        [
+          Alcotest.test_case "SIGKILL + restart + resume is byte-identical" `Quick
+            test_kill_resume_byte_identical;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "unknown subcommand" `Quick test_cli_unknown_subcommand;
+          Alcotest.test_case "unknown flag" `Quick test_cli_unknown_flag;
+          Alcotest.test_case "unknown subcommand flag" `Quick test_cli_unknown_sub_flag;
+          Alcotest.test_case "unknown benchmark" `Quick test_cli_unknown_benchmark;
+          Alcotest.test_case "client without a server" `Quick test_cli_client_unreachable;
+          Alcotest.test_case "valid command still exits 0" `Quick test_cli_success_still_zero;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "raw splice" `Quick test_json_raw_splice;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "verb and code names" `Quick test_verb_and_code_names;
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "request parse errors" `Quick test_request_parse_errors;
+          Alcotest.test_case "reply roundtrip" `Quick test_reply_roundtrip;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "id validation" `Quick test_session_ids;
+          Alcotest.test_case "states derived from disk" `Quick test_session_states_from_disk;
+          Alcotest.test_case "store retry absorbs faults" `Quick test_store_retry_absorbs_faults;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "basic verbs" `Quick test_basic_verbs;
+          Alcotest.test_case "bad requests are typed" `Quick test_bad_requests_are_typed;
+          Alcotest.test_case "idempotent reply cache" `Quick test_idempotent_reply_cache;
+          Alcotest.test_case "admission control" `Quick test_admission_control;
+          Alcotest.test_case "deadline exceeded" `Quick test_deadline_exceeded;
+          Alcotest.test_case "degraded under queue depth" `Quick test_degraded_under_queue_depth;
+          Alcotest.test_case "degraded on nn fallback" `Quick test_degraded_on_nn_fallback;
+          Alcotest.test_case "quarantine after crashes" `Quick test_quarantine_after_repeated_crashes;
+          Alcotest.test_case "draining refuses new work" `Quick test_draining_refuses_new_work;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "lifecycle + golden bytes" `Quick test_session_lifecycle_and_golden;
+          Alcotest.test_case "cancel then resume" `Quick test_cancel_then_resume;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "end to end" `Quick test_socket_end_to_end;
+          Alcotest.test_case "stale socket file replaced" `Quick test_socket_stale_file_replaced;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "5% faults, one typed reply each" `Quick
+            test_fault_soak_exactly_one_reply;
+        ] );
+    ]
