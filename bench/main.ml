@@ -15,6 +15,7 @@ module E = Dhdl_core.Experiments
 module Estimator = Dhdl_model.Estimator
 module App = Dhdl_apps.App
 module Explore = Dhdl_dse.Explore
+module Eval = Dhdl_dse.Eval
 module Obs = Dhdl_obs.Obs
 
 let seed = 2016
@@ -31,21 +32,27 @@ let section_time name f =
 (* Experiment sections                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let estimator_ref : Estimator.t option ref = ref None
+(* One evaluation pipeline (estimator + caches) shared by every section:
+   sections running after fig5 hit the cache on the points it already
+   explored, exactly as the CLI's `experiments all` does. Sections that
+   time estimation (table4's loop, the microbenches, dseperf's cold runs)
+   either force the cache off per call or build a fresh [Eval.t] around
+   the same trained estimator. *)
+let eval_ref : Eval.t option ref = ref None
 
-let the_estimator ~quick () =
-  match !estimator_ref with
-  | Some e -> e
+let the_eval ~quick () =
+  match !eval_ref with
+  | Some ev -> ev
   | None ->
     Printf.printf
       "[setup] characterizing templates and training the correction networks\n";
     Printf.printf "[setup] (one-time per device/toolchain; Section IV.B)\n%!";
     let t0 = Unix.gettimeofday () in
     let train_samples = if quick then 100 else 200 in
-    let e = Estimator.create ~seed ~train_samples () in
+    let ev = Eval.create (Estimator.create ~seed ~train_samples ()) in
     Printf.printf "[setup] done in %.1f s\n%!" (Unix.gettimeofday () -. t0);
-    estimator_ref := Some e;
-    e
+    eval_ref := Some ev;
+    ev
 
 let run_table2 ~quick:_ () =
   banner "Table II: evaluation benchmarks and dataset sizes";
@@ -53,16 +60,16 @@ let run_table2 ~quick:_ () =
 
 let run_table3 ~quick () =
   banner "Table III: estimation accuracy vs. simulated toolchain (post-P&R + cycle sim)";
-  let est = the_estimator ~quick () in
+  let ev = the_eval ~quick () in
   let sample = if quick then 80 else 300 in
-  print_string (E.render_table3 (E.table3 ~seed ~sample ~pareto_points:5 est))
+  print_string (E.render_table3 (E.table3 ~seed ~sample ~pareto_points:5 ev))
 
 let run_table4 ~quick () =
   banner "Table IV: estimation speed, DHDL estimator vs. simulated HLS (GDA)";
-  let est = the_estimator ~quick () in
+  let ev = the_eval ~quick () in
   let r =
-    if quick then E.table4 ~seed ~ours_points:50 ~restricted_points:8 ~full_points:1 ~hls_cols:48 est
-    else E.table4 ~seed ~ours_points:250 ~restricted_points:40 ~full_points:3 est
+    if quick then E.table4 ~seed ~ours_points:50 ~restricted_points:8 ~full_points:1 ~hls_cols:48 ev
+    else E.table4 ~seed ~ours_points:250 ~restricted_points:40 ~full_points:3 ev
   in
   print_string (E.render_table4 r)
 
@@ -70,9 +77,9 @@ let paper_scale = ref false
 
 let run_fig5 ~quick () =
   banner "Figure 5: design-space exploration scatter plots and Pareto frontiers";
-  let est = the_estimator ~quick () in
+  let ev = the_eval ~quick () in
   let max_points = if !paper_scale then 75_000 else if quick then 250 else 2_000 in
-  let apps = E.fig5 ~seed ~max_points est in
+  let apps = E.fig5 ~seed ~max_points ev in
   print_string (E.render_fig5 apps);
   let written = E.write_fig5_csvs ~dir:(Filename.get_temp_dir_name ()) apps in
   Printf.printf "raw exploration data written to:\n";
@@ -80,129 +87,165 @@ let run_fig5 ~quick () =
 
 let run_fig6 ~quick () =
   banner "Figure 6: best-design speedup over the 6-core CPU baseline";
-  let est = the_estimator ~quick () in
+  let ev = the_eval ~quick () in
   let max_points = if quick then 400 else 2_000 in
-  print_string (E.render_fig6 (E.fig6 ~seed ~max_points est))
+  print_string (E.render_fig6 (E.fig6 ~seed ~max_points ev))
 
 let run_ablations ~quick () =
   banner "Ablations: MetaPipe pipelining and the hybrid NN correction";
-  let est = the_estimator ~quick () in
+  let ev = the_eval ~quick () in
   let max_points = if quick then 150 else 800 in
   let sample = if quick then 60 else 300 in
   print_string
     (E.render_ablations
-       (E.ablation_metapipe ~seed ~max_points est)
-       (E.ablation_nn_correction ~seed ~sample est));
+       (E.ablation_metapipe ~seed ~max_points ev)
+       (E.ablation_nn_correction ~seed ~sample ev));
   let budgets = if quick then [ 50; 150; 400 ] else [ 100; 300; 1_000; 3_000 ] in
-  print_string (E.render_sampling "gda" (E.ablation_sampling ~seed ~app:"gda" ~budgets est));
+  print_string (E.render_sampling "gda" (E.ablation_sampling ~seed ~app:"gda" ~budgets ev));
   print_newline ();
-  print_string (E.render_device (E.ablation_device ~seed ~max_points est));
+  print_string (E.render_device (E.ablation_device ~seed ~max_points ev));
   print_newline ();
-  print_string (E.render_bandwidth (E.ablation_bandwidth ~seed ~max_points est))
+  print_string (E.render_bandwidth (E.ablation_bandwidth ~seed ~max_points ev))
 
 (* ------------------------------------------------------------------ *)
 (* DSE throughput: the start of the perf trajectory                    *)
 (* ------------------------------------------------------------------ *)
 
-(* Runs telemetry-instrumented GDA sweeps at jobs = 1, 2, 4 and writes
-   BENCH_dse.json (schema 2): top-level fields are the sequential run's
-   (keeping the file comparable with historical entries), plus a per-jobs
-   array with wall-clock points/sec, the jobs-invariant CPU ms/design,
-   and a contention attribution from a second, profiled sweep at the same
-   level — the timing sweep itself stays unprofiled so points_per_sec
-   remains comparable with pre-profiler entries. *)
+(* Writes BENCH_dse.json (schema 3) from GDA sweeps. Three axes:
+
+   - jobs_sweep: cold wall-clock timing at jobs = 1, 2, 4 (a fresh
+     evaluation cache per level, telemetry on, no profiler — comparable
+     with every historical entry), plus a contention attribution from a
+     second, *warm-cache* profiled repeat at the same level. Warm on
+     purpose: with the evaluated work memoized away the attribution
+     isolates pure coordination overhead (channel waits, GC barriers,
+     chunk merging), which is the quantity the parallel engine is
+     accountable for on any host — including a single-core container
+     where cold jobs>1 walls are dominated by time-sliced estimation.
+   - cache_ab: the same sequential sweep cold then again on the warm
+     cache — the memoization headline.
+   - chunk_sweep: warm profiled jobs=4 sweeps across chunk sizes, showing
+     how per-claim batching trades collector wakeups against tail skew. *)
 let run_label = ref "dev"
 
 let run_dseperf ~quick () =
-  banner "DSE throughput (telemetry-derived): points/sec per jobs level, ms/design percentiles";
-  let est = the_estimator ~quick () in
+  banner "DSE throughput (telemetry-derived): points/sec per jobs level, cache A/B, chunk sweep";
+  let est = Eval.estimator (the_eval ~quick ()) in
+  let fresh_eval () = Eval.create est in
   let app = Dhdl_apps.Registry.find "gda" in
   let sizes = app.App.paper_sizes in
   let points = if quick then 200 else 1_000 in
-  let sweep jobs =
-    Obs.enable ();
+  let space = app.App.space sizes in
+  let generate p = app.App.generate ~sizes ~params:p in
+  let sweep ?(jobs = 1) ?(chunk = 16) ?(profile = false) ?(obs = false) ev =
+    if obs then Obs.enable ();
     let cfg =
       Explore.Config.(
-        default |> with_seed seed |> with_max_points points |> with_jobs jobs)
+        default |> with_seed seed |> with_max_points points |> with_jobs jobs |> with_chunk chunk
+        |> with_profile profile)
     in
-    let r =
-      Explore.run cfg est ~space:(app.App.space sizes)
-        ~generate:(fun p -> app.App.generate ~sizes ~params:p)
-    in
-    let snap = Obs.snapshot () in
-    Obs.disable ();
+    let r = Explore.run cfg ev ~space ~generate in
+    let snap = if obs then Some (Obs.snapshot ()) else None in
+    if obs then Obs.disable ();
     (r, snap)
   in
-  (* A second sweep per level with [profile] on, for the attribution
-     breakdown. Separate from the timing sweep on purpose: the timing
-     numbers stay free of even the profiler's per-stage clock reads. *)
-  let profiled jobs =
-    let cfg =
-      Explore.Config.(
-        default |> with_seed seed |> with_max_points points |> with_jobs jobs
-        |> with_profile true)
-    in
-    let r =
-      Explore.run cfg est ~space:(app.App.space sizes)
-        ~generate:(fun p -> app.App.generate ~sizes ~params:p)
-    in
-    match r.Explore.attribution with
-    | Some attr -> attr
-    | None -> failwith "profiled sweep returned no attribution"
-  in
-  let jobs_levels = [ 1; 2; 4 ] in
-  let runs = List.map (fun jobs -> sweep jobs) jobs_levels in
-  let attrs = List.map profiled jobs_levels in
-  let r1, snap1 = List.hd runs in
-  let ms = try List.assoc "dse.ms_per_design" snap1.Obs.snap_hists with Not_found -> [||] in
-  let estimated = r1.Explore.sampled - r1.Explore.lint_pruned in
   let pps (r : Explore.result) =
     if r.Explore.elapsed_seconds > 0.0 then
       float_of_int r.Explore.sampled /. r.Explore.elapsed_seconds
     else 0.0
   in
+  let attr_of (r : Explore.result) =
+    match r.Explore.attribution with
+    | Some attr -> attr
+    | None -> failwith "profiled sweep returned no attribution"
+  in
+  (* Cold sequential baseline (top-level fields, comparable with history),
+     then the warm repeat on the same cache for the A/B. *)
+  let ev_seq = fresh_eval () in
+  let r1, snap1 = sweep ~obs:true ev_seq in
+  let rwarm, _ = sweep ev_seq in
+  (* Cold timing + warm profiled attribution per jobs level. The warm
+     repeats share [ev_seq]'s cache (every level evaluates the same seeded
+     point set, so it is fully warm after the sequential sweep). *)
+  let jobs_levels = [ 1; 2; 4 ] in
+  let levels =
+    List.map
+      (fun jobs ->
+        let rc, _ = if jobs = 1 then (r1, snap1) else sweep ~jobs ~obs:true (fresh_eval ()) in
+        let rw, _ = sweep ~jobs ~profile:true ev_seq in
+        (jobs, rc, attr_of rw))
+      jobs_levels
+  in
+  let chunk_levels = [ 1; 4; 16; 64 ] in
+  let chunks =
+    List.map
+      (fun chunk ->
+        let r, _ = sweep ~jobs:4 ~chunk ~profile:true ev_seq in
+        (chunk, r, attr_of r))
+      chunk_levels
+  in
+  let ms = try List.assoc "dse.ms_per_design" (Option.get snap1).Obs.snap_hists with Not_found -> [||] in
+  let estimated = r1.Explore.sampled - r1.Explore.lint_pruned in
   let p50 = Obs.percentile ms 50.0 and p95 = Obs.percentile ms 95.0 in
-  let per_jobs =
-    String.concat ","
-      (List.map2
-         (fun ((r : Explore.result), _) attr ->
-           Printf.sprintf
-             "{\"jobs\":%d,\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"wall_ms_per_design\":%.4f,\"cpu_ms_per_design\":%.4f,\"attribution\":%s}"
-             r.Explore.jobs r.Explore.elapsed_seconds (pps r)
-             (Explore.seconds_per_design r *. 1000.0)
-             (Explore.cpu_seconds_per_design r *. 1000.0)
-             (Dhdl_dse.Profile.to_json attr))
-         runs attrs)
+  let recv_block attr = attr.Dhdl_dse.Profile.collector.Dhdl_dse.Profile.c_recv_block_s in
+  let level_json (_jobs, (rc : Explore.result), attr) =
+    Printf.sprintf
+      "{\"jobs\":%d,\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"wall_ms_per_design\":%.4f,\"cpu_ms_per_design\":%.4f,\"warm_attribution\":%s}"
+      rc.Explore.jobs rc.Explore.elapsed_seconds (pps rc)
+      (Explore.seconds_per_design rc *. 1000.0)
+      (Explore.cpu_seconds_per_design rc *. 1000.0)
+      (Dhdl_dse.Profile.to_json attr)
+  in
+  let chunk_json (chunk, (r : Explore.result), attr) =
+    Printf.sprintf
+      "{\"chunk\":%d,\"jobs\":4,\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"recv_block_s\":%.6f}"
+      chunk r.Explore.elapsed_seconds (pps r) (recv_block attr)
+  in
+  let cache_ab =
+    Printf.sprintf
+      "{\"jobs\":1,\"cold_elapsed_s\":%.3f,\"cold_points_per_sec\":%.1f,\"warm_elapsed_s\":%.3f,\"warm_points_per_sec\":%.1f,\"warm_speedup\":%.2f,\"warm_cache_hits\":%d,\"warm_cache_misses\":%d}"
+      r1.Explore.elapsed_seconds (pps r1) rwarm.Explore.elapsed_seconds (pps rwarm)
+      (if pps r1 > 0.0 then pps rwarm /. pps r1 else 0.0)
+      rwarm.Explore.cache_hits rwarm.Explore.cache_misses
   in
   let json =
     Printf.sprintf
-      "{\"schema\":2,\"label\":%S,\"app\":\"gda\",\"points\":%d,\"estimated\":%d,\"lint_pruned\":%d,\"recommended_domain_count\":%d,\"host_note\":\"points_per_sec and scaling depend on the host; a recommended_domain_count of 1 (e.g. a single-core container) makes every jobs>1 level pure coordination overhead\",\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"ms_per_design_p50\":%.4f,\"ms_per_design_p95\":%.4f,\"jobs_sweep\":[%s]}\n"
+      "{\"schema\":3,\"label\":%S,\"app\":\"gda\",\"points\":%d,\"estimated\":%d,\"lint_pruned\":%d,\"recommended_domain_count\":%d,\"host_note\":\"points_per_sec and scaling depend on the host; a recommended_domain_count of 1 (e.g. a single-core container) makes every jobs>1 level pure coordination overhead. Cold levels use a fresh evaluation cache; warm_attribution and chunk_sweep are profiled repeats on a warm cache, isolating coordination from estimation work.\",\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"ms_per_design_p50\":%.4f,\"ms_per_design_p95\":%.4f,\"cache_ab\":%s,\"chunk_sweep\":[%s],\"jobs_sweep\":[%s]}\n"
       !run_label r1.Explore.sampled estimated r1.Explore.lint_pruned
       (Domain.recommended_domain_count ())
-      r1.Explore.elapsed_seconds (pps r1) p50 p95 per_jobs
+      r1.Explore.elapsed_seconds (pps r1) p50 p95 cache_ab
+      (String.concat "," (List.map chunk_json chunks))
+      (String.concat "," (List.map level_json levels))
   in
   let oc = open_out "BENCH_dse.json" in
   output_string oc json;
   close_out oc;
   Printf.printf "%d points (%d estimated, %d lint-pruned) in %.2f s sequential: %.0f points/sec\n"
     r1.Explore.sampled estimated r1.Explore.lint_pruned r1.Explore.elapsed_seconds (pps r1);
-  List.iter2
-    (fun ((r : Explore.result), _) attr ->
+  Printf.printf
+    "warm-cache repeat: %.2f s, %.0f points/sec (%.0fx; %d hits, %d misses)\n"
+    rwarm.Explore.elapsed_seconds (pps rwarm)
+    (if pps r1 > 0.0 then pps rwarm /. pps r1 else 0.0)
+    rwarm.Explore.cache_hits rwarm.Explore.cache_misses;
+  List.iter
+    (fun (_, (rc : Explore.result), attr) ->
       let module P = Dhdl_dse.Profile in
       let top_name, top_s = P.top_contender attr in
       Printf.printf
-        "  jobs=%d: %.2f s wall, %.0f points/sec, %.4f ms/design wall, %.4f ms/design CPU\n"
-        r.Explore.jobs r.Explore.elapsed_seconds (pps r)
-        (Explore.seconds_per_design r *. 1000.0)
-        (Explore.cpu_seconds_per_design r *. 1000.0);
-      Printf.printf
-        "           attribution: work %.1f%%, contention %.1f%%, stall %.1f%% (top: %s %.4f s)\n"
+        "  jobs=%d: cold %.2f s wall, %.0f points/sec; warm attribution: work %.1f%%, \
+         contention %.1f%%, stall %.1f%% (top: %s %.4f s; recv-block %.4f s)\n"
+        rc.Explore.jobs rc.Explore.elapsed_seconds (pps rc)
         (100.0 *. P.work_fraction attr)
         (100.0 *. P.contention_fraction attr)
         (100.0 *. P.stall_fraction attr)
-        top_name top_s)
-    runs attrs;
-  Printf.printf "ms per design (sequential): p50 %.4f, p95 %.4f\n" p50 p95;
+        top_name top_s (recv_block attr))
+    levels;
+  List.iter
+    (fun (chunk, (r : Explore.result), attr) ->
+      Printf.printf "  chunk=%-3d (jobs=4, warm): %.3f s, %.0f points/sec, recv-block %.4f s\n"
+        chunk r.Explore.elapsed_seconds (pps r) (recv_block attr))
+    chunks;
+  Printf.printf "ms per design (sequential, cold): p50 %.4f, p95 %.4f\n" p50 p95;
   Printf.printf "written to BENCH_dse.json\n"
 
 (* ------------------------------------------------------------------ *)
@@ -212,7 +255,8 @@ let run_dseperf ~quick () =
 let run_micro ~quick () =
   banner "Microbenchmarks (Bechamel): per-call cost of each experiment's hot path";
   let open Bechamel in
-  let est = the_estimator ~quick () in
+  let ev = the_eval ~quick () in
+  let est = Eval.estimator ev in
   let gda = Dhdl_apps.Registry.find "gda" in
   let sizes = gda.App.paper_sizes in
   let design = App.generate_default gda sizes in
@@ -221,8 +265,9 @@ let run_micro ~quick () =
   let tests =
     [
       (* Table III's unit of work: one hybrid estimate plus one toolchain
-         ground-truth run. *)
-      Test.make ~name:"table3.estimate" (Staged.stage (fun () -> Estimator.estimate est design));
+         ground-truth run. Cache off — the per-call cost is the point. *)
+      Test.make ~name:"table3.estimate"
+        (Staged.stage (fun () -> Eval.estimate ~cache:false ev design));
       Test.make ~name:"table3.synthesize"
         (Staged.stage (fun () -> Dhdl_synth.Toolchain.synthesize design));
       Test.make ~name:"table3.simulate" (Staged.stage (fun () -> Dhdl_sim.Perf_sim.simulate design));
@@ -235,7 +280,7 @@ let run_micro ~quick () =
       Test.make ~name:"fig5.dse_point"
         (Staged.stage (fun () ->
              let p = List.hd (Dhdl_dse.Space.sample space ~seed ~max_points:1) in
-             Estimator.estimate est (gda.App.generate ~sizes ~params:p)));
+             Eval.estimate ~cache:false ev (gda.App.generate ~sizes ~params:p)));
       (* Figure 6's unit: the CPU cost model. *)
       Test.make ~name:"fig6.cpu_model"
         (Staged.stage (fun () -> Dhdl_cpu.Cost_model.seconds (gda.App.cpu_workload sizes)));
@@ -275,7 +320,7 @@ let run_serve_soak ~quick () =
   let module P = Dhdl_serve.Protocol in
   let module Faults = Dhdl_util.Faults in
   banner "Serve soak: sustained mixed traffic under 5% injected faults";
-  let est = the_estimator ~quick () in
+  let est = Eval.estimator (the_eval ~quick ()) in
   let tmpdir = Filename.get_temp_dir_name () in
   let socket = Filename.concat tmpdir "dhdl_bench_soak.sock" in
   let root = Filename.concat tmpdir "dhdl_bench_soak_sessions" in

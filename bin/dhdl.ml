@@ -8,6 +8,7 @@ module App = Dhdl_apps.App
 module Registry = Dhdl_apps.Registry
 module Estimator = Dhdl_model.Estimator
 module Explore = Dhdl_dse.Explore
+module Eval = Dhdl_dse.Eval
 module Profile = Dhdl_dse.Profile
 module Experiments = Dhdl_core.Experiments
 module Lint = Dhdl_lint.Lint
@@ -55,6 +56,13 @@ let make_estimator ?cache ?(quiet = false) ~seed ~train_samples () =
         say "[setup] cached to %s\n" path)
       cache;
     est
+
+(* Every command that estimates goes through one [Eval.t]: the keyed,
+   memoizing pipeline. [no_cache] (from [--no-cache]) creates it with both
+   caps at 0, which disables the caches without changing any result. *)
+let make_eval ?cache ?quiet ?(no_cache = false) ~seed ~train_samples () =
+  let est = make_estimator ?cache ?quiet ~seed ~train_samples () in
+  if no_cache then Eval.create ~analysis_cap:0 ~estimate_cap:0 est else Eval.create est
 
 let design_of ~app ~params =
   let app = lookup_app app in
@@ -151,9 +159,12 @@ let with_obs ~trace ~jsonl ~metrics f =
 let estimate_cmd =
   let run app params seed train cache trace jsonl metrics =
     with_obs ~trace ~jsonl ~metrics @@ fun () ->
-    let est = make_estimator ?cache ~seed ~train_samples:train () in
+    let ev = make_eval ?cache ~seed ~train_samples:train () in
+    let est = Eval.estimator ev in
     let _, design = design_of ~app ~params in
-    let e, elapsed = Estimator.timed_estimate est design in
+    let t0 = Unix.gettimeofday () in
+    let e = Eval.estimate ev design in
+    let elapsed = Unix.gettimeofday () -. t0 in
     let a = e.Estimator.area in
     let alm, dsp, bram = Estimator.utilization est a in
     Printf.printf "design %s\n" design.Dhdl_ir.Ir.d_name;
@@ -261,6 +272,24 @@ let profile_flag_arg =
            sweep. Results and checkpoints stay bit-identical; see $(b,dhdl profile) for the \
            multi-level scaling report.")
 
+let chunk_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "chunk" ] ~docv:"N"
+        ~doc:
+          "Points per worker claim in the parallel engine (default 16). Workers take index \
+           ranges of N points from the shared cursor and send each completed range to the \
+           collector as one message; results and checkpoints are bit-identical at every \
+           chunk size.")
+
+let no_eval_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the evaluation cache (analysis verdicts and estimates keyed by canonical \
+           design hash). Results are bit-identical either way; only time changes.")
+
 let no_absint_arg =
   Arg.(
     value & flag
@@ -270,22 +299,22 @@ let no_absint_arg =
            L010 bank conflict, L013 unsafe pipelining) are estimated instead of dropped.")
 
 let dse_cmd =
-  let run app seed train points cache trace jsonl metrics jobs checkpoint resume deadline inject
-      faults_seed no_absint profile =
+  let run app seed train points cache trace jsonl metrics jobs chunk no_cache checkpoint resume
+      deadline inject faults_seed no_absint profile =
     with_obs ~trace ~jsonl ~metrics @@ fun () ->
     let cfg =
-      Explore.Config.make ~seed ~max_points:points ~absint:(not no_absint) ~jobs ?checkpoint
-        ~resume ?deadline_seconds:deadline ~profile ()
+      Explore.Config.make ~seed ~max_points:points ~absint:(not no_absint) ~jobs ~chunk
+        ?checkpoint ~resume ?deadline_seconds:deadline ~profile ()
     in
     Option.iter
       (fun p ->
         Dhdl_util.Faults.configure ~seed:faults_seed ~p ();
         Printf.printf "[dev] injecting faults at p=%g (seed %d)\n%!" p faults_seed)
       inject;
-    let est = make_estimator ?cache ~seed ~train_samples:train () in
+    let ev = make_eval ?cache ~no_cache ~seed ~train_samples:train () in
     let a = lookup_app app in
     let result =
-      Explore.run cfg est
+      Explore.run cfg ev
         ~space:(a.App.space a.App.paper_sizes)
         ~generate:(fun p -> a.App.generate ~sizes:a.App.paper_sizes ~params:p)
     in
@@ -308,6 +337,12 @@ let dse_cmd =
        point(s)\n"
       result.Explore.lint_pruned result.Explore.absint_pruned result.Explore.dep_pruned
       (Explore.unfit_count result);
+    if result.Explore.cache_hits + result.Explore.cache_misses > 0 then
+      Printf.printf "evaluation cache: %d hit(s), %d miss(es) (%.1f%% hit rate)\n"
+        result.Explore.cache_hits result.Explore.cache_misses
+        (100.0
+        *. float_of_int result.Explore.cache_hits
+        /. float_of_int (result.Explore.cache_hits + result.Explore.cache_misses));
     if result.Explore.resumed > 0 then
       Printf.printf "resumed from checkpoint: %d point(s) reused, %d recomputed\n"
         result.Explore.resumed
@@ -338,8 +373,8 @@ let dse_cmd =
     (Cmd.info "dse" ~doc:"Explore a benchmark's design space and print the Pareto frontier.")
     Term.(
       const run $ app_arg $ seed_arg $ train_arg $ points_arg $ cache_arg $ trace_arg $ jsonl_arg
-      $ metrics_arg $ jobs_arg $ checkpoint_arg $ resume_arg $ deadline_arg $ inject_faults_arg
-      $ faults_seed_arg $ no_absint_arg $ profile_flag_arg)
+      $ metrics_arg $ jobs_arg $ chunk_arg $ no_eval_cache_arg $ checkpoint_arg $ resume_arg
+      $ deadline_arg $ inject_faults_arg $ faults_seed_arg $ no_absint_arg $ profile_flag_arg)
 
 let codegen_cmd =
   let manager =
@@ -358,9 +393,9 @@ let codegen_cmd =
 
 let compare_cmd =
   let run app params seed train cache =
-    let est = make_estimator ?cache ~seed ~train_samples:train () in
+    let ev = make_eval ?cache ~seed ~train_samples:train () in
     let _, design = design_of ~app ~params in
-    let e = Estimator.estimate est design in
+    let e = Eval.estimate ev design in
     let rpt = Dhdl_synth.Toolchain.synthesize design in
     let sim = Dhdl_sim.Perf_sim.simulate design in
     let err actual predicted = Dhdl_util.Stats.percent_error ~actual ~predicted in
@@ -416,11 +451,13 @@ let experiments_cmd =
   in
   let run which seed train points cache =
     let need_estimator = which <> `T2 in
-    let est =
-      if need_estimator then Some (make_estimator ?cache ~seed ~train_samples:train ())
+    let ev =
+      if need_estimator then Some (make_eval ?cache ~seed ~train_samples:train ())
       else None
     in
-    let est () = Option.get est in
+    (* All experiments share one pipeline, so overlapping sweeps (fig5's
+       points recur in fig6 and the ablations) hit the cache. *)
+    let est () = Option.get ev in
     (match which with
     | `T2 -> print_string (Experiments.render_table2 ())
     | `T3 -> print_string (Experiments.render_table3 (Experiments.table3 ~seed (est ())))
@@ -611,7 +648,7 @@ let profile_cmd =
   let run app jobs_list seed train points cache json trace jsonl metrics =
     with_obs ~trace ~jsonl ~metrics @@ fun () ->
     if jobs_list = [] then failwith "expected at least one --jobs level";
-    let est = make_estimator ?cache ~quiet:json ~seed ~train_samples:train () in
+    let ev = make_eval ?cache ~quiet:json ~seed ~train_samples:train () in
     let a = lookup_app app in
     let space = a.App.space a.App.paper_sizes in
     let generate p = a.App.generate ~sizes:a.App.paper_sizes ~params:p in
@@ -619,7 +656,7 @@ let profile_cmd =
       List.map
         (fun jobs ->
           let cfg = Explore.Config.make ~seed ~max_points:points ~jobs ~profile:true () in
-          let r = Explore.run cfg est ~space ~generate in
+          let r = Explore.run cfg ev ~space ~generate in
           let attr =
             match r.Explore.attribution with
             | Some attr -> attr
@@ -726,14 +763,14 @@ let metrics_cmd =
       | None -> failwith "expected a BENCHMARK name (or --from FILE)"
     in
     Obs.enable ();
-    let est = make_estimator ?cache ~seed ~train_samples:train () in
+    let ev = make_eval ?cache ~seed ~train_samples:train () in
     let a, design = design_of ~app ~params in
-    let e = Estimator.estimate est design in
+    let e = Eval.estimate ev design in
     ignore (Dhdl_sim.Perf_sim.simulate design);
     let result =
       Explore.run
         Explore.Config.(default |> with_seed seed |> with_max_points points)
-        est
+        ev
         ~space:(a.App.space a.App.paper_sizes)
         ~generate:(fun p -> a.App.generate ~sizes:a.App.paper_sizes ~params:p)
     in
@@ -850,12 +887,15 @@ let client_cmd =
       List.map
         (fun v -> (Serve_protocol.verb_name v, v))
         Serve_protocol.
-          [ Ping; Estimate; Lint; Analyze; Dse_start; Dse_status; Dse_cancel; Shutdown ]
+          [ Ping; Estimate; Estimate_batch; Lint; Analyze; Dse_start; Dse_status; Dse_cancel;
+            Shutdown ]
     in
     Arg.(
       required
       & pos 0 (some (enum verbs)) None
-      & info [] ~docv:"VERB" ~doc:"ping|estimate|lint|analyze|dse_start|dse_status|dse_cancel|shutdown")
+      & info [] ~docv:"VERB"
+          ~doc:
+            "ping|estimate|estimate_batch|lint|analyze|dse_start|dse_status|dse_cancel|shutdown")
   in
   let app_opt_arg =
     Arg.(
@@ -913,7 +953,23 @@ let client_cmd =
   let wait_arg =
     Arg.(value & flag & info [ "wait" ] ~doc:"Wait for the server to answer ping before sending.")
   in
-  let run verb app params id deadline_ms session points sweep_seed socket timeout attempts wait =
+  let batch_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "batch" ] ~docv:"SPEC"
+          ~doc:
+            "One estimate_batch item as \"BENCHMARK,name=value,...\" (repeatable, order \
+             preserved). The whole batch travels as one request sharing one $(b,--deadline-ms); \
+             items reached after it expires get per-item deadline_exceeded entries inside a \
+             successful reply.")
+  in
+  let parse_batch_spec spec =
+    match String.split_on_char ',' spec with
+    | [] | [ "" ] -> failwith (Printf.sprintf "bad --batch %S (expected BENCHMARK,name=value,...)" spec)
+    | app :: params -> (app, parse_params params)
+  in
+  let run verb app params batch id deadline_ms session points sweep_seed socket timeout attempts
+      wait =
     let client =
       Serve_client.create ~timeout_s:timeout ~max_attempts:attempts ~socket_path:socket ()
     in
@@ -924,8 +980,9 @@ let client_cmd =
       | Some id -> id
       | None -> Printf.sprintf "cli-%d-%.0f" (Unix.getpid ()) (Unix.gettimeofday () *. 1e3)
     in
+    let specs = List.map parse_batch_spec batch in
     let req =
-      Serve_protocol.request ?deadline_ms ?app ~params:(parse_params params) ?session
+      Serve_protocol.request ?deadline_ms ?app ~params:(parse_params params) ~specs ?session
         ?seed:sweep_seed ?max_points:points ~id verb
     in
     match Serve_client.call client req with
@@ -940,7 +997,7 @@ let client_cmd =
          "Send one request to a running $(b,dhdl serve) daemon and print the JSON reply \
           (exit 1 on a typed error reply).")
     Term.(
-      const run $ verb_arg $ app_opt_arg $ client_params_arg $ id_arg $ deadline_ms_arg
+      const run $ verb_arg $ app_opt_arg $ client_params_arg $ batch_arg $ id_arg $ deadline_ms_arg
       $ session_arg $ points_opt_arg $ seed_opt_arg $ socket_arg $ timeout_arg $ attempts_arg
       $ wait_arg)
 

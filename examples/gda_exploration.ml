@@ -9,6 +9,7 @@
 module App = Dhdl_apps.App
 module Estimator = Dhdl_model.Estimator
 module Explore = Dhdl_dse.Explore
+module Eval = Dhdl_dse.Eval
 
 let () =
   let app = Dhdl_apps.Registry.find "gda" in
@@ -19,12 +20,12 @@ let () =
     (List.length (Dhdl_dse.Space.dims space));
 
   Printf.printf "setting up the estimator (characterization + NN training)...\n%!";
-  let est = Estimator.create ~train_samples:160 ~epochs:300 () in
+  let ev = Eval.create (Estimator.create ~train_samples:160 ~epochs:300 ()) in
 
   let result =
     Explore.run
       Explore.Config.(default |> with_seed 2016 |> with_max_points 1500)
-      est ~space
+      ev ~space
       ~generate:(fun p -> app.App.generate ~sizes ~params:p)
   in
   Printf.printf "explored %d legal points in %.2f s (%.2f ms per design)\n\n"

@@ -13,6 +13,7 @@ module P = Dhdl_patterns.Pattern
 module Op = Dhdl_ir.Op
 module Transform = Dhdl_ir.Transform
 module Estimator = Dhdl_model.Estimator
+module Eval = Dhdl_dse.Eval
 module Rng = Dhdl_util.Rng
 
 let program =
@@ -52,8 +53,8 @@ let () =
   Printf.printf "interpreter matches the pattern semantics: %.4f\n\n" got;
 
   (* Steps 2-4: estimate and ground-truth the full-size instance. *)
-  let est = Estimator.create ~train_samples:120 ~epochs:200 () in
-  let e = Estimator.estimate est design in
+  let ev = Eval.create (Estimator.create ~train_samples:120 ~epochs:200 ()) in
+  let e = Eval.estimate ev design in
   let rpt = Dhdl_synth.Toolchain.synthesize design in
   let sim = Dhdl_sim.Perf_sim.simulate design in
   Printf.printf "estimated: %d ALMs, %.0f cycles\n" e.Estimator.area.Estimator.alms

@@ -1,5 +1,6 @@
 module Estimator = Dhdl_model.Estimator
 module Explore = Dhdl_dse.Explore
+module Eval = Dhdl_dse.Eval
 module App = Dhdl_apps.App
 module Registry = Dhdl_apps.Registry
 module Toolchain = Dhdl_synth.Toolchain
@@ -12,7 +13,7 @@ module Asciiplot = Dhdl_util.Asciiplot
 module Rng = Dhdl_util.Rng
 module Obs = Dhdl_obs.Obs
 
-let explore_app ?(seed = 2016) ?(jobs = 1) ~max_points est (app : App.t) =
+let explore_app ?(seed = 2016) ?(jobs = 1) ~max_points ev (app : App.t) =
   Obs.span "experiment.explore" ~attrs:[ ("app", app.App.name) ] @@ fun () ->
   let sizes = app.App.paper_sizes in
   let cfg =
@@ -21,7 +22,7 @@ let explore_app ?(seed = 2016) ?(jobs = 1) ~max_points est (app : App.t) =
     |> Explore.Config.with_max_points max_points
     |> Explore.Config.with_jobs jobs
   in
-  Explore.run cfg est ~space:(app.App.space sizes)
+  Explore.run cfg ev ~space:(app.App.space sizes)
     ~generate:(fun point -> app.App.generate ~sizes ~params:point)
 
 (* Pick up to [k] evaluations spread evenly along a Pareto frontier. *)
@@ -77,14 +78,14 @@ type accuracy_row = {
   dsp_rank_preserved : bool;
 }
 
-let table3 ?(seed = 2016) ?(sample = 300) ?(pareto_points = 5) est =
+let table3 ?(seed = 2016) ?(sample = 300) ?(pareto_points = 5) ev =
   Obs.span "experiment.table3" @@ fun () ->
   List.map
     (fun (app : App.t) ->
-      let result = explore_app ~seed ~max_points:sample est app in
+      let result = explore_app ~seed ~max_points:sample ev app in
       let chosen = spread pareto_points result.Explore.pareto in
       let chosen = if chosen = [] then spread pareto_points result.Explore.evaluations else chosen in
-      let dev = Estimator.device est in
+      let dev = Estimator.device (Eval.estimator ev) in
       let evalse =
         List.map
           (fun (e : Explore.evaluation) ->
@@ -183,15 +184,17 @@ type speed_result = {
 }
 
 let table4 ?(seed = 2016) ?(ours_points = 250) ?(restricted_points = 40) ?(full_points = 4)
-    ?(hls_cols = 96) est =
+    ?(hls_cols = 96) ev =
   Obs.span "experiment.table4" @@ fun () ->
   (* Our estimator on GDA design points. *)
   let app = Registry.find "gda" in
   let sizes = app.App.paper_sizes in
   let points = Dhdl_dse.Space.sample (app.App.space sizes) ~seed ~max_points:ours_points in
   let t0 = Unix.gettimeofday () in
+  (* Timing path: cache off, so repeated structures never flatter the
+     paper's seconds-per-design comparison. *)
   List.iter
-    (fun p -> ignore (Estimator.estimate est (app.App.generate ~sizes ~params:p)))
+    (fun p -> ignore (Eval.estimate ~cache:false ev (app.App.generate ~sizes ~params:p)))
     points;
   let ours_elapsed = Unix.gettimeofday () -. t0 in
   let ours_sec = ours_elapsed /. float_of_int (max 1 (List.length points)) in
@@ -255,7 +258,7 @@ let render_table4 r =
 
 type dse_app = { app_name : string; result : Explore.result }
 
-let fig5 ?(seed = 2016) ?(max_points = 2_000) ?apps est =
+let fig5 ?(seed = 2016) ?(max_points = 2_000) ?apps ev =
   Obs.span "experiment.fig5" @@ fun () ->
   let selected =
     match apps with
@@ -264,7 +267,7 @@ let fig5 ?(seed = 2016) ?(max_points = 2_000) ?apps est =
   in
   List.map
     (fun (app : App.t) ->
-      { app_name = app.App.name; result = explore_app ~seed ~max_points est app })
+      { app_name = app.App.name; result = explore_app ~seed ~max_points ev app })
     selected
 
 let render_fig5_app { app_name; result } =
@@ -344,11 +347,11 @@ type speedup_row = {
   best_params : (string * int) list;
 }
 
-let fig6 ?(seed = 2016) ?(max_points = 2_000) est =
+let fig6 ?(seed = 2016) ?(max_points = 2_000) ev =
   Obs.span "experiment.fig6" @@ fun () ->
   List.map
     (fun (app : App.t) ->
-      let result = explore_app ~seed ~max_points est app in
+      let result = explore_app ~seed ~max_points ev app in
       let best =
         match Explore.best result with
         | Some b -> b
@@ -358,7 +361,7 @@ let fig6 ?(seed = 2016) ?(max_points = 2_000) est =
           | [] -> failwith ("fig6: no design points for " ^ app.App.name))
       in
       let design = app.App.generate ~sizes:app.App.paper_sizes ~params:best.Explore.point in
-      let sim = Perf_sim.simulate ~dev:(Estimator.device est) design in
+      let sim = Perf_sim.simulate ~dev:(Estimator.device (Eval.estimator ev)) design in
       let cpu = Cost_model.seconds (app.App.cpu_workload app.App.paper_sizes) in
       {
         s_bench = app.App.name;
@@ -418,10 +421,11 @@ let force_sequential params =
       if String.length k >= 4 && String.sub k 0 4 = "meta" then (k, 0) else (k, v))
     params
 
-let ablation_metapipe ?(seed = 2016) ?(max_points = 800) est =
+let ablation_metapipe ?(seed = 2016) ?(max_points = 800) ev =
+  let est = Eval.estimator ev in
   List.filter_map
     (fun (app : App.t) ->
-      let result = explore_app ~seed ~max_points est app in
+      let result = explore_app ~seed ~max_points ev app in
       match Explore.best result with
       | None -> None
       | Some best ->
@@ -444,10 +448,11 @@ type correction_ablation = {
   corrected_alm_err : float;
 }
 
-let ablation_nn_correction ?(seed = 2016) ?(sample = 300) est =
+let ablation_nn_correction ?(seed = 2016) ?(sample = 300) ev =
+  let est = Eval.estimator ev in
   List.map
     (fun (app : App.t) ->
-      let result = explore_app ~seed ~max_points:sample est app in
+      let result = explore_app ~seed ~max_points:sample ev app in
       let chosen = spread 3 (if result.Explore.pareto <> [] then result.Explore.pareto else result.Explore.evaluations) in
       let dev = Estimator.device est in
       let errors =
@@ -475,11 +480,11 @@ type sampling_ablation = {
   sa_pareto_size : int;
 }
 
-let ablation_sampling ?(seed = 2016) ?(app = "gda") ?(budgets = [ 100; 300; 1_000; 3_000 ]) est =
+let ablation_sampling ?(seed = 2016) ?(app = "gda") ?(budgets = [ 100; 300; 1_000; 3_000 ]) ev =
   let a = Registry.find app in
   List.map
     (fun budget ->
-      let r = explore_app ~seed ~max_points:budget est a in
+      let r = explore_app ~seed ~max_points:budget ev a in
       let best =
         match Explore.best r with
         | Some b -> b.Explore.estimate.Estimator.cycles
@@ -511,7 +516,7 @@ type device_ablation = {
   best_cycles_d5 : float;
 }
 
-let ablation_device ?(seed = 2016) ?(max_points = 800) est =
+let ablation_device ?(seed = 2016) ?(max_points = 800) ev =
   let d5 = Dhdl_device.Target.stratix_v_d5 in
   let fits_d5 (a : Estimator.area) =
     a.Estimator.alms <= d5.Dhdl_device.Target.alms
@@ -520,7 +525,7 @@ let ablation_device ?(seed = 2016) ?(max_points = 800) est =
   in
   List.map
     (fun (app : App.t) ->
-      let r = explore_app ~seed ~max_points est app in
+      let r = explore_app ~seed ~max_points ev app in
       let valid_d8 = List.filter (fun (e : Explore.evaluation) -> e.Explore.valid) r.Explore.evaluations in
       let valid_d5 =
         List.filter (fun (e : Explore.evaluation) -> fits_d5 e.Explore.estimate.Estimator.area)
@@ -564,13 +569,13 @@ type bandwidth_ablation = {
   speedup_75 : float;
 }
 
-let ablation_bandwidth ?(seed = 2016) ?(max_points = 800) est =
+let ablation_bandwidth ?(seed = 2016) ?(max_points = 800) ev =
   let fast_board =
     { Dhdl_device.Target.max4_maia with Dhdl_device.Target.achievable_bw_gbs = 75.0 }
   in
   List.map
     (fun (app : App.t) ->
-      let r = explore_app ~seed ~max_points est app in
+      let r = explore_app ~seed ~max_points ev app in
       let best =
         match Explore.best r with
         | Some b -> b.Explore.point

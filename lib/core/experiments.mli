@@ -2,13 +2,17 @@
     evaluation (Section V), each returning structured data plus a plain-text
     rendering used by the benchmark harness and the CLI.
 
-    Every experiment is deterministic given its seed. Estimation and
-    exploration run at the paper's full dataset sizes (Table II); functional
-    validation uses scaled-down data (the interpreter is the only
-    data-proportional component). *)
+    Every experiment is deterministic given its seed, with the cache
+    cold or warm (see {!Dhdl_dse.Eval}). Experiments share one
+    {!Dhdl_dse.Eval.t}, so running several in sequence reuses analysis
+    verdicts and estimates across them; the one timing loop (Table IV)
+    forces the cache off. Estimation and exploration run at the paper's
+    full dataset sizes (Table II); functional validation uses scaled-down
+    data (the interpreter is the only data-proportional component). *)
 
 module Estimator = Dhdl_model.Estimator
 module Explore = Dhdl_dse.Explore
+module Eval = Dhdl_dse.Eval
 
 (** {1 Table II — benchmark suite} *)
 
@@ -27,7 +31,7 @@ type accuracy_row = {
 }
 
 val table3 :
-  ?seed:int -> ?sample:int -> ?pareto_points:int -> Estimator.t -> accuracy_row list
+  ?seed:int -> ?sample:int -> ?pareto_points:int -> Eval.t -> accuracy_row list
 (** For each benchmark: explore [sample] legal points (default 300), select
     up to [pareto_points] (default 5) spread along the Pareto frontier, push
     each through the full synthesis toolchain and the cycle-accurate
@@ -54,7 +58,7 @@ val table4 :
   ?restricted_points:int ->
   ?full_points:int ->
   ?hls_cols:int ->
-  Estimator.t ->
+  Eval.t ->
   speed_result
 (** GDA design points through our estimator (default 250, as in the paper)
     vs. the simulated HLS flow on Figure 2's GDA: [restricted_points]
@@ -68,7 +72,7 @@ val render_table4 : speed_result -> string
 
 type dse_app = { app_name : string; result : Explore.result }
 
-val fig5 : ?seed:int -> ?max_points:int -> ?apps:string list -> Estimator.t -> dse_app list
+val fig5 : ?seed:int -> ?max_points:int -> ?apps:string list -> Eval.t -> dse_app list
 (** Explore each benchmark's space (default 2,000 sampled points per app —
     the paper samples up to 75,000; raise [max_points] to match). *)
 
@@ -86,7 +90,7 @@ type speedup_row = {
   best_params : (string * int) list;
 }
 
-val fig6 : ?seed:int -> ?max_points:int -> Estimator.t -> speedup_row list
+val fig6 : ?seed:int -> ?max_points:int -> Eval.t -> speedup_row list
 val render_fig6 : speedup_row list -> string
 
 (** {1 Ablations (design decisions called out in DESIGN.md)} *)
@@ -98,7 +102,7 @@ type metapipe_ablation = {
   benefit : float;  (** sequential / pipelined. *)
 }
 
-val ablation_metapipe : ?seed:int -> ?max_points:int -> Estimator.t -> metapipe_ablation list
+val ablation_metapipe : ?seed:int -> ?max_points:int -> Eval.t -> metapipe_ablation list
 (** Quantifies coarse-grained pipelining: re-estimate each benchmark's best
     design with every MetaPipe toggle forced to Sequential. *)
 
@@ -108,7 +112,7 @@ type correction_ablation = {
   corrected_alm_err : float;  (** Error of the full hybrid estimator. *)
 }
 
-val ablation_nn_correction : ?seed:int -> ?sample:int -> Estimator.t -> correction_ablation list
+val ablation_nn_correction : ?seed:int -> ?sample:int -> Eval.t -> correction_ablation list
 (** Quantifies the hybrid scheme: ALM error using raw template counts only
     (packing assumed, no P&R corrections) vs. the NN-corrected estimate. *)
 
@@ -121,7 +125,7 @@ type sampling_ablation = {
 }
 
 val ablation_sampling :
-  ?seed:int -> ?app:string -> ?budgets:int list -> Estimator.t -> sampling_ablation list
+  ?seed:int -> ?app:string -> ?budgets:int list -> Eval.t -> sampling_ablation list
 (** Random-sampling convergence (the paper samples up to 75,000 points;
     §IV.C): how the best discovered design improves with sample budget on
     one benchmark (default gda, budgets 100/300/1000/3000). *)
@@ -141,7 +145,7 @@ type device_ablation = {
   best_cycles_d5 : float;
 }
 
-val ablation_device : ?seed:int -> ?max_points:int -> Estimator.t -> device_ablation list
+val ablation_device : ?seed:int -> ?max_points:int -> Eval.t -> device_ablation list
 (** Target-agnosticism (Section II's "Representation" requirement): the same
     estimates re-validated against a smaller device of the same family —
     validity shrinks and the best feasible design slows where the space is
@@ -155,7 +159,7 @@ type bandwidth_ablation = {
   speedup_75 : float;  (** The same best design re-simulated at ~75 GB/s. *)
 }
 
-val ablation_bandwidth : ?seed:int -> ?max_points:int -> Estimator.t -> bandwidth_ablation list
+val ablation_bandwidth : ?seed:int -> ?max_points:int -> Eval.t -> bandwidth_ablation list
 (** Off-chip bandwidth sensitivity: re-simulate each benchmark's best design
     on a board with twice the achievable DRAM bandwidth. Memory-bound
     benchmarks (dotproduct, tpchq6, outerprod) roughly double their speedup;

@@ -1,6 +1,4 @@
 module Estimator = Dhdl_model.Estimator
-module Lint = Dhdl_lint.Lint
-module Diag = Dhdl_ir.Diag
 module Pareto = Dhdl_util.Pareto
 module Faults = Dhdl_util.Faults
 module Obs = Dhdl_obs.Obs
@@ -44,6 +42,8 @@ type result = {
   jobs : int;
   elapsed_seconds : float;
   cpu_seconds : float;
+  cache_hits : int;
+  cache_misses : int;
   attribution : Profile.t option;
 }
 
@@ -60,6 +60,7 @@ module Config = struct
     lint : bool;
     absint : bool;
     jobs : int;
+    chunk : int;
     span_every : int;
     tick_every : int;
     checkpoint : string option;
@@ -75,10 +76,17 @@ module Config = struct
      [Failure]-based message style the CLI's error handler renders. *)
   let max_jobs = 64
 
+  (* A chunk is one claim and one collector message; past a few thousand
+     points per message the reorder buffer holds most of the sweep. *)
+  let max_chunk = 65_536
+
   let validate t =
     if t.jobs < 1 then failwith (Printf.sprintf "jobs must be >= 1 (got %d)" t.jobs);
     if t.jobs > max_jobs then
       failwith (Printf.sprintf "jobs must be <= %d (got %d)" max_jobs t.jobs);
+    if t.chunk < 1 then failwith (Printf.sprintf "chunk must be >= 1 (got %d)" t.chunk);
+    if t.chunk > max_chunk then
+      failwith (Printf.sprintf "chunk must be <= %d (got %d)" max_chunk t.chunk);
     if t.max_points < 0 then
       failwith (Printf.sprintf "max_points must be >= 0 (got %d)" t.max_points);
     if t.checkpoint_every < 0 then
@@ -102,6 +110,7 @@ module Config = struct
       lint = true;
       absint = true;
       jobs = 1;
+      chunk = 16;
       span_every = 100;
       tick_every = 1000;
       checkpoint = None;
@@ -113,12 +122,12 @@ module Config = struct
     }
 
   let make ?(seed = default.seed) ?(max_points = default.max_points) ?(lint = default.lint)
-      ?(absint = default.absint) ?(jobs = default.jobs) ?(span_every = default.span_every)
-      ?(tick_every = default.tick_every) ?checkpoint
+      ?(absint = default.absint) ?(jobs = default.jobs) ?(chunk = default.chunk)
+      ?(span_every = default.span_every) ?(tick_every = default.tick_every) ?checkpoint
       ?(checkpoint_every = default.checkpoint_every) ?(resume = default.resume)
       ?deadline_seconds ?(profile = default.profile) ?stop_requested () =
     validate_run
-      { seed; max_points; lint; absint; jobs; span_every; tick_every; checkpoint;
+      { seed; max_points; lint; absint; jobs; chunk; span_every; tick_every; checkpoint;
         checkpoint_every; resume; deadline_seconds; profile; stop_requested }
 
   let with_seed seed t = validate { t with seed }
@@ -126,6 +135,7 @@ module Config = struct
   let with_lint lint t = validate { t with lint }
   let with_absint absint t = validate { t with absint }
   let with_jobs jobs t = validate { t with jobs }
+  let with_chunk chunk t = validate { t with chunk }
   let with_span_every span_every t = validate { t with span_every }
   let with_tick_every tick_every t = validate { t with tick_every }
 
@@ -138,128 +148,11 @@ module Config = struct
   let with_stop_check stop t = validate { t with stop_requested = Some stop }
 end
 
-let evaluate est point design =
-  let e = Estimator.estimate est design in
-  let alm_pct, dsp_pct, bram_pct = Estimator.utilization est e.Estimator.area in
-  {
-    point;
-    estimate = e;
-    valid = Estimator.fits est e.Estimator.area;
-    alm_pct;
-    dsp_pct;
-    bram_pct;
-  }
-
 let pareto_of evals =
   let valid = List.filter (fun e -> e.valid) evals in
   Pareto.frontier (fun e -> (e.estimate.Estimator.cycles, e.alm_pct)) valid
 
 let stage_counter stage = "dse.failed." ^ Outcome.stage_name stage
-
-(* Render the exception behind a barrier without letting one bad message
-   take the sweep down too. *)
-let describe exn = try Printexc.to_string exn with _ -> "<unprintable exception>"
-
-let finite_evaluation (e : evaluation) =
-  let ok f = Float.is_finite f && f >= 0.0 in
-  ok e.estimate.Estimator.cycles && ok e.estimate.Estimator.seconds && ok e.alm_pct
-  && ok e.dsp_pct && ok e.bram_pct
-
-let non_finite_detail (e : evaluation) =
-  Printf.sprintf "cycles=%h seconds=%h alm_pct=%h dsp_pct=%h bram_pct=%h"
-    e.estimate.Estimator.cycles e.estimate.Estimator.seconds e.alm_pct e.dsp_pct e.bram_pct
-
-(* Pass codes of the heuristic (non-proof) lint passes, for lint-only runs
-   with absint pruning disabled. *)
-let heuristic_codes =
-  List.filter_map
-    (fun (p : Lint.pass) -> if List.mem p.Lint.code Lint.proof_codes then None else Some p.Lint.code)
-    (Lint.passes ())
-
-(* The exception barrier around one point's generate -> lint -> estimate
-   pipeline: every failure mode becomes a classified entry instead of
-   killing the sweep. [Faults.inject] sites (keyed by point index so a
-   resumed sweep replays the same faults) let tests exercise each arm.
-
-   Error-level diagnostics split three ways: heuristic lint errors prune
-   the point ([Pruned], counted as lint); points whose errors include an
-   abstract-interpretation proof (L009/L010, each carrying a concrete
-   witness) are classified [Absint_pruned] — they describe hardware that
-   provably corrupts data, so estimating them would pollute the frontier;
-   and points whose only errors are dependence refutations of the chosen
-   parallelization (L013) are [Dep_pruned] — the design is sound at par=1
-   but the sampled par is proven illegal. *)
-(* Per-worker accumulator for the profiled pipeline-stage split. Written
-   only by the owning domain; read by the collector after the join. *)
-type stage_acc = {
-  mutable sa_generate : float;
-  mutable sa_analyze : float;
-  mutable sa_estimate : float;
-}
-
-let fresh_stages () = { sa_generate = 0.0; sa_analyze = 0.0; sa_estimate = 0.0 }
-
-(* Time one stage into [acc] via [add] when profiling; exactly [f ()]
-   otherwise, so the unprofiled pipeline pays one option match per stage
-   and no clock reads. *)
-let timed_stage stages add f =
-  match stages with
-  | None -> f ()
-  | Some acc ->
-    let t0 = Unix.gettimeofday () in
-    Fun.protect ~finally:(fun () -> add acc (Unix.gettimeofday () -. t0)) f
-
-let add_generate a d = a.sa_generate <- a.sa_generate +. d
-let add_analyze a d = a.sa_analyze <- a.sa_analyze +. d
-let add_estimate a d = a.sa_estimate <- a.sa_estimate +. d
-
-let process ~est ~dev ~lint ~absint ?stages i point ~generate =
-  match
-    try
-      Faults.inject ~key:i "dse.generator";
-      Ok (timed_stage stages add_generate (fun () -> generate point))
-    with exn -> Error (Generator_error, describe exn)
-  with
-  | Error (stage, msg) -> Outcome.Failed (stage, msg)
-  | Ok design -> (
-    match
-      try
-        Faults.inject ~key:i "dse.lint";
-        let diags =
-          timed_stage stages add_analyze @@ fun () ->
-          if lint && absint then Lint.check ~dev design
-          else if lint then Lint.check ~dev ~only:heuristic_codes design
-          else if absint then Lint.check ~dev ~validate:false ~only:Lint.proof_codes design
-          else []
-        in
-        let proof, heuristic =
-          List.partition
-            (fun g -> List.mem g.Diag.code Lint.proof_codes)
-            (Lint.errors diags)
-        in
-        Ok
-          (if heuristic <> [] then `Heuristic_errors
-           else if proof = [] then `Clean
-           else if List.for_all (fun g -> g.Diag.code = "L013") proof then `Dep_refuted
-           else `Absint_refuted)
-      with exn -> Error (Lint_error, describe exn)
-    with
-    | Error (stage, msg) -> Outcome.Failed (stage, msg)
-    | Ok `Heuristic_errors -> Outcome.Pruned
-    | Ok `Absint_refuted -> Outcome.Absint_pruned
-    | Ok `Dep_refuted -> Outcome.Dep_pruned
-    | Ok `Clean -> (
-      try
-        Faults.inject ~key:i "dse.estimator";
-        let e = timed_stage stages add_estimate (fun () -> evaluate est point design) in
-        let e =
-          if Faults.fires ~key:i "dse.non_finite" then
-            { e with estimate = { e.estimate with Estimator.cycles = Float.nan } }
-          else e
-        in
-        if finite_evaluation e then Outcome.Evaluated e
-        else Outcome.Failed (Non_finite_estimate, "estimate not finite: " ^ non_finite_detail e)
-      with exn -> Outcome.Failed (Estimator_error, describe exn)))
 
 let load_resume ~path ~space ~seed ~max_points ~total ~param_names =
   if not (Sys.file_exists path) then Hashtbl.create 1
@@ -294,18 +187,21 @@ let load_resume ~path ~space ~seed ~max_points ~total ~param_names =
         tbl
       end
 
-(* One worker-to-collector message: the point's outcome, whether it was
-   reused from the resume table, and the CPU seconds its pipeline took. *)
-type msg = Entry of int * (Outcome.entry * bool * float) | Worker_done
+(* One worker-to-collector message: a contiguous run of outcomes starting
+   at sampling index [lo] (each with its resume flag and pipeline CPU
+   seconds), or a worker signing off. One message per *chunk* — not per
+   point — is what keeps the channel off the contention profile. *)
+type msg = Chunk of int * (Outcome.entry * bool * float) array | Worker_done
 
 (* Minimal mutex/condition channel between worker domains and the
-   collector. Unbounded: the collector's per-message work (a cons and an
-   occasional checkpoint) is far cheaper than a point's pipeline, so the
-   queue stays shallow. [max_depth] tracks the high-water mark under the
-   lock (one compare per push); when profiling, [?wait] accumulates the
-   seconds a caller spent blocked — lock acquisition on the send side,
-   lock + condition wait on the receive side — into a caller-owned ref,
-   so the measurement itself shares no state between domains. *)
+   collector. Unbounded: the collector's per-message work (merging a
+   chunk and an occasional checkpoint) is far cheaper than the chunk's
+   pipeline, so the queue stays shallow. [max_depth] tracks the
+   high-water mark under the lock (one compare per push); when profiling,
+   [?wait] accumulates the seconds a caller spent blocked — lock
+   acquisition on the send side, lock + condition wait on the receive
+   side — into a caller-owned ref, so the measurement itself shares no
+   state between domains. *)
 module Chan = struct
   type 'a t = {
     m : Mutex.t;
@@ -344,9 +240,9 @@ module Chan = struct
     x
 end
 
-let run (cfg : Config.t) est ~space ~generate =
+let run (cfg : Config.t) (ev : Eval.t) ~space ~generate =
   let cfg = Config.validate_run cfg in
-  let { Config.seed; max_points; lint; absint; jobs; span_every; tick_every; checkpoint;
+  let { Config.seed; max_points; lint; absint; jobs; chunk; span_every; tick_every; checkpoint;
         checkpoint_every; resume; deadline_seconds; profile; stop_requested } =
     cfg
   in
@@ -366,6 +262,9 @@ let run (cfg : Config.t) est ~space ~generate =
     Obs.count ~by:0 "dse.dep_pruned";
     Obs.count ~by:0 "dse.estimated";
     Obs.count ~by:0 "dse.unfit";
+    Obs.count ~by:0 "dse.cache.hit";
+    Obs.count ~by:0 "dse.cache.miss";
+    Obs.count ~by:0 "dse.cache.evict";
     List.iter
       (fun stage -> Obs.count ~by:0 (stage_counter stage))
       [ Generator_error; Lint_error; Estimator_error; Non_finite_estimate ]
@@ -376,7 +275,7 @@ let run (cfg : Config.t) est ~space ~generate =
       load_resume ~path ~space ~seed ~max_points ~total ~param_names
     | _ -> Hashtbl.create 1
   in
-  let dev = Estimator.device est in
+  let stats0 = Eval.stats ev in
   let past_deadline () =
     match deadline_seconds with
     | None -> false
@@ -391,11 +290,12 @@ let run (cfg : Config.t) est ~space ~generate =
     past_deadline ()
     || (match stop_requested with None -> false | Some f -> ( try f () with _ -> true))
   in
-  (* One point's work: reuse the resume entry or run the barriered
+  (* One point's work: reuse the resume entry or run [Eval]'s barriered
      pipeline. Pure in the point index (sampling is seeded, fault sites
-     are keyed by [with_key i], the estimator holds no per-sweep mutable
-     state), which is what lets the parallel path promise results
-     bit-identical to the sequential one. *)
+     are keyed by [with_key i], and [Eval]'s caches memoize pure functions
+     of the design key — and stand down entirely while fault injection is
+     armed), which is what lets the parallel path promise results
+     bit-identical to the sequential one at any cache temperature. *)
   let compute ?stages i p =
     match Hashtbl.find_opt prior i with
     | Some e ->
@@ -407,7 +307,7 @@ let run (cfg : Config.t) est ~space ~generate =
         Faults.with_key i @@ fun () ->
         Obs.span_sampled ~every:span_every ~i "dse.point" @@ fun () ->
         if Obs.enabled () then begin
-          let e = process ~est ~dev ~lint ~absint ?stages i p ~generate in
+          let e = Eval.evaluate ev ?stages ~lint ~absint ~index:i ~generate p in
           (match e with
           | Outcome.Evaluated _ ->
             Obs.count "dse.estimated";
@@ -418,7 +318,7 @@ let run (cfg : Config.t) est ~space ~generate =
           | Outcome.Failed (stage, _) -> Obs.count (stage_counter stage));
           e
         end
-        else process ~est ~dev ~lint ~absint ?stages i p ~generate
+        else Eval.evaluate ev ?stages ~lint ~absint ~index:i ~generate p
       in
       (e, false, Unix.gettimeofday () -. start)
   in
@@ -476,7 +376,7 @@ let run (cfg : Config.t) est ~space ~generate =
       (* Sequential path: exactly the pre-parallel sweep loop. When
          profiling, the loop is accounted as one worker (stage split,
          no send-block) and checkpoint writes as the collector. *)
-      let stages = if profile then Some (fresh_stages ()) else None in
+      let stages = if profile then Some (Eval.fresh_stages ()) else None in
       let t_loop0 = if profile then Unix.gettimeofday () else 0.0 in
       let truncated = ref false in
       List.iteri
@@ -492,7 +392,7 @@ let run (cfg : Config.t) est ~space ~generate =
         | Some a ->
           let loop_wall = Unix.gettimeofday () -. t_loop0 in
           let w_wall_s = Float.max 0.0 (loop_wall -. !write_seconds) in
-          let accounted = a.sa_generate +. a.sa_analyze +. a.sa_estimate in
+          let accounted = a.Eval.s_generate +. a.Eval.s_probe +. a.Eval.s_analyze +. a.Eval.s_estimate in
           Some
             {
               Profile.jobs = 1;
@@ -503,9 +403,10 @@ let run (cfg : Config.t) est ~space ~generate =
                     Profile.w_domain = 0;
                     w_points = !processed - !resumed;
                     w_wall_s;
-                    w_generate_s = a.sa_generate;
-                    w_analyze_s = a.sa_analyze;
-                    w_estimate_s = a.sa_estimate;
+                    w_generate_s = a.Eval.s_generate;
+                    w_probe_s = a.Eval.s_probe;
+                    w_analyze_s = a.Eval.s_analyze;
+                    w_estimate_s = a.Eval.s_estimate;
                     w_send_block_s = 0.0;
                     w_idle_s = Float.max 0.0 (w_wall_s -. accounted);
                   };
@@ -525,21 +426,25 @@ let run (cfg : Config.t) est ~space ~generate =
       (!truncated, attribution)
     end
     else begin
-      (* Parallel path: [jobs] worker domains pull point indices from a
-         shared atomic cursor, run the pipeline with per-domain telemetry
-         buffers and index-keyed fault state, and stream outcomes to this
-         (collector) domain, which releases them in sampling-index order
-         through a reorder buffer. When profiling, every accumulator below
-         is either owned by exactly one domain (stage/claims/send-block
-         slots by worker index, collector refs by the collector) or
-         updated under a lock that already exists, so the profiler adds no
-         contention of its own. *)
+      (* Parallel path: [jobs] worker domains claim contiguous index
+         *ranges* (of [Config.chunk] points) from a shared atomic cursor,
+         run the pipeline into a buffer only they own, and send the
+         collector one message per chunk; the collector merges whole
+         chunks in sampling-index order through a reorder buffer. Chunked
+         claims keep the claim protocol a single fetch-and-add while
+         cutting channel traffic (and its condition-variable wakeups) by
+         the chunk factor — the contention Profile attributed the jobs>1
+         collapse to. When profiling, every accumulator below is either
+         owned by exactly one domain (stage/claims/send-block slots by
+         worker index, collector refs by the collector) or updated under
+         a lock that already exists, so the profiler adds no contention
+         of its own. *)
       let points_arr = Array.of_list points in
       let cursor = Atomic.make 0 in
       let stop = Atomic.make false in
       let chan : msg Chan.t = Chan.create () in
       let obs_prof = profile && Obs.enabled () in
-      let stage_slots = Array.init jobs (fun _ -> fresh_stages ()) in
+      let stage_slots = Array.init jobs (fun _ -> Eval.fresh_stages ()) in
       let claim_slots = Array.make jobs 0 in
       let send_slots = Array.make jobs 0.0 in
       let wall_slots = Array.make jobs 0.0 in
@@ -548,23 +453,40 @@ let run (cfg : Config.t) est ~space ~generate =
         let stages = if profile then Some stage_slots.(k) else None in
         let wait = if profile then Some (ref 0.0) else None in
         let t_w0 = if profile then Unix.gettimeofday () else 0.0 in
+        (* Ship the first [n] outcomes of the chunk at [lo]. A chunk cut
+           short by a stop request ships as a shorter run; a chunk the
+           stop emptied entirely ships nothing (the collector's post-join
+           sweep releases past the gap). *)
+        let send lo buf n =
+          if n > 0 then begin
+            let payload = if n = Array.length buf then buf else Array.sub buf 0 n in
+            match wait with
+            | None -> Chan.push chan (Chunk (lo, payload))
+            | Some acc ->
+              let before = !acc in
+              Chan.push ~wait:acc chan (Chunk (lo, payload));
+              if obs_prof then Obs.observe "dse.chan.send_wait_us" ((!acc -. before) *. 1e6)
+          end
+        in
         let rec loop () =
           if not (Atomic.get stop) then begin
-            let i = Atomic.fetch_and_add cursor 1 in
-            if i < total then begin
-              if profile then claim_slots.(k) <- claim_slots.(k) + 1;
-              let r = compute ?stages i points_arr.(i) in
-              (match wait with
-              | None -> Chan.push chan (Entry (i, r))
-              | Some acc ->
-                let before = !acc in
-                Chan.push ~wait:acc chan (Entry (i, r));
-                if obs_prof then Obs.observe "dse.chan.send_wait_us" ((!acc -. before) *. 1e6));
-              (* Mirror the sequential loop: the deadline (or a cancel
-                 request) is checked after each consumed point, and
-                 tripping it stops every worker from pulling further
-                 indices. *)
-              if should_stop () then Atomic.set stop true;
+            let lo = Atomic.fetch_and_add cursor chunk in
+            if lo < total then begin
+              let hi = min total (lo + chunk) in
+              let buf = Array.make (hi - lo) (Outcome.Pruned, false, 0.0) in
+              let n = ref 0 in
+              while lo + !n < hi && not (Atomic.get stop) do
+                let i = lo + !n in
+                buf.(!n) <- compute ?stages i points_arr.(i);
+                incr n;
+                if profile then claim_slots.(k) <- claim_slots.(k) + 1;
+                (* Mirror the sequential loop: the deadline (or a cancel
+                   request) is checked after each consumed point, and
+                   tripping it stops every worker from pulling further
+                   points. *)
+                if should_stop () then Atomic.set stop true
+              done;
+              send lo buf !n;
               loop ()
             end
           end
@@ -585,11 +507,12 @@ let run (cfg : Config.t) est ~space ~generate =
             Domain.spawn (fun () ->
                 Fun.protect ~finally:(fun () -> Chan.push chan Worker_done) (worker k)))
       in
-      (* Reorder buffer: outcomes arrive in completion order; release them
-         in index order so entries, failures, counters and every periodic
-         checkpoint match the sequential run's byte for byte. Arrival
-         stamps (profiling only) measure how long out-of-order entries sit
-         parked before their predecessor index completes. *)
+      (* Reorder buffer, now chunk-granular: chunks arrive in completion
+         order, keyed by their first index; release them in index order so
+         entries, failures, counters and every periodic checkpoint match
+         the sequential run's byte for byte. Arrival stamps (profiling
+         only) measure how long out-of-order chunks sit parked before
+         their predecessor completes. *)
       let pending = Hashtbl.create 64 in
       let next_emit = ref 0 in
       let live_workers = ref jobs in
@@ -597,13 +520,14 @@ let run (cfg : Config.t) est ~space ~generate =
         let rec go () =
           match Hashtbl.find_opt pending !next_emit with
           | None -> ()
-          | Some (r, arrived) ->
+          | Some (arr, arrived) ->
             Hashtbl.remove pending !next_emit;
             if profile && arrived > 0.0 then
               reorder_stall :=
                 !reorder_stall +. Float.max 0.0 (Unix.gettimeofday () -. arrived);
-            record !next_emit points_arr.(!next_emit) r;
-            incr next_emit;
+            let lo = !next_emit in
+            Array.iteri (fun j r -> record (lo + j) points_arr.(lo + j) r) arr;
+            next_emit := lo + Array.length arr;
             go ()
         in
         go ()
@@ -619,21 +543,22 @@ let run (cfg : Config.t) est ~space ~generate =
             if obs_prof then Obs.observe "dse.chan.recv_wait_us" ((!recv_block -. before) *. 1e6);
             match m with
             | Worker_done -> decr live_workers
-            | Entry (i, r) ->
-              Hashtbl.replace pending i
-                (r, if profile then Unix.gettimeofday () else 0.0);
+            | Chunk (lo, arr) ->
+              Hashtbl.replace pending lo
+                (arr, if profile then Unix.gettimeofday () else 0.0);
               if profile then max_pending := max !max_pending (Hashtbl.length pending);
               release ()
           done;
           List.iter Domain.join domains;
-          (* A tripped deadline can leave completed points beyond a gap (a
-             slow point truncated while later indices finished). Release
+          (* A tripped deadline can leave completed chunks beyond a gap (a
+             truncated chunk whose successors finished whole). Release
              them too, still in index order: the checkpoint format
              addresses entries by index, so a resumed sweep reuses every
              one of them. *)
-          Hashtbl.fold (fun i (r, _) acc -> (i, r) :: acc) pending []
+          Hashtbl.fold (fun lo (arr, _) acc -> (lo, arr) :: acc) pending []
           |> List.sort (fun (a, _) (b, _) -> compare a b)
-          |> List.iter (fun (i, r) -> record i points_arr.(i) r));
+          |> List.iter (fun (lo, arr) ->
+                 Array.iteri (fun j r -> record (lo + j) points_arr.(lo + j) r) arr));
       let attribution =
         if not profile then None
         else begin
@@ -650,15 +575,17 @@ let run (cfg : Config.t) est ~space ~generate =
                 List.init jobs (fun k ->
                     let a = stage_slots.(k) in
                     let accounted =
-                      a.sa_generate +. a.sa_analyze +. a.sa_estimate +. send_slots.(k)
+                      a.Eval.s_generate +. a.Eval.s_probe +. a.Eval.s_analyze
+                      +. a.Eval.s_estimate +. send_slots.(k)
                     in
                     {
                       Profile.w_domain = k;
                       w_points = claim_slots.(k);
                       w_wall_s = wall_slots.(k);
-                      w_generate_s = a.sa_generate;
-                      w_analyze_s = a.sa_analyze;
-                      w_estimate_s = a.sa_estimate;
+                      w_generate_s = a.Eval.s_generate;
+                      w_probe_s = a.Eval.s_probe;
+                      w_analyze_s = a.Eval.s_analyze;
+                      w_estimate_s = a.Eval.s_estimate;
                       w_send_block_s = send_slots.(k);
                       w_idle_s = Float.max 0.0 (wall_slots.(k) -. accounted);
                     });
@@ -686,6 +613,7 @@ let run (cfg : Config.t) est ~space ~generate =
   in
   let pareto = Obs.span "dse.pareto" (fun () -> pareto_of evaluations) in
   let elapsed = Unix.gettimeofday () -. t0 in
+  let stats1 = Eval.stats ev in
   if Obs.enabled () then begin
     Obs.count ~by:(List.length (List.filter (fun e -> not e.valid) evaluations)) "dse.unfit";
     Obs.gauge "dse.points_per_sec"
@@ -708,6 +636,8 @@ let run (cfg : Config.t) est ~space ~generate =
     jobs;
     elapsed_seconds = elapsed;
     cpu_seconds = !cpu_seconds;
+    cache_hits = stats1.Eval.hits - stats0.Eval.hits;
+    cache_misses = stats1.Eval.misses - stats0.Eval.misses;
     attribution;
   }
 

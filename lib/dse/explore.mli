@@ -13,9 +13,15 @@
 
     Sweeps are configured through a {!Config.t} record (defaults +
     [with_*] builders) and, with [Config.jobs] > 1, run on a pool of
-    worker domains whose outcomes a collector merges back in
-    sampling-index order — results and checkpoint files are bit-identical
-    across every jobs level. *)
+    worker domains that claim contiguous index {e chunks} and whose
+    outcome chunks a collector merges back in sampling-index order —
+    results and checkpoint files are bit-identical across every jobs
+    level, chunk size, and {!Eval} cache temperature.
+
+    Per-point evaluation itself — generate → lint/absint → estimate
+    behind the design-key caches — lives in {!Eval}; [run] takes the
+    {!Eval.t} so concurrent and consecutive sweeps can share one
+    memo. *)
 
 module Estimator = Dhdl_model.Estimator
 
@@ -70,6 +76,12 @@ type result = {
       (** Aggregate CPU seconds spent inside point pipelines, summed over
           all workers — equals roughly [elapsed_seconds] when [jobs = 1]
           and up to [jobs ×] it when parallel. *)
+  cache_hits : int;
+      (** {!Eval} cache hits (analysis + estimate) during this sweep: the
+          delta of {!Eval.stats} across the run. With a shared [Eval.t]
+          under concurrent sweeps the attribution of a hit to one sweep
+          is approximate; totals across sweeps are exact. *)
+  cache_misses : int;  (** Counterpart of [cache_hits]. *)
   attribution : Profile.t option;
       (** Where every worker- and collector-second went ([Some] iff
           [Config.profile] was set): per-worker
@@ -95,6 +107,13 @@ module Config : sig
             L013 dependence refutations as [dep_pruned]. Runs the proof
             passes alone when [lint] is off. *)
     jobs : int;  (** Worker domains; 1 (default) = sequential. *)
+    chunk : int;
+        (** Points per cursor claim and per worker→collector message when
+            [jobs > 1] (default 16). Larger chunks cut channel traffic
+            and wakeups; smaller chunks balance load better near the end
+            of a sweep. No effect on results: the collector releases
+            chunks in index order, so entries and checkpoints stay
+            bit-identical across chunk sizes. Ignored when [jobs = 1]. *)
     span_every : int;  (** Record a [dse.point] span every N points; 0 off. *)
     tick_every : int;  (** Progress tick on stderr every N points; 0 off. *)
     checkpoint : string option;  (** JSONL checkpoint path. *)
@@ -121,6 +140,9 @@ module Config : sig
   val max_jobs : int
   (** Upper bound accepted for [jobs] (64). *)
 
+  val max_chunk : int
+  (** Upper bound accepted for [chunk] (65536). *)
+
   val default : t
 
   val make :
@@ -129,6 +151,7 @@ module Config : sig
     ?lint:bool ->
     ?absint:bool ->
     ?jobs:int ->
+    ?chunk:int ->
     ?span_every:int ->
     ?tick_every:int ->
     ?checkpoint:string ->
@@ -152,6 +175,9 @@ module Config : sig
   val with_jobs : int -> t -> t
   (** Raises [Failure] unless [1 <= jobs <= max_jobs]. *)
 
+  val with_chunk : int -> t -> t
+  (** Raises [Failure] unless [1 <= chunk <= max_chunk]. *)
+
   val with_span_every : int -> t -> t
   val with_tick_every : int -> t -> t
 
@@ -174,11 +200,16 @@ end
 
 val run :
   Config.t ->
-  Estimator.t ->
+  Eval.t ->
   space:Space.t ->
   generate:(Space.point -> Dhdl_ir.Ir.design) ->
   result
-(** [run config est ~space ~generate] — the single sweep entry point.
+(** [run config ev ~space ~generate] — the single sweep entry point.
+    Each point goes through {!Eval.evaluate} on [ev], so designs already
+    proven or estimated — by an earlier sweep, a resumed session, or a
+    concurrent server request sharing the same [Eval.t] — skip those
+    stages via the design-key caches ([cache_hits]/[cache_misses] in the
+    result account for both).
     When [config.lint] is [true] (the default), each generated design runs
     through {!Dhdl_lint.Lint.check} against the estimator's device and
     points with error-level diagnostics are pruned before estimation.
@@ -192,14 +223,17 @@ val run :
     run (no validator, no heuristics).
 
     {b Parallel sweeps.} With [config.jobs = n > 1], [n] worker domains
-    pull point indices from a shared cursor and run the per-point pipeline
-    concurrently; a collector (the calling domain) merges their outcomes
-    back in sampling-index order through a reorder buffer. Because
-    sampling is seeded, fault sites are keyed per point index
-    ({!Dhdl_util.Faults.with_key}) and the pipeline shares no mutable
-    per-sweep state, the parallel result — evaluations, failures, Pareto
-    set, counters — and its checkpoint file are {e bit-identical} to the
-    sequential run's; only [elapsed_seconds]/[cpu_seconds] differ. The
+    claim contiguous runs of [config.chunk] point indices from a shared
+    atomic cursor, evaluate each chunk into a buffer only they own, and
+    send the collector (the calling domain) one message per chunk; the
+    collector merges whole chunks back in sampling-index order through a
+    chunk-granular reorder buffer. Because sampling is seeded, fault
+    sites are keyed per point index ({!Dhdl_util.Faults.with_key}) and
+    the pipeline shares no mutable per-sweep state (the {!Eval} caches
+    memoize pure functions of the design key), the parallel result —
+    evaluations, failures, Pareto set, counters — and its checkpoint file
+    are {e bit-identical} to the sequential run's at any chunk size and
+    cache temperature; only [elapsed_seconds]/[cpu_seconds] differ. The
     estimator and generator must not hide process-global mutable state for
     this to hold (every in-tree app and the estimator satisfy this).
     Worker telemetry lands in per-domain scratch buffers
@@ -238,7 +272,8 @@ val run :
     When the {!Dhdl_obs.Obs} sink is enabled the sweep records counters
     ([dse.points_sampled] / [dse.lint_pruned] / [dse.absint_pruned] /
     [dse.dep_pruned] / [dse.estimated] /
-    [dse.unfit] / [dse.failed.generator] / [dse.failed.lint] /
+    [dse.unfit] / [dse.cache.hit] / [dse.cache.miss] / [dse.cache.evict]
+    / [dse.failed.generator] / [dse.failed.lint] /
     [dse.failed.estimator] / [dse.failed.non_finite] — all pre-registered
     at zero — plus [dse.resumed] on resume), a [dse.ms_per_design]
     histogram over estimator calls, a per-point [dse.point] span for every
@@ -248,7 +283,7 @@ val run :
 
     {b Profiling.} With [config.profile = true] the sweep additionally
     attributes every worker-second to
-    {generate, analyze, estimate, send-block, idle} and every
+    {generate, cache-probe, analyze, estimate, send-block, idle} and every
     collector-second to {recv-block, reorder-stall, write, merge},
     returning the breakdown in [result.attribution] (see {!Profile}).
     Attribution accumulators are owned by exactly one domain each, so

@@ -5,6 +5,7 @@ type worker = {
   w_points : int;
   w_wall_s : float;
   w_generate_s : float;
+  w_probe_s : float;
   w_analyze_s : float;
   w_estimate_s : float;
   w_send_block_s : float;
@@ -30,14 +31,16 @@ type t = {
 
 let worker_seconds t = List.fold_left (fun acc w -> acc +. w.w_wall_s) 0.0 t.workers
 
-(* Fractions are taken over the sum of the five accounted categories (not
+(* Fractions are taken over the sum of the six accounted categories (not
    raw wall) so that work + contention + stall = 1 exactly even when clock
    granularity makes the categories sum to slightly more or less than the
-   measured wall time. *)
+   measured wall time. Cache probes count as work: they replace the
+   analysis/estimation they memoize. *)
 let accounted t =
   List.fold_left
     (fun acc w ->
-      acc +. w.w_generate_s +. w.w_analyze_s +. w.w_estimate_s +. w.w_send_block_s +. w.w_idle_s)
+      acc +. w.w_generate_s +. w.w_probe_s +. w.w_analyze_s +. w.w_estimate_s +. w.w_send_block_s
+      +. w.w_idle_s)
     0.0 t.workers
 
 let frac t part = if accounted t > 0.0 then part /. accounted t else 0.0
@@ -45,7 +48,7 @@ let frac t part = if accounted t > 0.0 then part /. accounted t else 0.0
 let work_fraction t =
   frac t
     (List.fold_left
-       (fun acc w -> acc +. w.w_generate_s +. w.w_analyze_s +. w.w_estimate_s)
+       (fun acc w -> acc +. w.w_generate_s +. w.w_probe_s +. w.w_analyze_s +. w.w_estimate_s)
        0.0 t.workers)
 
 let contention_fraction t =
@@ -86,14 +89,15 @@ let render t =
   Buffer.add_string buf
     (Texttable.render
        ~header:
-         [ "worker"; "points"; "wall s"; "generate s"; "lint/absint s"; "estimate s";
-           "send-block s"; "idle s" ]
+         [ "worker"; "points"; "wall s"; "generate s"; "cache-probe s"; "lint/absint s";
+           "estimate s"; "send-block s"; "idle s" ]
        (List.map
           (fun w ->
             [ Printf.sprintf "w%d" w.w_domain; string_of_int w.w_points;
               Printf.sprintf "%.4f" w.w_wall_s; Printf.sprintf "%.4f" w.w_generate_s;
-              Printf.sprintf "%.4f" w.w_analyze_s; Printf.sprintf "%.4f" w.w_estimate_s;
-              Printf.sprintf "%.4f" w.w_send_block_s; Printf.sprintf "%.4f" w.w_idle_s ])
+              Printf.sprintf "%.4f" w.w_probe_s; Printf.sprintf "%.4f" w.w_analyze_s;
+              Printf.sprintf "%.4f" w.w_estimate_s; Printf.sprintf "%.4f" w.w_send_block_s;
+              Printf.sprintf "%.4f" w.w_idle_s ])
           t.workers));
   let c = t.collector in
   Buffer.add_string buf
@@ -109,9 +113,9 @@ let render t =
 
 let worker_json w =
   Printf.sprintf
-    "{\"domain\":%d,\"points\":%d,\"wall_s\":%.6f,\"generate_s\":%.6f,\"analyze_s\":%.6f,\"estimate_s\":%.6f,\"send_block_s\":%.6f,\"idle_s\":%.6f}"
-    w.w_domain w.w_points w.w_wall_s w.w_generate_s w.w_analyze_s w.w_estimate_s w.w_send_block_s
-    w.w_idle_s
+    "{\"domain\":%d,\"points\":%d,\"wall_s\":%.6f,\"generate_s\":%.6f,\"probe_s\":%.6f,\"analyze_s\":%.6f,\"estimate_s\":%.6f,\"send_block_s\":%.6f,\"idle_s\":%.6f}"
+    w.w_domain w.w_points w.w_wall_s w.w_generate_s w.w_probe_s w.w_analyze_s w.w_estimate_s
+    w.w_send_block_s w.w_idle_s
 
 let to_json t =
   let c = t.collector in

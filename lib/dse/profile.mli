@@ -4,8 +4,9 @@
     The taxonomy (see DESIGN.md):
     {ul
     {- worker time splits into [generate] (design elaboration),
-       [analyze] (lint + abstract interpretation), [estimate] (the
-       area/cycle/NN estimator), [send-block] (blocked acquiring the
+       [cache-probe] (deriving design keys and probing/filling the
+       {!Eval} caches), [analyze] (lint + abstract interpretation),
+       [estimate] (the area/cycle/NN estimator), [send-block] (blocked acquiring the
        collector-channel mutex — {e contention}), and [idle] (the residual:
        cursor claims, fault-key bookkeeping, loop overhead — {e stall});}
     {- collector time splits into [recv-block] (blocked waiting for worker
@@ -25,13 +26,17 @@
 
 type worker = {
   w_domain : int;  (** Worker index, 0-based ([jobs = 1] has exactly one). *)
-  w_points : int;  (** Cursor claims: points this worker computed. *)
+  w_points : int;  (** Points this worker computed (over chunked claims). *)
   w_wall_s : float;  (** The worker's own wall-clock span. *)
   w_generate_s : float;
-  w_analyze_s : float;  (** Lint + absint + dependence checking. *)
+  w_probe_s : float;
+      (** Design-key derivation + {!Eval} cache probes and fills — kept
+          apart from [w_analyze_s] so memoization overhead never
+          masquerades as analysis work. *)
+  w_analyze_s : float;  (** Lint + absint + dependence checking (misses only). *)
   w_estimate_s : float;
   w_send_block_s : float;  (** Blocked sending to the collector channel. *)
-  w_idle_s : float;  (** Residual: [wall - (the four above)], clamped at 0. *)
+  w_idle_s : float;  (** Residual: [wall - (the five above)], clamped at 0. *)
 }
 
 type collector = {
@@ -58,7 +63,7 @@ val worker_seconds : t -> float
 
 val work_fraction : t -> float
 (** Share of accounted worker time doing real work
-    (generate + analyze + estimate). *)
+    (generate + cache-probe + analyze + estimate). *)
 
 val contention_fraction : t -> float
 (** Share of accounted worker time blocked on shared resources

@@ -1,6 +1,7 @@
 type verb =
   | Ping
   | Estimate
+  | Estimate_batch
   | Lint
   | Analyze
   | Dse_start
@@ -11,6 +12,7 @@ type verb =
 let verb_name = function
   | Ping -> "ping"
   | Estimate -> "estimate"
+  | Estimate_batch -> "estimate_batch"
   | Lint -> "lint"
   | Analyze -> "analyze"
   | Dse_start -> "dse_start"
@@ -19,7 +21,7 @@ let verb_name = function
   | Shutdown -> "shutdown"
 
 let all_verbs =
-  [ Ping; Estimate; Lint; Analyze; Dse_start; Dse_status; Dse_cancel; Shutdown ]
+  [ Ping; Estimate; Estimate_batch; Lint; Analyze; Dse_start; Dse_status; Dse_cancel; Shutdown ]
 
 let verb_of_name name = List.find_opt (fun v -> verb_name v = name) all_verbs
 
@@ -32,9 +34,10 @@ type request = {
   q_session : string option;
   q_seed : int option;
   q_max_points : int option;
+  q_specs : (string * (string * int) list) list;
 }
 
-let request ?deadline_ms ?app ?(params = []) ?session ?seed ?max_points ~id verb =
+let request ?deadline_ms ?app ?(params = []) ?session ?seed ?max_points ?(specs = []) ~id verb =
   {
     q_id = id;
     q_verb = verb;
@@ -44,6 +47,7 @@ let request ?deadline_ms ?app ?(params = []) ?session ?seed ?max_points ~id verb
     q_session = session;
     q_seed = seed;
     q_max_points = max_points;
+    q_specs = specs;
   }
 
 let parse_request line =
@@ -64,22 +68,47 @@ let parse_request line =
         | Some verb ->
           let int_field name = Option.bind (Json.member name j) Json.to_int in
           let str_field name = Option.bind (Json.member name j) Json.to_string in
-          let params =
-            match Json.member "params" j with
-            | None -> Ok []
-            | Some p ->
-              List.fold_left
-                (fun acc (k, v) ->
-                  match (acc, Json.to_int v) with
-                  | Error e, _ -> Error e
-                  | Ok _, None -> Error (Printf.sprintf "parameter %S is not an integer" k)
-                  | Ok acc, Some n -> Ok ((k, n) :: acc))
-                (Ok []) (Json.obj_or_empty p)
-              |> Result.map List.rev
+          let params_of p =
+            List.fold_left
+              (fun acc (k, v) ->
+                match (acc, Json.to_int v) with
+                | Error e, _ -> Error e
+                | Ok _, None -> Error (Printf.sprintf "parameter %S is not an integer" k)
+                | Ok acc, Some n -> Ok ((k, n) :: acc))
+              (Ok []) (Json.obj_or_empty p)
+            |> Result.map List.rev
           in
-          (match params with
-          | Error e -> Error e
-          | Ok q_params ->
+          let params =
+            match Json.member "params" j with None -> Ok [] | Some p -> params_of p
+          in
+          let specs =
+            match Json.member "specs" j with
+            | None -> Ok []
+            | Some p -> (
+              match Json.to_list p with
+              | None -> Error "\"specs\" must be a list"
+              | Some items ->
+                List.fold_left
+                  (fun acc item ->
+                    match acc with
+                    | Error e -> Error e
+                    | Ok acc -> (
+                      match Json.(member "app" item |> Fun.flip Option.bind to_string) with
+                      | None -> Error "every spec needs a string field \"app\""
+                      | Some app -> (
+                        match
+                          match Json.member "params" item with
+                          | None -> Ok []
+                          | Some sp -> params_of sp
+                        with
+                        | Error e -> Error e
+                        | Ok sp -> Ok ((app, sp) :: acc))))
+                  (Ok []) items
+                |> Result.map List.rev)
+          in
+          (match (params, specs) with
+          | Error e, _ | _, Error e -> Error e
+          | Ok q_params, Ok q_specs ->
             (match int_field "deadline_ms" with
             | Some d when d < 0 -> Error "deadline_ms must be >= 0"
             | deadline ->
@@ -93,6 +122,7 @@ let parse_request line =
                   q_session = str_field "session";
                   q_seed = int_field "seed";
                   q_max_points = int_field "max_points";
+                  q_specs;
                 })))))
 
 let render_request r =
@@ -110,6 +140,23 @@ let render_request r =
             opt "session" (fun s -> Json.Str s) r.q_session;
             opt "seed" (fun n -> Json.Int n) r.q_seed;
             opt "max_points" (fun n -> Json.Int n) r.q_max_points;
+            (if r.q_specs = [] then None
+             else
+               Some
+                 ( "specs",
+                   Json.List
+                     (List.map
+                        (fun (app, params) ->
+                          Json.Obj
+                            (("app", Json.Str app)
+                            ::
+                            (if params = [] then []
+                             else
+                               [
+                                 ( "params",
+                                   Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) params) );
+                               ])))
+                        r.q_specs) ));
           ]))
 
 (* ---------------- replies ------------------------------------------ *)

@@ -11,6 +11,9 @@
      "app":"dotproduct","params":{"tileSize":1200,"par":4}}
     {"id":"r2","verb":"dse_start","app":"dotproduct","session":"s1",
      "seed":2016,"max_points":500}
+    {"id":"r4","verb":"estimate_batch","deadline_ms":5000,
+     "specs":[{"app":"dotproduct","params":{"tileSize":1200}},
+              {"app":"gemm"}]}
     {"id":"r3","verb":"dse_status","session":"s1"}
     v}
 
@@ -26,6 +29,9 @@
 type verb =
   | Ping  (** Liveness probe; replies [{"pong":true}]. *)
   | Estimate
+  | Estimate_batch
+      (** N estimate specs in one request under one deadline; the reply
+          carries one typed entry per spec, in order (see [q_specs]). *)
   | Lint
   | Analyze
   | Dse_start
@@ -47,6 +53,12 @@ type request = {
   q_session : string option;  (** Session id (dse_* verbs). *)
   q_seed : int option;  (** Sweep seed (dse_start; default 2016). *)
   q_max_points : int option;  (** Sweep budget (dse_start). *)
+  q_specs : (string * (string * int) list) list;
+      (** [estimate_batch] items, in reply order: [(app, params)] pairs
+          carried as [{"specs":[{"app":"...","params":{...}},...]}]. The
+          whole batch shares the request's single [deadline_ms]; items
+          reached after expiry answer per-item [deadline_exceeded]
+          entries inside the (successful) batch reply. *)
 }
 
 val request :
@@ -56,6 +68,7 @@ val request :
   ?session:string ->
   ?seed:int ->
   ?max_points:int ->
+  ?specs:(string * (string * int) list) list ->
   id:string ->
   verb ->
   request

@@ -4,6 +4,7 @@ module Registry = Dhdl_apps.Registry
 module Estimator = Dhdl_model.Estimator
 module Target = Dhdl_device.Target
 module Explore = Dhdl_dse.Explore
+module Eval = Dhdl_dse.Eval
 module Checkpoint = Dhdl_dse.Checkpoint
 module Lint = Dhdl_lint.Lint
 module Absint = Dhdl_absint.Absint
@@ -55,6 +56,13 @@ type sweep = {
 
 type t = {
   cfg : config;
+  (* The one evaluation pipeline every handler shares: estimate and
+     estimate_batch replies, and every sweep the supervisor starts, go
+     through this [Eval.t], so its design-key caches are cross-request —
+     a design estimated for one client answers the next client (or the
+     next sweep) from the cache. Forced lazily like the estimator it
+     wraps, and from the worker domain only. *)
+  eval : Eval.t Lazy.t;
   q : item Queue.t;
   q_mutex : Mutex.t;
   q_nonempty : Condition.t;
@@ -70,6 +78,7 @@ type t = {
 let create cfg =
   {
     cfg;
+    eval = lazy (Eval.create (Lazy.force cfg.estimator));
     q = Queue.create ();
     q_mutex = Mutex.create ();
     q_nonempty = Condition.create ();
@@ -150,11 +159,16 @@ let area_json (a : Estimator.area) =
       ("brams", Json.Int a.Estimator.brams);
     ]
 
-let estimate_reply t req ~depth =
-  let id = req.P.q_id in
-  let est = Lazy.force t.cfg.estimator in
-  let app = need_app req in
-  let params, design = design_of app req.P.q_params in
+(* One estimate item's payload, shared by the estimate verb and every
+   estimate_batch entry. The corrected path goes through the shared
+   [Eval.t], so repeated specs — within one batch, across requests, or
+   against designs a sweep already visited — answer from the estimate
+   cache. The degraded path stays on the raw analytical model: it is the
+   cheap fallback for an overloaded or NN-suspect server, and must not
+   depend on what happens to be cached. *)
+let estimate_payload t ev ~depth (app : App.t) req_params =
+  let est = Eval.estimator ev in
+  let params, design = design_of app req_params in
   let degraded = depth >= t.cfg.degrade_depth || nn_fallback_tripped t in
   let area, cycles, seconds =
     if degraded then begin
@@ -167,23 +181,75 @@ let estimate_reply t req ~depth =
       (area, cycles, cycles /. (mhz *. 1e6))
     end
     else
-      let e = Estimator.estimate est design in
+      let e = Eval.estimate ev design in
       (e.Estimator.area, e.Estimator.cycles, e.Estimator.seconds)
   in
   let alm, dsp, bram = Estimator.utilization est area in
+  Json.Obj
+    [
+      ("app", Json.Str app.App.name);
+      ("params", params_json params);
+      ("degraded", Json.Bool degraded);
+      ("cycles", Json.Float cycles);
+      ("seconds", Json.Float seconds);
+      ("area", area_json area);
+      ("alm_pct", Json.Float alm);
+      ("dsp_pct", Json.Float dsp);
+      ("bram_pct", Json.Float bram);
+      ("fits", Json.Bool (Estimator.fits est area));
+    ]
+
+let estimate_reply t req ~depth =
+  let id = req.P.q_id in
+  let ev = Lazy.force t.eval in
+  let app = need_app req in
+  P.ok ~id (estimate_payload t ev ~depth app req.P.q_params)
+
+(* The whole batch runs under the request's one deadline, checked before
+   each item: items reached in time estimate (through the shared cache),
+   later ones answer per-item [deadline_exceeded] — the batch reply
+   itself still succeeds, carrying one typed entry per spec in request
+   order. A bad spec (unknown benchmark, bad parameters) poisons only its
+   own entry. *)
+let estimate_batch_reply t p ~depth =
+  let req = p.p_req in
+  let id = req.P.q_id in
+  if req.P.q_specs = [] then
+    failwith "verb \"estimate_batch\" requires a non-empty \"specs\" list";
+  let ev = Lazy.force t.eval in
+  let item_error code msg =
+    Json.Obj
+      [
+        ( "error",
+          Json.Obj
+            [ ("code", Json.Str (P.error_code_name code)); ("message", Json.Str msg) ] );
+      ]
+  in
+  let failed = ref 0 in
+  let items =
+    List.map
+      (fun (app_name, params) ->
+        if expired p then begin
+          incr failed;
+          item_error P.Deadline_exceeded "batch deadline expired before this item"
+        end
+        else
+          match
+            try Ok (estimate_payload t ev ~depth (lookup_app app_name) params)
+            with Failure msg -> Error msg
+          with
+          | Ok payload -> Json.Obj [ ("ok", payload) ]
+          | Error msg ->
+            incr failed;
+            item_error P.Bad_request msg)
+      req.P.q_specs
+  in
   P.ok ~id
     (Json.Obj
        [
-         ("app", Json.Str app.App.name);
-         ("params", params_json params);
-         ("degraded", Json.Bool degraded);
-         ("cycles", Json.Float cycles);
-         ("seconds", Json.Float seconds);
-         ("area", area_json area);
-         ("alm_pct", Json.Float alm);
-         ("dsp_pct", Json.Float dsp);
-         ("bram_pct", Json.Float bram);
-         ("fits", Json.Bool (Estimator.fits est area));
+         ("count", Json.Int (List.length items));
+         ("failed", Json.Int !failed);
+         ("items", Json.List items);
        ])
 
 let lint_reply req =
@@ -234,7 +300,7 @@ let summary_json (r : Explore.result) =
         | None -> Json.Null );
     ]
 
-let run_sweep cfg ~sid ~(spec : Session.spec) ~(app : App.t) ~est ?deadline_seconds ~stop () =
+let run_sweep cfg ~sid ~(spec : Session.spec) ~(app : App.t) ~ev ?deadline_seconds ~stop () =
   let root = cfg.sessions_root in
   try
     let sweep_cfg =
@@ -247,7 +313,7 @@ let run_sweep cfg ~sid ~(spec : Session.spec) ~(app : App.t) ~est ?deadline_seco
     in
     let sizes = app.App.paper_sizes in
     let r =
-      Explore.run sweep_cfg est
+      Explore.run sweep_cfg ev
         ~space:(app.App.space sizes)
         ~generate:(fun pt -> app.App.generate ~sizes ~params:pt)
     in
@@ -356,8 +422,10 @@ let dse_start t p =
         match st with Session.Interrupted (_, n, _) -> n | _ -> 0
       in
       (* Force outside the sweep domain: Lazy.t is not safe to force from
-         two domains, and the worker is the only other forcer. *)
-      let est = Lazy.force t.cfg.estimator in
+         two domains, and the worker is the only other forcer. The sweep
+         shares the supervisor's [Eval.t], so designs this server already
+         proved or estimated (for any client) skip those stages. *)
+      let ev = Lazy.force t.eval in
       let stop = Atomic.make false in
       let sw = { sw_stop = stop; sw_finished = Atomic.make false; sw_domain = None } in
       locked t.lock (fun () -> Hashtbl.replace t.sweeps sid sw);
@@ -368,7 +436,7 @@ let dse_start t p =
         Domain.spawn (fun () ->
             Fun.protect
               ~finally:(fun () -> Atomic.set finished true)
-              (fun () -> run_sweep cfg ~sid ~spec ~app ~est ?deadline_seconds ~stop ()))
+              (fun () -> run_sweep cfg ~sid ~spec ~app ~ev ?deadline_seconds ~stop ()))
       in
       sw.sw_domain <- Some dom;
       Obs.count "serve.sweeps_started";
@@ -422,6 +490,7 @@ let exec t p ~depth =
       Atomic.set t.drain_flag true;
       P.ok ~id (Json.Obj [ ("draining", Json.Bool true) ])
     | P.Estimate -> estimate_reply t req ~depth
+    | P.Estimate_batch -> estimate_batch_reply t p ~depth
     | P.Lint -> lint_reply req
     | P.Analyze -> analyze_reply req
     | P.Dse_start -> dse_start t p

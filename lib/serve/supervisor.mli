@@ -36,7 +36,14 @@
 
     Expected handler errors ([Failure] from bad arguments, unknown
     benchmarks, missing fields) are [bad_request] replies, not crashes —
-    only escaping exceptions count toward quarantine. *)
+    only escaping exceptions count toward quarantine.
+
+    Every estimate — the [estimate] verb, each [estimate_batch] item, and
+    every point of every sweep the supervisor starts — goes through one
+    shared {!Dhdl_dse.Eval.t} wrapping [config.estimator], so its
+    design-key caches are {e cross-request}: a design proved or estimated
+    for one client answers the next client (or the next sweep) from the
+    cache. Degraded estimates bypass it by design. *)
 
 type config = {
   sessions_root : string;  (** Directory holding {!Session} state. *)

@@ -22,6 +22,7 @@ module App = Dhdl_apps.App
 module Registry = Dhdl_apps.Registry
 module Space = Dhdl_dse.Space
 module Explore = Dhdl_dse.Explore
+module Eval = Dhdl_dse.Eval
 module Estimator = Dhdl_model.Estimator
 
 let check_int = Alcotest.(check int)
@@ -456,7 +457,8 @@ let absint_generate p =
     ()
 
 let run_absint_sweep config =
-  Explore.run config (Lazy.force estimator) ~space:absint_space ~generate:absint_generate
+  Explore.run config (Eval.create (Lazy.force estimator)) ~space:absint_space
+    ~generate:absint_generate
 
 let test_explore_absint_pruning () =
   let base = Explore.Config.(default |> with_seed 1 |> with_max_points 10) in

@@ -8,7 +8,7 @@ module Estimator = Dhdl_model.Estimator
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let estimator = lazy (Estimator.create ~seed:55 ~train_samples:80 ~epochs:150 ())
+let estimator = lazy (Dhdl_dse.Eval.create (Estimator.create ~seed:55 ~train_samples:80 ~epochs:150 ()))
 
 let contains ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in

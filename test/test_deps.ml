@@ -22,6 +22,7 @@ module App = Dhdl_apps.App
 module Registry = Dhdl_apps.Registry
 module Space = Dhdl_dse.Space
 module Explore = Dhdl_dse.Explore
+module Eval = Dhdl_dse.Eval
 module Outcome = Dhdl_dse.Outcome
 module Checkpoint = Dhdl_dse.Checkpoint
 
@@ -314,7 +315,8 @@ let dep_space = Space.make ~name:"dep-toy" ~dims:[ ("par", [ 1; 4 ]) ] ()
 let dep_generate p = shift_design ~par:(App.get p "par" 1) ()
 
 let run_dep_sweep config =
-  Explore.run config (Lazy.force estimator) ~space:dep_space ~generate:dep_generate
+  Explore.run config (Eval.create (Lazy.force estimator)) ~space:dep_space
+    ~generate:dep_generate
 
 let test_explore_dep_pruning () =
   let base = Explore.Config.(default |> with_seed 1 |> with_max_points 10) in

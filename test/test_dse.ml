@@ -3,6 +3,7 @@
 
 module Space = Dhdl_dse.Space
 module Explore = Dhdl_dse.Explore
+module Eval = Dhdl_dse.Eval
 module Estimator = Dhdl_model.Estimator
 module Pareto = Dhdl_util.Pareto
 module App = Dhdl_apps.App
@@ -75,7 +76,7 @@ let run_explore () =
   let sizes = [ ("n", 65_536) ] in
   Explore.run
     Explore.Config.(default |> with_seed 11 |> with_max_points 120)
-    (Lazy.force estimator)
+    (Eval.create (Lazy.force estimator))
     ~space:(app.App.space sizes)
     ~generate:(fun p -> app.App.generate ~sizes ~params:p)
 

@@ -1,0 +1,405 @@
+(* The keyed Eval API: canonical design keys, the memoizing pipeline's
+   extensional equality with a direct (cache-free) pipeline, byte-identical
+   checkpoints across {jobs} x {cache temperature} x {profile}, warm-cache
+   resume, deterministic eviction, fault-injection cache bypass, and a
+   grep-level pin that no caller outside Eval still wires
+   Estimator.estimate into a pipeline by hand.
+
+   Runs under both `dune runtest` and the focused `dune build @eval`. *)
+
+module Estimator = Dhdl_model.Estimator
+module Design_key = Dhdl_model.Design_key
+module Explore = Dhdl_dse.Explore
+module Eval = Dhdl_dse.Eval
+module Outcome = Dhdl_dse.Outcome
+module Space = Dhdl_dse.Space
+module Checkpoint = Dhdl_dse.Checkpoint
+module Lint = Dhdl_lint.Lint
+module Diag = Dhdl_ir.Diag
+module Faults = Dhdl_util.Faults
+module App = Dhdl_apps.App
+module Obs = Dhdl_obs.Obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let estimator = lazy (Estimator.create ~seed:7 ~train_samples:60 ~epochs:100 ())
+
+let app = lazy (Dhdl_apps.Registry.find "dotproduct")
+let sizes = [ ("n", 65_536) ]
+let space () = (Lazy.force app).App.space sizes
+let generate p = (Lazy.force app).App.generate ~sizes ~params:p
+let points n = Space.sample (space ()) ~seed:11 ~max_points:n
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("dhdl_eval_" ^ name)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_faults f = Fun.protect ~finally:Faults.reset f
+
+let mixed_faults () =
+  Faults.configure ~seed:5 ~p:0.0 ();
+  List.iter (fun s -> Faults.set_site s 0.05) [ "dse.generator"; "dse.lint"; "dse.estimator" ]
+
+(* ------------------------------------------------------------------ *)
+(* Design keys                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_key_laws () =
+  let pts = points 40 in
+  (* Regenerating the same point gives the same design, hence equal keys. *)
+  List.iter
+    (fun p ->
+      let k1 = Design_key.of_design (generate p) in
+      let k2 = Design_key.of_design (generate p) in
+      check_bool "equal designs have equal keys" true (Design_key.equal k1 k2))
+    pts;
+  (* Numeric parameters (tile sizes, par factors) are bindings, not
+     structure: varying them must keep the skeleton and move the binding.
+     MetaPipe toggles, by contrast, change the control hierarchy and so
+     may change the skeleton — that is structural by design. *)
+  let base = (Lazy.force app).App.default_params sizes in
+  let key_with k v =
+    Design_key.of_design (generate (List.map (fun (n, x) -> if n = k then (n, v) else (n, x)) base))
+  in
+  let k0 = Design_key.of_design (generate base) in
+  List.iter
+    (fun (name, v) ->
+      let k = key_with name v in
+      check_str
+        (Printf.sprintf "%s=%d is a binding, not structure" name v)
+        (Design_key.skeleton k0) (Design_key.skeleton k);
+      check_bool
+        (Printf.sprintf "%s=%d moves the binding" name v)
+        false
+        (String.equal (Design_key.binding k0) (Design_key.binding k)))
+    [ ("tile", 128); ("par", 4) ];
+  let keyed = List.map (fun p -> (p, Design_key.of_design (generate p))) pts in
+  List.iteri
+    (fun i (pi, ki) ->
+      List.iteri
+        (fun j (pj, kj) ->
+          if i < j && pi <> pj then
+            check_bool "distinct points have distinct keys" false (Design_key.equal ki kj))
+        keyed)
+    keyed
+
+let test_key_separates_outcomes () =
+  (* The law the caches rely on: designs with different estimates must
+     have different keys (key equality => outcome equality). *)
+  let est = Lazy.force estimator in
+  let pts = points 25 in
+  let rows =
+    List.map
+      (fun p ->
+        let d = generate p in
+        (Design_key.to_string (Design_key.of_design d), Estimator.estimate est d))
+      pts
+  in
+  List.iteri
+    (fun i (ki, ei) ->
+      List.iteri
+        (fun j (kj, ej) -> if i < j && ei <> ej then
+            check_bool "different estimate, different key" false (String.equal ki kj))
+        rows)
+    rows
+
+let test_key_sees_structure () =
+  (* Apps with different dataflow must never collide on skeleton. *)
+  let sk name app_sizes =
+    let a = Dhdl_apps.Registry.find name in
+    let d = a.App.generate ~sizes:app_sizes ~params:(a.App.default_params app_sizes) in
+    Design_key.skeleton (Design_key.of_design d)
+  in
+  let s1 = sk "dotproduct" sizes in
+  let s2 = sk "gda" (Dhdl_apps.Registry.find "gda").App.paper_sizes in
+  check_bool "different apps, different skeletons" false (String.equal s1 s2)
+
+(* ------------------------------------------------------------------ *)
+(* Extensional equality: cached pipeline = direct pipeline             *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-Eval inline pipeline, reconstructed: lint + absint verdict by
+   diagnostic class, then estimate + fit + utilization. Any divergence
+   from [Eval.evaluate] is an API-migration bug. *)
+let direct_pipeline est ~index:_ point =
+  match generate point with
+  | exception _ -> Alcotest.fail "generator raised on a legal point"
+  | design ->
+    let diags = Lint.check ~dev:(Estimator.device est) design in
+    let proof, heuristic =
+      List.partition (fun g -> List.mem g.Diag.code Lint.proof_codes) (Lint.errors diags)
+    in
+    if heuristic <> [] then Outcome.Pruned
+    else if proof <> [] then
+      if List.for_all (fun g -> g.Diag.code = "L013") proof then Outcome.Dep_pruned
+      else Outcome.Absint_pruned
+    else
+      let e = Estimator.estimate est design in
+      let alm, dsp, bram = Estimator.utilization est e.Estimator.area in
+      Outcome.Evaluated
+        {
+          Outcome.point;
+          estimate = e;
+          valid = Estimator.fits est e.Estimator.area;
+          alm_pct = alm;
+          dsp_pct = dsp;
+          bram_pct = bram;
+        }
+
+let eval_all ev pts =
+  List.mapi (fun i p -> Eval.evaluate ev ~lint:true ~absint:true ~index:i ~generate p) pts
+
+let test_extensional_equality () =
+  let est = Lazy.force estimator in
+  let pts = points 30 in
+  let direct = List.mapi (fun i p -> direct_pipeline est ~index:i p) pts in
+  let cached_ev = Eval.create est in
+  let cold = eval_all cached_ev pts in
+  let warm = eval_all cached_ev pts in
+  let off = eval_all (Eval.create ~analysis_cap:0 ~estimate_cap:0 est) pts in
+  check_bool "cold cache = direct pipeline" true (cold = direct);
+  check_bool "warm cache = direct pipeline" true (warm = direct);
+  check_bool "cache disabled = direct pipeline" true (off = direct);
+  let s = Eval.stats cached_ev in
+  check_bool "warm pass hit the caches" true (s.Eval.hits > 0)
+
+let test_warm_pass_is_all_hits () =
+  let ev = Eval.create (Lazy.force estimator) in
+  let pts = points 20 in
+  ignore (eval_all ev pts);
+  let s1 = Eval.stats ev in
+  ignore (eval_all ev pts);
+  let s2 = Eval.stats ev in
+  check_int "no new misses when warm" s1.Eval.misses s2.Eval.misses;
+  check_bool "every warm probe hit" true (s2.Eval.hits > s1.Eval.hits)
+
+let test_eviction_is_deterministic () =
+  let pts = points 25 in
+  let run () = eval_all (Eval.create ~analysis_cap:0 ~estimate_cap:3 (Lazy.force estimator)) pts in
+  let r1 = run () and r2 = run () in
+  check_bool "tiny cache, identical outcomes" true (r1 = r2);
+  let ev = Eval.create ~analysis_cap:0 ~estimate_cap:3 (Lazy.force estimator) in
+  ignore (eval_all ev pts);
+  check_bool "capacity 3 under 25 designs evicts" true ((Eval.stats ev).Eval.evictions > 0)
+
+let test_faults_bypass_cache () =
+  (* Armed fault sites must bypass the caches outright: the estimator's
+     own nn_correction site fires under the ambient per-point key, so a
+     memoized estimate would replay another point's fault decision. *)
+  with_faults @@ fun () ->
+  mixed_faults ();
+  let ev = Eval.create (Lazy.force estimator) in
+  ignore (eval_all ev (points 20));
+  ignore (eval_all ev (points 20));
+  let s = Eval.stats ev in
+  check_int "no hits under faults" 0 s.Eval.hits;
+  check_int "no misses under faults" 0 s.Eval.misses
+
+(* ------------------------------------------------------------------ *)
+(* Sweep-level identity across jobs x cache x profile                  *)
+(* ------------------------------------------------------------------ *)
+
+let sweep ?(jobs = 1) ?(chunk = 16) ?(profile = false) ?checkpoint ?(resume = false) ev =
+  let cfg =
+    Explore.Config.make ~seed:11 ~max_points:60 ~jobs ~chunk ~profile ?checkpoint ~resume
+      ~checkpoint_every:4 ~tick_every:0 ()
+  in
+  Explore.run cfg ev ~space:(space ()) ~generate
+
+let strip (r : Explore.result) =
+  (r.Explore.evaluations, r.Explore.pareto, r.Explore.failures, r.Explore.sampled,
+   r.Explore.lint_pruned, r.Explore.absint_pruned, r.Explore.dep_pruned)
+
+let test_checkpoint_identity_matrix () =
+  let est = Lazy.force estimator in
+  let warm_ev = Eval.create est in
+  ignore (sweep warm_ev);
+  let golden = tmp "matrix_golden.jsonl" in
+  let reference = sweep ~checkpoint:golden (Eval.create est) in
+  let golden_bytes = read_file golden in
+  let cell ~jobs ~profile temperature =
+    let ev =
+      match temperature with
+      | `Cold -> Eval.create est
+      | `Off -> Eval.create ~analysis_cap:0 ~estimate_cap:0 est
+      | `Warm -> warm_ev
+    in
+    let cp = tmp (Printf.sprintf "matrix_j%d_p%b_%s.jsonl" jobs profile
+                    (match temperature with `Cold -> "cold" | `Off -> "off" | `Warm -> "warm"))
+    in
+    let r = sweep ~jobs ~profile ~checkpoint:cp ev in
+    check_bool
+      (Printf.sprintf "results identical (jobs=%d profile=%b)" jobs profile)
+      true
+      (strip r = strip reference);
+    check_str
+      (Printf.sprintf "checkpoint bytes identical (jobs=%d profile=%b)" jobs profile)
+      golden_bytes (read_file cp);
+    Sys.remove cp
+  in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun profile -> List.iter (cell ~jobs ~profile) [ `Cold; `Off; `Warm ])
+        [ false; true ])
+    [ 1; 4 ];
+  Sys.remove golden
+
+let test_chunked_parallel_under_faults () =
+  (* The chunked engine must keep the bit-identity contract with 5%
+     injected faults at every pipeline stage, at extreme chunk sizes. *)
+  with_faults @@ fun () ->
+  let est = Lazy.force estimator in
+  mixed_faults ();
+  let p1 = tmp "faults_seq.jsonl" in
+  let seq = sweep ~checkpoint:p1 (Eval.create est) in
+  check_bool "faults actually fired" true (Explore.failed_count seq > 0);
+  List.iter
+    (fun chunk ->
+      mixed_faults ();
+      let pc = tmp (Printf.sprintf "faults_c%d.jsonl" chunk) in
+      let par = sweep ~jobs:4 ~chunk ~checkpoint:pc (Eval.create est) in
+      check_bool (Printf.sprintf "chunk=%d identical to sequential" chunk) true
+        (strip par = strip seq);
+      check_str (Printf.sprintf "chunk=%d checkpoint bytes" chunk) (read_file p1) (read_file pc);
+      Sys.remove pc)
+    [ 1; 3; 64 ];
+  Sys.remove p1
+
+let test_warm_resume_determinism () =
+  (* Killing a sweep and resuming it on an already-warm cache must
+     reconstruct the uninterrupted bytes exactly. *)
+  let ev = Eval.create (Lazy.force estimator) in
+  let golden = tmp "resume_golden.jsonl" and kill = tmp "resume_kill.jsonl" in
+  let reference = sweep ~checkpoint:golden ev in
+  (match Checkpoint.load ~path:golden with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+    Checkpoint.save ~path:kill
+      { c with Checkpoint.entries = List.filteri (fun i _ -> i < 25) c.Checkpoint.entries });
+  let resumed = sweep ~jobs:4 ~checkpoint:kill ~resume:true ev in
+  check_int "25 points reused" 25 resumed.Explore.resumed;
+  check_bool "warm resume reconstructs the result" true (strip resumed = strip reference);
+  check_str "warm resume reconstructs the bytes" (read_file golden) (read_file kill);
+  Sys.remove golden;
+  Sys.remove kill
+
+let test_cache_counters_surfaced () =
+  let est = Lazy.force estimator in
+  let ev = Eval.create est in
+  let cold = sweep ev in
+  let warm = sweep ev in
+  check_int "cold sweep has no hits" 0 cold.Explore.cache_hits;
+  check_bool "cold sweep records misses" true (cold.Explore.cache_misses > 0);
+  check_int "warm sweep has no misses" 0 warm.Explore.cache_misses;
+  check_bool "warm sweep records hits" true (warm.Explore.cache_hits > 0);
+  (* And the Obs counters mirror them when the sink is on. *)
+  Obs.enable ();
+  let obs_ev = Eval.create est in
+  ignore (sweep obs_ev);
+  ignore (sweep obs_ev);
+  let snap = Obs.snapshot () in
+  Obs.disable ();
+  let counter name = try List.assoc name snap.Obs.snap_counters with Not_found -> 0 in
+  check_bool "dse.cache.hit counted" true (counter "dse.cache.hit" > 0);
+  check_bool "dse.cache.miss counted" true (counter "dse.cache.miss" > 0);
+  check_int "dse.cache.evict stays zero uncapped" 0 (counter "dse.cache.evict")
+
+(* ------------------------------------------------------------------ *)
+(* Grep pin: Eval is the only evaluation pipeline                      *)
+(* ------------------------------------------------------------------ *)
+
+(* [Estimator.estimate] (the corrected-model entry point, not
+   estimate_cycles / estimate_area_uncorrected / timed_estimate) may
+   appear in exactly one production file: lib/dse/eval.ml. Everything
+   else — the explorer, the serve supervisor, the CLI, the experiment
+   drivers, the benches, the examples — must go through Eval. *)
+let test_no_direct_estimator_pipelines () =
+  let ident c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' in
+  let offenders = ref [] in
+  let scan_file path =
+    let s = read_file path in
+    let needle = "Estimator.estimate" in
+    let nlen = String.length needle in
+    (* Type annotations ([e : Estimator.estimate]) name the record type,
+       not the function; a match whose nearest preceding non-space
+       character is ':' is one of those, not a call. *)
+    let annotation i =
+      let rec back j =
+        if j < 0 then false
+        else if s.[j] = ' ' || s.[j] = '\n' then back (j - 1)
+        else s.[j] = ':'
+      in
+      back (i - 1)
+    in
+    let rec go from =
+      match String.index_from_opt s from needle.[0] with
+      | None -> ()
+      | Some i ->
+        if i + nlen <= String.length s && String.sub s i nlen = needle then begin
+          if
+            (i + nlen >= String.length s || not (ident s.[i + nlen]))
+            && not (annotation i)
+          then offenders := path :: !offenders;
+          go (i + nlen)
+        end
+        else go (i + 1)
+    in
+    go 0
+  in
+  let scan_dir ?(except = []) dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> Alcotest.fail (Printf.sprintf "cannot read %s" dir)
+    | names ->
+      Array.iter
+        (fun n ->
+          if Filename.check_suffix n ".ml" && not (List.mem n except) then
+            scan_file (Filename.concat dir n))
+        names
+  in
+  scan_dir ~except:[ "eval.ml" ] "../lib/dse";
+  scan_dir "../lib/serve";
+  scan_dir "../lib/core";
+  scan_dir "../bin";
+  scan_dir "../bench";
+  scan_dir "../examples";
+  Alcotest.(check (list string))
+    "no direct Estimator.estimate call-chains outside Eval" [] !offenders
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "design keys",
+        [
+          Alcotest.test_case "key laws" `Quick test_key_laws;
+          Alcotest.test_case "keys separate outcomes" `Quick test_key_separates_outcomes;
+          Alcotest.test_case "keys see structure" `Quick test_key_sees_structure;
+        ] );
+      ( "pipeline equality",
+        [
+          Alcotest.test_case "cached = direct, cold/warm/off" `Quick test_extensional_equality;
+          Alcotest.test_case "warm pass is all hits" `Quick test_warm_pass_is_all_hits;
+          Alcotest.test_case "eviction is deterministic" `Quick test_eviction_is_deterministic;
+          Alcotest.test_case "faults bypass the caches" `Quick test_faults_bypass_cache;
+        ] );
+      ( "sweep identity",
+        [
+          Alcotest.test_case "checkpoints across jobs x cache x profile" `Quick
+            test_checkpoint_identity_matrix;
+          Alcotest.test_case "chunked parallel under 5% faults" `Quick
+            test_chunked_parallel_under_faults;
+          Alcotest.test_case "warm resume determinism" `Quick test_warm_resume_determinism;
+          Alcotest.test_case "cache counters surfaced" `Quick test_cache_counters_surfaced;
+        ] );
+      ( "api boundary",
+        [
+          Alcotest.test_case "no direct pipelines outside Eval" `Quick
+            test_no_direct_estimator_pipelines;
+        ] );
+    ]

@@ -7,6 +7,7 @@
 module Faults = Dhdl_util.Faults
 module Space = Dhdl_dse.Space
 module Explore = Dhdl_dse.Explore
+module Eval = Dhdl_dse.Eval
 module Outcome = Dhdl_dse.Outcome
 module Checkpoint = Dhdl_dse.Checkpoint
 module Estimator = Dhdl_model.Estimator
@@ -30,7 +31,7 @@ let run_sweep ?checkpoint ?checkpoint_every ?resume ?deadline_seconds ?jobs ?(se
     Explore.Config.make ~seed ~max_points ?checkpoint ?checkpoint_every ?resume ?deadline_seconds
       ?jobs ()
   in
-  Explore.run cfg est
+  Explore.run cfg (Eval.create est)
     ~space:(app.App.space sizes)
     ~generate:(fun p -> app.App.generate ~sizes ~params:p)
 

@@ -14,6 +14,7 @@ module Registry = Dhdl_apps.Registry
 module Estimator = Dhdl_model.Estimator
 module Space = Dhdl_dse.Space
 module Explore = Dhdl_dse.Explore
+module Eval = Dhdl_dse.Eval
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -282,7 +283,9 @@ let test_explore_prunes_lint_errors () =
   in
   let generate p = if List.assoc "racy" p = 1 then race_design () else clean () in
   let r =
-    Explore.run Explore.Config.(default |> with_seed 3 |> with_max_points 10) est ~space ~generate
+    Explore.run
+      Explore.Config.(default |> with_seed 3 |> with_max_points 10)
+      (Eval.create est) ~space ~generate
   in
   check_int "sampled both points" 2 r.Explore.sampled;
   check_int "racy point pruned" 1 r.Explore.lint_pruned;
@@ -290,7 +293,7 @@ let test_explore_prunes_lint_errors () =
   let r' =
     Explore.run
       Explore.Config.(default |> with_seed 3 |> with_max_points 10 |> with_lint false)
-      est ~space ~generate
+      (Eval.create est) ~space ~generate
   in
   check_int "lint off evaluates everything" 2 (List.length r'.Explore.evaluations);
   check_int "lint off prunes nothing" 0 r'.Explore.lint_pruned

@@ -7,6 +7,7 @@
 
 module Faults = Dhdl_util.Faults
 module Explore = Dhdl_dse.Explore
+module Eval = Dhdl_dse.Eval
 module Checkpoint = Dhdl_dse.Checkpoint
 module Estimator = Dhdl_model.Estimator
 module Obs = Dhdl_obs.Obs
@@ -34,7 +35,7 @@ let run_sweep ?checkpoint ?checkpoint_every ?resume ?deadline_seconds ?(jobs = 1
     Explore.Config.make ~seed ~max_points ?checkpoint ?checkpoint_every ?resume ?deadline_seconds
       ~jobs ()
   in
-  Explore.run cfg est
+  Explore.run cfg (Eval.create est)
     ~space:(app.App.space sizes)
     ~generate:(fun p -> app.App.generate ~sizes ~params:p)
 

@@ -7,6 +7,7 @@
 module Obs = Dhdl_obs.Obs
 module Explore = Dhdl_dse.Explore
 module Profile = Dhdl_dse.Profile
+module Eval = Dhdl_dse.Eval
 module Estimator = Dhdl_model.Estimator
 module App = Dhdl_apps.App
 
@@ -204,7 +205,7 @@ let run_sweep ?checkpoint ?(jobs = 1) ?(profile = true) ?(max_points = 60) est =
   let app = Dhdl_apps.Registry.find "dotproduct" in
   let sizes = [ ("n", 65_536) ] in
   let cfg = Explore.Config.make ~seed:11 ~max_points ?checkpoint ~jobs ~profile () in
-  Explore.run cfg est
+  Explore.run cfg (Eval.create est)
     ~space:(app.App.space sizes)
     ~generate:(fun p -> app.App.generate ~sizes ~params:p)
 

@@ -21,6 +21,7 @@ module Faults = Dhdl_util.Faults
 module Obs = Dhdl_obs.Obs
 module Estimator = Dhdl_model.Estimator
 module Explore = Dhdl_dse.Explore
+module Eval = Dhdl_dse.Eval
 module Checkpoint = Dhdl_dse.Checkpoint
 module App = Dhdl_apps.App
 module Registry = Dhdl_apps.Registry
@@ -293,7 +294,7 @@ let test_kill_resume_byte_identical () =
       ~tick_every:0 ()
   in
   ignore
-    (Explore.run cfg est
+    (Explore.run cfg (Eval.create est)
        ~space:(app.App.space sizes)
        ~generate:(fun pt -> app.App.generate ~sizes ~params:pt));
   check_str "kill + restart + resume converges to the uninterrupted golden bytes"
@@ -454,6 +455,33 @@ let test_request_roundtrip () =
       | Ok r' -> check_bool (P.render_request r ^ " round-trips") true (r = r'))
     reqs
 
+let test_batch_request_roundtrip () =
+  let r =
+    P.request ~id:"bb" ~deadline_ms:500
+      ~specs:[ ("dotproduct", [ ("tile", 128); ("par", 4) ]); ("gemm", []) ]
+      P.Estimate_batch
+  in
+  (match P.parse_request (P.render_request r) with
+  | Error msg -> Alcotest.failf "batch request does not parse back: %s" msg
+  | Ok r' -> check_bool "batch request round-trips" true (r = r'));
+  (* The wire shape is the documented one: a "specs" list of objects,
+     only present when non-empty. *)
+  check_bool "renders a specs list" true (contains (P.render_request r) "\"specs\":[");
+  check_bool "empty specs stays off the wire" false
+    (contains (P.render_request (P.request ~id:"p" P.Ping)) "specs");
+  let expect_error line fragment =
+    match P.parse_request line with
+    | Ok _ -> Alcotest.failf "%S should be rejected" line
+    | Error msg ->
+      check_bool (Printf.sprintf "%S error mentions %S" line fragment) true (contains msg fragment)
+  in
+  expect_error "{\"id\":\"x\",\"verb\":\"estimate_batch\",\"specs\":{}}" "must be a list";
+  expect_error "{\"id\":\"x\",\"verb\":\"estimate_batch\",\"specs\":[{\"params\":{}}]}"
+    "string field \"app\"";
+  expect_error
+    "{\"id\":\"x\",\"verb\":\"estimate_batch\",\"specs\":[{\"app\":\"d\",\"params\":{\"p\":\"q\"}}]}"
+    "not an integer"
+
 let test_request_parse_errors () =
   let expect_error line fragment =
     match P.parse_request line with
@@ -560,6 +588,38 @@ let test_basic_verbs () =
   ignore (bfield "clean" p);
   check_bool "absint report embedded" true (Sjson.member "absint" p <> None);
   check_bool "dependence report embedded" true (Sjson.member "dependence" p <> None)
+
+let test_estimate_batch () =
+  with_sup (sup_config ()) @@ fun sup ->
+  let specs =
+    [
+      ("dotproduct", [ ("tile", 128); ("par", 4) ]);
+      ("dotproduct", [ ("tile", 128); ("par", 4) ]);
+      ("nosuchapp", []);
+    ]
+  in
+  let p = payload (rpc sup (P.request ~id:"batch-1" ~specs P.Estimate_batch)) in
+  check_int "count covers every spec" 3 (ifield "count" p);
+  check_int "only the bad spec failed" 1 (ifield "failed" p);
+  (match Sjson.to_list (field "items" p) with
+  | Some [ ok1; ok2; bad ] ->
+    let e1 = field "ok" ok1 and e2 = field "ok" ok2 in
+    check_str "item app echoed" "dotproduct" (sfield "app" e1);
+    check_bool "item carries area" true (ifield "alms" (field "area" e1) >= 0);
+    check_bool "item carries fidelity flag" false (bfield "degraded" e1);
+    (* Same design twice in one batch: the second answer comes from the
+       shared Eval cache and must be byte-identical to the first. *)
+    check_str "identical specs answer identically" (Sjson.render e1) (Sjson.render e2);
+    let err = field "error" bad in
+    check_str "bad item is typed per-item" "bad_request" (sfield "code" err);
+    check_bool "item error names the benchmark" true
+      (contains (sfield "message" err) "unknown benchmark")
+  | Some items -> Alcotest.failf "expected 3 items, got %d" (List.length items)
+  | None -> Alcotest.fail "items is not a list");
+  (* One bad item never fails the envelope, but an empty batch does. *)
+  let e = err_of (rpc sup (P.request ~id:"batch-2" P.Estimate_batch)) in
+  check_bool "empty specs is a typed bad_request" true
+    (e.P.err_code = P.Bad_request && contains e.P.err_message "specs")
 
 let test_bad_requests_are_typed () =
   with_sup (sup_config ()) @@ fun sup ->
@@ -750,7 +810,7 @@ let test_session_lifecycle_and_golden () =
       ~tick_every:0 ()
   in
   ignore
-    (Explore.run cfg (Lazy.force estimator)
+    (Explore.run cfg (Eval.create (Lazy.force estimator))
        ~space:(app.App.space sizes)
        ~generate:(fun pt -> app.App.generate ~sizes ~params:pt));
   check_str "server checkpoint matches the direct-run golden bytes" (read_file golden)
@@ -943,6 +1003,7 @@ let () =
         [
           Alcotest.test_case "verb and code names" `Quick test_verb_and_code_names;
           Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "batch request roundtrip" `Quick test_batch_request_roundtrip;
           Alcotest.test_case "request parse errors" `Quick test_request_parse_errors;
           Alcotest.test_case "reply roundtrip" `Quick test_reply_roundtrip;
         ] );
@@ -955,6 +1016,7 @@ let () =
       ( "supervisor",
         [
           Alcotest.test_case "basic verbs" `Quick test_basic_verbs;
+          Alcotest.test_case "estimate batch" `Quick test_estimate_batch;
           Alcotest.test_case "bad requests are typed" `Quick test_bad_requests_are_typed;
           Alcotest.test_case "idempotent reply cache" `Quick test_idempotent_reply_cache;
           Alcotest.test_case "admission control" `Quick test_admission_control;
