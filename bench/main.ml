@@ -111,7 +111,8 @@ let run_ablations ~quick () =
 (* DSE throughput: the start of the perf trajectory                    *)
 (* ------------------------------------------------------------------ *)
 
-(* Writes BENCH_dse.json (schema 3) from GDA sweeps. Three axes:
+(* Writes BENCH_dse.json (schema 4) from GDA sweeps plus a kmeans
+   symbolic-gate A/B. Four axes:
 
    - jobs_sweep: cold wall-clock timing at jobs = 1, 2, 4 (a fresh
      evaluation cache per level, telemetry on, no profiler — comparable
@@ -125,7 +126,12 @@ let run_ablations ~quick () =
    - cache_ab: the same sequential sweep cold then again on the warm
      cache — the memoization headline.
    - chunk_sweep: warm profiled jobs=4 sweeps across chunk sizes, showing
-     how per-claim batching trades collector wakeups against tail skew. *)
+     how per-claim batching trades collector wakeups against tail skew.
+   - symbolic_ab: a cold kmeans sweep (the app with a large symbolically
+     refutable region at paper sizes) with the pre-elaboration legality
+     gate on vs [--no-symbolic], counting generate calls directly — the
+     gate's headline is elaborations never performed, which wall-clock
+     alone understates on a warm cache. *)
 let run_label = ref "dev"
 
 let run_dseperf ~quick () =
@@ -184,6 +190,36 @@ let run_dseperf ~quick () =
         (chunk, r, attr_of r))
       chunk_levels
   in
+  (* Symbolic-gate A/B on kmeans: fresh caches both sides so the only
+     difference is the gate. Generate calls are counted at the source —
+     gate on pays the probe elaborations up front and then skips every
+     symbolically refuted point. *)
+  let sym_app = Dhdl_apps.Registry.find "kmeans" in
+  let sym_sizes = sym_app.App.paper_sizes in
+  let sym_space = sym_app.App.space sym_sizes in
+  let sym_run ~symbolic =
+    let calls = ref 0 in
+    let generate p =
+      incr calls;
+      sym_app.App.generate ~sizes:sym_sizes ~params:p
+    in
+    let cfg = Explore.Config.make ~seed ~max_points:points ~symbolic () in
+    let r = Explore.run cfg (fresh_eval ()) ~space:sym_space ~generate in
+    (r, !calls)
+  in
+  let sym_on, gen_on = sym_run ~symbolic:true in
+  let sym_off, gen_off = sym_run ~symbolic:false in
+  let sym_side (r : Explore.result) calls =
+    Printf.sprintf
+      "{\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"generate_calls\":%d,\"sym_pruned\":%d,\"lint_pruned\":%d,\"absint_pruned\":%d,\"dep_pruned\":%d}"
+      r.Explore.elapsed_seconds (pps r) calls r.Explore.sym_pruned r.Explore.lint_pruned
+      r.Explore.absint_pruned r.Explore.dep_pruned
+  in
+  let symbolic_ab =
+    Printf.sprintf "{\"app\":\"kmeans\",\"points\":%d,\"gate_on\":%s,\"gate_off\":%s,\"generate_calls_saved\":%d}"
+      sym_on.Explore.sampled (sym_side sym_on gen_on) (sym_side sym_off gen_off)
+      (gen_off - gen_on)
+  in
   let ms = try List.assoc "dse.ms_per_design" (Option.get snap1).Obs.snap_hists with Not_found -> [||] in
   let estimated = r1.Explore.sampled - r1.Explore.lint_pruned in
   let p50 = Obs.percentile ms 50.0 and p95 = Obs.percentile ms 95.0 in
@@ -210,10 +246,10 @@ let run_dseperf ~quick () =
   in
   let json =
     Printf.sprintf
-      "{\"schema\":3,\"label\":%S,\"app\":\"gda\",\"points\":%d,\"estimated\":%d,\"lint_pruned\":%d,\"recommended_domain_count\":%d,\"host_note\":\"points_per_sec and scaling depend on the host; a recommended_domain_count of 1 (e.g. a single-core container) makes every jobs>1 level pure coordination overhead. Cold levels use a fresh evaluation cache; warm_attribution and chunk_sweep are profiled repeats on a warm cache, isolating coordination from estimation work.\",\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"ms_per_design_p50\":%.4f,\"ms_per_design_p95\":%.4f,\"cache_ab\":%s,\"chunk_sweep\":[%s],\"jobs_sweep\":[%s]}\n"
+      "{\"schema\":4,\"label\":%S,\"app\":\"gda\",\"points\":%d,\"estimated\":%d,\"lint_pruned\":%d,\"recommended_domain_count\":%d,\"host_note\":\"points_per_sec and scaling depend on the host; a recommended_domain_count of 1 (e.g. a single-core container) makes every jobs>1 level pure coordination overhead. Cold levels use a fresh evaluation cache; warm_attribution and chunk_sweep are profiled repeats on a warm cache, isolating coordination from estimation work. symbolic_ab is a cold kmeans sweep with the pre-elaboration legality gate on vs off, counting generate calls.\",\"elapsed_s\":%.3f,\"points_per_sec\":%.1f,\"ms_per_design_p50\":%.4f,\"ms_per_design_p95\":%.4f,\"cache_ab\":%s,\"symbolic_ab\":%s,\"chunk_sweep\":[%s],\"jobs_sweep\":[%s]}\n"
       !run_label r1.Explore.sampled estimated r1.Explore.lint_pruned
       (Domain.recommended_domain_count ())
-      r1.Explore.elapsed_seconds (pps r1) p50 p95 cache_ab
+      r1.Explore.elapsed_seconds (pps r1) p50 p95 cache_ab symbolic_ab
       (String.concat "," (List.map chunk_json chunks))
       (String.concat "," (List.map level_json levels))
   in
@@ -245,6 +281,11 @@ let run_dseperf ~quick () =
       Printf.printf "  chunk=%-3d (jobs=4, warm): %.3f s, %.0f points/sec, recv-block %.4f s\n"
         chunk r.Explore.elapsed_seconds (pps r) (recv_block attr))
     chunks;
+  Printf.printf
+    "symbolic gate A/B (kmeans, cold): on %d generate calls (%d sym-pruned, %.2f s), off %d \
+     generate calls (%.2f s) — %d elaborations saved\n"
+    gen_on sym_on.Explore.sym_pruned sym_on.Explore.elapsed_seconds gen_off
+    sym_off.Explore.elapsed_seconds (gen_off - gen_on);
   Printf.printf "ms per design (sequential, cold): p50 %.4f, p95 %.4f\n" p50 p95;
   Printf.printf "written to BENCH_dse.json\n"
 

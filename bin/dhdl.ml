@@ -13,6 +13,8 @@ module Profile = Dhdl_dse.Profile
 module Experiments = Dhdl_core.Experiments
 module Lint = Dhdl_lint.Lint
 module Absint = Dhdl_absint.Absint
+module Symbolic = Dhdl_absint.Symbolic
+module Symgate = Dhdl_dse.Symgate
 module Diag = Dhdl_ir.Diag
 module Obs = Dhdl_obs.Obs
 
@@ -64,11 +66,27 @@ let make_eval ?cache ?quiet ?(no_cache = false) ~seed ~train_samples () =
   let est = make_estimator ?cache ?quiet ~seed ~train_samples () in
   if no_cache then Eval.create ~analysis_cap:0 ~estimate_cap:0 est else Eval.create est
 
-let design_of ~app ~params =
+(* Resolve the CLI's positional parameters to the concrete binding the
+   generator will see — the defaults with each given [name=value]
+   overriding its entry — without elaborating. Generators tolerate
+   partial bindings, but the symbolic predicate routes on the full
+   point (pinned parameters included), so the merge matters. *)
+let resolved_point ~app ~params =
   let app = lookup_app app in
   let sizes = app.App.paper_sizes in
-  let params = if params = [] then app.App.default_params sizes else parse_params params in
-  (app, app.App.generate ~sizes ~params)
+  let overrides = parse_params params in
+  let merged =
+    List.map
+      (fun (k, v) ->
+        (k, match List.assoc_opt k overrides with Some v' -> v' | None -> v))
+      (app.App.default_params sizes)
+  in
+  let extra = List.filter (fun (k, _) -> not (List.mem_assoc k merged)) overrides in
+  (app, merged @ extra)
+
+let design_of ~app ~params =
+  let app, params = resolved_point ~app ~params in
+  (app, app.App.generate ~sizes:app.App.paper_sizes ~params)
 
 (* --- common args ---------------------------------------------------- *)
 
@@ -298,13 +316,23 @@ let no_absint_arg =
           "Disable proof-backed pruning: points refuted by the proof passes (L009 out-of-bounds, \
            L010 bank conflict, L013 unsafe pipelining) are estimated instead of dropped.")
 
+let no_symbolic_arg =
+  Arg.(
+    value & flag
+    & info [ "no-symbolic" ]
+        ~doc:
+          "Disable the pre-elaboration symbolic legality gate: every point is generated and \
+           analyzed concretely, even ones the derived parameter constraints refute. Results are \
+           identical modulo pruned-outcome kind; only elaboration work changes.")
+
 let dse_cmd =
   let run app seed train points cache trace jsonl metrics jobs chunk no_cache checkpoint resume
-      deadline inject faults_seed no_absint profile =
+      deadline inject faults_seed no_absint no_symbolic profile =
     with_obs ~trace ~jsonl ~metrics @@ fun () ->
     let cfg =
-      Explore.Config.make ~seed ~max_points:points ~absint:(not no_absint) ~jobs ~chunk
-        ?checkpoint ~resume ?deadline_seconds:deadline ~profile ()
+      Explore.Config.make ~seed ~max_points:points ~absint:(not no_absint)
+        ~symbolic:(not no_symbolic) ~jobs ~chunk ?checkpoint ~resume ?deadline_seconds:deadline
+        ~profile ()
     in
     Option.iter
       (fun p ->
@@ -333,9 +361,10 @@ let dse_cmd =
         result.Explore.sampled result.Explore.elapsed_seconds;
     Printf.printf
       "pruned by lint errors: %d point(s); refuted by abstract interpretation: %d point(s); \
-       refuted by dependence analysis: %d point(s); estimated but over device capacity: %d \
-       point(s)\n"
+       refuted by dependence analysis: %d point(s); refuted symbolically before elaboration: %d \
+       point(s); estimated but over device capacity: %d point(s)\n"
       result.Explore.lint_pruned result.Explore.absint_pruned result.Explore.dep_pruned
+      result.Explore.sym_pruned
       (Explore.unfit_count result);
     if result.Explore.cache_hits + result.Explore.cache_misses > 0 then
       Printf.printf "evaluation cache: %d hit(s), %d miss(es) (%.1f%% hit rate)\n"
@@ -374,7 +403,8 @@ let dse_cmd =
     Term.(
       const run $ app_arg $ seed_arg $ train_arg $ points_arg $ cache_arg $ trace_arg $ jsonl_arg
       $ metrics_arg $ jobs_arg $ chunk_arg $ no_eval_cache_arg $ checkpoint_arg $ resume_arg
-      $ deadline_arg $ inject_faults_arg $ faults_seed_arg $ no_absint_arg $ profile_flag_arg)
+      $ deadline_arg $ inject_faults_arg $ faults_seed_arg $ no_absint_arg $ no_symbolic_arg
+      $ profile_flag_arg)
 
 let codegen_cmd =
   let manager =
@@ -586,22 +616,72 @@ let lint_cmd =
 
 let analyze_cmd =
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report.") in
-  let run app params json =
-    let _, design = design_of ~app ~params in
-    let report = Absint.analyze design in
-    let deps = Dhdl_absint.Dependence.analyze design in
-    if json then
-      print_endline
-        (Printf.sprintf "{\"absint\":%s,\"dependence\":%s}" (Absint.render_json report)
-           (Dhdl_absint.Dependence.render_json deps))
+  let symbolic =
+    Arg.(
+      value & flag
+      & info [ "symbolic" ]
+          ~doc:
+            "Instead of analyzing this one point concretely, derive the app's symbolic \
+             constraint system (one per design-family skeleton, over the named design \
+             parameters), print it, and report this point's pre-elaboration verdict. Exit 2 when \
+             the point is symbolically refuted.")
+  in
+  let run app params json symbolic =
+    if symbolic then begin
+      let a, point = resolved_point ~app ~params in
+      let sizes = a.App.paper_sizes in
+      let gate =
+        Symgate.derive ~space:(a.App.space sizes)
+          ~generate:(fun p -> a.App.generate ~sizes ~params:p)
+          ()
+      in
+      let verdict = Symgate.verdict gate point in
+      let point_str =
+        String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) point)
+      in
+      if json then begin
+        let verdict_json =
+          match verdict with
+          | Symbolic.Legal -> "{\"kind\":\"legal\"}"
+          | Symbolic.Refuted { code; witness } ->
+            Printf.sprintf "{\"kind\":\"refuted\",\"code\":%S,\"witness\":%S}" code witness
+          | Symbolic.Unknown why -> Printf.sprintf "{\"kind\":\"unknown\",\"why\":%S}" why
+        in
+        print_endline
+          (Printf.sprintf "{\"systems\":[%s],\"point\":{%s},\"verdict\":%s}"
+             (String.concat ","
+                (List.map Symbolic.render_json (Symgate.systems gate)))
+             (String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%d" k v) point))
+             verdict_json)
+      end
+      else begin
+        List.iter (fun sys -> print_string (Symbolic.render_text sys)) (Symgate.systems gate);
+        (match verdict with
+        | Symbolic.Legal ->
+          Printf.printf "point %s: Legal (concrete analysis provably clean)\n" point_str
+        | Symbolic.Refuted { code; witness } ->
+          Printf.printf "point %s: Refuted [%s] %s\n" point_str code witness
+        | Symbolic.Unknown why -> Printf.printf "point %s: Unknown (%s)\n" point_str why)
+      end;
+      match verdict with Symbolic.Refuted _ -> exit 2 | Symbolic.Legal | Symbolic.Unknown _ -> ()
+    end
     else begin
-      print_string (Absint.render_text report);
-      print_string (Dhdl_absint.Dependence.render_text deps)
-    end;
-    (* Mirror lint's convention: exit 2 when a proven violation (out-of-
-       bounds access, bank conflict, illegal vectorization, or cross-stage
-       overlap) is present. *)
-    if not (Absint.clean report && Dhdl_absint.Dependence.clean deps) then exit 2
+      let _, design = design_of ~app ~params in
+      let report = Absint.analyze design in
+      let deps = Dhdl_absint.Dependence.analyze design in
+      if json then
+        print_endline
+          (Printf.sprintf "{\"absint\":%s,\"dependence\":%s}" (Absint.render_json report)
+             (Dhdl_absint.Dependence.render_json deps))
+      else begin
+        print_string (Absint.render_text report);
+        print_string (Dhdl_absint.Dependence.render_text deps)
+      end;
+      (* Mirror lint's convention: exit 2 when a proven violation (out-of-
+         bounds access, bank conflict, illegal vectorization, or cross-stage
+         overlap) is present. *)
+      if not (Absint.clean report && Dhdl_absint.Dependence.clean deps) then exit 2
+    end
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -609,8 +689,10 @@ let analyze_cmd =
          "Abstract-interpret a design point: prove every on-chip access in bounds, every \
           vectorized access conflict-free under a banking scheme, every double buffer justified \
           by a stage crossing, and every loop-carried dependence consistent with the chosen \
-          initiation interval and parallelization (or print concrete counterexamples).")
-    Term.(const run $ app_arg $ params_arg $ json)
+          initiation interval and parallelization (or print concrete counterexamples). With \
+          $(b,--symbolic), derive the parametric constraint system instead and decide the point \
+          without elaborating it.")
+    Term.(const run $ app_arg $ params_arg $ json $ symbolic)
 
 (* Amdahl's-law serial fraction inferred from a measured speedup at j
    workers: solving speedup = 1 / (s + (1 - s)/j) for s gives

@@ -43,6 +43,7 @@ let render_entry i (e : Outcome.entry) =
   | Outcome.Pruned -> Printf.sprintf "{\"kind\":\"pruned\",\"i\":%d}" i
   | Outcome.Absint_pruned -> Printf.sprintf "{\"kind\":\"absint_pruned\",\"i\":%d}" i
   | Outcome.Dep_pruned -> Printf.sprintf "{\"kind\":\"dep_pruned\",\"i\":%d}" i
+  | Outcome.Sym_pruned -> Printf.sprintf "{\"kind\":\"sym_pruned\",\"i\":%d}" i
   | Outcome.Failed (stage, msg) ->
     Printf.sprintf "{\"kind\":\"failed\",\"i\":%d,\"stage\":\"%s\",\"msg\":\"%s\"}" i
       (Outcome.stage_name stage) (escape msg)
@@ -223,6 +224,7 @@ let entry_of_json ~params j : int * Outcome.entry =
   | "pruned" -> (i, Outcome.Pruned)
   | "absint_pruned" -> (i, Outcome.Absint_pruned)
   | "dep_pruned" -> (i, Outcome.Dep_pruned)
+  | "sym_pruned" -> (i, Outcome.Sym_pruned)
   | "failed" ->
     let stage =
       let name = as_string (member "stage" j) in

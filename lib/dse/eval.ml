@@ -147,13 +147,6 @@ let stats t =
    take the sweep down too. *)
 let describe exn = try Printexc.to_string exn with _ -> "<unprintable exception>"
 
-(* Pass codes of the heuristic (non-proof) lint passes, for lint-only runs
-   with absint pruning disabled. *)
-let heuristic_codes =
-  List.filter_map
-    (fun (p : Lint.pass) -> if List.mem p.Lint.code Lint.proof_codes then None else Some p.Lint.code)
-    (Lint.passes ())
-
 let finite_evaluation (e : Outcome.evaluation) =
   let ok f = Float.is_finite f && f >= 0.0 in
   ok e.Outcome.estimate.Estimator.cycles
@@ -177,7 +170,7 @@ let run_analysis t ?stages ~lint ~absint design =
   let dev = Estimator.device t.est in
   let diags =
     if lint && absint then Lint.check ~dev design
-    else if lint then Lint.check ~dev ~only:heuristic_codes design
+    else if lint then Lint.check ~dev ~only:Lint.heuristic_codes design
     else if absint then Lint.check ~dev ~validate:false ~only:Lint.proof_codes design
     else []
   in

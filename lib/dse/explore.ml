@@ -2,6 +2,7 @@ module Estimator = Dhdl_model.Estimator
 module Pareto = Dhdl_util.Pareto
 module Faults = Dhdl_util.Faults
 module Obs = Dhdl_obs.Obs
+module Symbolic = Dhdl_absint.Symbolic
 
 type evaluation = Outcome.evaluation = {
   point : Space.point;
@@ -37,6 +38,7 @@ type result = {
   lint_pruned : int;
   absint_pruned : int;
   dep_pruned : int;
+  sym_pruned : int;
   resumed : int;
   truncated : bool;
   jobs : int;
@@ -59,6 +61,7 @@ module Config = struct
     max_points : int;
     lint : bool;
     absint : bool;
+    symbolic : bool;
     jobs : int;
     chunk : int;
     span_every : int;
@@ -109,6 +112,7 @@ module Config = struct
       max_points = 75_000;
       lint = true;
       absint = true;
+      symbolic = true;
       jobs = 1;
       chunk = 16;
       span_every = 100;
@@ -122,18 +126,20 @@ module Config = struct
     }
 
   let make ?(seed = default.seed) ?(max_points = default.max_points) ?(lint = default.lint)
-      ?(absint = default.absint) ?(jobs = default.jobs) ?(chunk = default.chunk)
-      ?(span_every = default.span_every) ?(tick_every = default.tick_every) ?checkpoint
+      ?(absint = default.absint) ?(symbolic = default.symbolic) ?(jobs = default.jobs)
+      ?(chunk = default.chunk) ?(span_every = default.span_every)
+      ?(tick_every = default.tick_every) ?checkpoint
       ?(checkpoint_every = default.checkpoint_every) ?(resume = default.resume)
       ?deadline_seconds ?(profile = default.profile) ?stop_requested () =
     validate_run
-      { seed; max_points; lint; absint; jobs; chunk; span_every; tick_every; checkpoint;
-        checkpoint_every; resume; deadline_seconds; profile; stop_requested }
+      { seed; max_points; lint; absint; symbolic; jobs; chunk; span_every; tick_every;
+        checkpoint; checkpoint_every; resume; deadline_seconds; profile; stop_requested }
 
   let with_seed seed t = validate { t with seed }
   let with_max_points max_points t = validate { t with max_points }
   let with_lint lint t = validate { t with lint }
   let with_absint absint t = validate { t with absint }
+  let with_symbolic symbolic t = validate { t with symbolic }
   let with_jobs jobs t = validate { t with jobs }
   let with_chunk chunk t = validate { t with chunk }
   let with_span_every span_every t = validate { t with span_every }
@@ -242,8 +248,8 @@ end
 
 let run (cfg : Config.t) (ev : Eval.t) ~space ~generate =
   let cfg = Config.validate_run cfg in
-  let { Config.seed; max_points; lint; absint; jobs; chunk; span_every; tick_every; checkpoint;
-        checkpoint_every; resume; deadline_seconds; profile; stop_requested } =
+  let { Config.seed; max_points; lint; absint; symbolic; jobs; chunk; span_every; tick_every;
+        checkpoint; checkpoint_every; resume; deadline_seconds; profile; stop_requested } =
     cfg
   in
   Obs.span "dse.run"
@@ -260,6 +266,7 @@ let run (cfg : Config.t) (ev : Eval.t) ~space ~generate =
     Obs.count ~by:0 "dse.lint_pruned";
     Obs.count ~by:0 "dse.absint_pruned";
     Obs.count ~by:0 "dse.dep_pruned";
+    Obs.count ~by:0 "dse.sym_pruned";
     Obs.count ~by:0 "dse.estimated";
     Obs.count ~by:0 "dse.unfit";
     Obs.count ~by:0 "dse.cache.hit";
@@ -274,6 +281,19 @@ let run (cfg : Config.t) (ev : Eval.t) ~space ~generate =
     | Some path when resume ->
       load_resume ~path ~space ~seed ~max_points ~total ~param_names
     | _ -> Hashtbl.create 1
+  in
+  (* The symbolic gate is derived once, before any worker starts, from a
+     fixed-seed probe sample — so every point (on every domain, at every
+     chunk size) consults the identical constraint system and the
+     bit-identical-checkpoint guarantee survives. It only runs when both
+     analysis passes it fronts for are on (otherwise pruning points the
+     concrete pipeline would have kept changes results), and stands down
+     while fault injection is armed, because its probe elaborations
+     would consume fault sites the per-point replay expects. *)
+  let gate =
+    if symbolic && lint && absint && not (Faults.active ()) then
+      Some (Obs.span "dse.symgate" (fun () -> Symgate.derive ~space ~generate ()))
+    else None
   in
   let stats0 = Eval.stats ev in
   let past_deadline () =
@@ -306,19 +326,44 @@ let run (cfg : Config.t) (ev : Eval.t) ~space ~generate =
       let e =
         Faults.with_key i @@ fun () ->
         Obs.span_sampled ~every:span_every ~i "dse.point" @@ fun () ->
-        if Obs.enabled () then begin
-          let e = Eval.evaluate ev ?stages ~lint ~absint ~index:i ~generate p in
-          (match e with
-          | Outcome.Evaluated _ ->
-            Obs.count "dse.estimated";
-            Obs.observe "dse.ms_per_design" ((Unix.gettimeofday () -. start) *. 1000.0)
-          | Outcome.Pruned -> Obs.count "dse.lint_pruned"
-          | Outcome.Absint_pruned -> Obs.count "dse.absint_pruned"
-          | Outcome.Dep_pruned -> Obs.count "dse.dep_pruned"
-          | Outcome.Failed (stage, _) -> Obs.count (stage_counter stage));
-          e
-        end
-        else Eval.evaluate ev ?stages ~lint ~absint ~index:i ~generate p
+        (* Pre-elaboration gate: a refuted point never generates, a
+           proved-legal one skips the concrete absint re-proof (the
+           lint-only path still runs the heuristic passes), and anything
+           unknown pays the full pipeline as before. Verdict time is
+           attributed to the probe stage when profiling. *)
+        let verdict =
+          match gate with
+          | None -> Symbolic.Unknown "gate off"
+          | Some g ->
+            let t0 = if stages <> None then Unix.gettimeofday () else 0.0 in
+            let v = Symgate.verdict g p in
+            (match stages with
+            | Some s -> s.Eval.s_probe <- s.Eval.s_probe +. (Unix.gettimeofday () -. t0)
+            | None -> ());
+            v
+        in
+        match verdict with
+        | Symbolic.Refuted _ ->
+          if Obs.enabled () then Obs.count "dse.sym_pruned";
+          Outcome.Sym_pruned
+        | Symbolic.Legal | Symbolic.Unknown _ ->
+          let absint =
+            match verdict with Symbolic.Legal -> false | _ -> absint
+          in
+          if Obs.enabled () then begin
+            let e = Eval.evaluate ev ?stages ~lint ~absint ~index:i ~generate p in
+            (match e with
+            | Outcome.Evaluated _ ->
+              Obs.count "dse.estimated";
+              Obs.observe "dse.ms_per_design" ((Unix.gettimeofday () -. start) *. 1000.0)
+            | Outcome.Pruned -> Obs.count "dse.lint_pruned"
+            | Outcome.Absint_pruned -> Obs.count "dse.absint_pruned"
+            | Outcome.Dep_pruned -> Obs.count "dse.dep_pruned"
+            | Outcome.Sym_pruned -> Obs.count "dse.sym_pruned"
+            | Outcome.Failed (stage, _) -> Obs.count (stage_counter stage));
+            e
+          end
+          else Eval.evaluate ev ?stages ~lint ~absint ~index:i ~generate p
       in
       (e, false, Unix.gettimeofday () -. start)
   in
@@ -330,6 +375,7 @@ let run (cfg : Config.t) (ev : Eval.t) ~space ~generate =
   let lint_pruned = ref 0 in
   let absint_pruned = ref 0 in
   let dep_pruned = ref 0 in
+  let sym_pruned = ref 0 in
   let resumed = ref 0 in
   let failures = ref [] in
   let processed = ref 0 in
@@ -363,6 +409,7 @@ let run (cfg : Config.t) (ev : Eval.t) ~space ~generate =
     | Outcome.Pruned -> incr lint_pruned
     | Outcome.Absint_pruned -> incr absint_pruned
     | Outcome.Dep_pruned -> incr dep_pruned
+    | Outcome.Sym_pruned -> incr sym_pruned
     | Outcome.Failed (f_stage, f_message) ->
       failures := { f_index = i; f_point = p; f_stage; f_message } :: !failures
     | Outcome.Evaluated _ -> ());
@@ -631,6 +678,7 @@ let run (cfg : Config.t) (ev : Eval.t) ~space ~generate =
     lint_pruned = !lint_pruned;
     absint_pruned = !absint_pruned;
     dep_pruned = !dep_pruned;
+    sym_pruned = !sym_pruned;
     resumed = !resumed;
     truncated;
     jobs;

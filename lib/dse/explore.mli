@@ -68,6 +68,13 @@ type result = {
           refutations of the chosen parallelization (L013: a proven
           same-cycle lane conflict with a concrete witness) — the design
           is sound sequentially but the sampled [par] is illegal. *)
+  sym_pruned : int;
+      (** Points refuted {e before elaboration} by the symbolic legality
+          predicate ({!Dhdl_absint.Symbolic} via {!Symgate}): the derived
+          constraint system proved concrete analysis would refute them, so
+          they were never generated. Disjoint from [absint_pruned] /
+          [dep_pruned] — a point counts there only when it reached the
+          concrete passes. *)
   resumed : int;  (** Points reused from a checkpoint instead of recomputed. *)
   truncated : bool;  (** The deadline stopped the sweep early. *)
   jobs : int;  (** Worker domains the sweep ran with (1 = sequential). *)
@@ -106,6 +113,14 @@ module Config : sig
             abstract-interpretation errors count as [absint_pruned],
             L013 dependence refutations as [dep_pruned]. Runs the proof
             passes alone when [lint] is off. *)
+    symbolic : bool;
+        (** Gate points through the pre-elaboration symbolic legality
+            predicate (default on). Effective only when [lint] and
+            [absint] are both on (otherwise pruning would change the
+            result set) and fault injection is not armed. Symbolically
+            refuted points count as [sym_pruned] and are never
+            generated; proved-legal points skip the concrete absint
+            re-proof; everything else runs the full pipeline. *)
     jobs : int;  (** Worker domains; 1 (default) = sequential. *)
     chunk : int;
         (** Points per cursor claim and per worker→collector message when
@@ -150,6 +165,7 @@ module Config : sig
     ?max_points:int ->
     ?lint:bool ->
     ?absint:bool ->
+    ?symbolic:bool ->
     ?jobs:int ->
     ?chunk:int ->
     ?span_every:int ->
@@ -171,6 +187,7 @@ module Config : sig
   val with_max_points : int -> t -> t
   val with_lint : bool -> t -> t
   val with_absint : bool -> t -> t
+  val with_symbolic : bool -> t -> t
 
   val with_jobs : int -> t -> t
   (** Raises [Failure] unless [1 <= jobs <= max_jobs]. *)
@@ -222,6 +239,20 @@ val run :
     with [config.lint] off but [config.absint] on, only the proof passes
     run (no validator, no heuristics).
 
+    {b Symbolic gate.} When [config.symbolic], [config.lint] and
+    [config.absint] are all on and fault injection is idle, the sweep
+    first derives one symbolic constraint system per design-family
+    skeleton from a small fixed-seed probe sample ({!Symgate.derive},
+    recorded under the [dse.symgate] span) and consults it before each
+    point's pipeline: symbolically refuted points become
+    {!Outcome.Sym_pruned} without ever being generated, proved-legal
+    points skip the concrete absint re-proof, and unknown points are
+    unaffected. The gate is derived once, before any worker starts, so
+    parallel and resumed sweeps keep their bit-identity guarantees; a
+    checkpoint written with the gate on differs from one written with it
+    off only in entries' pruned kind ([sym_pruned] vs
+    [absint_pruned]/[dep_pruned]).
+
     {b Parallel sweeps.} With [config.jobs = n > 1], [n] worker domains
     claim contiguous runs of [config.chunk] point indices from a shared
     atomic cursor, evaluate each chunk into a buffer only they own, and
@@ -271,7 +302,7 @@ val run :
 
     When the {!Dhdl_obs.Obs} sink is enabled the sweep records counters
     ([dse.points_sampled] / [dse.lint_pruned] / [dse.absint_pruned] /
-    [dse.dep_pruned] / [dse.estimated] /
+    [dse.dep_pruned] / [dse.sym_pruned] / [dse.estimated] /
     [dse.unfit] / [dse.cache.hit] / [dse.cache.miss] / [dse.cache.evict]
     / [dse.failed.generator] / [dse.failed.lint] /
     [dse.failed.estimator] / [dse.failed.non_finite] — all pre-registered

@@ -23,6 +23,7 @@ type entry =
   | Pruned
   | Absint_pruned
   | Dep_pruned
+  | Sym_pruned
   | Failed of failure_stage * string
 
 let stage_name = function

@@ -42,12 +42,17 @@ type evaluation = {
     an out-of-bounds access or bank conflict with a concrete witness);
     [Dep_pruned] means the only errors were dependence-analysis refutations
     of the chosen parallelization (L013 — a proven same-cycle lane
-    conflict). *)
+    conflict); [Sym_pruned] means the symbolic legality predicate
+    ([Symbolic] over the design parameters) refuted the point {e before
+    elaboration} — the design was never generated, and the predicate's
+    soundness guarantee is that concrete analysis would have refuted it
+    with the same diagnostic code. *)
 type entry =
   | Evaluated of evaluation
   | Pruned
   | Absint_pruned
   | Dep_pruned
+  | Sym_pruned
   | Failed of failure_stage * string
 
 val stage_name : failure_stage -> string

@@ -1,0 +1,61 @@
+(* The pre-elaboration legality gate.
+
+   [derive] elaborates a small fixed-seed sample of a space's points,
+   groups them by [Design_key] skeleton hash (one app space can contain
+   several skeletons when meta-flags switch the generated graph shape),
+   and hands each group to [Symbolic.derive] as its probe set. The
+   result is a list of per-skeleton constraint systems; [verdict] routes
+   a fresh binding to the unique system whose pinned parameters it
+   satisfies and evaluates the predicate — microseconds, no generation.
+
+   Routing is sound because a system's pinned parameters are exactly the
+   ones constant across its probes: registry app generators branch on
+   structure only via such flag parameters, so a binding that matches
+   one group's pinned set elaborates to that group's skeleton. A binding
+   matching zero or several groups (possible when the probe sample
+   missed a flag combination) gets [Unknown] and the full pipeline. *)
+
+module Symbolic = Dhdl_absint.Symbolic
+module Design_key = Dhdl_model.Design_key
+
+type t = { g_systems : Symbolic.system list }
+
+let probe_seed = 0x5eed
+
+let derive ?(probe_points = 48) ~space ~generate () =
+  let points = Space.sample space ~seed:probe_seed ~max_points:probe_points in
+  let params = List.map fst (Space.dims space) in
+  let probes =
+    List.filter_map
+      (fun p -> match generate p with d -> Some (p, d) | exception _ -> None)
+      points
+  in
+  let groups : (string, (Space.point * Dhdl_ir.Ir.design) list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let order = ref [] in
+  List.iter
+    (fun ((_, d) as probe) ->
+      let sk = Design_key.skeleton_hash d in
+      match Hashtbl.find_opt groups sk with
+      | Some l -> l := probe :: !l
+      | None ->
+        Hashtbl.add groups sk (ref [ probe ]);
+        order := sk :: !order)
+    probes;
+  let systems =
+    List.rev_map
+      (fun sk ->
+        let probes = List.rev !(Hashtbl.find groups sk) in
+        Symbolic.derive ~skeleton:sk ~params ~probes)
+      !order
+  in
+  { g_systems = systems }
+
+let systems t = t.g_systems
+
+let verdict t (point : Space.point) =
+  match List.filter (fun sys -> Symbolic.Predicate.applies sys point) t.g_systems with
+  | [ sys ] -> Symbolic.Predicate.eval sys point
+  | [] -> Symbolic.Unknown "no derived system covers this binding"
+  | _ :: _ :: _ -> Symbolic.Unknown "several derived systems claim this binding"

@@ -94,6 +94,11 @@ let passes ?(dev = Target.stratix_v) () =
 
 let proof_codes = [ "L009"; "L010"; "L011"; "L012"; "L013" ]
 
+let heuristic_codes =
+  List.filter_map
+    (fun p -> if List.mem p.code proof_codes then None else Some p.code)
+    (passes ())
+
 let check ?dev ?(validate = true) ?only d =
   let ps = passes ?dev () in
   let ps =

@@ -31,6 +31,12 @@ val proof_codes : string list
     cites a concrete counterexample, so error-level pruning on them alone
     is sound even when the heuristic passes are disabled. *)
 
+val heuristic_codes : string list
+(** The complement of {!proof_codes} over the registry: the heuristic
+    passes that still run when a caller (the evaluation layer's lint-only
+    path, or the symbolic gate's proved-[Legal] shortcut) skips the
+    proof-backed re-analysis. *)
+
 val check : ?dev:Target.t -> ?validate:bool -> ?only:string list -> Ir.design -> Diagnostic.t list
 (** Run the validator ([validate] defaults to [true]) and every registered
     pass; the result is sorted by severity then code and deduplicated.

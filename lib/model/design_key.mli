@@ -39,6 +39,12 @@ val of_design : Dhdl_ir.Ir.design -> t
 val skeleton : t -> string
 val binding : t -> string
 
+(** The skeleton digest alone — the family identity shared by every point
+    of one app's parameter sweep. This is the key the symbolic legality
+    layer ([Symbolic] in lib/absint, [Symgate] in lib/dse) derives and
+    routes constraint systems by. *)
+val skeleton_hash : Dhdl_ir.Ir.design -> string
+
 (** ["<skeleton>:<binding>"] — the full key, suitable as a cache key or a
     stable external identifier for one design instance. *)
 val to_string : t -> string

@@ -293,6 +293,7 @@ let summary_json (r : Explore.result) =
       ("lint_pruned", Json.Int r.Explore.lint_pruned);
       ("absint_pruned", Json.Int r.Explore.absint_pruned);
       ("dep_pruned", Json.Int r.Explore.dep_pruned);
+      ("sym_pruned", Json.Int r.Explore.sym_pruned);
       ("resumed", Json.Int r.Explore.resumed);
       ( "best_cycles",
         match Explore.best r with

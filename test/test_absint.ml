@@ -460,8 +460,13 @@ let run_absint_sweep config =
   Explore.run config (Eval.create (Lazy.force estimator)) ~space:absint_space
     ~generate:absint_generate
 
+(* The symbolic gate (on by default) would refute the bad point before
+   elaboration; these tests exercise the *concrete* classification
+   machinery, so they run with the gate off. *)
 let test_explore_absint_pruning () =
-  let base = Explore.Config.(default |> with_seed 1 |> with_max_points 10) in
+  let base =
+    Explore.Config.(default |> with_seed 1 |> with_max_points 10 |> with_symbolic false)
+  in
   let r = run_absint_sweep base in
   check_int "sampled both points" 2 r.Explore.sampled;
   check_int "proof refutation pruned the bad point" 1 r.Explore.absint_pruned;
@@ -478,7 +483,9 @@ let test_explore_absint_pruning () =
 let test_checkpoint_roundtrips_absint_pruned () =
   let path = Filename.temp_file "absint" ".jsonl" in
   Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) @@ fun () ->
-  let base = Explore.Config.(default |> with_seed 1 |> with_max_points 10) in
+  let base =
+    Explore.Config.(default |> with_seed 1 |> with_max_points 10 |> with_symbolic false)
+  in
   let r = run_absint_sweep Explore.Config.(base |> with_checkpoint path) in
   check_int "pruned on first run" 1 r.Explore.absint_pruned;
   let r2 = run_absint_sweep Explore.Config.(base |> with_checkpoint path |> with_resume true) in

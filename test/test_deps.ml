@@ -318,8 +318,13 @@ let run_dep_sweep config =
   Explore.run config (Eval.create (Lazy.force estimator)) ~space:dep_space
     ~generate:dep_generate
 
+(* The symbolic gate (on by default) would refute the bad point before
+   elaboration; these tests exercise the *concrete* classification
+   machinery, so they run with the gate off. *)
 let test_explore_dep_pruning () =
-  let base = Explore.Config.(default |> with_seed 1 |> with_max_points 10) in
+  let base =
+    Explore.Config.(default |> with_seed 1 |> with_max_points 10 |> with_symbolic false)
+  in
   let r = run_dep_sweep base in
   check_int "sampled both points" 2 r.Explore.sampled;
   check_int "refuted par pruned as dep_pruned" 1 r.Explore.dep_pruned;
@@ -334,7 +339,9 @@ let test_explore_dep_pruning () =
 let test_checkpoint_roundtrips_dep_pruned () =
   let path = Filename.temp_file "deps" ".jsonl" in
   Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) @@ fun () ->
-  let base = Explore.Config.(default |> with_seed 1 |> with_max_points 10) in
+  let base =
+    Explore.Config.(default |> with_seed 1 |> with_max_points 10 |> with_symbolic false)
+  in
   let r = run_dep_sweep Explore.Config.(base |> with_checkpoint path) in
   check_int "pruned on first run" 1 r.Explore.dep_pruned;
   (* The serialized entry round-trips through the JSONL parser... *)

@@ -315,21 +315,18 @@ let test_cache_counters_surfaced () =
 (* Grep pin: Eval is the only evaluation pipeline                      *)
 (* ------------------------------------------------------------------ *)
 
-(* [Estimator.estimate] (the corrected-model entry point, not
-   estimate_cycles / estimate_area_uncorrected / timed_estimate) may
-   appear in exactly one production file: lib/dse/eval.ml. Everything
-   else — the explorer, the serve supervisor, the CLI, the experiment
-   drivers, the benches, the examples — must go through Eval. *)
-let test_no_direct_estimator_pipelines () =
+(* Shared scanner for the API-boundary pins below: find call-chain uses
+   of [needle] (an ident-boundary match) in every .ml under the
+   production directories, minus per-directory exemptions. Type
+   annotations ([e : Estimator.estimate]) name a type, not a function; a
+   match whose nearest preceding non-space character is ':' is one of
+   those, not a call. *)
+let scan_offenders ~needle dirs =
   let ident c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' in
   let offenders = ref [] in
   let scan_file path =
     let s = read_file path in
-    let needle = "Estimator.estimate" in
     let nlen = String.length needle in
-    (* Type annotations ([e : Estimator.estimate]) name the record type,
-       not the function; a match whose nearest preceding non-space
-       character is ':' is one of those, not a call. *)
     let annotation i =
       let rec back j =
         if j < 0 then false
@@ -343,8 +340,14 @@ let test_no_direct_estimator_pipelines () =
       | None -> ()
       | Some i ->
         if i + nlen <= String.length s && String.sub s i nlen = needle then begin
+          (* The trailing boundary only matters when the needle ends in an
+             ident char (so "Estimator.estimate" skips "…estimates"); a
+             needle ending in '.' pins a whole module's namespace. *)
           if
-            (i + nlen >= String.length s || not (ident s.[i + nlen]))
+            ((not (ident needle.[nlen - 1]))
+            || i + nlen >= String.length s
+            || not (ident s.[i + nlen]))
+            && (i = 0 || not (ident s.[i - 1]))
             && not (annotation i)
           then offenders := path :: !offenders;
           go (i + nlen)
@@ -353,24 +356,64 @@ let test_no_direct_estimator_pipelines () =
     in
     go 0
   in
-  let scan_dir ?(except = []) dir =
-    match Sys.readdir dir with
-    | exception Sys_error _ -> Alcotest.fail (Printf.sprintf "cannot read %s" dir)
-    | names ->
-      Array.iter
-        (fun n ->
-          if Filename.check_suffix n ".ml" && not (List.mem n except) then
-            scan_file (Filename.concat dir n))
-        names
+  List.iter
+    (fun (dir, except) ->
+      match Sys.readdir dir with
+      | exception Sys_error _ -> Alcotest.fail (Printf.sprintf "cannot read %s" dir)
+      | names ->
+        Array.iter
+          (fun n ->
+            if Filename.check_suffix n ".ml" && not (List.mem n except) then
+              scan_file (Filename.concat dir n))
+          names)
+    dirs;
+  List.sort_uniq compare !offenders
+
+(* [Estimator.estimate] (the corrected-model entry point, not
+   estimate_cycles / estimate_area_uncorrected / timed_estimate) may
+   appear in exactly one production file: lib/dse/eval.ml. Everything
+   else — the explorer, the serve supervisor, the CLI, the experiment
+   drivers, the benches, the examples — must go through Eval. *)
+let test_no_direct_estimator_pipelines () =
+  let offenders =
+    scan_offenders ~needle:"Estimator.estimate"
+      [
+        ("../lib/dse", [ "eval.ml" ]);
+        ("../lib/serve", []);
+        ("../lib/core", []);
+        ("../bin", []);
+        ("../bench", []);
+        ("../examples", []);
+      ]
   in
-  scan_dir ~except:[ "eval.ml" ] "../lib/dse";
-  scan_dir "../lib/serve";
-  scan_dir "../lib/core";
-  scan_dir "../bin";
-  scan_dir "../bench";
-  scan_dir "../examples";
   Alcotest.(check (list string))
-    "no direct Estimator.estimate call-chains outside Eval" [] !offenders
+    "no direct Estimator.estimate call-chains outside Eval" [] offenders
+
+(* Same discipline for the concrete analysis passes: [Absint.analyze] /
+   [Dependence.analyze] (and anything else on those modules) may only be
+   reached through [Eval]'s cached pipeline or the two deliberate
+   analysis surfaces — [dhdl analyze] (bin/dhdl.ml) and the serve
+   supervisor's [analyze] verb. A new caller that invoked them directly
+   would silently bypass the symbolic pre-elaboration gate (and the
+   analysis cache), so the boundary is pinned here. *)
+let test_no_direct_analysis_pipelines () =
+  let dirs =
+    [
+      ("../lib/dse", [ "eval.ml" ]);
+      ("../lib/serve", [ "supervisor.ml" ]);
+      ("../lib/core", []);
+      ("../bin", [ "dhdl.ml" ]);
+      ("../bench", []);
+      ("../examples", []);
+    ]
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "no direct %s call-chains outside Eval and dhdl analyze" needle)
+        []
+        (scan_offenders ~needle dirs))
+    [ "Absint."; "Dependence." ]
 
 let () =
   Alcotest.run "eval"
@@ -401,5 +444,7 @@ let () =
         [
           Alcotest.test_case "no direct pipelines outside Eval" `Quick
             test_no_direct_estimator_pipelines;
+          Alcotest.test_case "no direct analysis outside Eval / dhdl analyze" `Quick
+            test_no_direct_analysis_pipelines;
         ] );
     ]
